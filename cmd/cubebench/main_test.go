@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got := parseSizes("100, 200,300")
+	if len(got) != 3 || got[0] != 100 || got[2] != 300 {
+		t.Errorf("parseSizes: %v", got)
+	}
+	if parseSizes("") != nil {
+		t.Errorf("empty input must be nil")
+	}
+}

@@ -1,0 +1,371 @@
+// Command cubrel computes containment and complementarity relationships
+// over QB data: load a Turtle corpus (or generate one), run an algorithm,
+// and print a summary, a CSV pair listing, or an RDF export in the qbr:
+// vocabulary.
+//
+// Usage:
+//
+//	cubrel -in data.ttl -alg cubemasking -format summary
+//	cubrel -gen real -n 5000 -alg baseline -format csv
+//	cubrel -gen example -format ttl > relationships.ttl
+//	cubrel -in data.ttl -query 'SELECT ?o WHERE { ?o a qb:Observation } LIMIT 5'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	rdfcube "rdfcube"
+	"rdfcube/internal/core"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input Turtle file with QB datasets and SKOS code lists")
+		inCSV   = flag.String("in-csv", "", "input CSV table (header row first); requires -hierarchies")
+		hier    = flag.String("hierarchies", "", "Turtle file with SKOS code lists for -in-csv")
+		genK    = flag.String("gen", "", "generate instead of loading: example, real, synthetic")
+		n       = flag.Int("n", 5000, "observation count for -gen real/synthetic")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		algStr  = flag.String("alg", "cubemasking", "algorithm: baseline, clustering, cubemasking, cubemasking-prefetch, hybrid, parallel")
+		tasks   = flag.String("tasks", "all", "relationships: full, partial, compl, all (comma-separated)")
+		format  = flag.String("format", "summary", "output: summary, csv, ttl")
+		query   = flag.String("query", "", "run a SPARQL query against the corpus instead of computing relationships")
+		check   = flag.Bool("check", false, "validate QB integrity constraints and exit")
+		explore = flag.String("explore", "", "observation URI (or local name) to explore: prints its containment/complementarity neighborhood")
+		related = flag.Bool("relatedness", false, "print the dataset-pair relatedness ranking and matrix")
+		rollup  = flag.String("rollup", "", "roll every dataset up before computing: <dimensionLocalName>:<level> (e.g. refArea:2)")
+		aggStr  = flag.String("agg", "sum", "roll-up aggregation: sum, avg, count")
+		vocab   = flag.Bool("vocab", false, "print the qbr: relationship vocabulary definition and exit")
+	)
+	flag.Parse()
+
+	if *vocab {
+		fmt.Print(rdfcube.QBRVocabularyTurtle())
+		return
+	}
+
+	corpus, err := loadCorpusAll(*in, *inCSV, *hier, *genK, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		vs, err := rdfcube.CheckIntegrity(corpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
+			os.Exit(1)
+		}
+		if len(vs) == 0 {
+			fmt.Println("ok: no integrity violations")
+			return
+		}
+		for _, v := range vs {
+			fmt.Println(v)
+		}
+		os.Exit(1)
+	}
+
+	if *query != "" {
+		res, err := rdfcube.Query(corpus, *query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubrel: query: %v\n", err)
+			os.Exit(1)
+		}
+		for _, v := range res.Vars {
+			fmt.Printf("%s\t", v)
+		}
+		fmt.Println()
+		for _, sol := range res.Solutions {
+			for _, v := range res.Vars {
+				fmt.Printf("%s\t", sol[v])
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	if *rollup != "" {
+		corpus, err = applyRollUp(corpus, *rollup, *aggStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *related {
+		if err := printRelatedness(corpus); err != nil {
+			fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *explore != "" {
+		if err := exploreObservation(corpus, *explore); err != nil {
+			fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := rdfcube.Options{Tasks: parseTasks(*tasks)}
+	opts.Clustering.Config.Seed = *seed
+	start := time.Now()
+	comp, err := rdfcube.Compute(corpus, rdfcube.Algorithm(*algStr), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	switch *format {
+	case "summary":
+		f, p, c := comp.Result.Counts()
+		fmt.Printf("algorithm:            %s\n", *algStr)
+		fmt.Printf("observations:         %d\n", comp.Space.N())
+		fmt.Printf("dimensions:           %d\n", comp.Space.NumDims())
+		fmt.Printf("full containment:     %d pairs\n", f)
+		fmt.Printf("partial containment:  %d pairs\n", p)
+		fmt.Printf("complementarity:      %d pairs\n", c)
+		fmt.Printf("elapsed:              %s\n", elapsed)
+	case "csv":
+		fmt.Println("relationship,source,target,degree")
+		for _, pr := range comp.Result.FullSet {
+			fmt.Printf("full,%s,%s,1\n", comp.Obs(pr.A).URI.Value, comp.Obs(pr.B).URI.Value)
+		}
+		for _, pr := range comp.Result.PartialSet {
+			fmt.Printf("partial,%s,%s,%.4f\n", comp.Obs(pr.A).URI.Value, comp.Obs(pr.B).URI.Value,
+				comp.Result.PartialDegree[pr])
+		}
+		for _, pr := range comp.Result.ComplSet {
+			fmt.Printf("complementarity,%s,%s,1\n", comp.Obs(pr.A).URI.Value, comp.Obs(pr.B).URI.Value)
+		}
+	case "ttl":
+		fmt.Print(rdfcube.ExportRelationships(comp))
+	case "merged":
+		rows := rdfcube.MergeComplements(comp)
+		fmt.Printf("%d combined data points from complementary observations:\n", len(rows))
+		for _, row := range rows {
+			for _, v := range row.DimValues {
+				fmt.Printf("%s ", v.Local())
+			}
+			measures := make([]rdfcube.Term, 0, len(row.Measures))
+			for m := range row.Measures {
+				measures = append(measures, m)
+			}
+			sort.Slice(measures, func(i, j int) bool { return measures[i].Compare(measures[j]) < 0 })
+			for _, m := range measures {
+				fmt.Printf(" %s=%s", m.Local(), row.Measures[m].Value)
+			}
+			if len(row.Conflicts) > 0 {
+				fmt.Printf(" (conflicts: %d)", len(row.Conflicts))
+			}
+			fmt.Println()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cubrel: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+// applyRollUp rolls every dataset that carries the named dimension up to
+// the given level and returns a corpus of the aggregated datasets (other
+// datasets pass through unchanged).
+func applyRollUp(corpus *rdfcube.Corpus, spec, aggName string) (*rdfcube.Corpus, error) {
+	colon := -1
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == ':' {
+			colon = i
+		}
+	}
+	if colon < 1 || colon == len(spec)-1 {
+		return nil, fmt.Errorf("-rollup wants <dimension>:<level>, got %q", spec)
+	}
+	dimName := spec[:colon]
+	level := 0
+	for _, c := range spec[colon+1:] {
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("bad level in %q", spec)
+		}
+		level = level*10 + int(c-'0')
+	}
+	var agg rdfcube.Aggregation
+	switch aggName {
+	case "sum":
+		agg = rdfcube.AggSum
+	case "avg":
+		agg = rdfcube.AggAvg
+	case "count":
+		agg = rdfcube.AggCount
+	default:
+		return nil, fmt.Errorf("unknown aggregation %q", aggName)
+	}
+	space, err := rdfcube.Compile(corpus)
+	if err != nil {
+		return nil, err
+	}
+	out := rdfcube.NewCorpus(corpus.Hierarchies)
+	for i, ds := range corpus.Datasets {
+		var dim rdfcube.Term
+		for _, d := range ds.Schema.Dimensions {
+			if d.Local() == dimName {
+				dim = d
+			}
+		}
+		if dim.IsZero() {
+			out.AddDataset(ds)
+			continue
+		}
+		up, err := rdfcube.RollUp(space, i, dim, level, agg)
+		if err != nil {
+			return nil, err
+		}
+		out.AddDataset(up)
+	}
+	return out, nil
+}
+
+// printRelatedness computes all relationships and prints the source
+// relatedness ranking and score matrix.
+func printRelatedness(corpus *rdfcube.Corpus) error {
+	space, err := rdfcube.Compile(corpus)
+	if err != nil {
+		return err
+	}
+	res := core.NewResult()
+	core.CubeMasking(space, core.TaskAll, res, core.CubeMaskOptions{})
+	rel := core.ComputeRelatedness(space, res)
+	fmt.Println("most related dataset pairs:")
+	for i, e := range rel.MostRelated() {
+		if i >= 10 {
+			break
+		}
+		fmt.Println("  " + e.String())
+	}
+	fmt.Println("\nscore matrix:")
+	fmt.Print(rel.Table())
+	return nil
+}
+
+// exploreObservation prints one observation's materialized neighborhood:
+// its roll-ups, drill-downs and complementary partners.
+func exploreObservation(corpus *rdfcube.Corpus, target string) error {
+	ix, err := rdfcube.BuildExplorationIndex(corpus)
+	if err != nil {
+		return err
+	}
+	s := ix.Space()
+	pick := -1
+	for i, o := range s.Obs {
+		if o.URI.Value == target || o.URI.Local() == target {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		return fmt.Errorf("observation %q not found", target)
+	}
+	describe := func(i int) string {
+		o := s.Obs[i]
+		out := o.URI.Local()
+		for _, d := range o.Dataset.Schema.Dimensions {
+			out += " " + o.Value(d).Local()
+		}
+		return out
+	}
+	fmt.Printf("observation: %s\n", describe(pick))
+	fmt.Println("rolls up to (immediate containers):")
+	for _, j := range ix.RollUp(pick) {
+		fmt.Println("  " + describe(j))
+	}
+	fmt.Println("drills down to (immediate details):")
+	for _, j := range ix.DrillDown(pick) {
+		fmt.Println("  " + describe(j))
+	}
+	fmt.Println("complemented by:")
+	for _, j := range ix.Complements(pick) {
+		fmt.Println("  " + describe(j))
+	}
+	return nil
+}
+
+func loadCorpusAll(in, inCSV, hier, genKind string, n int, seed int64) (*rdfcube.Corpus, error) {
+	if inCSV != "" {
+		if hier == "" {
+			return nil, fmt.Errorf("-in-csv requires -hierarchies with the SKOS code lists")
+		}
+		hdata, err := os.ReadFile(hier)
+		if err != nil {
+			return nil, err
+		}
+		reg, err := rdfcube.LoadHierarchiesTurtle(string(hdata))
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(inCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rdfcube.LoadCSV(f, reg, rdfcube.CSVOptions{FuzzyCodes: true})
+	}
+	return loadCorpus(in, genKind, n, seed)
+}
+
+func loadCorpus(in, genKind string, n int, seed int64) (*rdfcube.Corpus, error) {
+	switch {
+	case in != "" && genKind != "":
+		return nil, fmt.Errorf("use either -in or -gen, not both")
+	case in != "":
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		return rdfcube.LoadTurtle(string(data))
+	case genKind == "example":
+		return rdfcube.ExampleCorpus(), nil
+	case genKind == "real":
+		return rdfcube.GenerateRealWorld(n, seed), nil
+	case genKind == "synthetic":
+		return rdfcube.GenerateSynthetic(n, seed), nil
+	default:
+		return nil, fmt.Errorf("need -in FILE or -gen example|real|synthetic")
+	}
+}
+
+func parseTasks(s string) rdfcube.Tasks {
+	var t rdfcube.Tasks
+	for _, part := range splitComma(s) {
+		switch part {
+		case "full":
+			t |= rdfcube.TaskFull
+		case "partial":
+			t |= rdfcube.TaskPartial
+		case "compl", "complementarity":
+			t |= rdfcube.TaskCompl
+		case "all", "":
+			t |= rdfcube.TaskAll
+		default:
+			fmt.Fprintf(os.Stderr, "cubrel: unknown task %q\n", part)
+			os.Exit(2)
+		}
+	}
+	return t
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	rdfcube "rdfcube"
+)
+
+func TestParseTasks(t *testing.T) {
+	cases := map[string]rdfcube.Tasks{
+		"all":             rdfcube.TaskAll,
+		"full":            rdfcube.TaskFull,
+		"partial":         rdfcube.TaskPartial,
+		"compl":           rdfcube.TaskCompl,
+		"complementarity": rdfcube.TaskCompl,
+		"full,compl":      rdfcube.TaskFull | rdfcube.TaskCompl,
+		"full,partial":    rdfcube.TaskFull | rdfcube.TaskPartial,
+		"":                rdfcube.TaskAll,
+	}
+	for in, want := range cases {
+		if got := parseTasks(in); got != want {
+			t.Errorf("parseTasks(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSplitComma(t *testing.T) {
+	got := splitComma("a,b,,c")
+	want := []string{"a", "b", "", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("part %d: %q", i, got[i])
+		}
+	}
+}
+
+func TestLoadCorpusGenerators(t *testing.T) {
+	for _, kind := range []string{"example", "real", "synthetic"} {
+		c, err := loadCorpus("", kind, 50, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if c.NumObservations() == 0 {
+			t.Errorf("%s: empty corpus", kind)
+		}
+	}
+	if _, err := loadCorpus("", "", 0, 0); err == nil {
+		t.Errorf("no source must fail")
+	}
+	if _, err := loadCorpus("x.ttl", "example", 0, 0); err == nil {
+		t.Errorf("both -in and -gen must fail")
+	}
+}

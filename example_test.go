@@ -1,0 +1,68 @@
+package rdfcube_test
+
+import (
+	"fmt"
+
+	rdfcube "rdfcube"
+)
+
+// Example computes the paper's running example end to end and prints the
+// complementary pairs of Figure 3.
+func Example() {
+	corpus := rdfcube.ExampleCorpus()
+	comp, err := rdfcube.Compute(corpus, rdfcube.CubeMasking, rdfcube.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range comp.Result.ComplSet {
+		fmt.Printf("%s complements %s\n", comp.Obs(p.A).URI.Local(), comp.Obs(p.B).URI.Local())
+	}
+	// Output:
+	// o11 complements o31
+	// o13 complements o35
+}
+
+// ExampleCompute_tasks restricts computation to full containment only.
+func ExampleCompute_tasks() {
+	comp, err := rdfcube.Compute(rdfcube.ExampleCorpus(), rdfcube.Baseline,
+		rdfcube.Options{Tasks: rdfcube.TaskFull})
+	if err != nil {
+		panic(err)
+	}
+	f, p, c := comp.Result.Counts()
+	fmt.Println(f, p, c)
+	// Output: 4 0 0
+}
+
+// ExampleLoadTurtle round-trips a corpus through Turtle.
+func ExampleLoadTurtle() {
+	ttl := rdfcube.ExportTurtle(rdfcube.ExampleCorpus())
+	corpus, err := rdfcube.LoadTurtle(ttl)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(corpus.NumObservations(), "observations")
+	// Output: 10 observations
+}
+
+// ExampleQuery runs a SPARQL aggregate over a corpus.
+func ExampleQuery() {
+	res, err := rdfcube.Query(rdfcube.ExampleCorpus(), `
+PREFIX qb: <http://purl.org/linked-data/cube#>
+SELECT (COUNT(*) AS ?n) WHERE { ?o a qb:Observation }`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Solutions[0]["n"].Value)
+	// Output: 10
+}
+
+// ExampleSkyline lists the top-level observations of the running example.
+func ExampleSkyline() {
+	space, err := rdfcube.Compile(rdfcube.ExampleCorpus())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(rdfcube.Skyline(space)), "skyline points of", space.N())
+	// Output: 6 skyline points of 10
+}

@@ -1,0 +1,140 @@
+// Federation demonstrates the full preprocessing pipeline of the paper's
+// §4 setting: two statistical sources publish cubes whose geography code
+// lists use different spellings of the same identifiers; the alignment
+// step (the paper uses LIMES; this library ships a cosine/Levenshtein
+// matcher) reconciles the codes onto the reference list, the sources are
+// merged into one corpus, relationships are computed, and finally new
+// observations arrive and are folded in incrementally (§6 future work).
+//
+// Run with: go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rdfcube "rdfcube"
+)
+
+func code(s string) rdfcube.Term { return rdfcube.NewIRI("http://ref.example/code/" + s) }
+
+func foreign(s string) rdfcube.Term { return rdfcube.NewIRI("http://other.example/geo/" + s) }
+
+func main() {
+	geo := rdfcube.NewIRI("http://ref.example/dim/geo")
+	year := rdfcube.NewIRI("http://ref.example/dim/year")
+
+	// Reference code lists (the journalist's "dimension bus").
+	geoList := rdfcube.NewCodeList(geo, code("World"))
+	geoList.Add(code("Europe"), code("World"))
+	geoList.Add(code("Greece"), code("Europe"))
+	geoList.Add(code("Athens"), code("Greece"))
+	geoList.Add(code("Italy"), code("Europe"))
+	geoList.Add(code("Rome"), code("Italy"))
+	geoList.MustSeal()
+	yearList := rdfcube.NewCodeList(year, code("AllYears"))
+	yearList.Add(code("Y2015"), code("AllYears"))
+	yearList.MustSeal()
+
+	// Source B publishes its geography with different casing/suffixes.
+	sourceBCodes := []rdfcube.Term{
+		foreign("ATHENS"), foreign("greece"), foreign("Rome_IT"), foreign("italy"),
+	}
+
+	// 1. Alignment: match source B's codes to the reference list.
+	links := rdfcube.AlignCodes(sourceBCodes, geoList.Codes(), rdfcube.AlignConfig{Threshold: 0.55})
+	fmt.Println("alignment links (source → reference, score):")
+	mapping := map[rdfcube.Term]rdfcube.Term{}
+	for _, l := range links {
+		fmt.Printf("  %-12s → %-10s %.2f\n", l.Source.Local(), l.Target.Local(), l.Score)
+		mapping[l.Source] = l.Target
+	}
+	if len(mapping) != len(sourceBCodes) {
+		log.Fatalf("alignment incomplete: %d/%d codes matched", len(mapping), len(sourceBCodes))
+	}
+
+	// 2. Build the merged corpus: source A already uses reference codes;
+	//    source B's observations are rewritten through the mapping.
+	reg := rdfcube.NewRegistry()
+	reg.Register(geoList)
+	reg.Register(yearList)
+	corpus := rdfcube.NewCorpus(reg)
+
+	pop := rdfcube.NewIRI("http://ref.example/measure/population")
+	unemp := rdfcube.NewIRI("http://ref.example/measure/unemployment")
+
+	dsA := &rdfcube.Dataset{
+		URI:    rdfcube.NewIRI("http://ref.example/dataset/A"),
+		Schema: rdfcube.NewSchema([]rdfcube.Term{geo, year}, []rdfcube.Term{pop}),
+	}
+	mustAdd(dsA, "A/popGreece", []rdfcube.Term{code("Greece"), code("Y2015")}, rdfcube.NewInteger(10_800_000))
+	mustAdd(dsA, "A/popAthens", []rdfcube.Term{code("Athens"), code("Y2015")}, rdfcube.NewInteger(3_090_000))
+
+	dsB := &rdfcube.Dataset{
+		URI:    rdfcube.NewIRI("http://other.example/dataset/B"),
+		Schema: rdfcube.NewSchema([]rdfcube.Term{geo, year}, []rdfcube.Term{unemp}),
+	}
+	// Raw source-B rows, pre-alignment:
+	rawB := []struct {
+		name string
+		geo  rdfcube.Term
+		v    int64
+	}{
+		{"B/unempGreece", foreign("greece"), 24},
+		{"B/unempAthens", foreign("ATHENS"), 28},
+		{"B/unempRome", foreign("Rome_IT"), 11},
+	}
+	for _, r := range rawB {
+		mustAdd(dsB, r.name, []rdfcube.Term{mapping[r.geo], code("Y2015")}, rdfcube.NewInteger(r.v))
+	}
+	corpus.AddDataset(dsA)
+	corpus.AddDataset(dsB)
+	if err := corpus.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Relationships over the merged corpus.
+	comp, err := rdfcube.Compute(corpus, rdfcube.CubeMasking, rdfcube.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrelationships across the federated sources:")
+	for _, p := range comp.Result.FullSet {
+		fmt.Printf("  %s contains %s\n", comp.Obs(p.A).URI.Local(), comp.Obs(p.B).URI.Local())
+	}
+	for _, p := range comp.Result.ComplSet {
+		fmt.Printf("  %s complements %s\n", comp.Obs(p.A).URI.Local(), comp.Obs(p.B).URI.Local())
+	}
+
+	// 4. Incremental maintenance: a new observation arrives from source A.
+	space, err := rdfcube.Compile(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inc := rdfcube.NewIncremental(space, rdfcube.TaskAll)
+	before := len(inc.Res.ComplSet)
+
+	newObs := &rdfcube.Observation{
+		URI:           rdfcube.NewIRI("http://ref.example/obs/A/popRome"),
+		Dataset:       dsA,
+		DimValues:     []rdfcube.Term{code("Rome"), code("Y2015")},
+		MeasureValues: []rdfcube.Term{rdfcube.NewInteger(2_870_000)},
+	}
+	if _, err := inc.Insert(newObs); err != nil {
+		log.Fatal(err)
+	}
+	inc.Res.Sort()
+	fmt.Printf("\nincremental insert of %s: complementarity pairs %d → %d\n",
+		newObs.URI.Local(), before, len(inc.Res.ComplSet))
+	for _, p := range inc.Res.ComplSet {
+		a, b := inc.S.Obs[p.A].URI.Local(), inc.S.Obs[p.B].URI.Local()
+		fmt.Printf("  %s complements %s\n", a, b)
+	}
+}
+
+func mustAdd(ds *rdfcube.Dataset, name string, dims []rdfcube.Term, measure rdfcube.Term) {
+	_, err := ds.AddObservation(rdfcube.NewIRI("http://ref.example/obs/"+name), dims, []rdfcube.Term{measure})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

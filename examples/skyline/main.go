@@ -1,0 +1,56 @@
+// Skyline demonstrates the §1 application of containment computation:
+// skylines and k-dominant skylines over web data. An observation is a
+// skyline point when no other observation fully contains it — i.e. it is
+// a top-level data point of the collection — and a k-dominant skyline
+// point when no other observation contains it on at least k dimensions
+// (with one strictly coarser), after Chan et al.
+//
+// The program generates a Table-4-replica corpus and reports skyline sizes
+// for decreasing k, showing the k-dominance trade-off.
+//
+// Run with: go run ./examples/skyline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rdfcube "rdfcube"
+)
+
+func main() {
+	corpus := rdfcube.GenerateRealWorld(3000, 42)
+	space, err := rdfcube.Compile(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d observations over %d dimensions\n\n", space.N(), space.NumDims())
+
+	sky := rdfcube.Skyline(space)
+	fmt.Printf("skyline (not fully contained by anyone): %d points (%.1f%%)\n",
+		len(sky), 100*float64(len(sky))/float64(space.N()))
+
+	p := space.NumDims()
+	for k := p; k >= p-2 && k >= 1; k-- {
+		pts := rdfcube.KDominantSkyline(space, k)
+		fmt.Printf("%d-dominant skyline: %d points (%.1f%%)\n",
+			k, len(pts), 100*float64(len(pts))/float64(space.N()))
+	}
+
+	fmt.Println("\nsample skyline points:")
+	for i, idx := range sky {
+		if i >= 5 {
+			break
+		}
+		o := space.Obs[idx]
+		fmt.Printf("  %s", o.URI.Local())
+		for _, d := range o.Dataset.Schema.Dimensions {
+			fmt.Printf("  %s", o.Value(d).Local())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nAs the paper notes (§1), materializing containment gives direct access")
+	fmt.Println("to skyline and k-dominant skyline points in large observation collections:")
+	fmt.Println("the skyline is exactly the set of pairs missing from S_F's right-hand side.")
+}

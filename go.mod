@@ -1,0 +1,3 @@
+module rdfcube
+
+go 1.22

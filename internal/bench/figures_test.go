@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps harness tests fast; the shapes asserted here are scale-
+// free (count agreement, recall bounds, ratio monotonicity).
+func tinyConfig() Config {
+	return Config{
+		Sizes:          []int{150, 300},
+		SyntheticSizes: []int{300, 600},
+		Seed:           3,
+		Timeout:        10 * time.Second,
+		ComparatorCap:  300,
+		RulesOOMCap:    150,
+		BaselineCap:    300,
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	s, err := Fig5a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact algorithms must agree on complementarity counts per size.
+	counts := map[int]map[string]int{}
+	for _, m := range s {
+		if m.TimedOut || m.OOM {
+			continue
+		}
+		if counts[m.Size] == nil {
+			counts[m.Size] = map[string]int{}
+		}
+		counts[m.Size][m.Approach] = m.Compl
+	}
+	for size, byApp := range counts {
+		if byApp[ApproachBaseline] != byApp[ApproachCubeMasking] {
+			t.Errorf("size %d: baseline found %d compl, cubeMasking %d",
+				size, byApp[ApproachBaseline], byApp[ApproachCubeMasking])
+		}
+		if c, ok := byApp[ApproachClustering]; ok && c > byApp[ApproachBaseline] {
+			t.Errorf("size %d: clustering found more (%d) than baseline (%d)",
+				size, c, byApp[ApproachBaseline])
+		}
+	}
+	// Beyond the rules cap the row must be marked o/m.
+	foundOOM := false
+	for _, m := range s {
+		if m.Approach == ApproachRules && m.Size == 300 {
+			foundOOM = m.OOM
+		}
+	}
+	if !foundOOM {
+		t.Errorf("rules at size 300 should be marked o/m with RulesOOMCap=150")
+	}
+	// Rendering must include every approach column.
+	table := s.Table("fig 5a")
+	for _, a := range []string{ApproachBaseline, ApproachClustering, ApproachCubeMasking, ApproachSPARQL, ApproachRules} {
+		if !strings.Contains(table, a) {
+			t.Errorf("table misses approach %s:\n%s", a, table)
+		}
+	}
+}
+
+func TestFig5bFullCountsAgree(t *testing.T) {
+	s, err := Fig5b(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]int{}
+	for _, m := range s {
+		if m.Size == 150 && !m.TimedOut && !m.OOM {
+			byApp[m.Approach] = m.Full
+		}
+	}
+	if byApp[ApproachBaseline] != byApp[ApproachCubeMasking] {
+		t.Errorf("full containment counts disagree: %v", byApp)
+	}
+	// The rule comparator computes the relaxed variant; it must find at
+	// least every canonical pair (relaxation only widens the relation).
+	if r, ok := byApp[ApproachRules]; ok && r < byApp[ApproachBaseline] {
+		t.Errorf("rules found %d full pairs, canonical baseline %d — relaxed variant cannot be smaller",
+			r, byApp[ApproachBaseline])
+	}
+}
+
+func TestFig5dRecallBounds(t *testing.T) {
+	s, err := Fig5d(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 6 { // 2 sizes × 3 methods
+		t.Fatalf("got %d measurements, want 6", len(s))
+	}
+	for _, m := range s {
+		r := m.Extra["recall"]
+		if r < 0 || r > 1.0000001 {
+			t.Errorf("%s@%d: recall %v out of range", m.Approach, m.Size, r)
+		}
+	}
+}
+
+func TestFig5eProjection(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BaselineCap = 300 // second synthetic size (600) must be projected
+	s, err := Fig5e(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured, projected *Measurement
+	for i := range s {
+		m := &s[i]
+		if m.Approach != ApproachBaseline {
+			continue
+		}
+		if m.Size == 300 {
+			measured = m
+		}
+		if m.Size == 600 {
+			projected = m
+		}
+	}
+	if measured == nil || projected == nil {
+		t.Fatalf("missing baseline points: %+v", s)
+	}
+	if !projected.Projected {
+		t.Errorf("600-point must be projected")
+	}
+	want := time.Duration(float64(measured.Duration) * 4)
+	if projected.Duration != want {
+		t.Errorf("projection = %v, want %v (quadratic from %v)", projected.Duration, want, measured.Duration)
+	}
+}
+
+func TestFig5fRatioDecreases(t *testing.T) {
+	s, err := Fig5f(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("got %d rows", len(s))
+	}
+	if s[0].Extra["ratio"] < s[1].Extra["ratio"] {
+		t.Errorf("cubes-per-observation ratio must not increase: %v then %v",
+			s[0].Extra["ratio"], s[1].Extra["ratio"])
+	}
+	if s[0].Extra["cubes"] <= 0 {
+		t.Errorf("no cubes discovered")
+	}
+}
+
+func TestFig5gRowsAndRatio(t *testing.T) {
+	s, err := Fig5g(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 4 { // 2 sizes × {normal, prefetch}
+		t.Fatalf("got %d rows, want 4", len(s))
+	}
+	for _, m := range s {
+		if m.Approach == "prefetch" {
+			if m.Extra["ratio"] <= 0 {
+				t.Errorf("prefetch ratio missing")
+			}
+		}
+	}
+}
+
+func TestExtensionsAgree(t *testing.T) {
+	s, err := Extensions(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]int{}
+	for _, m := range s {
+		if m.Size == 300 {
+			byApp[m.Approach] = m.Full
+		}
+	}
+	if byApp[ApproachCubeMasking] != byApp[ApproachParallel] {
+		t.Errorf("parallel disagrees with cubeMasking: %v", byApp)
+	}
+	if h := byApp[ApproachHybrid]; h > byApp[ApproachCubeMasking] {
+		t.Errorf("hybrid found more than exact cubeMasking: %v", byApp)
+	}
+}
+
+func TestCSVAndTableFour(t *testing.T) {
+	s, err := Fig5f(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "figure,approach,size,seconds,status,full,partial,compl") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if !strings.Contains(csv, "ratio") {
+		t.Errorf("csv misses extra column: %s", csv)
+	}
+
+	manifest := TableFourManifest(700, 1)
+	for _, ds := range []string{"D1", "D2", "D3", "D4", "D5", "D6", "D7"} {
+		if !strings.Contains(manifest, ds) {
+			t.Errorf("manifest misses %s:\n%s", ds, manifest)
+		}
+	}
+	for _, meas := range []string{"Population", "Members", "Births", "Deaths", "GDP", "Compensation"} {
+		if !strings.Contains(manifest, meas) {
+			t.Errorf("manifest misses measure %s", meas)
+		}
+	}
+}

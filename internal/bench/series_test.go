@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasurementCellMarkers(t *testing.T) {
+	cases := []struct {
+		m    Measurement
+		want string
+	}{
+		{Measurement{OOM: true}, "o/m"},
+		{Measurement{TimedOut: true, Duration: time.Second}, "timeout"},
+		{Measurement{Projected: true, Duration: 2 * time.Second}, "2.00s*"},
+		{Measurement{Duration: 90 * time.Second}, "1.50m"},
+		{Measurement{Duration: 2 * time.Hour}, "2.00h"},
+		{Measurement{Duration: 1500 * time.Microsecond}, "1.5ms"},
+		{Measurement{Duration: 800 * time.Microsecond}, "800µs"},
+	}
+	for _, c := range cases {
+		if got := c.m.Cell(); got != c.want {
+			t.Errorf("Cell(%+v) = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+func TestSeriesTableLayout(t *testing.T) {
+	s := Series{
+		{Figure: "x", Approach: "a", Size: 100, Duration: time.Millisecond},
+		{Figure: "x", Approach: "b", Size: 100, OOM: true},
+		{Figure: "x", Approach: "a", Size: 200, Duration: 2 * time.Millisecond},
+		// approach b deliberately missing at 200 → "-" cell.
+	}
+	table := s.Table("title")
+	if !strings.Contains(table, "title") {
+		t.Errorf("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 4 { // title, header, two size rows
+		t.Fatalf("table lines = %d:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[1], "observations") {
+		t.Errorf("header: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "o/m") {
+		t.Errorf("oom cell: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Errorf("missing-cell dash: %q", lines[3])
+	}
+}
+
+func TestSeriesCSVStatusColumn(t *testing.T) {
+	s := Series{
+		{Figure: "x", Approach: "a", Size: 1, Duration: time.Second},
+		{Figure: "x", Approach: "a", Size: 2, TimedOut: true},
+		{Figure: "x", Approach: "a", Size: 3, OOM: true},
+		{Figure: "x", Approach: "a", Size: 4, Projected: true},
+		{Figure: "x", Approach: "a", Size: 5, Extra: map[string]float64{"k": 1.5}},
+	}
+	csv := s.CSV()
+	for _, want := range []string{",ok,", ",timeout,", ",oom,", ",projected,", ",k\n", ",1.5\n"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("csv misses %q:\n%s", want, csv)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rdfcube/internal/bitvec"
+)
+
+// canopy runs single-pass canopy clustering (McCallum, Nigam & Ungar):
+// points are consumed in order; each remaining point starts a canopy, every
+// point within tight distance t2 of the center is bound to it (removed from
+// candidacy), and points within the loose threshold t1 merely join the
+// canopy. The canopy centers are returned as centroids. t2 ≤ t1 must hold;
+// distances are Jaccard distances.
+func canopy(points []*bitvec.Vector, t1, t2 float64) ([]*bitvec.Vector, error) {
+	if t2 > t1 {
+		return nil, fmt.Errorf("cluster: canopy thresholds need t2 ≤ t1 (got t1=%v t2=%v)", t1, t2)
+	}
+	remaining := make([]bool, len(points))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	var centers []*bitvec.Vector
+	for i, p := range points {
+		if !remaining[i] {
+			continue
+		}
+		centers = append(centers, p.Clone())
+		remaining[i] = false
+		for j := i + 1; j < len(points); j++ {
+			if !remaining[j] {
+				continue
+			}
+			if p.JaccardDistance(points[j]) <= t2 {
+				remaining[j] = false
+			}
+		}
+	}
+	return centers, nil
+}

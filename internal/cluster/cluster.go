@@ -1,0 +1,193 @@
+// Package cluster implements the clustering algorithms the paper evaluates
+// for its §3.2 method: k-means and x-means (Pelleg & Moore's BIC-driven k
+// growth), canopy clustering (McCallum et al.) and agglomerative
+// hierarchical clustering — all over the binary feature space of occurrence
+// -matrix rows, with the Jaccard coefficient as the similarity metric, as
+// in the paper's experimental setting.
+//
+// Following §3.2, clustering is approximated by clustering a deterministic
+// sample of the data (10 % by default) and assigning the remaining points
+// to the identified clusters by nearest centroid.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rdfcube/internal/bitvec"
+)
+
+// Method names a clustering algorithm.
+type Method string
+
+// Supported methods.
+const (
+	// KMeans is Lloyd's algorithm with majority-vote binary centroids.
+	KMeans Method = "kmeans"
+	// XMeans grows k from a small start by BIC-scored binary splits.
+	XMeans Method = "xmeans"
+	// Canopy is single-pass canopy clustering with two Jaccard-distance
+	// thresholds; canopy centers serve as centroids.
+	Canopy Method = "canopy"
+	// Hierarchical is agglomerative average-linkage clustering (nearest-
+	// neighbor-chain implementation) cut at k clusters.
+	Hierarchical Method = "hierarchical"
+)
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// Method selects the algorithm; default XMeans (the paper's best).
+	Method Method
+	// K is the cluster count for KMeans/Hierarchical, and the maximum for
+	// XMeans. Zero applies the paper's rule of thumb k = √(n/2).
+	K int
+	// SampleFrac is the fraction of points clustered directly; the rest
+	// are assigned to the nearest centroid. Zero means 0.10 (the paper's
+	// 10 % sample). Use 1 to cluster every point.
+	SampleFrac float64
+	// Seed drives all randomized choices; equal seeds reproduce runs.
+	Seed int64
+	// MaxIter bounds Lloyd iterations per k-means run. Zero means 20.
+	MaxIter int
+	// T1 and T2 are the canopy loose/tight Jaccard-distance thresholds.
+	// Zeros mean 0.8 and 0.6 (calibrated on the occurrence-matrix feature
+	// space, where rows are sparse and pairwise Jaccard distances high).
+	T1, T2 float64
+	// MaxHierarchical caps the sample size fed to the O(m²)-memory
+	// hierarchical method. Zero means 2000.
+	MaxHierarchical int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Method == "" {
+		c.Method = XMeans
+	}
+	if c.SampleFrac <= 0 || c.SampleFrac > 1 {
+		c.SampleFrac = 0.10
+	}
+	if c.K <= 0 {
+		c.K = int(math.Sqrt(float64(n) / 2))
+		if c.K < 2 {
+			c.K = 2
+		}
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 20
+	}
+	if c.T1 <= 0 {
+		c.T1 = 0.8
+	}
+	if c.T2 <= 0 {
+		c.T2 = 0.6
+	}
+	if c.MaxHierarchical <= 0 {
+		c.MaxHierarchical = 2000
+	}
+	return c
+}
+
+// Clustering is a hard assignment of points to clusters.
+type Clustering struct {
+	// Assign maps each input point index to a cluster in [0, K).
+	Assign []int
+	// K is the number of clusters.
+	K int
+	// Centroids are the binary cluster representatives.
+	Centroids []*bitvec.Vector
+}
+
+// Members returns the per-cluster point-index lists, in point order.
+func (c Clustering) Members() [][]int {
+	out := make([][]int, c.K)
+	for i, a := range c.Assign {
+		out[a] = append(out[a], i)
+	}
+	return out
+}
+
+// Cluster clusters the points per cfg: it samples, runs the selected
+// method on the sample, and assigns every point to the nearest resulting
+// centroid by Jaccard distance.
+func Cluster(points []*bitvec.Vector, cfg Config) (Clustering, error) {
+	n := len(points)
+	if n == 0 {
+		return Clustering{}, fmt.Errorf("cluster: no points")
+	}
+	cfg = cfg.withDefaults(n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sampleSize := int(math.Ceil(cfg.SampleFrac * float64(n)))
+	if sampleSize < cfg.K {
+		sampleSize = cfg.K
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	if cfg.Method == Hierarchical && sampleSize > cfg.MaxHierarchical {
+		sampleSize = cfg.MaxHierarchical
+	}
+	perm := rng.Perm(n)
+	sample := make([]*bitvec.Vector, sampleSize)
+	for i := 0; i < sampleSize; i++ {
+		sample[i] = points[perm[i]]
+	}
+
+	var centroids []*bitvec.Vector
+	var err error
+	switch cfg.Method {
+	case KMeans:
+		centroids, err = kmeans(sample, cfg.K, cfg.MaxIter, rng)
+	case XMeans:
+		centroids, err = xmeans(sample, cfg.K, cfg.MaxIter, rng)
+	case Canopy:
+		centroids, err = canopy(sample, cfg.T1, cfg.T2)
+	case Hierarchical:
+		centroids, err = hierarchical(sample, cfg.K)
+	default:
+		err = fmt.Errorf("cluster: unknown method %q", cfg.Method)
+	}
+	if err != nil {
+		return Clustering{}, err
+	}
+	if len(centroids) == 0 {
+		return Clustering{}, fmt.Errorf("cluster: method %s produced no centroids", cfg.Method)
+	}
+
+	assign := make([]int, n)
+	for i, p := range points {
+		assign[i] = nearest(p, centroids)
+	}
+	return Clustering{Assign: assign, K: len(centroids), Centroids: centroids}, nil
+}
+
+func nearest(p *bitvec.Vector, centroids []*bitvec.Vector) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range centroids {
+		if d := p.JaccardDistance(cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// majorityCentroid returns the binary centroid of the member points: a bit
+// is set when at least half of the members set it.
+func majorityCentroid(points []*bitvec.Vector, members []int) *bitvec.Vector {
+	if len(members) == 0 {
+		return nil
+	}
+	cols := points[members[0]].Len()
+	counts := make([]int, cols)
+	for _, m := range members {
+		points[m].Ones(func(i int) { counts[i]++ })
+	}
+	c := bitvec.New(cols)
+	half := (len(members) + 1) / 2
+	for i, cnt := range counts {
+		if cnt >= half {
+			c.Set(i)
+		}
+	}
+	return c
+}

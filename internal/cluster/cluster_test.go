@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdfcube/internal/bitvec"
+)
+
+// blobs builds nGroups well-separated binary clusters of size perGroup:
+// group g sets a distinct block of bits (plus per-point noise).
+func blobs(nGroups, perGroup, cols int, seed int64) ([]*bitvec.Vector, []int) {
+	r := rand.New(rand.NewSource(seed))
+	block := cols / nGroups
+	var points []*bitvec.Vector
+	var labels []int
+	for g := 0; g < nGroups; g++ {
+		for i := 0; i < perGroup; i++ {
+			v := bitvec.New(cols)
+			for b := g * block; b < (g+1)*block; b++ {
+				if r.Float64() < 0.9 {
+					v.Set(b)
+				}
+			}
+			points = append(points, v)
+			labels = append(labels, g)
+		}
+	}
+	return points, labels
+}
+
+// purity measures how well the clustering recovers the labels: for each
+// cluster, its majority label's share.
+func purity(assign, labels []int, k int) float64 {
+	counts := map[int]map[int]int{}
+	for i, a := range assign {
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][labels[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	points, labels := blobs(3, 40, 90, 1)
+	cl, err := Cluster(points, Config{Method: KMeans, K: 3, SampleFrac: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K != 3 {
+		t.Fatalf("K = %d", cl.K)
+	}
+	if p := purity(cl.Assign, labels, cl.K); p < 0.95 {
+		t.Errorf("purity = %v, want ≥ 0.95", p)
+	}
+}
+
+func TestXMeansStopsAtSeparatedClusters(t *testing.T) {
+	points, labels := blobs(4, 30, 120, 2)
+	cl, err := Cluster(points, Config{Method: XMeans, K: 10, SampleFrac: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K < 4 || cl.K > 10 {
+		t.Errorf("xmeans K = %d, want within [4, 10]", cl.K)
+	}
+	if p := purity(cl.Assign, labels, cl.K); p < 0.9 {
+		t.Errorf("purity = %v", p)
+	}
+}
+
+func TestCanopyCoversAllPoints(t *testing.T) {
+	points, _ := blobs(3, 25, 60, 3)
+	cl, err := Cluster(points, Config{Method: Canopy, SampleFrac: 1, T1: 0.7, T2: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K < 3 {
+		t.Errorf("canopy found %d centers, want ≥ 3", cl.K)
+	}
+	if len(cl.Assign) != len(points) {
+		t.Errorf("every point must be assigned")
+	}
+}
+
+func TestCanopyThresholdValidation(t *testing.T) {
+	points, _ := blobs(2, 5, 20, 4)
+	if _, err := Cluster(points, Config{Method: Canopy, SampleFrac: 1, T1: 0.2, T2: 0.5}); err == nil {
+		t.Errorf("t2 > t1 must fail")
+	}
+}
+
+func TestHierarchicalRecoversBlobs(t *testing.T) {
+	points, labels := blobs(3, 20, 90, 5)
+	cl, err := Cluster(points, Config{Method: Hierarchical, K: 3, SampleFrac: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K != 3 {
+		t.Fatalf("K = %d", cl.K)
+	}
+	if p := purity(cl.Assign, labels, cl.K); p < 0.95 {
+		t.Errorf("purity = %v", p)
+	}
+}
+
+func TestHierarchicalKGreaterThanPoints(t *testing.T) {
+	points, _ := blobs(1, 3, 10, 6)
+	cl, err := Cluster(points, Config{Method: Hierarchical, K: 10, SampleFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K != 3 {
+		t.Errorf("K capped at point count: %d", cl.K)
+	}
+}
+
+func TestSampleAndAssign(t *testing.T) {
+	points, labels := blobs(3, 100, 90, 7)
+	// Cluster only 10% of the points; everything must still be assigned.
+	cl, err := Cluster(points, Config{Method: KMeans, K: 3, SampleFrac: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Assign) != len(points) {
+		t.Fatalf("assignment covers %d of %d", len(cl.Assign), len(points))
+	}
+	if p := purity(cl.Assign, labels, cl.K); p < 0.9 {
+		t.Errorf("sampled purity = %v", p)
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	points, _ := blobs(3, 30, 60, 8)
+	a, err := Cluster(points, Config{Method: XMeans, K: 6, SampleFrac: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(points, Config{Method: XMeans, K: 6, SampleFrac: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K {
+		t.Fatalf("K differs across identical runs: %d vs %d", a.K, b.K)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	points, _ := blobs(2, 20, 40, 9)
+	cl, err := Cluster(points, Config{Method: KMeans, K: 2, SampleFrac: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := cl.Members()
+	total := 0
+	seen := map[int]bool{}
+	for _, m := range members {
+		for _, i := range m {
+			if seen[i] {
+				t.Fatalf("point %d in two clusters", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != len(points) {
+		t.Errorf("partition covers %d of %d", total, len(points))
+	}
+}
+
+func TestDefaultsRuleOfThumb(t *testing.T) {
+	cfg := Config{}.withDefaults(200)
+	if cfg.Method != XMeans {
+		t.Errorf("default method")
+	}
+	if cfg.K != 10 { // √(200/2) = 10
+		t.Errorf("rule-of-thumb K = %d, want 10", cfg.K)
+	}
+	if cfg.SampleFrac != 0.10 {
+		t.Errorf("default sample fraction")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := Cluster(nil, Config{}); err == nil {
+		t.Errorf("empty input must fail")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	points, _ := blobs(1, 4, 10, 10)
+	if _, err := Cluster(points, Config{Method: "zzz"}); err == nil {
+		t.Errorf("unknown method must fail")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	// All points identical: any method must terminate with one effective
+	// centroid and assign everything to it.
+	v := bitvec.New(30)
+	v.Set(3)
+	v.Set(17)
+	points := make([]*bitvec.Vector, 20)
+	for i := range points {
+		points[i] = v.Clone()
+	}
+	for _, m := range []Method{KMeans, XMeans, Canopy, Hierarchical} {
+		cl, err := Cluster(points, Config{Method: m, K: 3, SampleFrac: 1, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(cl.Assign) != len(points) {
+			t.Errorf("%s: incomplete assignment", m)
+		}
+	}
+}

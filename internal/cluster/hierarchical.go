@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/bitvec"
+)
+
+// merge records one dendrogram step: clusters a and b fused at the given
+// average-linkage distance.
+type merge struct {
+	a, b int
+	dist float64
+}
+
+// hierarchical runs agglomerative average-linkage clustering with the
+// nearest-neighbor-chain algorithm (average linkage is reducible, so the
+// chain algorithm yields the exact dendrogram in O(m²) time and memory),
+// then cuts the dendrogram at k clusters and returns majority centroids.
+func hierarchical(points []*bitvec.Vector, k int) ([]*bitvec.Vector, error) {
+	m := len(points)
+	if m == 0 {
+		return nil, fmt.Errorf("cluster: hierarchical needs points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: hierarchical needs k > 0")
+	}
+	if k >= m {
+		out := make([]*bitvec.Vector, m)
+		for i, p := range points {
+			out[i] = p.Clone()
+		}
+		return out, nil
+	}
+
+	// Distance matrix, float32 to halve memory. Cluster ids 0..m-1 are the
+	// points; merged clusters reuse the smaller id (Lance-Williams update).
+	dist := make([][]float32, m)
+	for i := range dist {
+		dist[i] = make([]float32, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := float32(points[i].JaccardDistance(points[j]))
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	size := make([]int, m)
+	active := make([]bool, m)
+	for i := range size {
+		size[i] = 1
+		active[i] = true
+	}
+
+	var merges []merge
+	var chain []int
+	nActive := m
+	for nActive > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < m; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		a := chain[len(chain)-1]
+		// Nearest active neighbor of a; prefer the chain predecessor on
+		// ties so reciprocal pairs terminate.
+		b, bd := -1, float32(0)
+		prev := -1
+		if len(chain) >= 2 {
+			prev = chain[len(chain)-2]
+		}
+		for c := 0; c < m; c++ {
+			if c == a || !active[c] {
+				continue
+			}
+			d := dist[a][c]
+			if b == -1 || d < bd || (d == bd && c == prev) {
+				b, bd = c, d
+			}
+		}
+		if b == prev && prev != -1 {
+			// Reciprocal nearest neighbors: merge a and b into min(a,b).
+			chain = chain[:len(chain)-2]
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			merges = append(merges, merge{lo, hi, float64(bd)})
+			// Lance-Williams average-linkage update into lo.
+			sa, sb := float32(size[lo]), float32(size[hi])
+			for c := 0; c < m; c++ {
+				if !active[c] || c == lo || c == hi {
+					continue
+				}
+				nd := (sa*dist[lo][c] + sb*dist[hi][c]) / (sa + sb)
+				dist[lo][c], dist[c][lo] = nd, nd
+			}
+			size[lo] += size[hi]
+			active[hi] = false
+			nActive--
+		} else {
+			chain = append(chain, b)
+		}
+	}
+
+	// Cut: apply merges in increasing distance order until k clusters remain.
+	sort.SliceStable(merges, func(i, j int) bool { return merges[i].dist < merges[j].dist })
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	clusters := m
+	for _, mg := range merges {
+		if clusters <= k {
+			break
+		}
+		ra, rb := find(mg.a), find(mg.b)
+		if ra != rb {
+			parent[rb] = ra
+			clusters--
+		}
+	}
+
+	groups := map[int][]int{}
+	for i := 0; i < m; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]*bitvec.Vector, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, majorityCentroid(points, groups[r]))
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rdfcube/internal/bitvec"
+)
+
+// kmeans runs Lloyd's algorithm with k-means++-style seeding and majority-
+// vote binary centroids under Jaccard distance. It returns the centroids.
+func kmeans(points []*bitvec.Vector, k, maxIter int, rng *rand.Rand) ([]*bitvec.Vector, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: kmeans needs k > 0")
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			c := nearest(p, centroids)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		members := make([][]int, len(centroids))
+		for i, a := range assign {
+			members[a] = append(members[a], i)
+		}
+		for c := range centroids {
+			if len(members[c]) == 0 {
+				// Re-seed an empty cluster with the point farthest from
+				// its current centroid.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := p.JaccardDistance(centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = points[far].Clone()
+				continue
+			}
+			centroids[c] = majorityCentroid(points, members[c])
+		}
+	}
+	return centroids, nil
+}
+
+// seedPlusPlus picks k initial centroids: the first uniformly, each next
+// with probability proportional to its squared distance to the nearest
+// centroid chosen so far.
+func seedPlusPlus(points []*bitvec.Vector, k int, rng *rand.Rand) []*bitvec.Vector {
+	centroids := make([]*bitvec.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+	dist := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d := p.JaccardDistance(last)
+			d *= d
+			if len(centroids) == 1 || d < dist[i] {
+				dist[i] = d
+			}
+			total += dist[i]
+		}
+		if total == 0 {
+			// All points coincide with existing centroids; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+			continue
+		}
+		r := rng.Float64() * total
+		pick := 0
+		for i, d := range dist {
+			r -= d
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick].Clone())
+	}
+	return centroids
+}
+
+// xmeans grows the cluster count from 2 up to kmax by recursively testing
+// binary splits with the Bayesian Information Criterion over a Bernoulli
+// (binary-feature) model, after Pelleg & Moore.
+func xmeans(points []*bitvec.Vector, kmax, maxIter int, rng *rand.Rand) ([]*bitvec.Vector, error) {
+	k0 := 2
+	if k0 > kmax {
+		k0 = kmax
+	}
+	centroids, err := kmeans(points, k0, maxIter, rng)
+	if err != nil {
+		return nil, err
+	}
+	for len(centroids) < kmax {
+		assign := make([]int, len(points))
+		for i, p := range points {
+			assign[i] = nearest(p, centroids)
+		}
+		members := make([][]int, len(centroids))
+		for i, a := range assign {
+			members[a] = append(members[a], i)
+		}
+		improved := false
+		var next []*bitvec.Vector
+		for c, cen := range centroids {
+			mem := members[c]
+			if len(mem) < 4 {
+				next = append(next, cen)
+				continue
+			}
+			sub := make([]*bitvec.Vector, len(mem))
+			for i, m := range mem {
+				sub[i] = points[m]
+			}
+			pair, err := kmeans(sub, 2, maxIter, rng)
+			if err != nil || len(pair) < 2 {
+				next = append(next, cen)
+				continue
+			}
+			subAssign := make([]int, len(sub))
+			for i, p := range sub {
+				subAssign[i] = nearest(p, pair)
+			}
+			one := bicScore(sub, []int{0}, make([]int, len(sub)))
+			two := bicScore(sub, []int{0, 1}, subAssign)
+			if two > one {
+				next = append(next, pair...)
+				improved = true
+			} else {
+				next = append(next, cen)
+			}
+			if len(next) >= kmax {
+				break
+			}
+		}
+		centroids = next
+		if !improved {
+			break
+		}
+	}
+	return centroids, nil
+}
+
+// bicScore computes BIC = logL − (params/2)·ln(n) for a hard-assigned
+// Bernoulli mixture: per cluster and per feature column, the likelihood of
+// the members' bits under the cluster's empirical bit frequency.
+func bicScore(points []*bitvec.Vector, clusters []int, assign []int) float64 {
+	if len(points) == 0 {
+		return math.Inf(-1)
+	}
+	cols := points[0].Len()
+	const eps = 1e-4
+	logL := 0.0
+	for _, c := range clusters {
+		var mem []int
+		for i, a := range assign {
+			if a == c {
+				mem = append(mem, i)
+			}
+		}
+		if len(mem) == 0 {
+			continue
+		}
+		counts := make([]int, cols)
+		for _, m := range mem {
+			points[m].Ones(func(i int) { counts[i]++ })
+		}
+		n := float64(len(mem))
+		for _, cnt := range counts {
+			p := float64(cnt) / n
+			if p < eps {
+				p = eps
+			}
+			if p > 1-eps {
+				p = 1 - eps
+			}
+			logL += float64(cnt)*math.Log(p) + (n-float64(cnt))*math.Log(1-p)
+		}
+	}
+	params := float64(len(clusters) * cols)
+	return logL - params/2*math.Log(float64(len(points)))
+}

@@ -1,0 +1,123 @@
+package core
+
+// Tasks selects which relationship types an algorithm run computes. The
+// paper's Figure 5 times each relationship separately; the task mask lets
+// the harness reproduce that, and lets the algorithms apply the paper's
+// short-circuit ("if at least one 0 is found, the pair is no longer a
+// candidate for full containment or complementarity").
+type Tasks uint8
+
+// Task flags.
+const (
+	// TaskFull computes S_F (full containment).
+	TaskFull Tasks = 1 << iota
+	// TaskPartial computes S_P (partial containment, with degrees).
+	TaskPartial
+	// TaskCompl computes S_C (complementarity).
+	TaskCompl
+
+	// TaskAll computes all three sets.
+	TaskAll = TaskFull | TaskPartial | TaskCompl
+)
+
+// Has reports whether t includes all flags of q.
+func (t Tasks) Has(q Tasks) bool { return t&q == q }
+
+// Baseline runs the paper's §3.1 algorithm: materialize the occurrence
+// matrix and compare every observation pair with the per-dimension bit-
+// vector conditional function, streaming relationships into sink. It is
+// Θ(n²) in pairs; both directions of a pair are resolved in one visit.
+func Baseline(s *Space, tasks Tasks, sink Sink) {
+	om := BuildOccurrenceMatrix(s)
+	BaselineOver(om, nil, tasks, sink)
+}
+
+// BaselineOver runs the baseline pair scan over a subset of observation
+// indices (nil means all). The clustering algorithm reuses it per cluster.
+func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
+	s := om.Space
+	n := s.N()
+	if idx == nil {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	p := s.NumDims()
+	needPartial := tasks.Has(TaskPartial)
+	recorder, _ := sink.(DimsRecorder)
+	var dimsIJ, dimsJI []int
+	if recorder != nil {
+		dimsIJ = make([]int, 0, p)
+		dimsJI = make([]int, 0, p)
+	}
+
+	for x := 0; x < len(idx); x++ {
+		i := idx[x]
+		ri := om.Rows[i]
+		for y := x + 1; y < len(idx); y++ {
+			j := idx[y]
+			rj := om.Rows[j]
+
+			// One pass over the dimensions resolves both directions.
+			degIJ, degJI := 0, 0
+			okIJ, okJI := true, true
+			if recorder != nil {
+				dimsIJ, dimsJI = dimsIJ[:0], dimsJI[:0]
+			}
+			for d := 0; d < p; d++ {
+				lo, hi := s.ColRange(d)
+				cij := ri.AndEqualsRange(rj, lo, hi)
+				cji := rj.AndEqualsRange(ri, lo, hi)
+				if cij {
+					degIJ++
+					if recorder != nil {
+						dimsIJ = append(dimsIJ, d)
+					}
+				} else {
+					okIJ = false
+				}
+				if cji {
+					degJI++
+					if recorder != nil {
+						dimsJI = append(dimsJI, d)
+					}
+				} else {
+					okJI = false
+				}
+				// The paper's pruning: without the partial task, a pair
+				// that failed in both directions cannot produce anything.
+				if !needPartial && !okIJ && !okJI {
+					break
+				}
+			}
+
+			shares := s.SharesMeasure(i, j)
+			if tasks.Has(TaskFull) && shares {
+				if okIJ {
+					sink.Full(i, j)
+				}
+				if okJI {
+					sink.Full(j, i)
+				}
+			}
+			if needPartial && shares {
+				if degIJ > 0 && degIJ < p {
+					sink.Partial(i, j, float64(degIJ)/float64(p))
+					if recorder != nil {
+						recorder.RecordPartialDims(i, j, append([]int{}, dimsIJ...))
+					}
+				}
+				if degJI > 0 && degJI < p {
+					sink.Partial(j, i, float64(degJI)/float64(p))
+					if recorder != nil {
+						recorder.RecordPartialDims(j, i, append([]int{}, dimsJI...))
+					}
+				}
+			}
+			if tasks.Has(TaskCompl) && okIJ && okJI {
+				sink.Compl(i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"rdfcube/internal/cluster"
+)
+
+// ClusteringOptions configure the §3.2 clustering algorithm. The zero value
+// applies the paper's experimental settings: x-means on a 10 % sample with
+// the k = √(n/2) rule of thumb.
+type ClusteringOptions struct {
+	// Config is passed to the clustering substrate.
+	Config cluster.Config
+}
+
+// Clustering runs the paper's §3.2 algorithm: cluster the occurrence-matrix
+// rows, then run the baseline pair scan independently inside every cluster.
+// Comparisons across clusters are skipped, which makes the method lossy:
+// related observations that land in different clusters are missed (the
+// recall trade-off of Figure 5(d)).
+func Clustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions) (cluster.Clustering, error) {
+	om := BuildOccurrenceMatrix(s)
+	cl, err := cluster.Cluster(om.Rows, opts.Config)
+	if err != nil {
+		return cluster.Clustering{}, err
+	}
+	for _, members := range cl.Members() {
+		if len(members) < 2 {
+			continue
+		}
+		BaselineOver(om, members, tasks, sink)
+	}
+	return cl, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"rdfcube/internal/qb"
+)
+
+// Algorithm names one of the relationship-computation strategies.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	// AlgorithmBaseline is the §3.1 quadratic occurrence-matrix scan.
+	AlgorithmBaseline Algorithm = "baseline"
+	// AlgorithmBaselineSparse is the baseline over the sparse occurrence
+	// matrix — the §3.1/§6 space-efficiency variant.
+	AlgorithmBaselineSparse Algorithm = "baseline-sparse"
+	// AlgorithmClustering is the §3.2 cluster-then-scan method (lossy).
+	AlgorithmClustering Algorithm = "clustering"
+	// AlgorithmCubeMasking is the §3.3 lattice-pruned method (exact).
+	AlgorithmCubeMasking Algorithm = "cubemasking"
+	// AlgorithmCubeMaskingPrefetch is cubeMasking with the children
+	// pre-fetching optimization of Fig. 5(g).
+	AlgorithmCubeMaskingPrefetch Algorithm = "cubemasking-prefetch"
+	// AlgorithmHybrid is the §6 future-work hybrid: lattice pruning with
+	// clustering applied inside oversized cubes (lossy inside those cubes).
+	AlgorithmHybrid Algorithm = "hybrid"
+	// AlgorithmParallel is cubeMasking with cube pairs compared by a
+	// worker pool (§6 future work).
+	AlgorithmParallel Algorithm = "parallel"
+)
+
+// Algorithms lists every supported algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmBaseline, AlgorithmBaselineSparse, AlgorithmClustering,
+		AlgorithmCubeMasking, AlgorithmCubeMaskingPrefetch,
+		AlgorithmHybrid, AlgorithmParallel,
+	}
+}
+
+// Options bundle per-algorithm settings for Compute.
+type Options struct {
+	// Tasks selects the relationship types; zero means TaskAll.
+	Tasks Tasks
+	// Clustering configures AlgorithmClustering and AlgorithmHybrid.
+	Clustering ClusteringOptions
+	// CubeMask configures the cubeMasking variants.
+	CubeMask CubeMaskOptions
+	// Hybrid configures AlgorithmHybrid.
+	Hybrid HybridOptions
+	// Workers bounds AlgorithmParallel's pool; zero means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) tasks() Tasks {
+	if o.Tasks == 0 {
+		return TaskAll
+	}
+	return o.Tasks
+}
+
+// Compute runs the selected algorithm over the space, streaming
+// relationships into sink.
+func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
+	tasks := opts.tasks()
+	switch alg {
+	case AlgorithmBaseline:
+		Baseline(s, tasks, sink)
+	case AlgorithmBaselineSparse:
+		BaselineSparse(s, tasks, sink)
+	case AlgorithmClustering:
+		_, err := Clustering(s, tasks, sink, opts.Clustering)
+		return err
+	case AlgorithmCubeMasking:
+		CubeMasking(s, tasks, sink, CubeMaskOptions{})
+	case AlgorithmCubeMaskingPrefetch:
+		CubeMasking(s, tasks, sink, CubeMaskOptions{PrefetchChildren: true})
+	case AlgorithmHybrid:
+		return Hybrid(s, tasks, sink, opts.Hybrid)
+	case AlgorithmParallel:
+		ParallelCubeMasking(s, tasks, sink, opts.Workers)
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	return nil
+}
+
+// ComputeCorpus compiles the corpus and runs Compute, collecting the
+// relationship sets into a Result. It is the façade-level convenience
+// entry point.
+func ComputeCorpus(c *qb.Corpus, alg Algorithm, opts Options) (*Space, *Result, error) {
+	s, err := NewSpace(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := NewResult()
+	if err := Compute(s, alg, opts, res); err != nil {
+		return nil, nil, err
+	}
+	res.Sort()
+	return s, res, nil
+}

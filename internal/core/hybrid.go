@@ -1,0 +1,119 @@
+package core
+
+import (
+	"rdfcube/internal/bitvec"
+	"rdfcube/internal/cluster"
+)
+
+// HybridOptions configure the hybrid algorithm.
+type HybridOptions struct {
+	// MaxCubeSize is the cube population above which intra-cube
+	// comparisons fall back to clustering. Zero means 512.
+	MaxCubeSize int
+	// Clustering configures the intra-cube clustering runs.
+	Clustering ClusteringOptions
+}
+
+// Hybrid implements the paper's §6 future-work sketch combining the two
+// methods: lattice pruning bounds the search space exactly (as in
+// cubeMasking), but inside cubes whose population exceeds MaxCubeSize —
+// where the quadratic intra-cube scan dominates — observations are
+// clustered and compared only within clusters. Cross-cube comparisons stay
+// exact, so any recall loss is confined to oversized cubes.
+func Hybrid(s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
+	maxSize := opts.MaxCubeSize
+	if maxSize <= 0 {
+		maxSize = 512
+	}
+	l := BuildLattice(s)
+	cubes := l.Cubes()
+	p := s.NumDims()
+
+	cand := make([]int, 0, p)
+	for _, a := range cubes {
+		for _, b := range cubes {
+			if a == b && len(a.Obs) > maxSize {
+				if err := clusterWithin(s, a.Obs, tasks, sink, opts.Clustering); err != nil {
+					return err
+				}
+				continue
+			}
+			cand = a.Sig.CandidateDims(b.Sig, cand)
+			if len(cand) == 0 {
+				continue
+			}
+			allLE := len(cand) == p
+			if !tasks.Has(TaskPartial) && !allLE {
+				continue
+			}
+			if allLE {
+				comparePair(s, a, b, p, tasks, sink, nil)
+			} else {
+				comparePair(s, a, b, p, tasks, sink, cand)
+			}
+		}
+	}
+	return nil
+}
+
+// clusterWithin clusters one oversized cube's members on their occurrence
+// rows and compares observations only inside each cluster. Indices emitted
+// to the sink are global observation indices.
+func clusterWithin(s *Space, members []int, tasks Tasks, sink Sink, opts ClusteringOptions) error {
+	rows := make([]*bitvec.Vector, len(members))
+	for i, m := range members {
+		rows[i] = s.Row(m)
+	}
+	cl, err := cluster.Cluster(rows, opts.Config)
+	if err != nil {
+		return err
+	}
+	p := s.NumDims()
+	for _, local := range cl.Members() {
+		for x := 0; x < len(local); x++ {
+			i := members[local[x]]
+			for y := x + 1; y < len(local); y++ {
+				j := members[local[y]]
+				pairwiseDirect(s, i, j, p, tasks, sink)
+			}
+		}
+	}
+	return nil
+}
+
+// pairwiseDirect resolves one unordered pair in both directions with
+// direct value checks (no bit vectors) and emits to the sink. All members
+// of one cube share a signature, so equality per dimension decides
+// containment in both directions at once.
+func pairwiseDirect(s *Space, i, j, p int, tasks Tasks, sink Sink) {
+	recorder, _ := sink.(DimsRecorder)
+	eq := 0
+	var dims []int
+	for d := 0; d < p; d++ {
+		if s.ValueIndex(i, d) == s.ValueIndex(j, d) {
+			eq++
+			if recorder != nil {
+				dims = append(dims, d)
+			}
+		}
+	}
+	shares := s.SharesMeasure(i, j)
+	if eq == p {
+		if tasks.Has(TaskFull) && shares {
+			sink.Full(i, j)
+			sink.Full(j, i)
+		}
+		if tasks.Has(TaskCompl) {
+			sink.Compl(i, j)
+		}
+		return
+	}
+	if tasks.Has(TaskPartial) && shares && eq > 0 {
+		sink.Partial(i, j, float64(eq)/float64(p))
+		sink.Partial(j, i, float64(eq)/float64(p))
+		if recorder != nil {
+			recorder.RecordPartialDims(i, j, dims)
+			recorder.RecordPartialDims(j, i, append([]int{}, dims...))
+		}
+	}
+}

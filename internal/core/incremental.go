@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"rdfcube/internal/lattice"
+	"rdfcube/internal/qb"
+)
+
+// AppendObservation extends the compiled space with one more observation.
+// The observation's dataset schema must use only dimensions and measures
+// already present in the space, and its values must belong to the existing
+// code lists (the batch corpus fixes the feature space; this mirrors the
+// paper's assumption that code lists are shared reference vocabularies).
+// It returns the new observation's index.
+func (s *Space) AppendObservation(o *qb.Observation) (int, error) {
+	row := make([]int32, len(s.Dims))
+	for d, dim := range s.Dims {
+		cl := s.Lists[d]
+		v := o.Value(dim)
+		if v.IsZero() {
+			row[d] = 0
+			continue
+		}
+		found := int32(-1)
+		for i, code := range cl.Codes() {
+			if code == v {
+				found = int32(i)
+				break
+			}
+		}
+		if found < 0 {
+			return 0, fmt.Errorf("core: observation %s: value %s not in code list of %s", o.URI, v, dim)
+		}
+		row[d] = found
+	}
+	var mask uint64
+	for _, m := range o.Dataset.Schema.Measures {
+		bit := -1
+		for i, gm := range s.Measures {
+			if gm == m {
+				bit = i
+				break
+			}
+		}
+		if bit < 0 {
+			return 0, fmt.Errorf("core: observation %s: measure %s not in the space", o.URI, m)
+		}
+		mask |= 1 << uint(bit)
+	}
+	s.Obs = append(s.Obs, o)
+	s.vals = append(s.vals, row)
+	s.mmask = append(s.mmask, mask)
+	return len(s.Obs) - 1, nil
+}
+
+// Incremental maintains relationship sets under observation insertions —
+// the paper's §6 "efficient incremental techniques" future-work item. The
+// initial batch is computed with cubeMasking; each insertion compares the
+// new observation only against cubes that are lattice-comparable with its
+// signature, so an insert costs O(comparable observations) instead of a
+// recomputation.
+type Incremental struct {
+	// S is the underlying space (grows with insertions).
+	S *Space
+	// Res accumulates the relationship sets.
+	Res *Result
+
+	l     *lattice.Lattice
+	tasks Tasks
+}
+
+// NewIncremental computes the initial relationships over s and returns the
+// maintained state.
+func NewIncremental(s *Space, tasks Tasks) *Incremental {
+	if tasks == 0 {
+		tasks = TaskAll
+	}
+	res := NewResult()
+	l := CubeMasking(s, tasks, res, CubeMaskOptions{})
+	return &Incremental{S: s, Res: res, l: l, tasks: tasks}
+}
+
+// Lattice exposes the maintained lattice (for inspection).
+func (inc *Incremental) Lattice() *lattice.Lattice { return inc.l }
+
+// Insert adds one observation, updates the relationship sets with every
+// relationship the new observation participates in, and returns its index.
+func (inc *Incremental) Insert(o *qb.Observation) (int, error) {
+	s := inc.S
+	i, err := s.AppendObservation(o)
+	if err != nil {
+		return 0, err
+	}
+	p := s.NumDims()
+	sig := s.Signature(i)
+
+	candA := make([]int, 0, p) // dimensions where new may contain cube
+	candB := make([]int, 0, p) // dimensions where cube may contain new
+	for _, c := range inc.l.Cubes() {
+		candA = sig.CandidateDims(c.Sig, candA)
+		candB = c.Sig.CandidateDims(sig, candB)
+		if len(candA) == 0 && len(candB) == 0 {
+			continue
+		}
+		for _, j := range c.Obs {
+			inc.comparePairBoth(i, j, sig, c.Sig, candA, candB)
+		}
+	}
+	inc.l.Add(i, sig)
+	return i, nil
+}
+
+func (inc *Incremental) comparePairBoth(i, j int, sigI, sigJ lattice.Signature, candA, candB []int) {
+	s, p := inc.S, inc.S.NumDims()
+	degIJ := 0
+	var dimsIJ, dimsJI []int
+	for _, d := range candA {
+		if s.DimContains(i, j, d) {
+			degIJ++
+			dimsIJ = append(dimsIJ, d)
+		}
+	}
+	degJI := 0
+	for _, d := range candB {
+		if s.DimContains(j, i, d) {
+			degJI++
+			dimsJI = append(dimsJI, d)
+		}
+	}
+	shares := s.SharesMeasure(i, j)
+	if inc.tasks.Has(TaskFull) && shares {
+		if degIJ == p {
+			inc.Res.Full(i, j)
+		}
+		if degJI == p {
+			inc.Res.Full(j, i)
+		}
+	}
+	if inc.tasks.Has(TaskPartial) && shares {
+		if degIJ > 0 && degIJ < p {
+			inc.Res.Partial(i, j, float64(degIJ)/float64(p))
+			inc.Res.RecordPartialDims(i, j, dimsIJ)
+		}
+		if degJI > 0 && degJI < p {
+			inc.Res.Partial(j, i, float64(degJI)/float64(p))
+			inc.Res.RecordPartialDims(j, i, dimsJI)
+		}
+	}
+	if inc.tasks.Has(TaskCompl) && degIJ == p && degJI == p {
+		inc.Res.Compl(i, j)
+	}
+}

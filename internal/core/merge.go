@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"rdfcube/internal/rdf"
+)
+
+// MergedRow is one row of the paper's Figure 3 "derived relationships"
+// table: a set of complementary observations joined into a single data
+// point carrying the union of their measures.
+type MergedRow struct {
+	// Members are the joined observation indices, ascending.
+	Members []int
+	// DimValues are the shared coordinates over the space's global
+	// dimension order (complementary observations agree on all of them).
+	DimValues []rdf.Term
+	// Measures maps each measure property present in any member to its
+	// value. Conflicting values for the same measure keep the first
+	// member's value and set Conflicts.
+	Measures map[rdf.Term]rdf.Term
+	// Conflicts lists measures reported differently by different members.
+	Conflicts []rdf.Term
+}
+
+// MergeComplements joins the complementary pairs of a result into maximal
+// merged rows — the paper's motivating deliverable: "complementary pairs
+// measure different facts about the same point and can be combined".
+// Complementarity (value equality) is transitive, so the pairs form
+// cliques; each clique becomes one row. Rows are sorted by their first
+// member.
+func MergeComplements(s *Space, res *Result) []MergedRow {
+	// Union-find over the complementarity graph.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, p := range res.ComplSet {
+		union(p.A, p.B)
+	}
+
+	groups := map[int][]int{}
+	for x := range parent {
+		r := find(x)
+		groups[r] = append(groups[r], x)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		sort.Ints(groups[r])
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+
+	var out []MergedRow
+	for _, r := range roots {
+		members := groups[r]
+		row := MergedRow{Members: members, Measures: map[rdf.Term]rdf.Term{}}
+		first := members[0]
+		row.DimValues = make([]rdf.Term, s.NumDims())
+		for d := 0; d < s.NumDims(); d++ {
+			row.DimValues[d] = s.Value(first, d)
+		}
+		for _, m := range members {
+			o := s.Obs[m]
+			for mi, prop := range o.Dataset.Schema.Measures {
+				v := o.MeasureValues[mi]
+				if v.IsZero() {
+					continue
+				}
+				if cur, ok := row.Measures[prop]; ok {
+					if cur != v {
+						row.Conflicts = append(row.Conflicts, prop)
+					}
+					continue
+				}
+				row.Measures[prop] = v
+			}
+		}
+		sort.Slice(row.Conflicts, func(i, j int) bool {
+			return row.Conflicts[i].Compare(row.Conflicts[j]) < 0
+		})
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package core
+
+import "fmt"
+
+// OCM is the materialized Overall Containment Matrix of Algorithm 1
+// (computeOCM), kept as integer dimension counts to make the "== 1" test
+// exact; Degree normalizes on read. Materializing OCM is Θ(n²) memory and
+// is intended for small inputs, tests and the paper's worked examples — the
+// production algorithms stream pairs instead (see Baseline).
+type OCM struct {
+	// N is the number of observations (rows = columns).
+	N int
+	// P is the number of dimensions used for normalization.
+	P int
+	// Counts[i][j] is the number of dimensions on which i contains j.
+	Counts [][]uint16
+	// CMs[d][i][j] records the per-dimension containment matrices CM_d.
+	CMs [][][]bool
+}
+
+// ComputeOCM runs Algorithm 1 over a materialized occurrence matrix:
+// one containment matrix CM_d per dimension via the conditional function
+// sf, summed and (logically) normalized into the OCM.
+func ComputeOCM(om *OccurrenceMatrix) *OCM {
+	n := om.Space.N()
+	p := om.Space.NumDims()
+	ocm := &OCM{N: n, P: p}
+	ocm.Counts = make([][]uint16, n)
+	for i := range ocm.Counts {
+		ocm.Counts[i] = make([]uint16, n)
+	}
+	ocm.CMs = make([][][]bool, p)
+	for d := 0; d < p; d++ {
+		cm := make([][]bool, n)
+		lo, hi := om.Space.ColRange(d)
+		for i := 0; i < n; i++ {
+			cm[i] = make([]bool, n)
+			for j := 0; j < n; j++ {
+				if om.Rows[i].AndEqualsRange(om.Rows[j], lo, hi) {
+					cm[i][j] = true
+					ocm.Counts[i][j]++
+				}
+			}
+		}
+		ocm.CMs[d] = cm
+	}
+	return ocm
+}
+
+// Degree returns the normalized OCM cell for the ordered pair (i, j):
+// the fraction of dimensions on which i contains j, in [0, 1].
+func (m *OCM) Degree(i, j int) float64 { return float64(m.Counts[i][j]) / float64(m.P) }
+
+// CM reports the per-dimension containment cell CM_d[i][j].
+func (m *OCM) CM(d, i, j int) bool { return m.CMs[d][i][j] }
+
+// String renders the normalized matrix with two decimals, row per line —
+// the shape of the paper's Table 3(b).
+func (m *OCM) String() string {
+	out := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if j > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%.2f", m.Degree(i, j))
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"rdfcube/internal/bitvec"
+	"rdfcube/internal/rdf"
+)
+
+// OccurrenceMatrix is the paper's OM (§3.1): one bit-vector row per
+// observation over the concatenated code-list columns of every dimension,
+// with ancestor closure. It is the input of the baseline and clustering
+// algorithms.
+type OccurrenceMatrix struct {
+	// Space is the compiled corpus the matrix was built from.
+	Space *Space
+	// Rows holds one packed bit vector per observation.
+	Rows []*bitvec.Vector
+}
+
+// BuildOccurrenceMatrix materializes OM for every observation of the space.
+func BuildOccurrenceMatrix(s *Space) *OccurrenceMatrix {
+	om := &OccurrenceMatrix{Space: s, Rows: make([]*bitvec.Vector, s.N())}
+	for i := 0; i < s.N(); i++ {
+		om.Rows[i] = s.Row(i)
+	}
+	return om
+}
+
+// NumCols returns the total number of feature columns |C|.
+func (om *OccurrenceMatrix) NumCols() int { return om.Space.numCols }
+
+// Column returns the global column index of code value within dimension d,
+// or -1 when the value is not in d's code list.
+func (om *OccurrenceMatrix) Column(d int, value rdf.Term) int {
+	cl := om.Space.Lists[d]
+	for i, c := range cl.Codes() {
+		if c == value {
+			return om.Space.colStart[d] + i
+		}
+	}
+	return -1
+}
+
+// ContainsDim applies the per-dimension conditional function sf on the
+// ordered row pair (i, j) restricted to dimension d's columns:
+// row_i ∧ row_j == row_i, i.e. observation i's value (with its ancestor
+// closure) is a reflexive ancestor of observation j's.
+func (om *OccurrenceMatrix) ContainsDim(i, j, d int) bool {
+	lo, hi := om.Space.ColRange(d)
+	return om.Rows[i].AndEqualsRange(om.Rows[j], lo, hi)
+}
+
+// Degrees computes, for the ordered pair (i, j), the number of dimensions
+// on which i contains j and on which j contains i, in one pass over the
+// rows. The normalized OCM cells are the returned counts divided by |P|.
+func (om *OccurrenceMatrix) Degrees(i, j int) (ij, ji int) {
+	ri, rj := om.Rows[i], om.Rows[j]
+	for d := 0; d < om.Space.NumDims(); d++ {
+		lo, hi := om.Space.ColRange(d)
+		if ri.AndEqualsRange(rj, lo, hi) {
+			ij++
+		}
+		if rj.AndEqualsRange(ri, lo, hi) {
+			ji++
+		}
+	}
+	return ij, ji
+}

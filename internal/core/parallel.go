@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelCubeMasking is cubeMasking with cube-pair comparison spread over
+// a worker pool (the paper's §6 "distributed and parallel contexts" item,
+// realized as shared-memory parallelism). Workers claim outer cubes and
+// collect emissions into private results, which are replayed into the sink
+// sequentially afterwards so Sink implementations need not be thread-safe.
+// The relationship sets are identical to CubeMasking's; only emission order
+// differs before Result.Sort.
+func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	l := BuildLattice(s)
+	cubes := l.Cubes()
+	p := s.NumDims()
+
+	if workers == 1 || len(cubes) < 2 {
+		CubeMasking(s, tasks, sink, CubeMaskOptions{})
+		return
+	}
+
+	next := make(chan int)
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		results[w] = NewResult()
+		wg.Add(1)
+		go func(local *Result) {
+			defer wg.Done()
+			cand := make([]int, 0, p)
+			for ai := range next {
+				a := cubes[ai]
+				for _, b := range cubes {
+					cand = a.Sig.CandidateDims(b.Sig, cand)
+					if len(cand) == 0 {
+						continue
+					}
+					allLE := len(cand) == p
+					if !tasks.Has(TaskPartial) && !allLE {
+						continue
+					}
+					if allLE {
+						comparePair(s, a, b, p, tasks, local, nil)
+					} else {
+						comparePair(s, a, b, p, tasks, local, cand)
+					}
+				}
+			}
+		}(results[w])
+	}
+	for ai := range cubes {
+		next <- ai
+	}
+	close(next)
+	wg.Wait()
+
+	recorder, _ := sink.(DimsRecorder)
+	for _, r := range results {
+		for _, pr := range r.FullSet {
+			sink.Full(pr.A, pr.B)
+		}
+		for _, pr := range r.PartialSet {
+			sink.Partial(pr.A, pr.B, r.PartialDegree[pr])
+			if recorder != nil {
+				if dims, ok := r.PartialDims[pr]; ok {
+					recorder.RecordPartialDims(pr.A, pr.B, dims)
+				}
+			}
+		}
+		for _, pr := range r.ComplSet {
+			sink.Compl(pr.A, pr.B)
+		}
+	}
+}

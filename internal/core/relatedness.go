@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// Relatedness quantifies the degree of relatedness between data sources —
+// the paper's §1 use case: counting, per ordered dataset pair, how many
+// cross-dataset relationships of each kind the corpus exhibits, and
+// normalizing by the pair's observation-count product.
+type Relatedness struct {
+	// Datasets are the dataset URIs in corpus order.
+	Datasets []rdf.Term
+
+	n       []int // observations per dataset
+	full    [][]int
+	partial [][]int
+	compl   [][]int
+}
+
+// ComputeRelatedness aggregates a computed result into the dataset-pair
+// relatedness matrix.
+func ComputeRelatedness(s *Space, res *Result) *Relatedness {
+	dsIndex := map[rdf.Term]int{}
+	var datasets []rdf.Term
+	for _, d := range s.Corpus.Datasets {
+		dsIndex[d.URI] = len(datasets)
+		datasets = append(datasets, d.URI)
+	}
+	k := len(datasets)
+	r := &Relatedness{Datasets: datasets, n: make([]int, k)}
+	for _, d := range s.Corpus.Datasets {
+		r.n[dsIndex[d.URI]] = len(d.Observations)
+	}
+	alloc := func() [][]int {
+		m := make([][]int, k)
+		for i := range m {
+			m[i] = make([]int, k)
+		}
+		return m
+	}
+	r.full, r.partial, r.compl = alloc(), alloc(), alloc()
+
+	of := func(i int) int { return dsIndex[s.Obs[i].Dataset.URI] }
+	for _, p := range res.FullSet {
+		r.full[of(p.A)][of(p.B)]++
+	}
+	for _, p := range res.PartialSet {
+		r.partial[of(p.A)][of(p.B)]++
+	}
+	for _, p := range res.ComplSet {
+		a, b := of(p.A), of(p.B)
+		r.compl[a][b]++
+		if a != b {
+			r.compl[b][a]++
+		}
+	}
+	return r
+}
+
+// Counts returns the raw cross-dataset relationship counts for the ordered
+// dataset pair (a contains/complements b).
+func (r *Relatedness) Counts(a, b int) (full, partial, compl int) {
+	return r.full[a][b], r.partial[a][b], r.compl[a][b]
+}
+
+// Score returns a normalized relatedness degree in [0, 1] for the ordered
+// pair: the fraction of observation pairs related in any way.
+func (r *Relatedness) Score(a, b int) float64 {
+	pairs := r.n[a] * r.n[b]
+	if a == b {
+		pairs = r.n[a] * (r.n[a] - 1)
+	}
+	if pairs == 0 {
+		return 0
+	}
+	total := r.full[a][b] + r.partial[a][b] + r.compl[a][b]
+	score := float64(total) / float64(pairs)
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// MostRelated returns the ordered cross-dataset pairs sorted by descending
+// score, giving the analyst the most combinable source pairs first.
+func (r *Relatedness) MostRelated() []RelatednessEntry {
+	var out []RelatednessEntry
+	for a := range r.Datasets {
+		for b := range r.Datasets {
+			if a == b {
+				continue
+			}
+			f, p, c := r.Counts(a, b)
+			if f+p+c == 0 {
+				continue
+			}
+			out = append(out, RelatednessEntry{
+				A: r.Datasets[a], B: r.Datasets[b],
+				Full: f, Partial: p, Compl: c, Score: r.Score(a, b),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if c := out[i].A.Compare(out[j].A); c != 0 {
+			return c < 0
+		}
+		return out[i].B.Compare(out[j].B) < 0
+	})
+	return out
+}
+
+// RelatednessEntry is one dataset pair with its relationship profile.
+type RelatednessEntry struct {
+	// A and B are the dataset URIs (A's observations relate to B's).
+	A, B rdf.Term
+	// Full, Partial and Compl count the cross-dataset relationships.
+	Full, Partial, Compl int
+	// Score is the normalized relatedness degree.
+	Score float64
+}
+
+// String renders the entry for reports.
+func (e RelatednessEntry) String() string {
+	return fmt.Sprintf("%s → %s: score %.4f (full %d, partial %d, compl %d)",
+		e.A.Local(), e.B.Local(), e.Score, e.Full, e.Partial, e.Compl)
+}
+
+// Table renders the score matrix as aligned text.
+func (r *Relatedness) Table() string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-12s", ""))
+	for _, d := range r.Datasets {
+		b.WriteString(fmt.Sprintf("%-12s", d.Local()))
+	}
+	b.WriteByte('\n')
+	for a, da := range r.Datasets {
+		b.WriteString(fmt.Sprintf("%-12s", da.Local()))
+		for b2 := range r.Datasets {
+			b.WriteString(fmt.Sprintf("%-12.4f", r.Score(a, b2)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

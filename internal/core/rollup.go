@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
+)
+
+// Aggregation selects how measure values combine under a roll-up.
+type Aggregation string
+
+// Supported aggregations.
+const (
+	// AggSum adds the measure values (counts, totals).
+	AggSum Aggregation = "sum"
+	// AggAvg averages the measure values (rates, ratios).
+	AggAvg Aggregation = "avg"
+	// AggCount counts the aggregated observations.
+	AggCount Aggregation = "count"
+)
+
+// RollUp performs the OLAP roll-up the paper's §1 describes for making
+// observations comparable across sources ("observations o21, o22 contain
+// observations o32, o33 … by rolling up … the two observations become
+// complementary"): it aggregates the observations of dataset dsIndex up
+// to the target hierarchy level on one dimension.
+//
+// Every observation's value on dim is replaced by its ancestor at the
+// target level (values already at or above the level stay unchanged);
+// observations that collapse onto the same coordinates merge under the
+// given aggregation. The result is a new Dataset sharing the source
+// schema; the source is untouched.
+func RollUp(s *Space, dsIndex int, dim rdf.Term, level int, agg Aggregation) (*qb.Dataset, error) {
+	if dsIndex < 0 || dsIndex >= len(s.Corpus.Datasets) {
+		return nil, fmt.Errorf("core: dataset index %d out of range", dsIndex)
+	}
+	src := s.Corpus.Datasets[dsIndex]
+	di := src.Schema.DimIndex(dim)
+	if di < 0 {
+		return nil, fmt.Errorf("core: %s is not a dimension of %s", dim, src.URI)
+	}
+	gd := -1
+	for d, p := range s.Dims {
+		if p == dim {
+			gd = d
+		}
+	}
+	if gd < 0 {
+		return nil, fmt.Errorf("core: dimension %s not in space", dim)
+	}
+	cl := s.Lists[gd]
+	if level < 0 || level > cl.Depth() {
+		return nil, fmt.Errorf("core: level %d out of range for %s (depth %d)", level, dim, cl.Depth())
+	}
+
+	out := &qb.Dataset{
+		URI:    rdf.NewIRI(fmt.Sprintf("%s/rollup/%s/L%d", src.URI.Value, dim.Local(), level)),
+		Schema: src.Schema,
+	}
+
+	type group struct {
+		dims   []rdf.Term
+		sums   []float64
+		counts []int
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for _, o := range src.Observations {
+		dims := append([]rdf.Term{}, o.DimValues...)
+		v := dims[di]
+		for {
+			l, ok := cl.Level(v)
+			if !ok {
+				return nil, fmt.Errorf("core: value %s not in code list of %s", v, dim)
+			}
+			if l <= level {
+				break
+			}
+			v = cl.Parent(v)
+		}
+		dims[di] = v
+
+		key := ""
+		for _, t := range dims {
+			key += t.Value + "\x00"
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{dims: dims,
+				sums:   make([]float64, len(src.Schema.Measures)),
+				counts: make([]int, len(src.Schema.Measures))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for mi, mv := range o.MeasureValues {
+			if mv.IsZero() {
+				continue
+			}
+			f, err := strconv.ParseFloat(mv.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: measure %s of %s is not numeric: %q",
+					src.Schema.Measures[mi], o.URI, mv.Value)
+			}
+			g.sums[mi] += f
+			g.counts[mi]++
+		}
+	}
+
+	sort.Strings(order)
+	for gi, key := range order {
+		g := groups[key]
+		meas := make([]rdf.Term, len(src.Schema.Measures))
+		for mi := range meas {
+			switch {
+			case g.counts[mi] == 0:
+				meas[mi] = rdf.Term{}
+			case agg == AggCount:
+				meas[mi] = rdf.NewInteger(int64(g.counts[mi]))
+			case agg == AggAvg:
+				meas[mi] = rdf.NewDecimal(g.sums[mi] / float64(g.counts[mi]))
+			default: // AggSum
+				if g.sums[mi] == float64(int64(g.sums[mi])) {
+					meas[mi] = rdf.NewInteger(int64(g.sums[mi]))
+				} else {
+					meas[mi] = rdf.NewDecimal(g.sums[mi])
+				}
+			}
+		}
+		uri := rdf.NewIRI(fmt.Sprintf("%s/obs/%d", out.URI.Value, gi))
+		if _, err := out.AddObservation(uri, g.dims, meas); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

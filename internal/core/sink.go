@@ -1,0 +1,158 @@
+package core
+
+import "sort"
+
+// Pair is an ordered observation pair (indices into Space.Obs). For
+// containment, A is the containing observation. For complementarity the
+// pair is normalized to A < B.
+type Pair struct {
+	A, B int
+}
+
+// Sink receives relationship discoveries as an algorithm streams them.
+// Implementations must tolerate duplicate-free, arbitrary-order emission;
+// each relationship instance is emitted exactly once per run.
+type Sink interface {
+	// Full records Cont_full(a, b).
+	Full(a, b int)
+	// Partial records Cont_partial(a, b) with its OCM degree in (0, 1).
+	Partial(a, b int, degree float64)
+	// Compl records Compl(a, b) with a < b.
+	Compl(a, b int)
+}
+
+// DimsRecorder is an optional Sink extension: when a sink implements it
+// and the partial task is active, algorithms additionally report which
+// dimensions exhibit containment in every partial pair — the paper's
+// map_P output of Algorithm 2.
+type DimsRecorder interface {
+	// RecordPartialDims records the containing dimension indices of the
+	// ordered partial pair (a, b). The slice is owned by the callee.
+	RecordPartialDims(a, b int, dims []int)
+}
+
+// Result collects relationship sets in memory: the paper's S_F, S_P and
+// S_C, plus partial-containment degrees and (when filled by an algorithm)
+// the map_P dimension map.
+type Result struct {
+	// FullSet is S_F: ordered fully-containing pairs.
+	FullSet []Pair
+	// PartialSet is S_P: ordered partially-containing pairs.
+	PartialSet []Pair
+	// ComplSet is S_C: unordered complementary pairs, stored with A < B.
+	ComplSet []Pair
+	// PartialDegree maps each S_P pair to its OCM degree.
+	PartialDegree map[Pair]float64
+	// PartialDims is Algorithm 2's map_P: for each S_P pair, the indices
+	// of the dimensions (in Space.Dims order) on which the pair exhibits
+	// containment.
+	PartialDims map[Pair][]int
+}
+
+// NewResult returns an empty collecting sink.
+func NewResult() *Result {
+	return &Result{PartialDegree: map[Pair]float64{}, PartialDims: map[Pair][]int{}}
+}
+
+// RecordPartialDims implements DimsRecorder.
+func (r *Result) RecordPartialDims(a, b int, dims []int) { r.PartialDims[Pair{a, b}] = dims }
+
+// Full implements Sink.
+func (r *Result) Full(a, b int) { r.FullSet = append(r.FullSet, Pair{a, b}) }
+
+// Partial implements Sink.
+func (r *Result) Partial(a, b int, degree float64) {
+	p := Pair{a, b}
+	r.PartialSet = append(r.PartialSet, p)
+	r.PartialDegree[p] = degree
+}
+
+// Compl implements Sink.
+func (r *Result) Compl(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	r.ComplSet = append(r.ComplSet, Pair{a, b})
+}
+
+// Sort orders the three sets deterministically for comparison and export.
+func (r *Result) Sort() {
+	sortPairs(r.FullSet)
+	sortPairs(r.PartialSet)
+	sortPairs(r.ComplSet)
+}
+
+// Counts returns |S_F|, |S_P| and |S_C|.
+func (r *Result) Counts() (full, partial, compl int) {
+	return len(r.FullSet), len(r.PartialSet), len(r.ComplSet)
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// Counter is a Sink that only counts relationships; it is what the
+// benchmark harness uses so that quadratic result sets do not dominate
+// memory on large inputs.
+type Counter struct {
+	// NFull, NPartial and NCompl count emissions per relationship type.
+	NFull, NPartial, NCompl int
+}
+
+// Full implements Sink.
+func (c *Counter) Full(a, b int) { c.NFull++ }
+
+// Partial implements Sink.
+func (c *Counter) Partial(a, b int, degree float64) { c.NPartial++ }
+
+// Compl implements Sink.
+func (c *Counter) Compl(a, b int) { c.NCompl++ }
+
+// Recall compares a computed result against a ground truth and returns the
+// ratio of found relationships, per type and overall, as in the paper's
+// recall metric for the clustering method. Precision is 1 by construction
+// (the relationship definitions are deterministic), so found sets are
+// always subsets of the truth; Recall does not assume it, though, and
+// counts only true positives.
+func Recall(truth, got *Result) (full, partial, compl, overall float64) {
+	tf := pairSet(truth.FullSet)
+	tp := pairSet(truth.PartialSet)
+	tc := pairSet(truth.ComplSet)
+	full = ratio(countIn(got.FullSet, tf), len(tf))
+	partial = ratio(countIn(got.PartialSet, tp), len(tp))
+	compl = ratio(countIn(got.ComplSet, tc), len(tc))
+	num := countIn(got.FullSet, tf) + countIn(got.PartialSet, tp) + countIn(got.ComplSet, tc)
+	den := len(tf) + len(tp) + len(tc)
+	overall = ratio(num, den)
+	return
+}
+
+func pairSet(ps []Pair) map[Pair]bool {
+	m := make(map[Pair]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+func countIn(ps []Pair, truth map[Pair]bool) int {
+	n := 0
+	for _, p := range ps {
+		if truth[p] {
+			n++
+		}
+	}
+	return n
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

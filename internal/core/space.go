@@ -1,0 +1,285 @@
+// Package core implements the paper's contribution: computation of full
+// containment, partial containment and complementarity relationships
+// between RDF Data Cube observations (Definitions 3–4), with three
+// interchangeable algorithms — baseline (§3.1), clustering (§3.2) and
+// cubeMasking (§3.3) — plus the incremental, hybrid and parallel extensions
+// the paper lists as future work.
+//
+// # Canonical semantics
+//
+// All algorithms in this package compute the same relations, over the
+// global dimension set P (absent dimensions take the code-list root, the
+// paper's c_root convention):
+//
+//   - Cont_full(a, b)   ⇔ M_a ∩ M_b ≠ ∅ and, for every dimension,
+//     h_a ≻ h_b (reflexive ancestry).
+//   - Cont_partial(a,b) ⇔ M_a ∩ M_b ≠ ∅ and the number of dimensions with
+//     h_a ≻ h_b is strictly between 0 and |P| (the OCM degree is in (0,1)),
+//     exactly as derived from the OCM in the paper's Algorithm 2.
+//   - Compl(a, b)       ⇔ h_a = h_b on every dimension (mutual full
+//     dimension-containment, Algorithm 2's S_C criterion).
+//
+// The paper's §3.1 prints the per-dimension test as "a ∧ b = b"; its own
+// worked example (Table 3(a)) requires "a ∧ b = a", which is what this
+// package implements. See DESIGN.md for the full erratum note.
+package core
+
+import (
+	"fmt"
+
+	"rdfcube/internal/bitvec"
+	"rdfcube/internal/hierarchy"
+	"rdfcube/internal/lattice"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
+)
+
+// MaxMeasures is the maximum number of distinct measure properties a Space
+// supports (measure sets are packed into one machine word).
+const MaxMeasures = 64
+
+// Space is the compiled form of a corpus: observations flattened into a
+// single deterministic order, dimension values dictionary-encoded per
+// dimension, measures packed into bitmasks, and the occurrence-matrix
+// column layout fixed. All algorithms run against a Space.
+type Space struct {
+	// Corpus is the source corpus.
+	Corpus *qb.Corpus
+	// Obs are all observations, flattened in dataset order.
+	Obs []*qb.Observation
+	// Dims is the global sorted dimension set P.
+	Dims []rdf.Term
+	// Lists are the code lists aligned with Dims.
+	Lists []*hierarchy.CodeList
+	// Measures is the global sorted measure set M.
+	Measures []rdf.Term
+
+	vals   [][]int32 // vals[i][d]: code index of obs i on dimension d
+	parent [][]int32 // parent[d][c]: parent code index, -1 for the root
+	levels [][]uint8 // levels[d][c]: hierarchy level of code c
+	mmask  []uint64  // mmask[i]: measure-set bitmask of obs i
+
+	colStart []int // occurrence-matrix column offset per dimension
+	numCols  int
+}
+
+// NewSpace compiles a corpus. It fails when a dimension lacks a code list,
+// an observation value is outside its code list, or there are more than
+// MaxMeasures measure properties.
+func NewSpace(c *qb.Corpus) (*Space, error) {
+	s := &Space{
+		Corpus:   c,
+		Obs:      c.Observations(),
+		Dims:     c.AllDimensions(),
+		Measures: c.AllMeasures(),
+	}
+	if len(s.Measures) > MaxMeasures {
+		return nil, fmt.Errorf("core: %d measures exceed the %d-measure limit", len(s.Measures), MaxMeasures)
+	}
+	measureBit := make(map[rdf.Term]uint64, len(s.Measures))
+	for i, m := range s.Measures {
+		measureBit[m] = 1 << uint(i)
+	}
+
+	s.Lists = make([]*hierarchy.CodeList, len(s.Dims))
+	codeIdx := make([]map[rdf.Term]int32, len(s.Dims))
+	s.parent = make([][]int32, len(s.Dims))
+	s.levels = make([][]uint8, len(s.Dims))
+	s.colStart = make([]int, len(s.Dims)+1)
+	for d, dim := range s.Dims {
+		cl := c.Hierarchies.Get(dim)
+		if cl == nil {
+			return nil, fmt.Errorf("core: dimension %s has no code list", dim)
+		}
+		s.Lists[d] = cl
+		codes := cl.Codes()
+		idx := make(map[rdf.Term]int32, len(codes))
+		par := make([]int32, len(codes))
+		lev := make([]uint8, len(codes))
+		for i, code := range codes {
+			idx[code] = int32(i)
+		}
+		for i, code := range codes {
+			if code == cl.Root {
+				par[i] = -1
+			} else {
+				par[i] = idx[cl.Parent(code)]
+			}
+			l, _ := cl.Level(code)
+			if l > 255 {
+				return nil, fmt.Errorf("core: dimension %s deeper than 255 levels", dim)
+			}
+			lev[i] = uint8(l)
+		}
+		codeIdx[d] = idx
+		s.parent[d] = par
+		s.levels[d] = lev
+		s.colStart[d+1] = s.colStart[d] + len(codes)
+	}
+	s.numCols = s.colStart[len(s.Dims)]
+
+	s.vals = make([][]int32, len(s.Obs))
+	s.mmask = make([]uint64, len(s.Obs))
+	// Backing array in one allocation.
+	flat := make([]int32, len(s.Obs)*len(s.Dims))
+	for i, o := range s.Obs {
+		row := flat[i*len(s.Dims) : (i+1)*len(s.Dims)]
+		for d, dim := range s.Dims {
+			cl := s.Lists[d]
+			v := o.Value(dim)
+			if v.IsZero() {
+				row[d] = 0 // root: absent dimension means c_root
+				continue
+			}
+			ci, ok := codeIdx[d][v]
+			if !ok {
+				return nil, fmt.Errorf("core: observation %s: value %s not in code list of %s", o.URI, v, dim)
+			}
+			row[d] = ci
+			_ = cl
+		}
+		s.vals[i] = row
+		var mask uint64
+		for _, m := range o.Dataset.Schema.Measures {
+			mask |= measureBit[m]
+		}
+		s.mmask[i] = mask
+	}
+	return s, nil
+}
+
+// N returns the number of observations.
+func (s *Space) N() int { return len(s.Obs) }
+
+// NumDims returns |P|, the number of global dimensions.
+func (s *Space) NumDims() int { return len(s.Dims) }
+
+// NumCols returns the number of occurrence-matrix columns (total codes).
+func (s *Space) NumCols() int { return s.numCols }
+
+// ColRange returns the half-open occurrence-matrix column range of
+// dimension d — the boundaries of sub-matrix OM_d.
+func (s *Space) ColRange(d int) (lo, hi int) { return s.colStart[d], s.colStart[d+1] }
+
+// ValueIndex returns the code index of observation i on dimension d.
+func (s *Space) ValueIndex(i, d int) int32 { return s.vals[i][d] }
+
+// Value returns the code term of observation i on dimension d.
+func (s *Space) Value(i, d int) rdf.Term { return s.Lists[d].Codes()[s.vals[i][d]] }
+
+// Level returns the hierarchy level of observation i's value on dimension d.
+func (s *Space) Level(i, d int) int { return int(s.levels[d][s.vals[i][d]]) }
+
+// MeasureMask returns the packed measure set of observation i.
+func (s *Space) MeasureMask(i int) uint64 { return s.mmask[i] }
+
+// SharesMeasure reports condition (3) of Definition 4: M_i ∩ M_j ≠ ∅.
+func (s *Space) SharesMeasure(i, j int) bool { return s.mmask[i]&s.mmask[j] != 0 }
+
+// IsAncestorIdx reports reflexive ancestry a ≻ b between code indices of
+// dimension d by walking b's parent chain.
+func (s *Space) IsAncestorIdx(d int, a, b int32) bool {
+	if a == b {
+		return true
+	}
+	// A strictly deeper (or equal-level different) code cannot be an ancestor.
+	la, lb := s.levels[d][a], s.levels[d][b]
+	if la >= lb {
+		return false
+	}
+	par := s.parent[d]
+	for b != -1 {
+		if b == a {
+			return true
+		}
+		b = par[b]
+	}
+	return false
+}
+
+// DimContains reports whether observation i's value contains (reflexive
+// ancestry) observation j's value on dimension d.
+func (s *Space) DimContains(i, j, d int) bool {
+	return s.IsAncestorIdx(d, s.vals[i][d], s.vals[j][d])
+}
+
+// ContainDegree returns the number of dimensions on which i's value
+// contains j's — the unnormalized OCM cell for the ordered pair (i, j).
+func (s *Space) ContainDegree(i, j int) int {
+	n := 0
+	for d := range s.Dims {
+		if s.DimContains(i, j, d) {
+			n++
+		}
+	}
+	return n
+}
+
+// FullContains reports Cont_full(i, j) per the canonical semantics.
+func (s *Space) FullContains(i, j int) bool {
+	if i == j || !s.SharesMeasure(i, j) {
+		return false
+	}
+	for d := range s.Dims {
+		if !s.DimContains(i, j, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// PartialContains reports Cont_partial(i, j): shared measure and OCM degree
+// strictly between 0 and 1.
+func (s *Space) PartialContains(i, j int) bool {
+	if i == j || !s.SharesMeasure(i, j) {
+		return false
+	}
+	deg := s.ContainDegree(i, j)
+	return deg > 0 && deg < len(s.Dims)
+}
+
+// Complementary reports Compl(i, j): identical values on every dimension
+// (with absent dimensions at the root), for distinct observations.
+func (s *Space) Complementary(i, j int) bool {
+	if i == j {
+		return false
+	}
+	vi, vj := s.vals[i], s.vals[j]
+	for d := range vi {
+		if vi[d] != vj[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature returns the lattice coordinate of observation i: the hierarchy
+// level of its value on each dimension.
+func (s *Space) Signature(i int) lattice.Signature {
+	sig := make(lattice.Signature, len(s.Dims))
+	for d := range s.Dims {
+		sig[d] = s.levels[d][s.vals[i][d]]
+	}
+	return sig
+}
+
+// Row builds the occurrence-matrix bit-vector row of observation i: for
+// each dimension, the bits of the value and all its ancestors up to the
+// root (§3.1's bottom-up encoding).
+func (s *Space) Row(i int) *bitvec.Vector {
+	v := bitvec.New(s.numCols)
+	s.fillRow(i, v)
+	return v
+}
+
+func (s *Space) fillRow(i int, v *bitvec.Vector) {
+	for d := range s.Dims {
+		c := s.vals[i][d]
+		par := s.parent[d]
+		base := s.colStart[d]
+		for c != -1 {
+			v.Set(base + int(c))
+			c = par[c]
+		}
+	}
+}

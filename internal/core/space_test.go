@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"rdfcube/internal/gen"
+)
+
+func TestSpaceAccessors(t *testing.T) {
+	s, idx := exampleSpace(t)
+	if s.N() != 10 || s.NumDims() != 3 {
+		t.Fatalf("shape: n=%d p=%d", s.N(), s.NumDims())
+	}
+	// Column layout: contiguous, ordered, covering NumCols.
+	total := 0
+	for d := 0; d < s.NumDims(); d++ {
+		lo, hi := s.ColRange(d)
+		if lo != total || hi <= lo {
+			t.Errorf("dim %d: range [%d,%d) not contiguous at %d", d, lo, hi, total)
+		}
+		total = hi
+	}
+	if total != s.NumCols() {
+		t.Errorf("columns: %d vs %d", total, s.NumCols())
+	}
+
+	i := idx["o11"]
+	d := dimIndex(t, s, gen.DimRefArea)
+	if s.Value(i, d) != gen.GeoAthens {
+		t.Errorf("Value(o11, refArea) = %v", s.Value(i, d))
+	}
+	if s.Level(i, d) != 3 {
+		t.Errorf("Level(o11, refArea) = %d, want 3", s.Level(i, d))
+	}
+	// o21 (D2) has no sex dimension: defaults to root at level 0.
+	j := idx["o21"]
+	sd := dimIndex(t, s, gen.DimSex)
+	if s.Value(j, sd) != gen.SexTotal || s.Level(j, sd) != 0 {
+		t.Errorf("root default: %v level %d", s.Value(j, sd), s.Level(j, sd))
+	}
+	// Measure masks: o21 (unemployment+poverty) shares with o31
+	// (unemployment) but not with o11 (population).
+	if !s.SharesMeasure(idx["o21"], idx["o31"]) {
+		t.Errorf("o21/o31 must share a measure")
+	}
+	if s.SharesMeasure(idx["o11"], idx["o31"]) {
+		t.Errorf("o11/o31 share no measure")
+	}
+	if s.MeasureMask(idx["o21"]) == 0 {
+		t.Errorf("empty measure mask")
+	}
+}
+
+func TestSignatureMatchesLevels(t *testing.T) {
+	s, idx := exampleSpace(t)
+	sig := s.Signature(idx["o32"]) // Athens (3), Jan2011 (2), sex root (0)
+	aD := dimIndex(t, s, gen.DimRefArea)
+	tD := dimIndex(t, s, gen.DimRefPeriod)
+	sD := dimIndex(t, s, gen.DimSex)
+	if sig[aD] != 3 || sig[tD] != 2 || sig[sD] != 0 {
+		t.Errorf("signature(o32) = %v", sig)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdfcube/internal/gen"
+)
+
+// TestSparseRowMatchesPacked cross-checks the sparse rows against the
+// packed bit vectors column by column.
+func TestSparseRowMatchesPacked(t *testing.T) {
+	s, _ := exampleSpace(t)
+	om := BuildOccurrenceMatrix(s)
+	som := BuildSparseOM(s)
+	for i := 0; i < s.N(); i++ {
+		set := map[int32]bool{}
+		for _, c := range som.Rows[i] {
+			set[c] = true
+		}
+		for col := 0; col < s.NumCols(); col++ {
+			if om.Rows[i].Get(col) != set[int32(col)] {
+				t.Fatalf("row %d col %d: packed %v sparse %v", i, col, om.Rows[i].Get(col), set[int32(col)])
+			}
+		}
+		// Rows must be sorted for the merge tests.
+		for k := 1; k < len(som.Rows[i]); k++ {
+			if som.Rows[i][k-1] >= som.Rows[i][k] {
+				t.Fatalf("row %d not strictly ascending: %v", i, som.Rows[i])
+			}
+		}
+	}
+}
+
+// TestQuickSparseBaselineEquivalence checks that the sparse baseline
+// produces exactly the packed baseline's sets on random corpora.
+func TestQuickSparseBaselineEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCorpus(seed)
+		s, err := NewSpace(c)
+		if err != nil {
+			return false
+		}
+		a := NewResult()
+		Baseline(s, TaskAll, a)
+		a.Sort()
+		b := NewResult()
+		BaselineSparse(s, TaskAll, b)
+		b.Sort()
+		if !samePairs(a.FullSet, b.FullSet) || !samePairs(a.PartialSet, b.PartialSet) || !samePairs(a.ComplSet, b.ComplSet) {
+			return false
+		}
+		for p, d := range a.PartialDegree {
+			if b.PartialDegree[p] != d {
+				return false
+			}
+		}
+		for p, dims := range a.PartialDims {
+			bd := b.PartialDims[p]
+			if len(bd) != len(dims) {
+				return false
+			}
+			for i := range dims {
+				if bd[i] != dims[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSparseMemoryAdvantage asserts the space saving the paper predicts:
+// on the real-world replica (≈2.5 k columns), the sparse rows take well
+// under half the packed rows' memory.
+func TestSparseMemoryAdvantage(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 500, Seed: 2})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	som := BuildSparseOM(s)
+	sparseBytes := som.MemoryBytes()
+	packedBytes := s.N() * ((s.NumCols() + 63) / 64) * 8
+	if sparseBytes*2 >= packedBytes {
+		t.Errorf("sparse %d B vs packed %d B: expected >2x saving", sparseBytes, packedBytes)
+	}
+}
+
+func TestSparseViaCompute(t *testing.T) {
+	s, _ := exampleSpace(t)
+	res := NewResult()
+	if err := Compute(s, AlgorithmBaselineSparse, Options{}, res); err != nil {
+		t.Fatal(err)
+	}
+	if f, p, cc := res.Counts(); f != 4 || p != 43 || cc != 2 {
+		t.Errorf("counts (%d, %d, %d), want (4, 43, 2)", f, p, cc)
+	}
+}

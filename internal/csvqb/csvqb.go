@@ -1,0 +1,280 @@
+// Package csvqb converts CSV statistical tables into QB corpora, the
+// ingestion path the paper describes for its non-RDF sources: "We
+// converted CSV column headers to dimension URIs, and rows to
+// observations, by automatically matching cell values to existing code
+// list terms based on their IDs."
+//
+// Columns are classified as dimensions (their cells resolve to code-list
+// terms of a registered hierarchy) or measures (numeric cells); cell
+// values match code terms by identifier — exactly, then case-folded, then
+// via the align package's string matcher when enabled.
+package csvqb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rdfcube/internal/align"
+	"rdfcube/internal/hierarchy"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
+)
+
+// Options configure a conversion.
+type Options struct {
+	// DatasetURI identifies the resulting dataset. Empty derives one from
+	// the base namespace.
+	DatasetURI string
+	// BaseNS is the namespace for generated observation URIs; empty means
+	// "http://example.org/csv/".
+	BaseNS string
+	// DimensionFor maps a CSV header to its dimension property. Headers
+	// without an entry are matched against the registry's dimension local
+	// names; unmatched non-numeric columns are an error.
+	DimensionFor map[string]rdf.Term
+	// MeasureFor maps a CSV header to its measure property. Headers
+	// without an entry that hold numeric cells become measures in BaseNS.
+	MeasureFor map[string]rdf.Term
+	// FuzzyCodes enables align-based matching for cell values that do not
+	// resolve exactly (case-insensitively) to a code term identifier.
+	FuzzyCodes bool
+	// FuzzyThreshold is the minimum similarity for fuzzy matches; zero
+	// means 0.85.
+	FuzzyThreshold float64
+}
+
+func (o Options) baseNS() string {
+	if o.BaseNS == "" {
+		return "http://example.org/csv/"
+	}
+	return o.BaseNS
+}
+
+// Convert reads one CSV table (header row first) and produces a dataset
+// inside a fresh corpus backed by the given code-list registry.
+func Convert(r io.Reader, reg *hierarchy.Registry, opts Options) (*qb.Corpus, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvqb: reading header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("csvqb: empty header")
+	}
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvqb: reading rows: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("csvqb: no data rows")
+	}
+
+	cols, err := classifyColumns(header, rows, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var dims, measures []rdf.Term
+	for _, c := range cols {
+		if c.isDim {
+			dims = append(dims, c.prop)
+		} else {
+			measures = append(measures, c.prop)
+		}
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("csvqb: no dimension columns recognized")
+	}
+	if len(measures) == 0 {
+		return nil, fmt.Errorf("csvqb: no measure columns recognized")
+	}
+
+	dsURI := opts.DatasetURI
+	if dsURI == "" {
+		dsURI = opts.baseNS() + "dataset"
+	}
+	corpus := qb.NewCorpus(reg)
+	ds := &qb.Dataset{URI: rdf.NewIRI(dsURI), Schema: qb.NewSchema(dims, measures)}
+
+	matcher := newCodeMatcher(reg, opts)
+	for ri, row := range rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("csvqb: row %d has %d cells, header has %d", ri+2, len(row), len(cols))
+		}
+		dimVals := make([]rdf.Term, len(ds.Schema.Dimensions))
+		meaVals := make([]rdf.Term, len(ds.Schema.Measures))
+		for ci, c := range cols {
+			cell := strings.TrimSpace(row[ci])
+			if c.isDim {
+				code, err := matcher.resolve(c.prop, cell)
+				if err != nil {
+					return nil, fmt.Errorf("csvqb: row %d column %q: %w", ri+2, header[ci], err)
+				}
+				dimVals[ds.Schema.DimIndex(c.prop)] = code
+			} else {
+				meaVals[ds.Schema.MeasureIndex(c.prop)] = numericLiteral(cell)
+			}
+		}
+		uri := rdf.NewIRI(fmt.Sprintf("%sobs/%d", opts.baseNS(), ri))
+		if _, err := ds.AddObservation(uri, dimVals, meaVals); err != nil {
+			return nil, err
+		}
+	}
+	corpus.AddDataset(ds)
+	return corpus, nil
+}
+
+// column is a classified CSV column.
+type column struct {
+	prop  rdf.Term
+	isDim bool
+}
+
+// classifyColumns decides, per header, whether the column is a dimension
+// (explicit mapping, or a registry dimension with a matching local name)
+// or a measure (explicit mapping, or numeric cells).
+func classifyColumns(header []string, rows [][]string, reg *hierarchy.Registry, opts Options) ([]column, error) {
+	byLocal := map[string]rdf.Term{}
+	for _, d := range reg.Dimensions() {
+		byLocal[strings.ToLower(d.Local())] = d
+	}
+	out := make([]column, len(header))
+	for i, h := range header {
+		name := strings.TrimSpace(h)
+		if dim, ok := opts.DimensionFor[name]; ok {
+			out[i] = column{prop: dim, isDim: true}
+			continue
+		}
+		if m, ok := opts.MeasureFor[name]; ok {
+			out[i] = column{prop: m}
+			continue
+		}
+		if dim, ok := byLocal[strings.ToLower(name)]; ok {
+			out[i] = column{prop: dim, isDim: true}
+			continue
+		}
+		if columnNumeric(rows, i) {
+			out[i] = column{prop: rdf.NewIRI(opts.baseNS() + "measure/" + sanitize(name))}
+			continue
+		}
+		return nil, fmt.Errorf("csvqb: column %q is neither a known dimension nor numeric", name)
+	}
+	return out, nil
+}
+
+func columnNumeric(rows [][]string, col int) bool {
+	seen := false
+	for _, row := range rows {
+		if col >= len(row) {
+			return false
+		}
+		cell := strings.TrimSpace(row[col])
+		if cell == "" {
+			continue
+		}
+		seen = true
+		if _, err := strconv.ParseFloat(strings.ReplaceAll(cell, ",", ""), 64); err != nil {
+			return false
+		}
+	}
+	return seen
+}
+
+func numericLiteral(cell string) rdf.Term {
+	clean := strings.ReplaceAll(cell, ",", "")
+	if clean == "" {
+		return rdf.Term{}
+	}
+	if _, err := strconv.ParseInt(clean, 10, 64); err == nil {
+		return rdf.NewTypedLiteral(clean, rdf.XSDInteger)
+	}
+	return rdf.NewTypedLiteral(clean, rdf.XSDDecimal)
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// codeMatcher resolves cell identifiers to code terms per dimension, with
+// exact, case-folded and optional fuzzy stages. Resolutions are cached.
+type codeMatcher struct {
+	reg   *hierarchy.Registry
+	opts  Options
+	exact map[rdf.Term]map[string]rdf.Term // dim -> identifier -> code
+	cache map[rdf.Term]map[string]rdf.Term // dim -> raw cell -> code
+}
+
+func newCodeMatcher(reg *hierarchy.Registry, opts Options) *codeMatcher {
+	return &codeMatcher{
+		reg:   reg,
+		opts:  opts,
+		exact: map[rdf.Term]map[string]rdf.Term{},
+		cache: map[rdf.Term]map[string]rdf.Term{},
+	}
+}
+
+func (m *codeMatcher) table(dim rdf.Term) map[string]rdf.Term {
+	if t, ok := m.exact[dim]; ok {
+		return t
+	}
+	t := map[string]rdf.Term{}
+	cl := m.reg.Get(dim)
+	if cl != nil {
+		for _, c := range cl.Codes() {
+			t[strings.ToLower(c.Local())] = c
+		}
+	}
+	m.exact[dim] = t
+	return t
+}
+
+func (m *codeMatcher) resolve(dim rdf.Term, cell string) (rdf.Term, error) {
+	if cell == "" {
+		cl := m.reg.Get(dim)
+		if cl == nil {
+			return rdf.Term{}, fmt.Errorf("no code list for dimension %s", dim)
+		}
+		return cl.Root, nil // empty cell means no specialization, i.e. ALL
+	}
+	if c, ok := m.cache[dim][cell]; ok {
+		return c, nil
+	}
+	t := m.table(dim)
+	code, ok := t[strings.ToLower(cell)]
+	if !ok && m.opts.FuzzyCodes {
+		threshold := m.opts.FuzzyThreshold
+		if threshold == 0 {
+			threshold = 0.85
+		}
+		cl := m.reg.Get(dim)
+		links := align.Match(
+			[]rdf.Term{rdf.NewLiteral(cell)}, // literal: Local() is the cell text
+			cl.Codes(),
+			align.Config{Threshold: threshold},
+		)
+		if len(links) == 1 {
+			code, ok = links[0].Target, true
+		}
+	}
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("cell %q matches no code of %s", cell, dim)
+	}
+	if m.cache[dim] == nil {
+		m.cache[dim] = map[string]rdf.Term{}
+	}
+	m.cache[dim][cell] = code
+	return code, nil
+}

@@ -1,0 +1,233 @@
+package gen
+
+import (
+	"testing"
+
+	"rdfcube/internal/lattice"
+	"rdfcube/internal/qb"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	c := PaperExample()
+	if len(c.Datasets) != 3 {
+		t.Fatalf("datasets = %d", len(c.Datasets))
+	}
+	if c.NumObservations() != 10 {
+		t.Errorf("observations = %d, want 10", c.NumObservations())
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// D1 has the sex dimension, D2/D3 do not (Figure 2).
+	if !c.Datasets[0].Schema.HasDimension(DimSex) {
+		t.Errorf("D1 must have sex")
+	}
+	if c.Datasets[1].Schema.HasDimension(DimSex) || c.Datasets[2].Schema.HasDimension(DimSex) {
+		t.Errorf("D2/D3 must not have sex")
+	}
+	// D2 measures unemployment and poverty; D3 shares unemployment.
+	if !c.Datasets[1].Schema.SharesMeasure(c.Datasets[2].Schema) {
+		t.Errorf("D2 and D3 must share the unemployment measure")
+	}
+	if c.Datasets[0].Schema.SharesMeasure(c.Datasets[2].Schema) {
+		t.Errorf("D1 and D3 share no measure")
+	}
+}
+
+func TestPaperMatrixExampleSubset(t *testing.T) {
+	c := PaperMatrixExample()
+	if c.NumObservations() != 7 {
+		t.Fatalf("matrix example has %d observations, want 7", c.NumObservations())
+	}
+	for _, o := range c.Observations() {
+		switch o.URI.Local() {
+		case "o13", "o34", "o35":
+			t.Errorf("%s must be excluded from the matrix example", o.URI.Local())
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPaperHierarchyLevels(t *testing.T) {
+	reg := PaperHierarchies()
+	area := reg.Get(DimRefArea)
+	lvl := func(local string) int {
+		for _, c := range area.Codes() {
+			if c.Local() == local {
+				l, _ := area.Level(c)
+				return l
+			}
+		}
+		return -1
+	}
+	for local, want := range map[string]int{"World": 0, "Europe": 1, "Greece": 2, "Athens": 3, "Austin": 4} {
+		if got := lvl(local); got != want {
+			t.Errorf("level(%s) = %d, want %d", local, got, want)
+		}
+	}
+}
+
+func TestRealWorldProportionsAndSchema(t *testing.T) {
+	total := 5000
+	c := RealWorld(RealWorldConfig{TotalObs: total, Seed: 1})
+	if len(c.Datasets) != 7 {
+		t.Fatalf("datasets = %d", len(c.Datasets))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	specs := TableFour()
+	sum := 0
+	for i, ds := range c.Datasets {
+		n := len(ds.Observations)
+		sum += n
+		want := int(float64(total)*specs[i].Fraction + 0.5)
+		if n != want {
+			t.Errorf("%s: %d observations, want %d", specs[i].Name, n, want)
+		}
+		// Table 4 schema rows.
+		if len(ds.Schema.Dimensions) != len(specs[i].Dims) {
+			t.Errorf("%s: %d dimensions, want %d", specs[i].Name, len(ds.Schema.Dimensions), len(specs[i].Dims))
+		}
+		if ds.Schema.Measures[0] != specs[i].Measure {
+			t.Errorf("%s: measure %v", specs[i].Name, ds.Schema.Measures[0])
+		}
+	}
+	if sum < total-5 || sum > total+5 {
+		t.Errorf("total observations %d, want ≈%d", sum, total)
+	}
+	// D1 and D3 share the population measure (as published).
+	if !c.Datasets[0].Schema.SharesMeasure(c.Datasets[2].Schema) {
+		t.Errorf("D1 and D3 must share ex:measure/population")
+	}
+}
+
+func TestRealWorldCodeListMagnitude(t *testing.T) {
+	reg := RealWorldHierarchies()
+	total := reg.TotalCodes()
+	// The paper reports 2.6k distinct hierarchical values.
+	if total < 2000 || total > 3200 {
+		t.Errorf("total codes = %d, want ≈2600", total)
+	}
+	if reg.Len() != 9 {
+		t.Errorf("dimensions = %d, want 9 (Table 4 columns)", reg.Len())
+	}
+	if reg.Get(DimRefArea).Depth() != 4 {
+		t.Errorf("refArea depth = %d", reg.Get(DimRefArea).Depth())
+	}
+}
+
+func TestRealWorldDeterminism(t *testing.T) {
+	a := RealWorld(RealWorldConfig{TotalObs: 300, Seed: 9})
+	b := RealWorld(RealWorldConfig{TotalObs: 300, Seed: 9})
+	oa, ob := a.Observations(), b.Observations()
+	if len(oa) != len(ob) {
+		t.Fatalf("sizes differ")
+	}
+	for i := range oa {
+		if oa[i].URI != ob[i].URI {
+			t.Fatalf("URI %d differs", i)
+		}
+		for d := range oa[i].DimValues {
+			if oa[i].DimValues[d] != ob[i].DimValues[d] {
+				t.Fatalf("value %d/%d differs", i, d)
+			}
+		}
+	}
+	diff := RealWorld(RealWorldConfig{TotalObs: 300, Seed: 10})
+	same := true
+	od := diff.Observations()
+	for i := range oa {
+		for d := range oa[i].DimValues {
+			if oa[i].DimValues[d] != od[i].DimValues[d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticEvenCubePopulation(t *testing.T) {
+	cfg := SyntheticConfig{N: 2000, Seed: 4}
+	c := Synthetic(cfg)
+	if c.NumObservations() != 2000 {
+		t.Fatalf("observations = %d", c.NumObservations())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Count distinct signatures: must equal the projection (capped by the
+	// virtual lattice size) and be evenly populated (±1).
+	reg := c.Hierarchies
+	dims := c.AllDimensions()
+	counts := map[string]int{}
+	for _, o := range c.Observations() {
+		sig := make(lattice.Signature, len(dims))
+		for d, dim := range dims {
+			l, _ := reg.Get(dim).Level(o.Value(dim))
+			sig[d] = uint8(l)
+		}
+		counts[sig.Key()]++
+	}
+	// The projection is capped by the virtual lattice size
+	// ∏(depth_d + 1) over the four synthetic dimensions.
+	maxSigs := 1
+	for _, dim := range dims {
+		maxSigs *= reg.Get(dim).Depth() + 1
+	}
+	want := cfg.ProjectedCubes(2000)
+	if want > maxSigs {
+		want = maxSigs
+	}
+	if len(counts) != want {
+		t.Errorf("active cubes = %d, want %d", len(counts), want)
+	}
+	min, max := 1<<30, 0
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("population not even: min %d max %d", min, max)
+	}
+}
+
+func TestSyntheticProjectionGrowsSublinearly(t *testing.T) {
+	cfg := SyntheticConfig{}
+	c1 := cfg.ProjectedCubes(1000)
+	c2 := cfg.ProjectedCubes(10000)
+	if c2 <= c1 {
+		t.Errorf("cube projection must grow: %d, %d", c1, c2)
+	}
+	// Ratio cubes/n must decrease (Fig. 5(f) shape).
+	if float64(c2)/10000 >= float64(c1)/1000 {
+		t.Errorf("cube ratio must decrease: %v vs %v", float64(c2)/10000, float64(c1)/1000)
+	}
+}
+
+func TestExportedCorporaParse(t *testing.T) {
+	// Generated corpora must survive the QB export/parse round trip.
+	for name, c := range map[string]*qb.Corpus{
+		"example":   PaperExample(),
+		"real":      RealWorld(RealWorldConfig{TotalObs: 120, Seed: 2}),
+		"synthetic": Synthetic(SyntheticConfig{N: 120, Seed: 2}),
+	} {
+		g := qb.ExportGraph(c)
+		c2, err := qb.ParseGraph(g)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if c2.NumObservations() != c.NumObservations() {
+			t.Errorf("%s: %d → %d observations", name, c.NumObservations(), c2.NumObservations())
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfcube/internal/hierarchy"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
+)
+
+// Dimension IRIs of the real-world replica (the 9 dimension columns of
+// Table 4; refArea, refPeriod and sex reuse the running example's IRIs so
+// corpora mix freely).
+var (
+	DimUnit        = exIRI("dim/unit")
+	DimAge         = exIRI("dim/age")
+	DimEconomic    = exIRI("dim/economicActivity")
+	DimCitizenship = exIRI("dim/citizenship")
+	DimEducation   = exIRI("dim/education")
+	DimHousehold   = exIRI("dim/householdSize")
+)
+
+// Measure IRIs of the real-world replica (Table 4's measure column; two
+// datasets share ex:measure/population, as in the paper).
+var (
+	MeasMembers      = exIRI("measure/members")
+	MeasBirths       = exIRI("measure/births")
+	MeasDeaths       = exIRI("measure/deaths")
+	MeasGDP          = exIRI("measure/gdp")
+	MeasCompensation = exIRI("measure/compensation")
+)
+
+// RealWorldConfig parameterizes the Table-4 replica.
+type RealWorldConfig struct {
+	// TotalObs scales the corpus; dataset sizes keep Table 4's published
+	// proportions (58k : 4.2k : 6.7k : 15k : 68k : 73k : 21.6k of 246.5k).
+	// Zero means 246500, the published total.
+	TotalObs int
+	// Seed drives all random choices deterministically.
+	Seed int64
+}
+
+// DatasetSpec describes one replica dataset: its Table 4 row.
+type DatasetSpec struct {
+	// Name is the dataset identifier (D1 … D7).
+	Name string
+	// Fraction is the dataset's share of the total observation count.
+	Fraction float64
+	// Dims are the dataset's dimension properties.
+	Dims []rdf.Term
+	// Measure is the dataset's single measure property.
+	Measure rdf.Term
+	// MeasureName is the Table 4 measure label.
+	MeasureName string
+}
+
+// TableFour returns the seven dataset specifications exactly as published
+// in the paper's Table 4.
+func TableFour() []DatasetSpec {
+	const total = 58 + 4.2 + 6.7 + 15 + 68 + 73 + 21.6
+	return []DatasetSpec{
+		{"D1", 58 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimSex, DimUnit, DimAge, DimCitizenship}, MeasPopulation, "Population"},
+		{"D2", 4.2 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimUnit, DimHousehold}, MeasMembers, "Members"},
+		{"D3", 6.7 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimSex, DimUnit, DimAge, DimEducation}, MeasPopulation, "Population"},
+		{"D4", 15 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimUnit}, MeasBirths, "Births"},
+		{"D5", 68 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimSex, DimUnit, DimAge, DimCitizenship}, MeasDeaths, "Deaths"},
+		{"D6", 73 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimUnit}, MeasGDP, "GDP"},
+		{"D7", 21.6 / total, []rdf.Term{DimRefArea, DimRefPeriod, DimEconomic}, MeasCompensation, "Compensation"},
+	}
+}
+
+// RealWorldHierarchies builds the shared reference code lists: ~2.5 k
+// hierarchical values across the nine dimensions, matching the magnitude
+// the paper reports (2.6 k distinct hierarchical values).
+func RealWorldHierarchies() *hierarchy.Registry {
+	reg := hierarchy.NewRegistry()
+
+	// refArea: world → 5 continents → 10 countries each → 5 regions each
+	// → 6 cities each: 1 + 5 + 50 + 250 + 1500 = 1806 codes, depth 4.
+	area := hierarchy.New(DimRefArea, GeoWorld)
+	continents := []string{"Europe", "America", "Asia", "Africa", "Oceania"}
+	for _, cont := range continents {
+		c := exIRI("code/area/" + cont)
+		area.Add(c, GeoWorld)
+		for ci := 1; ci <= 10; ci++ {
+			country := exIRI(fmt.Sprintf("code/area/%s/C%02d", cont, ci))
+			area.Add(country, c)
+			for ri := 1; ri <= 5; ri++ {
+				region := exIRI(fmt.Sprintf("code/area/%s/C%02d/R%d", cont, ci, ri))
+				area.Add(region, country)
+				for ui := 1; ui <= 6; ui++ {
+					city := exIRI(fmt.Sprintf("code/area/%s/C%02d/R%d/U%d", cont, ci, ri, ui))
+					area.Add(city, region)
+				}
+			}
+		}
+	}
+	reg.Register(area.MustSeal())
+
+	// refPeriod: ALL → 5 decades → 10 years each → 4 quarters each:
+	// 1 + 5 + 50 + 200 = 256 codes, depth 3.
+	period := hierarchy.New(DimRefPeriod, TimeAll)
+	for d := 0; d < 5; d++ {
+		decade := exIRI(fmt.Sprintf("code/time/D%d", 1970+10*d))
+		period.Add(decade, TimeAll)
+		for y := 0; y < 10; y++ {
+			year := exIRI(fmt.Sprintf("code/time/Y%d", 1970+10*d+y))
+			period.Add(year, decade)
+			for q := 1; q <= 4; q++ {
+				period.Add(exIRI(fmt.Sprintf("code/time/Y%dQ%d", 1970+10*d+y, q)), year)
+			}
+		}
+	}
+	reg.Register(period.MustSeal())
+
+	// sex: Total → Female, Male.
+	sex := hierarchy.New(DimSex, SexTotal)
+	sex.Add(SexFemale, SexTotal)
+	sex.Add(SexMale, SexTotal)
+	reg.Register(sex.MustSeal())
+
+	// unit: flat list of 10 units of measurement.
+	unit := hierarchy.New(DimUnit, exIRI("code/unit/ALL"))
+	for _, u := range []string{"NR", "PC", "EUR", "USD", "PPS", "THS", "MIO", "KG", "TONNE", "HOUR"} {
+		unit.Add(exIRI("code/unit/"+u), exIRI("code/unit/ALL"))
+	}
+	reg.Register(unit.MustSeal())
+
+	// age: Total → 5 broad bands → 4 narrow bands each: 26 codes.
+	age := hierarchy.New(DimAge, exIRI("code/age/Total"))
+	for b := 0; b < 5; b++ {
+		band := exIRI(fmt.Sprintf("code/age/B%d", b))
+		age.Add(band, exIRI("code/age/Total"))
+		for s := 0; s < 4; s++ {
+			age.Add(exIRI(fmt.Sprintf("code/age/B%dS%d", b, s)), band)
+		}
+	}
+	reg.Register(age.MustSeal())
+
+	// economic activity: Total → 10 NACE-like sections → 4 divisions each.
+	eco := hierarchy.New(DimEconomic, exIRI("code/nace/Total"))
+	for s := 0; s < 10; s++ {
+		sec := exIRI(fmt.Sprintf("code/nace/S%c", 'A'+s))
+		eco.Add(sec, exIRI("code/nace/Total"))
+		for d := 1; d <= 4; d++ {
+			eco.Add(exIRI(fmt.Sprintf("code/nace/S%cD%d", 'A'+s, d)), sec)
+		}
+	}
+	reg.Register(eco.MustSeal())
+
+	// citizenship: Total → 5 groups → 10 countries each: 56 codes.
+	cit := hierarchy.New(DimCitizenship, exIRI("code/citizen/Total"))
+	for g := 0; g < 5; g++ {
+		grp := exIRI(fmt.Sprintf("code/citizen/G%d", g))
+		cit.Add(grp, exIRI("code/citizen/Total"))
+		for c := 0; c < 10; c++ {
+			cit.Add(exIRI(fmt.Sprintf("code/citizen/G%dC%02d", g, c)), grp)
+		}
+	}
+	reg.Register(cit.MustSeal())
+
+	// education: Total → 8 ISCED-like levels (flat under the root).
+	edu := hierarchy.New(DimEducation, exIRI("code/isced/Total"))
+	for l := 0; l <= 8; l++ {
+		edu.Add(exIRI(fmt.Sprintf("code/isced/L%d", l)), exIRI("code/isced/Total"))
+	}
+	reg.Register(edu.MustSeal())
+
+	// household size: Total → 1, 2, 3, 4, 5, 6+ (flat).
+	hh := hierarchy.New(DimHousehold, exIRI("code/hh/Total"))
+	for _, h := range []string{"1", "2", "3", "4", "5", "GE6"} {
+		hh.Add(exIRI("code/hh/"+h), exIRI("code/hh/Total"))
+	}
+	reg.Register(hh.MustSeal())
+
+	return reg
+}
+
+// levelWeights gives the probability of drawing an observation value at
+// each hierarchy level, per dimension depth. Statistical publications
+// report mostly at mid and leaf granularities, with a tail at aggregate
+// levels; the mixture also guarantees ancestry overlaps across datasets.
+func levelWeights(depth int) []float64 {
+	switch depth {
+	case 0:
+		return []float64{1}
+	case 1:
+		return []float64{0.3, 0.7}
+	case 2:
+		return []float64{0.1, 0.4, 0.5}
+	case 3:
+		return []float64{0.05, 0.15, 0.5, 0.3}
+	default:
+		w := make([]float64, depth+1)
+		w[0] = 0.05
+		w[1] = 0.10
+		w[2] = 0.25
+		w[3] = 0.35
+		rest := 0.25 / float64(depth-3)
+		for i := 4; i <= depth; i++ {
+			w[i] = rest
+		}
+		return w
+	}
+}
+
+// RealWorld generates the Table-4 replica corpus.
+func RealWorld(cfg RealWorldConfig) *qb.Corpus {
+	total := cfg.TotalObs
+	if total <= 0 {
+		total = 246500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reg := RealWorldHierarchies()
+	corpus := qb.NewCorpus(reg)
+
+	for _, spec := range TableFour() {
+		n := int(float64(total)*spec.Fraction + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		ds := &qb.Dataset{
+			URI:    exIRI("dataset/" + spec.Name),
+			Schema: qb.NewSchema(spec.Dims, []rdf.Term{spec.Measure}),
+		}
+		for i := 0; i < n; i++ {
+			dimVals := make([]rdf.Term, len(ds.Schema.Dimensions))
+			for di, dim := range ds.Schema.Dimensions {
+				dimVals[di] = drawValue(reg.Get(dim), rng)
+			}
+			meas := []rdf.Term{rdf.NewInteger(int64(rng.Intn(1000000)))}
+			uri := exIRI(fmt.Sprintf("obs/%s/%d", spec.Name, i))
+			if _, err := ds.AddObservation(uri, dimVals, meas); err != nil {
+				panic(fmt.Sprintf("gen: %v", err))
+			}
+		}
+		corpus.AddDataset(ds)
+	}
+	return corpus
+}
+
+// drawValue draws a code from cl: first a level from the level mixture,
+// then a uniform code at that level.
+func drawValue(cl *hierarchy.CodeList, rng *rand.Rand) rdf.Term {
+	w := levelWeights(cl.Depth())
+	r := rng.Float64()
+	lvl := 0
+	for i, p := range w {
+		r -= p
+		if r <= 0 {
+			lvl = i
+			break
+		}
+	}
+	codes := cl.AtLevel(lvl)
+	for len(codes) == 0 && lvl > 0 {
+		lvl--
+		codes = cl.AtLevel(lvl)
+	}
+	return codes[rng.Intn(len(codes))]
+}

@@ -1,0 +1,275 @@
+// Package hierarchy models hierarchical code lists (Definition 2 of the
+// paper): per-dimension trees of coded values with a distinguished root
+// ("ALL") such that the ancestry relation ≻ is reflexive and every code is
+// a descendant of the root.
+//
+// Code lists are built either programmatically or from skos:broader /
+// skos:hasTopConcept triples in an RDF graph, and answer the queries the
+// algorithms need: level of a code, reflexive ancestry, root, and the
+// ancestor chain used to fill the occurrence matrix.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/rdf"
+)
+
+// CodeList is the hierarchical value domain of one dimension.
+type CodeList struct {
+	// Dimension is the dimension property IRI this code list serves.
+	Dimension rdf.Term
+	// Root is the top concept (the ALL member); every code descends from it.
+	Root rdf.Term
+
+	parent   map[rdf.Term]rdf.Term
+	children map[rdf.Term][]rdf.Term
+	level    map[rdf.Term]int
+	codes    []rdf.Term // breadth-first, deterministic
+	byLevel  [][]rdf.Term
+	depth    int
+	sealed   bool
+}
+
+// New returns a code list for the given dimension rooted at root.
+func New(dimension, root rdf.Term) *CodeList {
+	cl := &CodeList{
+		Dimension: dimension,
+		Root:      root,
+		parent:    map[rdf.Term]rdf.Term{},
+		children:  map[rdf.Term][]rdf.Term{},
+		level:     map[rdf.Term]int{},
+	}
+	return cl
+}
+
+// Add inserts code as a child of parent. The parent need not exist yet;
+// links are resolved by Seal. Adding the root (as its own entry) is implicit.
+func (cl *CodeList) Add(code, parent rdf.Term) {
+	if cl.sealed {
+		panic("hierarchy: Add after Seal")
+	}
+	if code == cl.Root {
+		return
+	}
+	cl.parent[code] = parent
+}
+
+// Seal finalizes the code list: it checks that every code reaches the root,
+// computes levels (root = 0) and fixes a deterministic breadth-first code
+// order. A sealed list is immutable and safe for concurrent readers.
+func (cl *CodeList) Seal() error {
+	if cl.sealed {
+		return nil
+	}
+	for code, par := range cl.parent {
+		if par != cl.Root {
+			if _, ok := cl.parent[par]; !ok {
+				return fmt.Errorf("hierarchy: code %s has unknown parent %s", code, par)
+			}
+		}
+	}
+	// Detect cycles and build children lists.
+	for code := range cl.parent {
+		seen := map[rdf.Term]bool{code: true}
+		cur := code
+		for cur != cl.Root {
+			next, ok := cl.parent[cur]
+			if !ok {
+				return fmt.Errorf("hierarchy: code %s does not reach root %s", code, cl.Root)
+			}
+			if seen[next] {
+				return fmt.Errorf("hierarchy: cycle through %s", next)
+			}
+			seen[next] = true
+			cur = next
+		}
+	}
+	for code, par := range cl.parent {
+		cl.children[par] = append(cl.children[par], code)
+	}
+	for _, kids := range cl.children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Compare(kids[j]) < 0 })
+	}
+	// Breadth-first order and levels.
+	cl.level[cl.Root] = 0
+	cl.codes = append(cl.codes, cl.Root)
+	frontier := []rdf.Term{cl.Root}
+	lvl := 0
+	for len(frontier) > 0 {
+		lvl++
+		var next []rdf.Term
+		for _, f := range frontier {
+			for _, kid := range cl.children[f] {
+				cl.level[kid] = lvl
+				cl.codes = append(cl.codes, kid)
+				next = append(next, kid)
+			}
+		}
+		if len(next) > 0 {
+			cl.depth = lvl
+		}
+		frontier = next
+	}
+	cl.sealed = true
+	return nil
+}
+
+// MustSeal is Seal that panics on error; for statically known hierarchies.
+func (cl *CodeList) MustSeal() *CodeList {
+	if err := cl.Seal(); err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// Has reports whether code belongs to the code list.
+func (cl *CodeList) Has(code rdf.Term) bool {
+	if code == cl.Root {
+		return true
+	}
+	_, ok := cl.parent[code]
+	return ok
+}
+
+// Len returns the number of codes including the root.
+func (cl *CodeList) Len() int { return len(cl.parent) + 1 }
+
+// Depth returns the maximum level in the hierarchy (root level is 0).
+func (cl *CodeList) Depth() int { return cl.depth }
+
+// Level returns the level of code (root = 0) and whether the code exists.
+func (cl *CodeList) Level(code rdf.Term) (int, bool) {
+	l, ok := cl.level[code]
+	return l, ok
+}
+
+// Parent returns the parent of code; the root (and unknown codes) have the
+// zero Term as parent.
+func (cl *CodeList) Parent(code rdf.Term) rdf.Term { return cl.parent[code] }
+
+// Children returns the direct children of code in deterministic order.
+func (cl *CodeList) Children(code rdf.Term) []rdf.Term { return cl.children[code] }
+
+// Codes returns every code in breadth-first deterministic order, root first.
+// The slice is shared; callers must not modify it.
+func (cl *CodeList) Codes() []rdf.Term { return cl.codes }
+
+// IsAncestor reports the paper's reflexive ancestry a ≻ b: true when a == b
+// or a lies on the parent chain from b to the root. The root is an ancestor
+// of every code.
+func (cl *CodeList) IsAncestor(a, b rdf.Term) bool {
+	if a == b {
+		return cl.Has(a)
+	}
+	if !cl.Has(a) || !cl.Has(b) {
+		return false
+	}
+	if a == cl.Root {
+		return true
+	}
+	cur := b
+	for cur != cl.Root {
+		cur = cl.parent[cur]
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Ancestors returns the chain code, parent(code), …, root (inclusive on
+// both ends). Unknown codes yield nil.
+func (cl *CodeList) Ancestors(code rdf.Term) []rdf.Term {
+	if !cl.Has(code) {
+		return nil
+	}
+	var out []rdf.Term
+	cur := code
+	for {
+		out = append(out, cur)
+		if cur == cl.Root {
+			return out
+		}
+		cur = cl.parent[cur]
+	}
+}
+
+// Descendants returns every code strictly below code, depth-first in
+// deterministic order.
+func (cl *CodeList) Descendants(code rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	var walk func(rdf.Term)
+	walk = func(c rdf.Term) {
+		for _, kid := range cl.children[c] {
+			out = append(out, kid)
+			walk(kid)
+		}
+	}
+	walk(code)
+	return out
+}
+
+// AtLevel returns all codes at the given level in deterministic order.
+// The slice is cached and shared; callers must not modify it.
+func (cl *CodeList) AtLevel(lvl int) []rdf.Term {
+	if lvl < 0 || lvl > cl.depth {
+		return nil
+	}
+	if cl.byLevel == nil {
+		cl.byLevel = make([][]rdf.Term, cl.depth+1)
+		for _, c := range cl.codes {
+			l := cl.level[c]
+			cl.byLevel[l] = append(cl.byLevel[l], c)
+		}
+	}
+	return cl.byLevel[lvl]
+}
+
+// LCA returns the lowest common ancestor of codes a and b, or the zero
+// Term when either code is unknown. The LCA of a code with itself is the
+// code.
+func (cl *CodeList) LCA(a, b rdf.Term) rdf.Term {
+	if !cl.Has(a) || !cl.Has(b) {
+		return rdf.Term{}
+	}
+	onPath := map[rdf.Term]bool{}
+	for _, anc := range cl.Ancestors(a) {
+		onPath[anc] = true
+	}
+	for _, anc := range cl.Ancestors(b) {
+		if onPath[anc] {
+			return anc
+		}
+	}
+	return cl.Root
+}
+
+// Distance returns the number of edges on the path between a and b
+// through their lowest common ancestor — the hierarchy distance used for
+// dimension-value similarity (after Baikousi et al., which the paper's
+// related work discusses). Unknown codes yield -1.
+func (cl *CodeList) Distance(a, b rdf.Term) int {
+	lca := cl.LCA(a, b)
+	if lca.IsZero() {
+		return -1
+	}
+	la, _ := cl.Level(a)
+	lb, _ := cl.Level(b)
+	lc, _ := cl.Level(lca)
+	return (la - lc) + (lb - lc)
+}
+
+// Similarity returns a hierarchy similarity in [0, 1]: 1 for identical
+// codes, decreasing with path distance normalized by twice the depth.
+func (cl *CodeList) Similarity(a, b rdf.Term) float64 {
+	d := cl.Distance(a, b)
+	if d < 0 {
+		return 0
+	}
+	if cl.depth == 0 {
+		return 1
+	}
+	return 1 - float64(d)/float64(2*cl.depth)
+}

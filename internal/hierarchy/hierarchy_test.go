@@ -1,0 +1,295 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdfcube/internal/rdf"
+)
+
+func code(s string) rdf.Term { return rdf.NewIRI("http://t/code/" + s) }
+
+func dim(s string) rdf.Term { return rdf.NewIRI("http://t/dim/" + s) }
+
+// sampleList builds World → {EU → {GR → {Ath, Ioa}, IT → Rome}, AM → US}.
+func sampleList(t *testing.T) *CodeList {
+	t.Helper()
+	cl := New(dim("geo"), code("World"))
+	cl.Add(code("EU"), code("World"))
+	cl.Add(code("AM"), code("World"))
+	cl.Add(code("GR"), code("EU"))
+	cl.Add(code("IT"), code("EU"))
+	cl.Add(code("US"), code("AM"))
+	cl.Add(code("Ath"), code("GR"))
+	cl.Add(code("Ioa"), code("GR"))
+	cl.Add(code("Rome"), code("IT"))
+	if err := cl.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return cl
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	cl := sampleList(t)
+	if cl.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", cl.Depth())
+	}
+	for c, want := range map[string]int{"World": 0, "EU": 1, "GR": 2, "Ath": 3} {
+		got, ok := cl.Level(code(c))
+		if !ok || got != want {
+			t.Errorf("Level(%s) = %d,%v want %d", c, got, ok, want)
+		}
+	}
+	if _, ok := cl.Level(code("Mars")); ok {
+		t.Errorf("unknown code has no level")
+	}
+	if cl.Len() != 9 {
+		t.Errorf("Len = %d, want 9", cl.Len())
+	}
+}
+
+func TestAncestryReflexiveAndTransitive(t *testing.T) {
+	cl := sampleList(t)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"World", "Ath", true},
+		{"EU", "Ath", true},
+		{"GR", "Ath", true},
+		{"Ath", "Ath", true}, // reflexive (Definition 2)
+		{"Ath", "GR", false},
+		{"IT", "Ath", false},
+		{"US", "Rome", false},
+		{"World", "World", true},
+	}
+	for _, c := range cases {
+		if got := cl.IsAncestor(code(c.a), code(c.b)); got != c.want {
+			t.Errorf("IsAncestor(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if cl.IsAncestor(code("Mars"), code("Ath")) || cl.IsAncestor(code("World"), code("Mars")) {
+		t.Errorf("unknown codes are never related")
+	}
+}
+
+func TestAncestorsChainAndDescendants(t *testing.T) {
+	cl := sampleList(t)
+	chain := cl.Ancestors(code("Ath"))
+	want := []string{"Ath", "GR", "EU", "World"}
+	if len(chain) != len(want) {
+		t.Fatalf("chain %v", chain)
+	}
+	for i := range want {
+		if chain[i] != code(want[i]) {
+			t.Errorf("chain[%d] = %v, want %s", i, chain[i], want[i])
+		}
+	}
+	desc := cl.Descendants(code("EU"))
+	if len(desc) != 5 { // GR, Ath, Ioa, IT, Rome
+		t.Errorf("Descendants(EU) = %v", desc)
+	}
+	if cl.Ancestors(code("Mars")) != nil {
+		t.Errorf("Ancestors of unknown code must be nil")
+	}
+}
+
+func TestBreadthFirstOrderRootFirst(t *testing.T) {
+	cl := sampleList(t)
+	codes := cl.Codes()
+	if codes[0] != cl.Root {
+		t.Errorf("root must come first")
+	}
+	last := 0
+	for _, c := range codes {
+		l, _ := cl.Level(c)
+		if l < last {
+			t.Errorf("codes not in breadth-first level order")
+		}
+		last = l
+	}
+	if len(cl.AtLevel(0)) != 1 || len(cl.AtLevel(3)) != 3 {
+		t.Errorf("AtLevel counts: %d, %d", len(cl.AtLevel(0)), len(cl.AtLevel(3)))
+	}
+	if cl.AtLevel(-1) != nil || cl.AtLevel(99) != nil {
+		t.Errorf("AtLevel out of range must be nil")
+	}
+}
+
+func TestSealErrors(t *testing.T) {
+	orphan := New(dim("d"), code("R"))
+	orphan.Add(code("a"), code("missing"))
+	if err := orphan.Seal(); err == nil {
+		t.Errorf("unknown parent must fail")
+	}
+
+	cyc := New(dim("d"), code("R"))
+	cyc.Add(code("a"), code("b"))
+	cyc.Add(code("b"), code("a"))
+	if err := cyc.Seal(); err == nil {
+		t.Errorf("cycle must fail")
+	}
+
+	ok := New(dim("d"), code("R"))
+	ok.Add(code("a"), code("R"))
+	ok.MustSeal()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Add after Seal must panic")
+		}
+	}()
+	ok.Add(code("b"), code("R"))
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	reg := NewRegistry()
+	b := New(dim("b"), code("R1")).MustSeal()
+	a := New(dim("a"), code("R2")).MustSeal()
+	reg.Register(b)
+	reg.Register(a)
+	dims := reg.Dimensions()
+	if len(dims) != 2 || dims[0] != dim("a") {
+		t.Errorf("Dimensions not sorted: %v", dims)
+	}
+	if reg.Get(dim("a")) != a || reg.Get(dim("zz")) != nil {
+		t.Errorf("Get lookup")
+	}
+	if reg.Len() != 2 || reg.TotalCodes() != 2 {
+		t.Errorf("Len/TotalCodes: %d/%d", reg.Len(), reg.TotalCodes())
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(sampleList(t))
+	g := rdf.NewGraph()
+	reg.ToGraph(g)
+
+	// qb:codeList link + SKOS triples must reconstruct the same hierarchy.
+	reg2, err := FromGraph(g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	cl2 := reg2.Get(dim("geo"))
+	if cl2 == nil {
+		t.Fatalf("dimension lost in round trip")
+	}
+	cl := sampleList(t)
+	if cl2.Len() != cl.Len() || cl2.Depth() != cl.Depth() || cl2.Root != cl.Root {
+		t.Fatalf("shape changed: len %d→%d depth %d→%d", cl.Len(), cl2.Len(), cl.Depth(), cl2.Depth())
+	}
+	for _, c := range cl.Codes() {
+		if cl2.Parent(c) != cl.Parent(c) {
+			t.Errorf("parent of %v changed", c)
+		}
+	}
+	// Transitive closure edges must be present for SPARQL paths.
+	if !g.Has(code("Ath"), rdf.NewIRI(rdf.SkosBroaderTrans), code("World")) {
+		t.Errorf("broaderTransitive closure missing")
+	}
+}
+
+func TestFromGraphErrors(t *testing.T) {
+	// Scheme with no top concept.
+	g := rdf.NewGraph()
+	scheme := rdf.NewIRI("http://t/scheme")
+	g.Add(dim("d"), rdf.NewIRI("http://purl.org/linked-data/cube#codeList"), scheme)
+	if _, err := FromGraph(g); err == nil {
+		t.Errorf("no top concept must fail")
+	}
+	// Two top concepts.
+	g.Add(scheme, rdf.NewIRI(rdf.SkosHasTopConcept), code("r1"))
+	g.Add(scheme, rdf.NewIRI(rdf.SkosHasTopConcept), code("r2"))
+	if _, err := FromGraph(g); err == nil {
+		t.Errorf("two top concepts must fail")
+	}
+}
+
+// TestQuickAncestryConsistent checks IsAncestor against the Ancestors chain
+// on random trees.
+func TestQuickAncestryConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cl := New(dim("d"), code("root"))
+		nodes := []rdf.Term{code("root")}
+		for i := 0; i < 25; i++ {
+			c := rdf.NewInteger(int64(i))
+			cl.Add(c, nodes[r.Intn(len(nodes))])
+			nodes = append(nodes, c)
+		}
+		if err := cl.Seal(); err != nil {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			a := nodes[r.Intn(len(nodes))]
+			b := nodes[r.Intn(len(nodes))]
+			inChain := false
+			for _, anc := range cl.Ancestors(b) {
+				if anc == a {
+					inChain = true
+					break
+				}
+			}
+			if cl.IsAncestor(a, b) != inChain {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCADistanceSimilarity(t *testing.T) {
+	cl := sampleList(t)
+	cases := []struct {
+		a, b, lca string
+		dist      int
+	}{
+		{"Ath", "Ioa", "GR", 2},
+		{"Ath", "Rome", "EU", 4},
+		{"Ath", "US", "World", 5},
+		{"Ath", "GR", "GR", 1},
+		{"Ath", "Ath", "Ath", 0},
+		{"World", "Ath", "World", 3},
+	}
+	for _, c := range cases {
+		if got := cl.LCA(code(c.a), code(c.b)); got != code(c.lca) {
+			t.Errorf("LCA(%s, %s) = %v, want %s", c.a, c.b, got, c.lca)
+		}
+		if got := cl.Distance(code(c.a), code(c.b)); got != c.dist {
+			t.Errorf("Distance(%s, %s) = %d, want %d", c.a, c.b, got, c.dist)
+		}
+	}
+	if cl.Distance(code("Ath"), code("Mars")) != -1 {
+		t.Errorf("unknown code distance must be -1")
+	}
+	if cl.Similarity(code("Ath"), code("Ath")) != 1 {
+		t.Errorf("self-similarity must be 1")
+	}
+	s1 := cl.Similarity(code("Ath"), code("Ioa"))
+	s2 := cl.Similarity(code("Ath"), code("Rome"))
+	if s1 <= s2 {
+		t.Errorf("sibling similarity (%v) must exceed cousin similarity (%v)", s1, s2)
+	}
+	if cl.Similarity(code("Ath"), code("Mars")) != 0 {
+		t.Errorf("unknown code similarity must be 0")
+	}
+}
+
+func TestLCASymmetry(t *testing.T) {
+	cl := sampleList(t)
+	codes := cl.Codes()
+	for _, a := range codes {
+		for _, b := range codes {
+			if cl.LCA(a, b) != cl.LCA(b, a) {
+				t.Fatalf("LCA not symmetric for %v, %v", a, b)
+			}
+			if cl.Distance(a, b) != cl.Distance(b, a) {
+				t.Fatalf("Distance not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/rdf"
+)
+
+// Registry maps dimension property IRIs to their code lists. It is the
+// "hash table levels" of Algorithm 4: value-to-level lookups in constant
+// time, per dimension.
+type Registry struct {
+	lists map[rdf.Term]*CodeList
+	dims  []rdf.Term
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{lists: map[rdf.Term]*CodeList{}}
+}
+
+// Register adds (or replaces) the code list for its dimension.
+func (r *Registry) Register(cl *CodeList) {
+	if _, ok := r.lists[cl.Dimension]; !ok {
+		r.dims = append(r.dims, cl.Dimension)
+		sort.Slice(r.dims, func(i, j int) bool { return r.dims[i].Compare(r.dims[j]) < 0 })
+	}
+	r.lists[cl.Dimension] = cl
+}
+
+// Get returns the code list for a dimension, or nil when unknown.
+func (r *Registry) Get(dimension rdf.Term) *CodeList { return r.lists[dimension] }
+
+// Dimensions returns every registered dimension in deterministic order.
+// The slice is shared; callers must not modify it.
+func (r *Registry) Dimensions() []rdf.Term { return r.dims }
+
+// Len returns the number of registered dimensions.
+func (r *Registry) Len() int { return len(r.dims) }
+
+// TotalCodes returns the number of codes across all code lists.
+func (r *Registry) TotalCodes() int {
+	n := 0
+	for _, cl := range r.lists {
+		n += cl.Len()
+	}
+	return n
+}
+
+// FromGraph builds code lists from SKOS triples in g. For every dimension
+// property d with a qb:codeList link to a skos:ConceptScheme, the scheme's
+// skos:hasTopConcept member becomes the root and skos:broader edges become
+// parent links. Narrower-only hierarchies (skos:narrower) are inverted.
+//
+// Schemes with several top concepts are rejected: the paper's model
+// (Definition 2) requires a single c_root per dimension.
+func FromGraph(g *rdf.Graph) (*Registry, error) {
+	reg := NewRegistry()
+	qbCodeList := rdf.NewIRI("http://purl.org/linked-data/cube#codeList")
+	typeT := rdf.NewIRI(rdf.RDFType)
+
+	// dimension -> scheme
+	var links []rdf.Triple
+	g.Match(rdf.Term{}, qbCodeList, rdf.Term{}, func(t rdf.Triple) bool {
+		links = append(links, t)
+		return true
+	})
+	sort.Slice(links, func(i, j int) bool { return links[i].Compare(links[j]) < 0 })
+
+	for _, link := range links {
+		dim, scheme := link.S, link.O
+		tops := g.Subjects(rdf.NewIRI(rdf.SkosTopConceptOf), scheme)
+		if hts := g.Objects(scheme, rdf.NewIRI(rdf.SkosHasTopConcept)); len(hts) > 0 {
+			tops = mergeTerms(tops, hts)
+		}
+		if len(tops) == 0 {
+			return nil, fmt.Errorf("hierarchy: scheme %s has no top concept", scheme)
+		}
+		if len(tops) > 1 {
+			return nil, fmt.Errorf("hierarchy: scheme %s has %d top concepts, want 1", scheme, len(tops))
+		}
+		cl := New(dim, tops[0])
+
+		// Collect scheme members.
+		members := map[rdf.Term]bool{tops[0]: true}
+		g.Match(rdf.Term{}, rdf.NewIRI(rdf.SkosInScheme), scheme, func(t rdf.Triple) bool {
+			members[t.S] = true
+			return true
+		})
+		// broader edges among members
+		g.Match(rdf.Term{}, rdf.NewIRI(rdf.SkosBroader), rdf.Term{}, func(t rdf.Triple) bool {
+			if members[t.S] || members[t.O] {
+				members[t.S], members[t.O] = true, true
+				cl.Add(t.S, t.O)
+			}
+			return true
+		})
+		// narrower edges, inverted
+		g.Match(rdf.Term{}, rdf.NewIRI(rdf.SkosNarrower), rdf.Term{}, func(t rdf.Triple) bool {
+			if members[t.S] || members[t.O] {
+				members[t.S], members[t.O] = true, true
+				cl.Add(t.O, t.S)
+			}
+			return true
+		})
+		_ = typeT
+		if err := cl.Seal(); err != nil {
+			return nil, fmt.Errorf("hierarchy: dimension %s: %w", dim, err)
+		}
+		reg.Register(cl)
+	}
+	return reg, nil
+}
+
+func mergeTerms(a, b []rdf.Term) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, t := range append(append([]rdf.Term{}, a...), b...) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// ToGraph emits the registry as SKOS triples into g: one ConceptScheme per
+// dimension (IRI = dimension IRI + "/scheme"), hasTopConcept, inScheme and
+// broader links, plus skos:broaderTransitive closure edges so that SPARQL
+// property-path queries matching the paper's can run against the output.
+func (r *Registry) ToGraph(g *rdf.Graph) {
+	qbCodeList := rdf.NewIRI("http://purl.org/linked-data/cube#codeList")
+	typeT := rdf.NewIRI(rdf.RDFType)
+	for _, dim := range r.dims {
+		cl := r.lists[dim]
+		scheme := rdf.NewIRI(dim.Value + "/scheme")
+		g.Add(scheme, typeT, rdf.NewIRI(rdf.SkosConceptScheme))
+		g.Add(dim, qbCodeList, scheme)
+		g.Add(scheme, rdf.NewIRI(rdf.SkosHasTopConcept), cl.Root)
+		g.Add(cl.Root, rdf.NewIRI(rdf.SkosTopConceptOf), scheme)
+		for _, c := range cl.Codes() {
+			g.Add(c, typeT, rdf.NewIRI(rdf.SkosConcept))
+			g.Add(c, rdf.NewIRI(rdf.SkosInScheme), scheme)
+			if c == cl.Root {
+				continue
+			}
+			g.Add(c, rdf.NewIRI(rdf.SkosBroader), cl.Parent(c))
+			for _, anc := range cl.Ancestors(c)[1:] {
+				g.Add(c, rdf.NewIRI(rdf.SkosBroaderTrans), anc)
+			}
+		}
+	}
+}

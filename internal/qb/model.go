@@ -1,0 +1,241 @@
+package qb
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/hierarchy"
+	"rdfcube/internal/rdf"
+)
+
+// Schema is the structural part of a dataset (Definition 1: S_i = {P_i, M_i}).
+// Dimension and measure orders are deterministic (sorted by IRI).
+type Schema struct {
+	// Dimensions are the dimension property IRIs, sorted.
+	Dimensions []rdf.Term
+	// Measures are the measure property IRIs, sorted.
+	Measures []rdf.Term
+	// Attributes are non-dimension, non-measure component properties, sorted.
+	Attributes []rdf.Term
+
+	dimIndex map[rdf.Term]int
+	meaIndex map[rdf.Term]int
+}
+
+// NewSchema builds a schema from dimension and measure property terms.
+func NewSchema(dimensions, measures []rdf.Term) *Schema {
+	s := &Schema{
+		Dimensions: sortedCopy(dimensions),
+		Measures:   sortedCopy(measures),
+	}
+	s.reindex()
+	return s
+}
+
+func (s *Schema) reindex() {
+	s.dimIndex = make(map[rdf.Term]int, len(s.Dimensions))
+	for i, d := range s.Dimensions {
+		s.dimIndex[d] = i
+	}
+	s.meaIndex = make(map[rdf.Term]int, len(s.Measures))
+	for i, m := range s.Measures {
+		s.meaIndex[m] = i
+	}
+}
+
+// DimIndex returns the position of dimension d in the schema, or -1.
+func (s *Schema) DimIndex(d rdf.Term) int {
+	if i, ok := s.dimIndex[d]; ok {
+		return i
+	}
+	return -1
+}
+
+// MeasureIndex returns the position of measure m in the schema, or -1.
+func (s *Schema) MeasureIndex(m rdf.Term) int {
+	if i, ok := s.meaIndex[m]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasDimension reports whether d is a dimension of the schema.
+func (s *Schema) HasDimension(d rdf.Term) bool { _, ok := s.dimIndex[d]; return ok }
+
+// HasMeasure reports whether m is a measure of the schema.
+func (s *Schema) HasMeasure(m rdf.Term) bool { _, ok := s.meaIndex[m]; return ok }
+
+// SharesMeasure reports whether the two schemas share at least one measure
+// property — condition (3) of Definition 4.
+func (s *Schema) SharesMeasure(t *Schema) bool {
+	for _, m := range s.Measures {
+		if t.HasMeasure(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Observation is a data point: one value per schema dimension and per
+// schema measure, stored positionally against its dataset's schema.
+type Observation struct {
+	// URI identifies the observation.
+	URI rdf.Term
+	// Dataset is the owning dataset.
+	Dataset *Dataset
+	// DimValues holds the dimension values aligned with
+	// Dataset.Schema.Dimensions.
+	DimValues []rdf.Term
+	// MeasureValues holds the measured values (literals) aligned with
+	// Dataset.Schema.Measures.
+	MeasureValues []rdf.Term
+}
+
+// Value returns the value of dimension d, or the zero Term when d is not in
+// the observation's schema.
+func (o *Observation) Value(d rdf.Term) rdf.Term {
+	if i := o.Dataset.Schema.DimIndex(d); i >= 0 {
+		return o.DimValues[i]
+	}
+	return rdf.Term{}
+}
+
+// Measure returns the value of measure m, or the zero Term when m is not in
+// the observation's schema.
+func (o *Observation) Measure(m rdf.Term) rdf.Term {
+	if i := o.Dataset.Schema.MeasureIndex(m); i >= 0 {
+		return o.MeasureValues[i]
+	}
+	return rdf.Term{}
+}
+
+// Dataset is a QB dataset: a schema plus its observations (Definition 1).
+type Dataset struct {
+	// URI identifies the dataset.
+	URI rdf.Term
+	// Schema is the dataset's structure definition.
+	Schema *Schema
+	// Observations are the dataset's data points.
+	Observations []*Observation
+}
+
+// AddObservation appends an observation with the given URI and values.
+// dimValues and measureValues must align with the schema's sorted orders.
+func (d *Dataset) AddObservation(uri rdf.Term, dimValues, measureValues []rdf.Term) (*Observation, error) {
+	if len(dimValues) != len(d.Schema.Dimensions) {
+		return nil, fmt.Errorf("qb: observation %s has %d dimension values, schema wants %d",
+			uri, len(dimValues), len(d.Schema.Dimensions))
+	}
+	if len(measureValues) != len(d.Schema.Measures) {
+		return nil, fmt.Errorf("qb: observation %s has %d measure values, schema wants %d",
+			uri, len(measureValues), len(d.Schema.Measures))
+	}
+	o := &Observation{URI: uri, Dataset: d, DimValues: dimValues, MeasureValues: measureValues}
+	d.Observations = append(d.Observations, o)
+	return o, nil
+}
+
+// Corpus is the full problem input: the datasets D = {D_1 … D_n} plus the
+// shared code-list registry that interprets their dimension values.
+type Corpus struct {
+	// Datasets are the input datasets in deterministic order.
+	Datasets []*Dataset
+	// Hierarchies holds one code list per dimension property.
+	Hierarchies *hierarchy.Registry
+}
+
+// NewCorpus returns an empty corpus backed by reg.
+func NewCorpus(reg *hierarchy.Registry) *Corpus {
+	if reg == nil {
+		reg = hierarchy.NewRegistry()
+	}
+	return &Corpus{Hierarchies: reg}
+}
+
+// AddDataset appends ds to the corpus.
+func (c *Corpus) AddDataset(ds *Dataset) { c.Datasets = append(c.Datasets, ds) }
+
+// Observations returns every observation of every dataset, in dataset order.
+func (c *Corpus) Observations() []*Observation {
+	var out []*Observation
+	for _, d := range c.Datasets {
+		out = append(out, d.Observations...)
+	}
+	return out
+}
+
+// NumObservations returns the total observation count.
+func (c *Corpus) NumObservations() int {
+	n := 0
+	for _, d := range c.Datasets {
+		n += len(d.Observations)
+	}
+	return n
+}
+
+// AllDimensions returns the union P of dimension properties across all
+// dataset schemas, sorted.
+func (c *Corpus) AllDimensions() []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, d := range c.Datasets {
+		for _, p := range d.Schema.Dimensions {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// AllMeasures returns the union M of measure properties, sorted.
+func (c *Corpus) AllMeasures() []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, d := range c.Datasets {
+		for _, m := range d.Schema.Measures {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Validate checks corpus integrity: every dimension has a sealed code list,
+// every observation value belongs to its dimension's code list, and
+// observation URIs are unique. It returns the first problem found.
+func (c *Corpus) Validate() error {
+	uris := map[rdf.Term]bool{}
+	for _, d := range c.Datasets {
+		for _, p := range d.Schema.Dimensions {
+			if c.Hierarchies.Get(p) == nil {
+				return fmt.Errorf("qb: dataset %s: dimension %s has no code list", d.URI, p)
+			}
+		}
+		for _, o := range d.Observations {
+			if uris[o.URI] {
+				return fmt.Errorf("qb: duplicate observation URI %s", o.URI)
+			}
+			uris[o.URI] = true
+			for i, p := range d.Schema.Dimensions {
+				cl := c.Hierarchies.Get(p)
+				if !cl.Has(o.DimValues[i]) {
+					return fmt.Errorf("qb: observation %s: value %s not in code list of %s",
+						o.URI, o.DimValues[i], p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedCopy(ts []rdf.Term) []rdf.Term {
+	out := append([]rdf.Term{}, ts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

@@ -1,0 +1,134 @@
+package qb
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/hierarchy"
+	"rdfcube/internal/rdf"
+)
+
+// ParseGraph extracts a Corpus from an RDF graph containing QB datasets,
+// their data structure definitions and SKOS code lists.
+//
+// An observation that omits one of its schema's dimensions receives the
+// dimension's code-list root value — the paper's convention that "absence
+// of the dimension implies existence of the root value c_jroot".
+func ParseGraph(g *rdf.Graph) (*Corpus, error) {
+	reg, err := hierarchy.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	corpus := NewCorpus(reg)
+
+	dsURIs := g.Subjects(TypeTerm, DataSetTerm)
+	if len(dsURIs) == 0 {
+		return nil, fmt.Errorf("qb: graph contains no qb:DataSet")
+	}
+	for _, dsURI := range dsURIs {
+		ds, err := parseDataset(g, dsURI, reg)
+		if err != nil {
+			return nil, err
+		}
+		corpus.AddDataset(ds)
+	}
+	return corpus, nil
+}
+
+func parseDataset(g *rdf.Graph, dsURI rdf.Term, reg *hierarchy.Registry) (*Dataset, error) {
+	dsd := g.Object(dsURI, StructureTerm)
+	if dsd.IsZero() {
+		return nil, fmt.Errorf("qb: dataset %s has no qb:structure", dsURI)
+	}
+	var dims, measures, attrs []rdf.Term
+	for _, comp := range g.Objects(dsd, ComponentTerm) {
+		if d := g.Object(comp, DimensionTerm); !d.IsZero() {
+			dims = append(dims, d)
+		}
+		if m := g.Object(comp, MeasureTerm); !m.IsZero() {
+			measures = append(measures, m)
+		}
+		if a := g.Object(comp, AttributeTerm); !a.IsZero() {
+			attrs = append(attrs, a)
+		}
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("qb: dataset %s has no dimension components", dsURI)
+	}
+	if len(measures) == 0 {
+		return nil, fmt.Errorf("qb: dataset %s has no measure components", dsURI)
+	}
+	schema := NewSchema(dims, measures)
+	schema.Attributes = sortedCopy(attrs)
+	ds := &Dataset{URI: dsURI, Schema: schema}
+
+	obsURIs := g.Subjects(DataSetPropTerm, dsURI)
+	sort.Slice(obsURIs, func(i, j int) bool { return obsURIs[i].Compare(obsURIs[j]) < 0 })
+	for _, ou := range obsURIs {
+		dimVals := make([]rdf.Term, len(schema.Dimensions))
+		for i, p := range schema.Dimensions {
+			v := g.Object(ou, p)
+			if v.IsZero() {
+				cl := reg.Get(p)
+				if cl == nil {
+					return nil, fmt.Errorf("qb: observation %s misses dimension %s and no code list supplies a root", ou, p)
+				}
+				v = cl.Root
+			}
+			dimVals[i] = v
+		}
+		meaVals := make([]rdf.Term, len(schema.Measures))
+		for i, m := range schema.Measures {
+			meaVals[i] = g.Object(ou, m)
+		}
+		if _, err := ds.AddObservation(ou, dimVals, meaVals); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// ExportGraph serializes the corpus (datasets, DSDs, observations and code
+// lists with their transitive-closure edges) into a fresh RDF graph. The
+// output is what the SPARQL- and rule-based comparators consume, matching
+// the shape of the paper's published inputs.
+func ExportGraph(c *Corpus) *rdf.Graph {
+	g := rdf.NewGraph()
+	c.Hierarchies.ToGraph(g)
+	for di, ds := range c.Datasets {
+		dsd := rdf.NewIRI(ds.URI.Value + "/structure")
+		g.Add(ds.URI, TypeTerm, DataSetTerm)
+		g.Add(ds.URI, StructureTerm, dsd)
+		g.Add(dsd, TypeTerm, DSDTerm)
+		for ci, p := range ds.Schema.Dimensions {
+			comp := rdf.NewBlank(fmt.Sprintf("d%dc%d", di, ci))
+			g.Add(dsd, ComponentTerm, comp)
+			g.Add(comp, DimensionTerm, p)
+			g.Add(p, TypeTerm, rdf.NewIRI(DimensionPropClass))
+		}
+		for ci, m := range ds.Schema.Measures {
+			comp := rdf.NewBlank(fmt.Sprintf("d%dm%d", di, ci))
+			g.Add(dsd, ComponentTerm, comp)
+			g.Add(comp, MeasureTerm, m)
+			g.Add(m, TypeTerm, rdf.NewIRI(MeasurePropClass))
+		}
+		for ci, a := range ds.Schema.Attributes {
+			comp := rdf.NewBlank(fmt.Sprintf("d%da%d", di, ci))
+			g.Add(dsd, ComponentTerm, comp)
+			g.Add(comp, AttributeTerm, a)
+		}
+		for _, o := range ds.Observations {
+			g.Add(o.URI, TypeTerm, ObservationTerm)
+			g.Add(o.URI, DataSetPropTerm, ds.URI)
+			for i, p := range ds.Schema.Dimensions {
+				g.Add(o.URI, p, o.DimValues[i])
+			}
+			for i, m := range ds.Schema.Measures {
+				if !o.MeasureValues[i].IsZero() {
+					g.Add(o.URI, m, o.MeasureValues[i])
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,229 @@
+package qb
+
+import (
+	"strings"
+	"testing"
+
+	"rdfcube/internal/hierarchy"
+	"rdfcube/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://t/" + s) }
+
+func smallRegistry() *hierarchy.Registry {
+	reg := hierarchy.NewRegistry()
+	geo := hierarchy.New(iri("dim/geo"), iri("code/World"))
+	geo.Add(iri("code/GR"), iri("code/World"))
+	geo.Add(iri("code/Ath"), iri("code/GR"))
+	reg.Register(geo.MustSeal())
+	year := hierarchy.New(iri("dim/year"), iri("code/ALL"))
+	year.Add(iri("code/Y15"), iri("code/ALL"))
+	reg.Register(year.MustSeal())
+	return reg
+}
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus(smallRegistry())
+	ds := &Dataset{
+		URI:    iri("ds/1"),
+		Schema: NewSchema([]rdf.Term{iri("dim/geo"), iri("dim/year")}, []rdf.Term{iri("m/pop")}),
+	}
+	if _, err := ds.AddObservation(iri("obs/1"),
+		[]rdf.Term{iri("code/GR"), iri("code/Y15")}, []rdf.Term{rdf.NewInteger(11)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.AddObservation(iri("obs/2"),
+		[]rdf.Term{iri("code/Ath"), iri("code/Y15")}, []rdf.Term{rdf.NewInteger(3)}); err != nil {
+		t.Fatal(err)
+	}
+	c.AddDataset(ds)
+	return c
+}
+
+func TestSchemaIndexes(t *testing.T) {
+	s := NewSchema([]rdf.Term{iri("dim/b"), iri("dim/a")}, []rdf.Term{iri("m/y"), iri("m/x")})
+	if s.Dimensions[0] != iri("dim/a") {
+		t.Errorf("dimensions not sorted")
+	}
+	if s.DimIndex(iri("dim/b")) != 1 || s.DimIndex(iri("dim/z")) != -1 {
+		t.Errorf("DimIndex")
+	}
+	if s.MeasureIndex(iri("m/x")) != 0 || s.MeasureIndex(iri("m/q")) != -1 {
+		t.Errorf("MeasureIndex")
+	}
+	if !s.HasDimension(iri("dim/a")) || s.HasMeasure(iri("dim/a")) {
+		t.Errorf("Has predicates")
+	}
+	other := NewSchema([]rdf.Term{iri("dim/a")}, []rdf.Term{iri("m/x")})
+	if !s.SharesMeasure(other) {
+		t.Errorf("SharesMeasure positive")
+	}
+	third := NewSchema([]rdf.Term{iri("dim/a")}, []rdf.Term{iri("m/zzz")})
+	if s.SharesMeasure(third) {
+		t.Errorf("SharesMeasure negative")
+	}
+}
+
+func TestObservationAccessors(t *testing.T) {
+	c := smallCorpus(t)
+	o := c.Datasets[0].Observations[0]
+	if o.Value(iri("dim/geo")) != iri("code/GR") {
+		t.Errorf("Value")
+	}
+	if !o.Value(iri("dim/none")).IsZero() {
+		t.Errorf("Value of unknown dim must be zero")
+	}
+	if o.Measure(iri("m/pop")).Value != "11" {
+		t.Errorf("Measure")
+	}
+}
+
+func TestAddObservationArityErrors(t *testing.T) {
+	c := smallCorpus(t)
+	ds := c.Datasets[0]
+	if _, err := ds.AddObservation(iri("obs/bad"), []rdf.Term{iri("code/GR")}, []rdf.Term{rdf.NewInteger(1)}); err == nil {
+		t.Errorf("short dimension vector must fail")
+	}
+	if _, err := ds.AddObservation(iri("obs/bad"), []rdf.Term{iri("code/GR"), iri("code/Y15")}, nil); err == nil {
+		t.Errorf("short measure vector must fail")
+	}
+}
+
+func TestCorpusAggregates(t *testing.T) {
+	c := smallCorpus(t)
+	if c.NumObservations() != 2 || len(c.Observations()) != 2 {
+		t.Errorf("observation counts")
+	}
+	if len(c.AllDimensions()) != 2 || len(c.AllMeasures()) != 1 {
+		t.Errorf("unions")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	c := smallCorpus(t)
+	ds := c.Datasets[0]
+	// Duplicate URI.
+	if _, err := ds.AddObservation(iri("obs/1"),
+		[]rdf.Term{iri("code/GR"), iri("code/Y15")}, []rdf.Term{rdf.NewInteger(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate URI not caught: %v", err)
+	}
+	ds.Observations = ds.Observations[:2]
+
+	// Value outside code list.
+	if _, err := ds.AddObservation(iri("obs/3"),
+		[]rdf.Term{iri("code/Mars"), iri("code/Y15")}, []rdf.Term{rdf.NewInteger(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "not in code list") {
+		t.Errorf("foreign value not caught: %v", err)
+	}
+	ds.Observations = ds.Observations[:2]
+
+	// Dimension without code list.
+	c2 := NewCorpus(hierarchy.NewRegistry())
+	c2.AddDataset(&Dataset{URI: iri("ds/2"),
+		Schema: NewSchema([]rdf.Term{iri("dim/geo")}, []rdf.Term{iri("m/pop")})})
+	if err := c2.Validate(); err == nil || !strings.Contains(err.Error(), "no code list") {
+		t.Errorf("missing code list not caught: %v", err)
+	}
+}
+
+func TestExportParseRoundTrip(t *testing.T) {
+	c := smallCorpus(t)
+	g := ExportGraph(c)
+	c2, err := ParseGraph(g)
+	if err != nil {
+		t.Fatalf("ParseGraph: %v", err)
+	}
+	if len(c2.Datasets) != 1 {
+		t.Fatalf("dataset count %d", len(c2.Datasets))
+	}
+	ds, ds2 := c.Datasets[0], c2.Datasets[0]
+	if len(ds2.Observations) != len(ds.Observations) {
+		t.Fatalf("observation count %d → %d", len(ds.Observations), len(ds2.Observations))
+	}
+	if len(ds2.Schema.Dimensions) != 2 || len(ds2.Schema.Measures) != 1 {
+		t.Errorf("schema changed: %v", ds2.Schema)
+	}
+	for i, o := range ds.Observations {
+		o2 := ds2.Observations[i]
+		if o2.URI != o.URI {
+			t.Errorf("obs %d URI %v → %v", i, o.URI, o2.URI)
+		}
+		for d, v := range o.DimValues {
+			if o2.DimValues[d] != v {
+				t.Errorf("obs %d dim %d: %v → %v", i, d, v, o2.DimValues[d])
+			}
+		}
+		for m, v := range o.MeasureValues {
+			if o2.MeasureValues[m] != v {
+				t.Errorf("obs %d measure %d changed", i, m)
+			}
+		}
+	}
+	if err := c2.Validate(); err != nil {
+		t.Errorf("round-tripped corpus invalid: %v", err)
+	}
+}
+
+func TestParseAppliesRootDefault(t *testing.T) {
+	c := smallCorpus(t)
+	g := ExportGraph(c)
+	// Add an observation missing the year dimension: the parser must
+	// complete it with the code-list root (the paper's convention).
+	obs := iri("obs/partial")
+	g.Add(obs, TypeTerm, ObservationTerm)
+	g.Add(obs, DataSetPropTerm, iri("ds/1"))
+	g.Add(obs, iri("dim/geo"), iri("code/GR"))
+	g.Add(obs, iri("m/pop"), rdf.NewInteger(7))
+	c2, err := ParseGraph(g)
+	if err != nil {
+		t.Fatalf("ParseGraph: %v", err)
+	}
+	var found *Observation
+	for _, o := range c2.Datasets[0].Observations {
+		if o.URI == obs {
+			found = o
+		}
+	}
+	if found == nil {
+		t.Fatalf("partial observation lost")
+	}
+	if found.Value(iri("dim/year")) != iri("code/ALL") {
+		t.Errorf("missing dimension must default to root, got %v", found.Value(iri("dim/year")))
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	// Empty graph.
+	if _, err := ParseGraph(rdf.NewGraph()); err == nil {
+		t.Errorf("no datasets must fail")
+	}
+	// Dataset without structure.
+	g := rdf.NewGraph()
+	g.Add(iri("ds/x"), TypeTerm, DataSetTerm)
+	if _, err := ParseGraph(g); err == nil {
+		t.Errorf("missing structure must fail")
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	c := smallCorpus(t)
+	c.Datasets[0].Schema.Attributes = []rdf.Term{iri("attr/unitMeasure")}
+	g := ExportGraph(c)
+	c2, err := ParseGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := c2.Datasets[0].Schema.Attributes
+	if len(attrs) != 1 || attrs[0] != iri("attr/unitMeasure") {
+		t.Errorf("attributes lost in round trip: %v", attrs)
+	}
+}

@@ -1,0 +1,57 @@
+package qb
+
+import "rdfcube/internal/rdf"
+
+// QBRVocabulary returns the RDF definition of the qbr: relationship
+// vocabulary — the QB extension the authors introduced at SemStats'14 for
+// publishing containment and complementarity links between observations.
+// cmd/cubrel emits it alongside relationship exports so downstream
+// consumers can dereference the terms.
+func QBRVocabulary() *rdf.Graph {
+	g := rdf.NewGraph()
+	owlObjectProperty := rdf.NewIRI("http://www.w3.org/2002/07/owl#ObjectProperty")
+	owlDatatypeProperty := rdf.NewIRI("http://www.w3.org/2002/07/owl#DatatypeProperty")
+	owlTransitive := rdf.NewIRI("http://www.w3.org/2002/07/owl#TransitiveProperty")
+	owlSymmetric := rdf.NewIRI("http://www.w3.org/2002/07/owl#SymmetricProperty")
+	rdfsComment := rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#comment")
+	rdfsLabel := rdf.NewIRI(rdf.RDFSLabel)
+	rdfsDomain := rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#domain")
+	rdfsRange := rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#range")
+	obs := rdf.NewIRI(ObservationClass)
+	typeT := rdf.NewIRI(rdf.RDFType)
+
+	def := func(prop string, label, comment string, extraTypes ...rdf.Term) rdf.Term {
+		p := rdf.NewIRI(prop)
+		g.Add(p, typeT, owlObjectProperty)
+		for _, t := range extraTypes {
+			g.Add(p, typeT, t)
+		}
+		g.Add(p, rdfsLabel, rdf.NewLangLiteral(label, "en"))
+		g.Add(p, rdfsComment, rdf.NewLangLiteral(comment, "en"))
+		g.Add(p, rdfsDomain, obs)
+		g.Add(p, rdfsRange, obs)
+		return p
+	}
+
+	def(ContainsProp, "fully contains",
+		"The subject observation shares a measure with the object and its value is a hierarchical ancestor of the object's on every dimension.",
+		owlTransitive)
+	def(PartiallyContainsProp, "partially contains",
+		"The subject observation shares a measure with the object and its value is a hierarchical ancestor of the object's on at least one, but not every, dimension.")
+	def(ComplementsProp, "complements",
+		"The subject and object observations carry identical dimension values (absent dimensions at the code-list root) and can be combined into one data point.",
+		owlSymmetric)
+
+	deg := rdf.NewIRI(ContainmentDegreeProp)
+	g.Add(deg, typeT, owlDatatypeProperty)
+	g.Add(deg, rdfsLabel, rdf.NewLangLiteral("containment degree", "en"))
+	g.Add(deg, rdfsComment, rdf.NewLangLiteral(
+		"The fraction of dimensions on which a partially containing pair exhibits containment, in (0, 1).", "en"))
+
+	for _, local := range []string{"source", "target"} {
+		p := rdf.NewIRI(QBRNS + local)
+		g.Add(p, typeT, owlObjectProperty)
+		g.Add(p, rdfsRange, obs)
+	}
+	return g
+}

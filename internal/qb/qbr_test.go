@@ -1,0 +1,27 @@
+package qb
+
+import (
+	"testing"
+
+	"rdfcube/internal/rdf"
+)
+
+func TestQBRVocabulary(t *testing.T) {
+	g := QBRVocabulary()
+	typeT := rdf.NewIRI(rdf.RDFType)
+	objProp := rdf.NewIRI("http://www.w3.org/2002/07/owl#ObjectProperty")
+	for _, p := range []string{ContainsProp, PartiallyContainsProp, ComplementsProp} {
+		if !g.Has(rdf.NewIRI(p), typeT, objProp) {
+			t.Errorf("%s must be an owl:ObjectProperty", p)
+		}
+	}
+	if !g.Has(rdf.NewIRI(ContainsProp), typeT, rdf.NewIRI("http://www.w3.org/2002/07/owl#TransitiveProperty")) {
+		t.Errorf("qbr:contains must be transitive")
+	}
+	if !g.Has(rdf.NewIRI(ComplementsProp), typeT, rdf.NewIRI("http://www.w3.org/2002/07/owl#SymmetricProperty")) {
+		t.Errorf("qbr:complements must be symmetric")
+	}
+	if g.Count(rdf.Term{}, rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#comment"), rdf.Term{}) < 4 {
+		t.Errorf("every property needs a comment")
+	}
+}

@@ -1,0 +1,139 @@
+package qb
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/rdf"
+)
+
+// QB slice vocabulary IRIs.
+const (
+	SliceClass        = NS + "Slice"
+	SliceKeyClass     = NS + "SliceKey"
+	SliceProp         = NS + "slice"
+	SliceStructure    = NS + "sliceStructure"
+	SliceObservation  = NS + "observation"
+	ComponentProperty = NS + "componentProperty"
+)
+
+// Slice is a qb:Slice: the subset of a dataset's observations that share
+// fixed values on a subset of the dimensions, leaving the rest free.
+type Slice struct {
+	// URI identifies the slice.
+	URI rdf.Term
+	// FixedDims are the dimensions the slice pins, sorted.
+	FixedDims []rdf.Term
+	// FixedValues align with FixedDims.
+	FixedValues []rdf.Term
+	// Observations are the member observations.
+	Observations []*Observation
+}
+
+// Value returns the fixed value of dimension d, or the zero Term.
+func (sl *Slice) Value(d rdf.Term) rdf.Term {
+	for i, fd := range sl.FixedDims {
+		if fd == d {
+			return sl.FixedValues[i]
+		}
+	}
+	return rdf.Term{}
+}
+
+// SliceBy materializes the slice of ds that fixes the given dimension
+// values: every observation matching all fixed values becomes a member.
+// The slice URI is derived from the dataset URI and the fixed values.
+func SliceBy(ds *Dataset, dims []rdf.Term, values []rdf.Term) (*Slice, error) {
+	if len(dims) != len(values) {
+		return nil, fmt.Errorf("qb: SliceBy needs matching dims and values")
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("qb: SliceBy needs at least one fixed dimension")
+	}
+	order := make([]int, len(dims))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dims[order[a]].Compare(dims[order[b]]) < 0 })
+	sl := &Slice{}
+	uri := ds.URI.Value + "/slice"
+	for _, i := range order {
+		d := dims[i]
+		if ds.Schema.DimIndex(d) < 0 {
+			return nil, fmt.Errorf("qb: SliceBy: %s is not a dimension of %s", d, ds.URI)
+		}
+		sl.FixedDims = append(sl.FixedDims, d)
+		sl.FixedValues = append(sl.FixedValues, values[i])
+		uri += "/" + values[i].Local()
+	}
+	sl.URI = rdf.NewIRI(uri)
+	for _, o := range ds.Observations {
+		match := true
+		for i, d := range sl.FixedDims {
+			if o.Value(d) != sl.FixedValues[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			sl.Observations = append(sl.Observations, o)
+		}
+	}
+	return sl, nil
+}
+
+// ExportSlice emits the slice as qb:Slice triples into g: the slice key
+// (one per fixed dimension set), the fixed values and the qb:observation
+// membership links. The owning dataset must already be exported.
+func ExportSlice(g *rdf.Graph, ds *Dataset, sl *Slice) {
+	typeT := TypeTerm
+	g.Add(ds.URI, rdf.NewIRI(SliceProp), sl.URI)
+	g.Add(sl.URI, typeT, rdf.NewIRI(SliceClass))
+	key := rdf.NewIRI(sl.URI.Value + "/key")
+	g.Add(sl.URI, rdf.NewIRI(SliceStructure), key)
+	g.Add(key, typeT, rdf.NewIRI(SliceKeyClass))
+	for i, d := range sl.FixedDims {
+		g.Add(key, rdf.NewIRI(ComponentProperty), d)
+		g.Add(sl.URI, d, sl.FixedValues[i])
+	}
+	for _, o := range sl.Observations {
+		g.Add(sl.URI, rdf.NewIRI(SliceObservation), o.URI)
+	}
+}
+
+// ParseSlices extracts the slices of a parsed dataset from g. Observations
+// are resolved against the dataset's parsed observation list; membership
+// links to unknown observations are an error.
+func ParseSlices(g *rdf.Graph, ds *Dataset) ([]*Slice, error) {
+	byURI := make(map[rdf.Term]*Observation, len(ds.Observations))
+	for _, o := range ds.Observations {
+		byURI[o.URI] = o
+	}
+	var out []*Slice
+	for _, slURI := range g.Objects(ds.URI, rdf.NewIRI(SliceProp)) {
+		sl := &Slice{URI: slURI}
+		key := g.Object(slURI, rdf.NewIRI(SliceStructure))
+		var dims []rdf.Term
+		if !key.IsZero() {
+			dims = g.Objects(key, rdf.NewIRI(ComponentProperty))
+		}
+		for _, d := range dims {
+			v := g.Object(slURI, d)
+			if v.IsZero() {
+				return nil, fmt.Errorf("qb: slice %s fixes %s but carries no value", slURI, d)
+			}
+			sl.FixedDims = append(sl.FixedDims, d)
+			sl.FixedValues = append(sl.FixedValues, v)
+		}
+		for _, oURI := range g.Objects(slURI, rdf.NewIRI(SliceObservation)) {
+			o, ok := byURI[oURI]
+			if !ok {
+				return nil, fmt.Errorf("qb: slice %s references unknown observation %s", slURI, oURI)
+			}
+			sl.Observations = append(sl.Observations, o)
+		}
+		out = append(out, sl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI.Compare(out[j].URI) < 0 })
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package qb
+
+import (
+	"testing"
+
+	"rdfcube/internal/rdf"
+)
+
+func TestSliceByAndRoundTrip(t *testing.T) {
+	c := smallCorpus(t)
+	ds := c.Datasets[0]
+	sl, err := SliceBy(ds, []rdf.Term{iri("dim/year")}, []rdf.Term{iri("code/Y15")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Observations) != 2 {
+		t.Fatalf("slice members = %d, want 2", len(sl.Observations))
+	}
+	if sl.Value(iri("dim/year")) != iri("code/Y15") {
+		t.Errorf("fixed value lookup")
+	}
+	if !sl.Value(iri("dim/geo")).IsZero() {
+		t.Errorf("free dimension must have no fixed value")
+	}
+
+	g := ExportGraph(c)
+	ExportSlice(g, ds, sl)
+	// Re-parse and compare.
+	c2, err := ParseGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices, err := ParseSlices(g, c2.Datasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 1 {
+		t.Fatalf("parsed %d slices", len(slices))
+	}
+	got := slices[0]
+	if got.URI != sl.URI || len(got.Observations) != 2 {
+		t.Errorf("slice changed in round trip: %+v", got)
+	}
+	if len(got.FixedDims) != 1 || got.FixedDims[0] != iri("dim/year") {
+		t.Errorf("fixed dims: %v", got.FixedDims)
+	}
+}
+
+func TestSliceByErrors(t *testing.T) {
+	c := smallCorpus(t)
+	ds := c.Datasets[0]
+	if _, err := SliceBy(ds, []rdf.Term{iri("dim/geo")}, nil); err == nil {
+		t.Errorf("mismatched lengths must fail")
+	}
+	if _, err := SliceBy(ds, nil, nil); err == nil {
+		t.Errorf("empty dims must fail")
+	}
+	if _, err := SliceBy(ds, []rdf.Term{iri("dim/zzz")}, []rdf.Term{iri("code/GR")}); err == nil {
+		t.Errorf("unknown dimension must fail")
+	}
+}
+
+func TestParseSlicesUnknownObservation(t *testing.T) {
+	c := smallCorpus(t)
+	g := ExportGraph(c)
+	slURI := iri("slice/bad")
+	g.Add(c.Datasets[0].URI, rdf.NewIRI(SliceProp), slURI)
+	g.Add(slURI, rdf.NewIRI(SliceObservation), iri("obs/ghost"))
+	c2, err := ParseGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSlices(g, c2.Datasets[0]); err == nil {
+		t.Errorf("ghost member must fail")
+	}
+}

@@ -1,0 +1,59 @@
+// Package qb models W3C RDF Data Cube (QB) datasets: data structure
+// definitions, datasets, observations, and their mapping to and from RDF
+// graphs. It is the bridge between the raw triple substrate (package rdf)
+// and the relationship algorithms (package core), which consume the
+// Corpus / Dataset / Observation model defined here.
+package qb
+
+import "rdfcube/internal/rdf"
+
+// QB vocabulary IRIs (http://purl.org/linked-data/cube#).
+const (
+	NS = "http://purl.org/linked-data/cube#"
+
+	DataSetClass       = NS + "DataSet"
+	DimensionPropClass = NS + "DimensionProperty"
+	MeasurePropClass   = NS + "MeasureProperty"
+	ObservationClass   = NS + "Observation"
+	DSDClass           = NS + "DataStructureDefinition"
+	ComponentSpecClass = NS + "ComponentSpecification"
+
+	DataSetProp   = NS + "dataSet"
+	StructureProp = NS + "structure"
+	ComponentProp = NS + "component"
+	DimensionProp = NS + "dimension"
+	MeasureProp   = NS + "measure"
+	AttributeProp = NS + "attribute"
+	CodeListProp  = NS + "codeList"
+	OrderProp     = NS + "order"
+)
+
+// QBR is the namespace of the relationship-export vocabulary, after the
+// authors' SemStats'14 QB extension for containment and complementarity.
+const (
+	QBRNS = "http://purl.org/qbrel#"
+
+	// ContainsProp links a containing observation to a fully contained one.
+	ContainsProp = QBRNS + "contains"
+	// PartiallyContainsProp links a partially containing observation.
+	PartiallyContainsProp = QBRNS + "partiallyContains"
+	// ComplementsProp links two complementary observations.
+	ComplementsProp = QBRNS + "complements"
+	// ContainmentDegreeProp annotates a pair with its OCM degree in (0,1].
+	ContainmentDegreeProp = QBRNS + "containmentDegree"
+)
+
+// Convenience terms.
+var (
+	TypeTerm        = rdf.NewIRI(rdf.RDFType)
+	DataSetTerm     = rdf.NewIRI(DataSetClass)
+	ObservationTerm = rdf.NewIRI(ObservationClass)
+	DSDTerm         = rdf.NewIRI(DSDClass)
+	DataSetPropTerm = rdf.NewIRI(DataSetProp)
+	StructureTerm   = rdf.NewIRI(StructureProp)
+	ComponentTerm   = rdf.NewIRI(ComponentProp)
+	DimensionTerm   = rdf.NewIRI(DimensionProp)
+	MeasureTerm     = rdf.NewIRI(MeasureProp)
+	AttributeTerm   = rdf.NewIRI(AttributeProp)
+	CodeListTerm    = rdf.NewIRI(CodeListProp)
+)

@@ -1,0 +1,204 @@
+// Package rdf implements an in-memory RDF data model: terms, triples and an
+// indexed triple graph. It is the storage substrate for the Data Cube model
+// (package qb), the SPARQL subset engine (package sparql) and the
+// forward-chaining rule engine (package rules).
+//
+// The design goals are those of an analytical store rather than a general
+// database: bulk loads, dictionary-encoded terms, and fast pattern matching
+// in all access paths (SPO, POS, OSP indexes).
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the three RDF term kinds.
+type Kind uint8
+
+// Term kinds.
+const (
+	// IRIKind identifies IRI reference terms.
+	IRIKind Kind = iota
+	// BlankKind identifies blank nodes.
+	BlankKind
+	// LiteralKind identifies literals (plain, typed or language-tagged).
+	LiteralKind
+)
+
+// Well-known vocabulary IRIs used throughout the module.
+const (
+	RDFType           = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSLabel         = "http://www.w3.org/2000/01/rdf-schema#label"
+	XSDString         = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger        = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal        = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble         = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean        = "http://www.w3.org/2001/XMLSchema#boolean"
+	SkosBroader       = "http://www.w3.org/2004/02/skos/core#broader"
+	SkosBroaderTrans  = "http://www.w3.org/2004/02/skos/core#broaderTransitive"
+	SkosNarrower      = "http://www.w3.org/2004/02/skos/core#narrower"
+	SkosConcept       = "http://www.w3.org/2004/02/skos/core#Concept"
+	SkosConceptScheme = "http://www.w3.org/2004/02/skos/core#ConceptScheme"
+	SkosHasTopConcept = "http://www.w3.org/2004/02/skos/core#hasTopConcept"
+	SkosTopConceptOf  = "http://www.w3.org/2004/02/skos/core#topConceptOf"
+	SkosInScheme      = "http://www.w3.org/2004/02/skos/core#inScheme"
+	SkosPrefLabel     = "http://www.w3.org/2004/02/skos/core#prefLabel"
+	SkosNotation      = "http://www.w3.org/2004/02/skos/core#notation"
+)
+
+// Term is an RDF term. Terms are small comparable values: two Terms are the
+// same RDF term exactly when they are == to each other, so Terms may be used
+// directly as map keys.
+//
+// For IRIs and blank nodes only Value is set. For literals Value holds the
+// lexical form, Datatype the datatype IRI (empty means xsd:string) and Lang
+// the language tag (which forces rdf:langString semantics).
+type Term struct {
+	Kind     Kind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRIKind, Value: iri} }
+
+// NewBlank returns a blank-node term with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: BlankKind, Value: label} }
+
+// NewLiteral returns a plain literal term (xsd:string).
+func NewLiteral(lexical string) Term { return Term{Kind: LiteralKind, Value: lexical} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: LiteralKind, Value: lexical, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: LiteralKind, Value: lexical, Lang: lang}
+}
+
+// NewInteger returns an xsd:integer literal for v.
+func NewInteger(v int64) Term {
+	return Term{Kind: LiteralKind, Value: fmt.Sprintf("%d", v), Datatype: XSDInteger}
+}
+
+// NewDecimal returns an xsd:decimal literal for v.
+func NewDecimal(v float64) Term {
+	return Term{Kind: LiteralKind, Value: strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), "."), Datatype: XSDDecimal}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRIKind }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == BlankKind }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == LiteralKind }
+
+// IsZero reports whether the term is the zero Term, used as "unbound".
+func (t Term) IsZero() bool { return t == Term{} }
+
+// Local returns the local name of an IRI: the suffix after the last '#' or
+// '/'. For non-IRI terms it returns Value unchanged. Code-list alignment
+// (package align) and display code rely on this.
+func (t Term) Local() string {
+	if t.Kind != IRIKind {
+		return t.Value
+	}
+	v := t.Value
+	if i := strings.LastIndexAny(v, "#/"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRIKind:
+		return "<" + t.Value + ">"
+	case BlankKind:
+		return "_:" + t.Value
+	default:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Compare orders terms deterministically: by kind, then by value, datatype
+// and language. It returns -1, 0 or +1.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, u.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, u.Lang)
+}
+
+// Triple is a subject/predicate/object statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in N-Triples syntax (with trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Compare orders triples by subject, then predicate, then object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}

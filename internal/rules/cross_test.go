@@ -1,0 +1,80 @@
+package rules
+
+import (
+	"sort"
+	"testing"
+
+	"rdfcube/internal/gen"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+)
+
+// TestComparatorsAgreeOnGenerated cross-validates the two comparator
+// implementations — the SPARQL engine and the rule engine — on generated
+// corpora: both compute the paper's relaxed relations, so their pair sets
+// must coincide exactly for all three relationships. This is a strong
+// mutual check, since the engines share no evaluation code.
+func TestComparatorsAgreeOnGenerated(t *testing.T) {
+	seeds := []int64{1, 5}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		corpus := gen.RealWorld(gen.RealWorldConfig{TotalObs: 120, Seed: seed})
+
+		// SPARQL side.
+		sg := qb.ExportGraph(corpus)
+		sparqlPairs := func(query string) []string {
+			res, err := sparql.Exec(sg, query)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			var out []string
+			for _, sol := range res.Solutions {
+				out = append(out, sol["o1"].Value+"→"+sol["o2"].Value)
+			}
+			sort.Strings(out)
+			return out
+		}
+
+		// Rules side (fresh graph; the engine mutates it).
+		rg := qb.ExportGraph(corpus)
+		if _, err := NewEngine(rg).Run(PaperProgram()); err != nil {
+			t.Fatalf("seed %d: rules: %v", seed, err)
+		}
+		rulePairs := func(prop string) []string {
+			var out []string
+			rg.Match(rdf.Term{}, rdf.NewIRI(prop), rdf.Term{}, func(tr rdf.Triple) bool {
+				out = append(out, tr.S.Value+"→"+tr.O.Value)
+				return true
+			})
+			sort.Strings(out)
+			return out
+		}
+
+		cases := []struct {
+			name  string
+			query string
+			prop  string
+		}{
+			{"full", sparql.FullContainmentQuery, qb.ContainsProp},
+			{"partial", sparql.PartialContainmentQuery, qb.PartiallyContainsProp},
+			{"compl", sparql.ComplementarityQuery, qb.ComplementsProp},
+		}
+		for _, c := range cases {
+			sp := sparqlPairs(c.query)
+			rp := rulePairs(c.prop)
+			if len(sp) != len(rp) {
+				t.Errorf("seed %d %s: SPARQL %d pairs, rules %d pairs", seed, c.name, len(sp), len(rp))
+				continue
+			}
+			for i := range sp {
+				if sp[i] != rp[i] {
+					t.Errorf("seed %d %s: pair %d differs: %s vs %s", seed, c.name, i, sp[i], rp[i])
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package rules
+
+import (
+	"context"
+	"fmt"
+
+	"rdfcube/internal/rdf"
+)
+
+// Engine runs a stratified rule program against a graph, asserting derived
+// triples into the same graph (the Jena "forward" execution model).
+type Engine struct {
+	// G is the working graph (facts plus derivations).
+	G *rdf.Graph
+	// MaxIterations bounds fixpoint rounds per stage (safety valve);
+	// zero means 10000.
+	MaxIterations int
+
+	ctx      context.Context
+	ctxTick  int
+	canceled bool
+}
+
+// checkCtx polls the context every few thousand match steps.
+func (e *Engine) checkCtx() bool {
+	if e.ctx == nil {
+		return true
+	}
+	if e.canceled {
+		return false
+	}
+	e.ctxTick++
+	if e.ctxTick&0xfff == 0 && e.ctx.Err() != nil {
+		e.canceled = true
+		return false
+	}
+	return true
+}
+
+// NewEngine returns an engine over g.
+func NewEngine(g *rdf.Graph) *Engine { return &Engine{G: g} }
+
+// Run executes the program to fixpoint, stage by stage, and returns the
+// total number of derived (newly added) triples.
+func (e *Engine) Run(p *Program) (int, error) {
+	return e.RunContext(context.Background(), p)
+}
+
+// RunContext is Run with cancellation: the engine polls ctx between rule
+// applications and inside body matching, and returns ctx.Err() when done.
+func (e *Engine) RunContext(ctx context.Context, p *Program) (int, error) {
+	e.ctx = ctx
+	e.ctxTick = 0
+	e.canceled = false
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	maxIter := e.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	total := 0
+	for si, stage := range p.Stages {
+		for iter := 0; ; iter++ {
+			if iter >= maxIter {
+				return total, fmt.Errorf("rules: stage %d did not reach fixpoint in %d rounds", si, maxIter)
+			}
+			added := 0
+			for ri := range stage {
+				added += e.applyRule(&stage[ri])
+				if e.canceled {
+					return total + added, ctx.Err()
+				}
+			}
+			total += added
+			if added == 0 {
+				break
+			}
+		}
+	}
+	return total, nil
+}
+
+// applyRule matches the rule body naively against the current graph and
+// asserts head instantiations; it returns the number of new triples.
+func (e *Engine) applyRule(r *Rule) int {
+	added := 0
+	bindings := map[string]rdf.Term{}
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(r.Body) {
+			for _, h := range r.Head {
+				s := resolveNode(h.S, bindings)
+				p := resolveNode(h.P, bindings)
+				o := resolveNode(h.O, bindings)
+				if e.G.Add(s, p, o) {
+					added++
+				}
+			}
+			return
+		}
+		el := r.Body[i]
+		if el.Builtin != nil {
+			if e.evalBuiltin(el.Builtin, bindings) {
+				walk(i + 1)
+			}
+			return
+		}
+		a := el.Atom
+		s := resolveNodeOrZero(a.S, bindings)
+		p := resolveNodeOrZero(a.P, bindings)
+		o := resolveNodeOrZero(a.O, bindings)
+		e.G.Match(s, p, o, func(t rdf.Triple) bool {
+			if !e.checkCtx() {
+				return false
+			}
+			var bound []string
+			ok := bindNode(a.S, t.S, bindings, &bound) &&
+				bindNode(a.P, t.P, bindings, &bound) &&
+				bindNode(a.O, t.O, bindings, &bound)
+			if ok {
+				walk(i + 1)
+			}
+			for _, v := range bound {
+				delete(bindings, v)
+			}
+			return true
+		})
+	}
+	walk(0)
+	return added
+}
+
+func (e *Engine) evalBuiltin(b *Builtin, bindings map[string]rdf.Term) bool {
+	switch b.Name {
+	case "notEqual":
+		return resolveNode(b.Args[0], bindings) != resolveNode(b.Args[1], bindings)
+	case "equal":
+		return resolveNode(b.Args[0], bindings) == resolveNode(b.Args[1], bindings)
+	case "lessThan":
+		return resolveNode(b.Args[0], bindings).Compare(resolveNode(b.Args[1], bindings)) < 0
+	case "greaterThan":
+		return resolveNode(b.Args[0], bindings).Compare(resolveNode(b.Args[1], bindings)) > 0
+	case "noValue":
+		s := resolveNode(b.Args[0], bindings)
+		p := resolveNode(b.Args[1], bindings)
+		o := resolveNode(b.Args[2], bindings)
+		return !e.G.Has(s, p, o)
+	default:
+		// Unknown builtins fail closed, like Jena's strict mode.
+		return false
+	}
+}
+
+func resolveNode(n Node, bindings map[string]rdf.Term) rdf.Term {
+	if n.IsVar() {
+		return bindings[n.Var]
+	}
+	return n.Term
+}
+
+func resolveNodeOrZero(n Node, bindings map[string]rdf.Term) rdf.Term {
+	if n.IsVar() {
+		return bindings[n.Var] // zero Term when unbound → wildcard
+	}
+	return n.Term
+}
+
+func bindNode(n Node, t rdf.Term, bindings map[string]rdf.Term, bound *[]string) bool {
+	if !n.IsVar() {
+		return n.Term == t
+	}
+	if cur, ok := bindings[n.Var]; ok {
+		return cur == t
+	}
+	bindings[n.Var] = t
+	*bound = append(*bound, n.Var)
+	return true
+}

@@ -1,0 +1,258 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/turtle"
+)
+
+func TestParseAndRunTransitiveClosure(t *testing.T) {
+	g, err := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:parent ex:b .
+ex:b ex:parent ex:c .
+ex:c ex:parent ex:d .
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ParseRules(`
+@prefix ex: <http://example.org/> .
+[base:  (?x ex:parent ?y) -> (?x ex:anc ?y)]
+[trans: (?x ex:anc ?y) (?y ex:anc ?z) -> (?x ex:anc ?z)]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewEngine(g).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 { // a→b,a→c,a→d,b→c,b→d,c→d
+		t.Errorf("derived %d triples, want 6", n)
+	}
+	if !g.Has(rdf.NewIRI("http://example.org/a"), rdf.NewIRI("http://example.org/anc"), rdf.NewIRI("http://example.org/d")) {
+		t.Errorf("missing a anc d")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	g, _ := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:knows ex:a .
+ex:a ex:knows ex:b .
+ex:b ex:knows ex:c .
+`, nil)
+	prog, err := ParseRules(`
+@prefix ex: <http://example.org/> .
+[nonSelf: (?x ex:knows ?y) notEqual(?x ?y) -> (?x ex:friend ?y)]
+[lonely:  (?x ex:knows ?y) noValue(?y ex:knows ?x) -> (?y ex:popular ?x)]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g).Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	friend := rdf.NewIRI("http://example.org/friend")
+	if g.Has(rdf.NewIRI("http://example.org/a"), friend, rdf.NewIRI("http://example.org/a")) {
+		t.Errorf("notEqual failed: derived self-friendship")
+	}
+	if !g.Has(rdf.NewIRI("http://example.org/a"), friend, rdf.NewIRI("http://example.org/b")) {
+		t.Errorf("missing a friend b")
+	}
+}
+
+func TestStagedNegationIsStratified(t *testing.T) {
+	// Without stages, noValue over a predicate still being derived would
+	// be unsound. With a stage boundary, stage 2 sees stage 1's fixpoint.
+	g, _ := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b .
+ex:b ex:p ex:c .
+`, nil)
+	prog, err := ParseRules(`
+@prefix ex: <http://example.org/> .
+[reach: (?x ex:p ?y) -> (?x ex:r ?y)]
+[reachT: (?x ex:r ?y) (?y ex:r ?z) -> (?x ex:r ?z)]
+---
+[unreachable: (?x ex:p ?y) noValue(?y ex:r ?x) -> (?x ex:oneway ?y)]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g).Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	oneway := rdf.NewIRI("http://example.org/oneway")
+	if g.Count(rdf.Term{}, oneway, rdf.Term{}) != 2 {
+		t.Errorf("expected 2 oneway derivations, got %d", g.Count(rdf.Term{}, oneway, rdf.Term{}))
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	cases := []string{
+		// head var unbound
+		`@prefix ex: <http://example.org/> .
+		 [r: (?x ex:p ?y) -> (?x ex:q ?z)]`,
+		// builtin before binding
+		`@prefix ex: <http://example.org/> .
+		 [r: notEqual(?x ?y) (?x ex:p ?y) -> (?x ex:q ?y)]`,
+	}
+	for _, src := range cases {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("expected validation error for %q", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`[r: (?x ex:p ?y) -> (?x ex:q ?y)]`,            // undefined prefix
+		`[r (?x ?p ?y) -> (?x ?p ?y)]`,                 // missing colon
+		`[r: (?x ?p) -> (?x ?p ?x)]`,                   // 2-node atom
+		`[r: (?x ?p ?y) -> ]`,                          // empty head
+		`[r: (?x ?p ?y) noValue(?x ?p) -> (?x ?p ?y)]`, // arity
+	}
+	for _, src := range cases {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestFixpointGuard(t *testing.T) {
+	// A rule that generates fresh blank-ish terms cannot run away because
+	// the head vocabulary is fixed; but MaxIterations must still guard
+	// pathological programs. Use a tiny bound to exercise the error path.
+	g, _ := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b .
+ex:b ex:p ex:c .
+ex:c ex:p ex:d .
+ex:d ex:p ex:e .
+`, nil)
+	prog, _ := ParseRules(`
+@prefix ex: <http://example.org/> .
+[t: (?x ex:p ?y) (?y ex:p ?z) -> (?x ex:p ?z)]
+`)
+	e := NewEngine(g)
+	e.MaxIterations = 1
+	if _, err := e.Run(prog); err == nil {
+		t.Errorf("expected fixpoint-guard error with MaxIterations=1")
+	}
+}
+
+func sortedLocals(g *rdf.Graph, p rdf.Term) []string {
+	var out []string
+	g.Match(rdf.Term{}, p, rdf.Term{}, func(t rdf.Triple) bool {
+		out = append(out, t.S.Local()+"→"+t.O.Local())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func TestMultipleHeads(t *testing.T) {
+	g, _ := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b .
+`, nil)
+	prog, err := ParseRules(`
+@prefix ex: <http://example.org/> .
+[two: (?x ex:p ?y) -> (?x ex:q ?y) (?y ex:q ?x)]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewEngine(g).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("derived %d, want 2", n)
+	}
+	got := sortedLocals(g, rdf.NewIRI("http://example.org/q"))
+	if strings.Join(got, " ") != "a→b b→a" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestComparisonBuiltins(t *testing.T) {
+	g, _ := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:score 3 .
+ex:b ex:score 7 .
+`, nil)
+	prog, err := ParseRules(`
+@prefix ex: <http://example.org/> .
+[lt: (?x ex:score ?s) (?y ex:score ?u) lessThan(?s ?u) -> (?x ex:below ?y)]
+[gt: (?x ex:score ?s) (?y ex:score ?u) greaterThan(?s ?u) -> (?x ex:above ?y)]
+[eq: (?x ex:score ?s) (?y ex:score ?u) equal(?s ?u) notEqual(?x ?y) -> (?x ex:tied ?y)]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g).Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	a := rdf.NewIRI("http://example.org/a")
+	b := rdf.NewIRI("http://example.org/b")
+	if !g.Has(a, rdf.NewIRI("http://example.org/below"), b) {
+		t.Errorf("lessThan failed")
+	}
+	if !g.Has(b, rdf.NewIRI("http://example.org/above"), a) {
+		t.Errorf("greaterThan failed")
+	}
+	if g.Count(rdf.Term{}, rdf.NewIRI("http://example.org/tied"), rdf.Term{}) != 0 {
+		t.Errorf("equal+notEqual must derive nothing here")
+	}
+}
+
+func TestUnknownBuiltinFailsClosed(t *testing.T) {
+	g, _ := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b .
+`, nil)
+	prog, err := ParseRules(`
+@prefix ex: <http://example.org/> .
+[u: (?x ex:p ?y) frobnicate(?x ?y) -> (?x ex:q ?y)]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewEngine(g).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("unknown builtin must fail closed, derived %d", n)
+	}
+}
+
+func TestPaperProgramForShapes(t *testing.T) {
+	full := PaperProgramFor(FullContainment)
+	if len(full.Stages) != 3 {
+		t.Errorf("full program stages = %d, want 3", len(full.Stages))
+	}
+	partial := PaperProgramFor(PartialContainment)
+	if len(partial.Stages) != 2 { // ancestry + final rule, no violation stage
+		t.Errorf("partial program stages = %d, want 2", len(partial.Stages))
+	}
+	compl := PaperProgramFor(Complementarity)
+	if len(compl.Stages) != 3 {
+		t.Errorf("compl program stages = %d, want 3", len(compl.Stages))
+	}
+	for _, p := range []*Program{full, partial, compl} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("sub-program invalid: %v", err)
+		}
+		last := p.Stages[len(p.Stages)-1]
+		if len(last) != 1 {
+			t.Errorf("final stage must hold exactly the one relationship rule, got %d", len(last))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package rules
+
+// PaperRules is the rule program of the paper's §4 rule-based comparator:
+// the three forward-chaining rules for full containment, partial
+// containment and complementarity, together with the auxiliary strata that
+// make their quantifiers expressible in a production-rule engine.
+//
+//   - Stage 1 closes the code-list ancestry: qbr:anc is the reflexive-
+//     transitive closure of skos:broader over observed dimension values,
+//     qbr:ancStrict the transitive one.
+//   - Stage 2 derives violation facts: qbr:dimViolation(o1, o2) when some
+//     shared dimension value of o1 does NOT subsume o2's (negation as
+//     failure over the stage-1 fixpoint), and qbr:dimDiff(o1, o2) when
+//     some shared dimension carries different values.
+//   - Stage 3 is the paper's three rules: the universal quantifications
+//     ("all shared dimension values subsume / equal each other") become
+//     noValue over the violation predicates — the double-negation encoding
+//     the paper describes as the source of the exponential search space.
+//
+// As in the paper, the encoded conditions are relaxed: dimensions absent
+// from a schema are not completed to the code-list root, and partial
+// containment is detected, not quantified.
+const PaperRules = `
+@prefix qb:   <http://purl.org/linked-data/cube#> .
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+@prefix qbr:  <http://purl.org/qbrel#> .
+
+# ---- Stage 1: ancestry closure over code lists -------------------------
+[ancBase:    (?x skos:broader ?y) -> (?x qbr:ancStrict ?y)]
+[ancTrans:   (?x qbr:ancStrict ?y) (?y qbr:ancStrict ?z) -> (?x qbr:ancStrict ?z)]
+[ancStrict:  (?x qbr:ancStrict ?y) -> (?x qbr:anc ?y)]
+[ancRefl:    (?x skos:inScheme ?s) -> (?x qbr:anc ?x)]
+---
+# ---- Stage 2: violation predicates --------------------------------------
+[dimViolation: (?o1 a qb:Observation) (?o2 a qb:Observation)
+               (?d a qb:DimensionProperty)
+               (?o1 ?d ?v1) (?o2 ?d ?v2)
+               noValue(?v2 qbr:anc ?v1)
+               -> (?o1 qbr:dimViolation ?o2)]
+[dimDiff:      (?o1 a qb:Observation) (?o2 a qb:Observation)
+               (?d a qb:DimensionProperty)
+               (?o1 ?d ?v1) (?o2 ?d ?v2)
+               notEqual(?v1 ?v2)
+               -> (?o1 qbr:dimDiff ?o2)]
+---
+# ---- Stage 3: the paper's three rules -----------------------------------
+[fullContainment: (?o1 a qb:Observation) (?o2 a qb:Observation)
+                  (?m a qb:MeasureProperty) (?o1 ?m ?x) (?o2 ?m ?y)
+                  notEqual(?o1 ?o2)
+                  noValue(?o1 qbr:dimViolation ?o2)
+                  -> (?o1 qbr:contains ?o2)]
+[partialContainment: (?o1 a qb:Observation) (?o2 a qb:Observation)
+                     (?d a qb:DimensionProperty)
+                     (?o1 ?d ?v1) (?o2 ?d ?v2)
+                     (?v2 qbr:ancStrict ?v1)
+                     notEqual(?o1 ?o2)
+                     -> (?o1 qbr:partiallyContains ?o2)]
+[complementarity: (?o1 a qb:Observation) (?o2 a qb:Observation)
+                  notEqual(?o1 ?o2)
+                  noValue(?o1 qbr:dimDiff ?o2)
+                  -> (?o1 qbr:complements ?o2)]
+`
+
+// PaperProgram parses PaperRules; it panics on error (the text is a
+// compile-time constant exercised by tests).
+func PaperProgram() *Program {
+	p, err := ParseRules(PaperRules)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Relationship identifies one of the paper's three relations for the
+// single-relationship comparator runs of Figure 5.
+type Relationship string
+
+// Relationship kinds.
+const (
+	// FullContainment is Cont_full.
+	FullContainment Relationship = "full"
+	// PartialContainment is Cont_partial.
+	PartialContainment Relationship = "partial"
+	// Complementarity is Compl.
+	Complementarity Relationship = "complementarity"
+)
+
+// PaperProgramFor returns the minimal stratified program computing just
+// one relationship (ancestry closure plus the needed auxiliary and final
+// rules) so the three relations can be timed separately, as in Fig. 5.
+func PaperProgramFor(rel Relationship) *Program {
+	full := PaperProgram()
+	keepStage2 := map[Relationship]string{
+		FullContainment: "dimViolation",
+		Complementarity: "dimDiff",
+	}
+	keepStage3 := map[Relationship]string{
+		FullContainment:    "fullContainment",
+		PartialContainment: "partialContainment",
+		Complementarity:    "complementarity",
+	}
+	out := &Program{}
+	out.Stages = append(out.Stages, full.Stages[0])
+	if name, ok := keepStage2[rel]; ok {
+		var stage []Rule
+		for _, r := range full.Stages[1] {
+			if r.Name == name {
+				stage = append(stage, r)
+			}
+		}
+		out.Stages = append(out.Stages, stage)
+	}
+	var stage []Rule
+	for _, r := range full.Stages[2] {
+		if r.Name == keepStage3[rel] {
+			stage = append(stage, r)
+		}
+	}
+	out.Stages = append(out.Stages, stage)
+	return out
+}

@@ -1,0 +1,281 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// ParseRules parses rule text in the Jena generic-rule-reasoner style:
+//
+//	@prefix ex: <http://example.org/> .
+//	[ruleName: (?s ex:parent ?p) notEqual(?s, ?p) -> (?s ex:ancestor ?p)]
+//
+// Atoms are parenthesized triples, builtins are name(arg, ...) calls, the
+// body and head are separated by "->", and each rule sits in brackets.
+// Stage boundaries are written as a line containing only "---"; they split
+// the returned program into strata.
+func ParseRules(src string) (*Program, error) {
+	p := &ruleParser{src: src, prefixes: map[string]string{
+		"rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	}}
+	prog := &Program{Stages: [][]Rule{nil}}
+	for {
+		p.skipWS()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.has("@prefix"):
+			if err := p.prefixDirective(); err != nil {
+				return nil, err
+			}
+		case p.has("---"):
+			p.pos += 3
+			prog.Stages = append(prog.Stages, nil)
+		case p.peek() == '[':
+			r, err := p.rule()
+			if err != nil {
+				return nil, err
+			}
+			last := len(prog.Stages) - 1
+			prog.Stages[last] = append(prog.Stages[last], *r)
+		default:
+			return nil, p.errf("expected @prefix, rule or stage separator")
+		}
+	}
+	// Drop empty trailing stages.
+	var stages [][]Rule
+	for _, s := range prog.Stages {
+		if len(s) > 0 {
+			stages = append(stages, s)
+		}
+	}
+	prog.Stages = stages
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type ruleParser struct {
+	src      string
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *ruleParser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("rules: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *ruleParser) eof() bool { return p.pos >= len(p.src) }
+func (p *ruleParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *ruleParser) has(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *ruleParser) skipWS() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' {
+			p.pos++
+		} else if c == '#' {
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		} else {
+			return
+		}
+	}
+}
+
+func (p *ruleParser) prefixDirective() error {
+	p.pos += len("@prefix")
+	p.skipWS()
+	end := strings.IndexByte(p.src[p.pos:], ':')
+	if end < 0 {
+		return p.errf("malformed @prefix")
+	}
+	name := strings.TrimSpace(p.src[p.pos : p.pos+end])
+	p.pos += end + 1
+	p.skipWS()
+	if p.peek() != '<' {
+		return p.errf("expected IRI in @prefix")
+	}
+	close := strings.IndexByte(p.src[p.pos:], '>')
+	if close < 0 {
+		return p.errf("unterminated IRI")
+	}
+	p.prefixes[name] = p.src[p.pos+1 : p.pos+close]
+	p.pos += close + 1
+	p.skipWS()
+	if p.peek() == '.' {
+		p.pos++
+	}
+	return nil
+}
+
+func (p *ruleParser) rule() (*Rule, error) {
+	p.pos++ // '['
+	p.skipWS()
+	name := p.word()
+	p.skipWS()
+	if p.peek() != ':' {
+		return nil, p.errf("expected ':' after rule name %q", name)
+	}
+	p.pos++
+	r := &Rule{Name: name}
+	inHead := false
+	for {
+		p.skipWS()
+		switch {
+		case p.eof():
+			return nil, p.errf("unterminated rule %q", name)
+		case p.peek() == ']':
+			p.pos++
+			if len(r.Head) == 0 {
+				return nil, p.errf("rule %q has no head", name)
+			}
+			return r, nil
+		case p.has("->"):
+			p.pos += 2
+			inHead = true
+		case p.peek() == '(':
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if inHead {
+				r.Head = append(r.Head, *a)
+			} else {
+				r.Body = append(r.Body, BodyElem{Atom: a})
+			}
+		default:
+			if inHead {
+				return nil, p.errf("builtins are not allowed in rule heads")
+			}
+			b, err := p.builtin()
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, BodyElem{Builtin: b})
+		}
+	}
+}
+
+func (p *ruleParser) atom() (*Atom, error) {
+	p.pos++ // '('
+	var nodes []Node
+	for {
+		p.skipWS()
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) != 3 {
+		return nil, p.errf("atom needs exactly 3 nodes, got %d", len(nodes))
+	}
+	return &Atom{S: nodes[0], P: nodes[1], O: nodes[2]}, nil
+}
+
+func (p *ruleParser) builtin() (*Builtin, error) {
+	name := p.word()
+	if name == "" {
+		return nil, p.errf("expected builtin name")
+	}
+	p.skipWS()
+	if p.peek() != '(' {
+		return nil, p.errf("expected '(' after builtin %q", name)
+	}
+	p.pos++
+	b := &Builtin{Name: name}
+	for {
+		p.skipWS()
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		b.Args = append(b.Args, n)
+	}
+	want := map[string]int{"notEqual": 2, "equal": 2, "lessThan": 2, "greaterThan": 2, "noValue": 3}
+	if n, ok := want[name]; ok && len(b.Args) != n {
+		return nil, p.errf("builtin %s takes %d arguments, got %d", name, n, len(b.Args))
+	}
+	return b, nil
+}
+
+func (p *ruleParser) node() (Node, error) {
+	switch c := p.peek(); {
+	case c == '?':
+		p.pos++
+		v := p.word()
+		if v == "" {
+			return Node{}, p.errf("empty variable name")
+		}
+		return V(v), nil
+	case c == '<':
+		close := strings.IndexByte(p.src[p.pos:], '>')
+		if close < 0 {
+			return Node{}, p.errf("unterminated IRI")
+		}
+		iri := p.src[p.pos+1 : p.pos+close]
+		p.pos += close + 1
+		return T(rdf.NewIRI(iri)), nil
+	case c == '"':
+		p.pos++
+		close := strings.IndexByte(p.src[p.pos:], '"')
+		if close < 0 {
+			return Node{}, p.errf("unterminated string")
+		}
+		lex := p.src[p.pos : p.pos+close]
+		p.pos += close + 1
+		return T(rdf.NewLiteral(lex)), nil
+	default:
+		w := p.word()
+		if w == "" {
+			return Node{}, p.errf("expected node")
+		}
+		if p.peek() == ':' {
+			p.pos++
+			local := p.word()
+			ns, ok := p.prefixes[w]
+			if !ok {
+				return Node{}, p.errf("undefined prefix %q", w)
+			}
+			return T(rdf.NewIRI(ns + local)), nil
+		}
+		if w == "a" {
+			return T(rdf.NewIRI(rdf.RDFType)), nil
+		}
+		return Node{}, p.errf("bare word %q (expected variable, IRI or prefixed name)", w)
+	}
+}
+
+func (p *ruleParser) word() string {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}

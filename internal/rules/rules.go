@@ -1,0 +1,117 @@
+// Package rules implements a forward-chaining production rule engine in
+// the style of the Jena generic rule reasoner, which the paper uses as its
+// rule-based comparator. Rules have triple-pattern bodies with builtins
+// (notEqual, lessThan, noValue for negation as failure) and triple-pattern
+// heads; rule sets run naively to fixpoint.
+//
+// Negation as failure is non-monotone, so rule programs are organized in
+// stages (stratification): each stage runs to fixpoint before the next
+// starts, and noValue in stage k+1 reads the fixpoint of stages ≤ k. This
+// is exactly how the paper's universally quantified containment conditions
+// ("all shared dimension values subsume each other") are encoded — via an
+// auxiliary violation predicate and double negation — and it reproduces
+// the search-space blow-up the paper reports for rule-based reasoning.
+package rules
+
+import (
+	"fmt"
+
+	"rdfcube/internal/rdf"
+)
+
+// Node is a variable or a constant term in a rule atom.
+type Node struct {
+	// Var is the variable name; empty means the node is the constant Term.
+	Var  string
+	Term rdf.Term
+}
+
+// V returns a variable node.
+func V(name string) Node { return Node{Var: name} }
+
+// T returns a constant node.
+func T(t rdf.Term) Node { return Node{Term: t} }
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// Atom is a triple pattern (s, p, o) in a rule body or head.
+type Atom struct {
+	S, P, O Node
+}
+
+// Builtin is a body-only predicate over bound arguments.
+type Builtin struct {
+	// Name is one of notEqual, equal, lessThan, greaterThan, noValue.
+	Name string
+	// Args are the builtin's arguments. noValue takes three (s, p, o
+	// pattern, evaluated by lookup); the comparisons take two.
+	Args []Node
+}
+
+// BodyElem is an Atom or a Builtin.
+type BodyElem struct {
+	Atom    *Atom
+	Builtin *Builtin
+}
+
+// Rule is one production rule: when every body element matches, the head
+// atoms are asserted with the body's bindings.
+type Rule struct {
+	// Name identifies the rule in diagnostics.
+	Name string
+	// Body is matched against the graph, left to right.
+	Body []BodyElem
+	// Head atoms are asserted for every match.
+	Head []Atom
+}
+
+// Validate checks that every head variable is bound by some body atom and
+// every builtin argument variable is bound by an earlier atom.
+func (r *Rule) Validate() error {
+	bound := map[string]bool{}
+	for _, el := range r.Body {
+		if el.Atom != nil {
+			for _, n := range []Node{el.Atom.S, el.Atom.P, el.Atom.O} {
+				if n.IsVar() {
+					bound[n.Var] = true
+				}
+			}
+			continue
+		}
+		for _, a := range el.Builtin.Args {
+			if a.IsVar() && !bound[a.Var] {
+				return fmt.Errorf("rules: %s: builtin %s uses unbound variable ?%s (reorder the body)",
+					r.Name, el.Builtin.Name, a.Var)
+			}
+		}
+	}
+	for _, h := range r.Head {
+		for _, n := range []Node{h.S, h.P, h.O} {
+			if n.IsVar() && !bound[n.Var] {
+				return fmt.Errorf("rules: %s: head uses unbound variable ?%s", r.Name, n.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// Program is a stratified rule program: stages run in order, each to
+// fixpoint, so negation (noValue) over earlier stages' derivations is
+// sound.
+type Program struct {
+	// Stages are the rule strata.
+	Stages [][]Rule
+}
+
+// Validate validates every rule.
+func (p *Program) Validate() error {
+	for si, stage := range p.Stages {
+		for _, r := range stage {
+			if err := r.Validate(); err != nil {
+				return fmt.Errorf("stage %d: %w", si, err)
+			}
+		}
+	}
+	return nil
+}

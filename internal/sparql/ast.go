@@ -1,0 +1,121 @@
+package sparql
+
+import "rdfcube/internal/rdf"
+
+// NodeKind discriminates pattern node kinds.
+type nodeKind int
+
+const (
+	nodeTerm nodeKind = iota
+	nodeVar
+)
+
+// Node is a term-or-variable slot in a triple pattern.
+type Node struct {
+	kind nodeKind
+	term rdf.Term
+	v    string
+}
+
+// termNode wraps a constant term.
+func termNode(t rdf.Term) Node { return Node{kind: nodeTerm, term: t} }
+
+// varNode wraps a variable name (without the '?').
+func varNode(name string) Node { return Node{kind: nodeVar, v: name} }
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.kind == nodeVar }
+
+// Var returns the variable name ("" for constant nodes).
+func (n Node) Var() string {
+	if n.kind == nodeVar {
+		return n.v
+	}
+	return ""
+}
+
+// Term returns the constant term (zero for variables).
+func (n Node) Term() rdf.Term {
+	if n.kind == nodeTerm {
+		return n.term
+	}
+	return rdf.Term{}
+}
+
+// TriplePattern is one pattern of a basic graph pattern. The predicate is
+// either a Node (possibly a variable) or a property Path; Path takes
+// precedence when non-nil.
+type TriplePattern struct {
+	S, P, O Node
+	Path    *Path
+}
+
+// patternElem is one element of a group graph pattern.
+type patternElem interface{ isPatternElem() }
+
+// groupPattern is a { ... } group: triple patterns, filters and nested
+// structures evaluated left to right (filters apply to the whole group).
+type groupPattern struct {
+	elems   []patternElem
+	filters []Expr
+}
+
+func (*groupPattern) isPatternElem() {}
+
+// triplesElem holds a run of triple patterns.
+type triplesElem struct {
+	patterns []TriplePattern
+}
+
+func (*triplesElem) isPatternElem() {}
+
+// optionalElem is OPTIONAL { ... }.
+type optionalElem struct {
+	group *groupPattern
+}
+
+func (*optionalElem) isPatternElem() {}
+
+// unionElem is { ... } UNION { ... } (n-ary).
+type unionElem struct {
+	groups []*groupPattern
+}
+
+func (*unionElem) isPatternElem() {}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	// Ask is true for ASK queries (Select fields are then unused).
+	Ask bool
+	// Vars are the projected variable names; empty means SELECT *.
+	Vars []string
+	// CountVar, when non-empty, makes the query an aggregate
+	// SELECT (COUNT(...) AS ?CountVar): the result is a single row binding
+	// CountVar to the solution count. CountArg is the counted variable
+	// ("" means COUNT(*)); CountDistinct applies DISTINCT inside COUNT.
+	CountVar      string
+	CountArg      string
+	CountDistinct bool
+	// Distinct applies solution deduplication after projection.
+	Distinct bool
+	// Where is the query's group graph pattern.
+	where *groupPattern
+	// OrderBy are ordering keys applied before LIMIT/OFFSET.
+	OrderBy []OrderKey
+	// Limit caps the number of solutions; negative means unlimited.
+	Limit int
+	// Offset skips leading solutions.
+	Offset int
+
+	prefixes map[string]string
+	vars     map[string]int
+	varNames []string
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	// Var is the ordering variable.
+	Var string
+	// Desc reverses the order.
+	Desc bool
+}

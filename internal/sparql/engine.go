@@ -1,0 +1,194 @@
+package sparql
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// Solution is one result row: variable name → bound term. Variables left
+// unbound (e.g. under OPTIONAL) are absent from the map.
+type Solution map[string]rdf.Term
+
+// Results is the outcome of executing a query.
+type Results struct {
+	// Vars are the projected variable names in projection order.
+	Vars []string
+	// Solutions holds the result rows (empty for ASK).
+	Solutions []Solution
+	// Bool is the ASK answer (false for SELECT).
+	Bool bool
+}
+
+// Len returns the number of solutions.
+func (r *Results) Len() int { return len(r.Solutions) }
+
+// Exec parses and executes a query against g.
+func Exec(g *rdf.Graph, query string) (*Results, error) {
+	return ExecContext(context.Background(), g, query)
+}
+
+// ExecContext is Exec with cancellation: when ctx is done, evaluation
+// stops at the next pattern boundary and ctx.Err() is returned.
+func ExecContext(ctx context.Context, g *rdf.Graph, query string) (*Results, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return ExecQueryContext(ctx, g, q)
+}
+
+// ExecQuery executes a parsed query against g. A parsed query may be
+// executed repeatedly, also concurrently, against different graphs.
+func ExecQuery(g *rdf.Graph, q *Query) (*Results, error) {
+	return ExecQueryContext(context.Background(), g, q)
+}
+
+// ExecQueryContext is ExecQuery with cancellation.
+func ExecQueryContext(ctx context.Context, g *rdf.Graph, q *Query) (*Results, error) {
+	// Copy the variable table: evaluation may extend it.
+	vars := make(map[string]int, len(q.vars))
+	for k, v := range q.vars {
+		vars[k] = v
+	}
+	varNames := append([]string{}, q.varNames...)
+	ev := newEvaluator(g, q, vars, varNames)
+	ev.ctx = ctx
+
+	if q.Ask {
+		res := &Results{}
+		b := make(binding, len(ev.varNames))
+		ev.evalGroup(q.where, b, func(binding) bool {
+			res.Bool = true
+			return false
+		})
+		if ev.canceled {
+			return nil, ctx.Err()
+		}
+		return res, nil
+	}
+
+	if q.CountVar != "" {
+		return execCount(ctx, ev, q)
+	}
+
+	proj := q.Vars
+	if len(proj) == 0 {
+		// SELECT *: every variable mentioned in the query, parse order.
+		proj = append(proj, ev.varNames...)
+	}
+	projSlots := make([]int, len(proj))
+	for i, v := range proj {
+		projSlots[i] = ev.slot(v)
+	}
+
+	res := &Results{Vars: proj}
+	seen := map[string]bool{}
+	b := make(binding, len(ev.varNames))
+	ev.evalGroup(q.where, b, func(sol binding) bool {
+		row := make(Solution, len(projSlots))
+		for i, s := range projSlots {
+			if s < len(sol) && !sol[s].IsZero() {
+				row[proj[i]] = sol[s]
+			}
+		}
+		if q.Distinct {
+			key := solutionKey(proj, row)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+		}
+		res.Solutions = append(res.Solutions, row)
+		// Without ORDER BY, LIMIT can stop the scan early.
+		if q.Limit >= 0 && len(q.OrderBy) == 0 && q.Offset == 0 && len(res.Solutions) >= q.Limit {
+			return false
+		}
+		return true
+	})
+
+	if ev.canceled {
+		return nil, ctx.Err()
+	}
+
+	if len(q.OrderBy) > 0 {
+		keys := q.OrderBy
+		sort.SliceStable(res.Solutions, func(i, j int) bool {
+			for _, k := range keys {
+				a, b := res.Solutions[i][k.Var], res.Solutions[j][k.Var]
+				c := a.Compare(b)
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Solutions) {
+			res.Solutions = nil
+		} else {
+			res.Solutions = res.Solutions[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Solutions) {
+		res.Solutions = res.Solutions[:q.Limit]
+	}
+	return res, nil
+}
+
+// execCount evaluates an aggregate COUNT projection: one output row with
+// the (distinct) solution count.
+func execCount(ctx context.Context, ev *evaluator, q *Query) (*Results, error) {
+	argSlot := -1
+	if q.CountArg != "" {
+		argSlot = ev.slot(q.CountArg)
+	}
+	n := 0
+	var seen map[string]bool
+	if q.CountDistinct {
+		seen = map[string]bool{}
+	}
+	b := make(binding, len(ev.varNames))
+	ev.evalGroup(q.where, b, func(sol binding) bool {
+		if argSlot >= 0 {
+			if argSlot >= len(sol) || sol[argSlot].IsZero() {
+				return true // COUNT(?v) skips unbound rows
+			}
+			if q.CountDistinct {
+				key := sol[argSlot].String()
+				if seen[key] {
+					return true
+				}
+				seen[key] = true
+			}
+		}
+		n++
+		return true
+	})
+	if ev.canceled {
+		return nil, ctx.Err()
+	}
+	return &Results{
+		Vars:      []string{q.CountVar},
+		Solutions: []Solution{{q.CountVar: rdf.NewInteger(int64(n))}},
+	}, nil
+}
+
+func solutionKey(vars []string, row Solution) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		t, ok := row[v]
+		if ok {
+			sb.WriteString(t.String())
+		}
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}

@@ -1,0 +1,618 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/turtle"
+)
+
+const testData = `
+@prefix ex: <http://example.org/> .
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+
+ex:alice a ex:Person ; ex:name "Alice" ; ex:age 42 ; ex:knows ex:bob, ex:carol .
+ex:bob   a ex:Person ; ex:name "Bob" ; ex:age 17 ; ex:knows ex:carol .
+ex:carol a ex:Person ; ex:name "Carol" ; ex:age 30 .
+ex:dave  a ex:Robot ; ex:name "Dave" .
+
+ex:europe skos:broader ex:world .
+ex:greece skos:broader ex:europe .
+ex:athens skos:broader ex:greece .
+ex:italy  skos:broader ex:europe .
+ex:rome   skos:broader ex:italy .
+`
+
+func testGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g, err := turtle.Parse(testData, nil)
+	if err != nil {
+		t.Fatalf("parse test data: %v", err)
+	}
+	return g
+}
+
+func names(res *Results, v string) []string {
+	var out []string
+	for _, s := range res.Solutions {
+		out = append(out, s[v].Local())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustExec(t *testing.T, g *rdf.Graph, q string) *Results {
+	t.Helper()
+	res, err := Exec(g, q)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+	return res
+}
+
+func TestSelectBasic(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p a ex:Person }`)
+	got := names(res, "p")
+	want := []string{"alice", "bob", "carol"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { ?p ex:knows ?q . ?q ex:name ?n }`)
+	got := names(res, "n")
+	want := []string{"Bob", "Carol", "Carol"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?n WHERE { ?p ex:knows ?q . ?q ex:name ?n }`)
+	if res.Len() != 2 {
+		t.Errorf("distinct returned %d rows, want 2", res.Len())
+	}
+}
+
+func TestFilterComparisons(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a >= 30) }`)
+	got := names(res, "p")
+	want := []string{"alice", "carol"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a < 18 || ?a = 42) }`)
+	got = names(res, "p")
+	want = []string{"alice", "bob"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFilterNotEquals(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p ?q WHERE { ?p a ex:Person . ?q a ex:Person . FILTER(?p != ?q) }`)
+	if res.Len() != 6 {
+		t.Errorf("got %d pairs, want 6", res.Len())
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?d WHERE { ex:alice ?d ?v }`)
+	got := names(res, "d")
+	want := []string{"age", "knows", "name", "type"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPropertyPathPlus(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a WHERE { ex:athens skos:broader+ ?a }`)
+	got := names(res, "a")
+	want := []string{"europe", "greece", "world"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPropertyPathStarIncludesSelf(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a WHERE { ex:athens skos:broader* ?a }`)
+	got := names(res, "a")
+	want := []string{"athens", "europe", "greece", "world"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPropertyPathSequenceAndBackward(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a WHERE { ?a skos:broader/skos:broader ex:world }`)
+	got := names(res, "a")
+	want := []string{"greece", "italy"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPropertyPathInverse(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a WHERE { ex:europe ^skos:broader ?a }`)
+	got := names(res, "a")
+	want := []string{"greece", "italy"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPropertyPathAlternative(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?v WHERE { ex:alice (ex:name|ex:age) ?v }`)
+	if res.Len() != 2 {
+		t.Errorf("got %d rows, want 2", res.Len())
+	}
+}
+
+func TestNotExists(t *testing.T) {
+	g := testGraph(t)
+	// Persons nobody knows.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p a ex:Person . FILTER NOT EXISTS { ?q ex:knows ?p } }`)
+	got := names(res, "p")
+	want := []string{"alice"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNestedNotExists(t *testing.T) {
+	g := testGraph(t)
+	// Persons all of whose acquaintances are adults: NOT EXISTS a known
+	// minor. Carol knows nobody, Alice knows Bob (17).
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE {
+  ?p a ex:Person .
+  FILTER NOT EXISTS { ?p ex:knows ?q . ?q ex:age ?a . FILTER(?a < 18) }
+}`)
+	got := names(res, "p")
+	want := []string{"bob", "carol"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestOptional(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p ?q WHERE { ?p a ex:Person . OPTIONAL { ?p ex:knows ?q } }`)
+	// alice→bob, alice→carol, bob→carol, carol→(unbound) = 4 rows.
+	if res.Len() != 4 {
+		t.Fatalf("got %d rows, want 4", res.Len())
+	}
+	unbound := 0
+	for _, s := range res.Solutions {
+		if _, ok := s["q"]; !ok {
+			unbound++
+		}
+	}
+	if unbound != 1 {
+		t.Errorf("got %d rows with unbound ?q, want 1", unbound)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { { ?x a ex:Person } UNION { ?x a ex:Robot } }`)
+	if res.Len() != 4 {
+		t.Errorf("got %d rows, want 4", res.Len())
+	}
+}
+
+func TestOrderLimitOffset(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { ?p ex:name ?n } ORDER BY ?n LIMIT 2 OFFSET 1`)
+	got := []string{}
+	for _, s := range res.Solutions {
+		got = append(got, s["n"].Value)
+	}
+	if strings.Join(got, ",") != "Bob,Carol" {
+		t.Errorf("got %v, want [Bob Carol]", got)
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { ?p ex:name ?n } ORDER BY DESC(?n) LIMIT 1`)
+	if res.Len() != 1 || res.Solutions[0]["n"].Value != "Dave" {
+		t.Errorf("DESC order: got %v", res.Solutions)
+	}
+}
+
+func TestAsk(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+ASK { ex:alice ex:knows ex:bob }`)
+	if !res.Bool {
+		t.Errorf("ASK known fact: got false")
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+ASK { ex:bob ex:knows ex:alice }`)
+	if res.Bool {
+		t.Errorf("ASK unknown fact: got true")
+	}
+}
+
+func TestBoundAndOptionalFilter(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE {
+  ?p a ex:Person .
+  OPTIONAL { ?p ex:knows ?q }
+  FILTER(!BOUND(?q))
+}`)
+	got := names(res, "p")
+	if strings.Join(got, ",") != "carol" {
+		t.Errorf("got %v, want [carol]", got)
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?v WHERE { ex:alice ?d ?v . FILTER(ISLITERAL(?v) && REGEX(STR(?v), "^Ali")) }`)
+	if res.Len() != 1 || res.Solutions[0]["v"].Value != "Alice" {
+		t.Errorf("got %v", res.Solutions)
+	}
+}
+
+func TestInOperator(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a IN (17, 30)) }`)
+	got := names(res, "p")
+	want := []string{"bob", "carol"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT ?x",
+		"SELECT ?x WHERE { ?x ex:p ?y }", // undefined prefix
+		"SELECT ?x WHERE { ?x ",
+		"FOO ?x WHERE { ?x ?p ?o }",
+		"SELECT ?x WHERE { ?x ?p ?o } LIMIT x",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestLessThanVsIRI(t *testing.T) {
+	// '<' as comparison operator must not be lexed as an IRI opener.
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a < 20) }`)
+	got := names(res, "p")
+	if strings.Join(got, ",") != "bob" {
+		t.Errorf("got %v, want [bob]", got)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT (COUNT(*) AS ?n) WHERE { ?p a ex:Person }`)
+	if res.Len() != 1 || res.Solutions[0]["n"].Value != "3" {
+		t.Errorf("COUNT(*) = %v", res.Solutions)
+	}
+}
+
+func TestCountVariableSkipsUnbound(t *testing.T) {
+	g := testGraph(t)
+	// carol has no ex:knows: COUNT(?q) over the OPTIONAL join counts only
+	// bound rows.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT (COUNT(?q) AS ?n) WHERE { ?p a ex:Person . OPTIONAL { ?p ex:knows ?q } }`)
+	if res.Solutions[0]["n"].Value != "3" {
+		t.Errorf("COUNT(?q) = %v, want 3", res.Solutions[0]["n"].Value)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	g := testGraph(t)
+	// alice and bob both know carol: distinct acquaintances = 2.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT (COUNT(DISTINCT ?q) AS ?n) WHERE { ?p ex:knows ?q }`)
+	if res.Solutions[0]["n"].Value != "2" {
+		t.Errorf("COUNT(DISTINCT ?q) = %v, want 2", res.Solutions[0]["n"].Value)
+	}
+}
+
+func TestCountParseErrors(t *testing.T) {
+	for _, q := range []string{
+		`SELECT (COUNT(*) AS n) WHERE { ?s ?p ?o }`,
+		`SELECT (COUNT() AS ?n) WHERE { ?s ?p ?o }`,
+		`SELECT (COUNT(*) ?n) WHERE { ?s ?p ?o }`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected parse error for %q", q)
+		}
+	}
+}
+
+func TestFilterOnOptionalVarErrorSemantics(t *testing.T) {
+	g := testGraph(t)
+	// carol has no ex:knows; FILTER over the unbound ?q is a type error
+	// and excludes her row (SPARQL error semantics).
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p ?q WHERE {
+  ?p a ex:Person .
+  OPTIONAL { ?p ex:knows ?q }
+  FILTER(?q != ex:carol)
+}`)
+	got := map[string]bool{}
+	for _, s := range res.Solutions {
+		got[s["p"].Local()+"→"+s["q"].Local()] = true
+	}
+	if len(got) != 1 || !got["alice→bob"] {
+		t.Errorf("got %v, want only alice→bob", got)
+	}
+}
+
+func TestFilterUnboundComparisonExcludes(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p a ex:Person . OPTIONAL { ?p ex:missing ?v } FILTER(?v > 1) }`)
+	if res.Len() != 0 {
+		t.Errorf("unbound comparison must exclude all rows, got %d", res.Len())
+	}
+}
+
+func TestFilterMixedTypeOrderingFallsBackToString(t *testing.T) {
+	g := testGraph(t)
+	// Name (string) compared with a numeric literal: lexical comparison.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name ?n . FILTER(?n > "Bob") }`)
+	got := names(res, "p")
+	want := []string{"carol", "dave"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNumericEqualityAcrossDatatypes(t *testing.T) {
+	g := testGraph(t)
+	// 42 (integer) == 42.0 (decimal) under numeric value equality.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a = 42.0) }`)
+	got := names(res, "p")
+	if strings.Join(got, ",") != "alice" {
+		t.Errorf("got %v, want [alice]", got)
+	}
+}
+
+func TestDistinctWithUnboundColumn(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?q WHERE { ?p a ex:Person . OPTIONAL { ?p ex:knows ?q } }`)
+	// bob, carol, and the unbound row: 3 distinct rows.
+	if res.Len() != 3 {
+		t.Errorf("got %d rows, want 3", res.Len())
+	}
+}
+
+func TestSameVariableTwiceInPattern(t *testing.T) {
+	g := testGraph(t)
+	// ?x ex:knows ?x matches nobody (no self-loops in the test data).
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ?x ex:knows ?x }`)
+	if res.Len() != 0 {
+		t.Errorf("self-loop pattern matched %d", res.Len())
+	}
+	// Subject/object join on the same variable via two patterns.
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ex:alice ex:knows ?x . ?x ex:knows ?y }`)
+	got := names(res, "x")
+	if strings.Join(got, ",") != "bob" {
+		t.Errorf("got %v, want [bob]", got)
+	}
+}
+
+func TestPathZeroOrOne(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a WHERE { ex:greece skos:broader? ?a }`)
+	got := names(res, "a")
+	want := []string{"europe", "greece"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPathBothEndpointsUnbound(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a ?b WHERE { ?a skos:broader/skos:broader ?b }`)
+	// athens→europe, greece→world, italy→world, rome→europe.
+	if res.Len() != 4 {
+		t.Errorf("got %d rows, want 4: %v", res.Len(), res.Solutions)
+	}
+}
+
+func TestPathCycleSafety(t *testing.T) {
+	g := testGraph(t)
+	// Introduce a cycle and ensure * terminates with set semantics.
+	g.Add(rdf.NewIRI("http://example.org/world"), rdf.NewIRI(rdf.SkosBroader), rdf.NewIRI("http://example.org/athens"))
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+SELECT ?a WHERE { ex:athens skos:broader+ ?a }`)
+	got := names(res, "a")
+	want := []string{"athens", "europe", "greece", "world"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("cycle handling: got %v, want %v", got, want)
+	}
+}
+
+func TestDatatypeLangStrFunctions(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(DATATYPE(?a) = xsd:integer && ?p = ex:alice) }`)
+	if res.Len() != 1 {
+		t.Errorf("DATATYPE filter: %d rows", res.Len())
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name ?n . FILTER(LANG(?n) = "") }`)
+	if res.Len() != 4 {
+		t.Errorf("LANG filter: %d rows, want 4", res.Len())
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name ?n . FILTER(ISIRI(?p) && !ISBLANK(?p)) }`)
+	if res.Len() != 4 {
+		t.Errorf("ISIRI/ISBLANK: %d rows", res.Len())
+	}
+}
+
+func TestNotInOperator(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a NOT IN (17, 42)) }`)
+	got := names(res, "p")
+	if strings.Join(got, ",") != "carol" {
+		t.Errorf("NOT IN: %v", got)
+	}
+}
+
+func TestStringLiteralsInQueries(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name "Alice" }`)
+	if res.Len() != 1 {
+		t.Errorf("literal object match: %d", res.Len())
+	}
+	// Escapes inside query strings.
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name ?n . FILTER(?n = "Ali\tce" || ?n = "Bob") }`)
+	if res.Len() != 1 {
+		t.Errorf("escaped literal: %d", res.Len())
+	}
+}
+
+func TestLangTaggedLiteralInQuery(t *testing.T) {
+	g := testGraph(t)
+	g.Add(rdf.NewIRI("http://example.org/eve"), rdf.NewIRI("http://example.org/name"),
+		rdf.NewLangLiteral("Eva", "de"))
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name "Eva"@de }`)
+	if res.Len() != 1 {
+		t.Errorf("lang literal match: %d", res.Len())
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name ?n . FILTER(LANG(?n) = "de") }`)
+	if res.Len() != 1 {
+		t.Errorf("LANG = de: %d", res.Len())
+	}
+}
+
+func TestBooleanLiteralAndEBV(t *testing.T) {
+	g := testGraph(t)
+	g.Add(rdf.NewIRI("http://example.org/alice"), rdf.NewIRI("http://example.org/active"),
+		rdf.NewTypedLiteral("true", rdf.XSDBoolean))
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:active ?v . FILTER(?v) }`)
+	if res.Len() != 1 {
+		t.Errorf("EBV of boolean literal: %d", res.Len())
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:active true }`)
+	if res.Len() != 1 {
+		t.Errorf("boolean term match: %d", res.Len())
+	}
+}
+
+func TestEBVNumericAndString(t *testing.T) {
+	g := testGraph(t)
+	// Numeric zero is false, non-zero true; empty string false.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a) }`)
+	if res.Len() != 3 {
+		t.Errorf("EBV of nonzero ages: %d", res.Len())
+	}
+	res = mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p ex:name ?n . FILTER(?n) }`)
+	if res.Len() != 4 {
+		t.Errorf("EBV of nonempty names: %d", res.Len())
+	}
+}
+
+func TestExistsPositive(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p a ex:Person . FILTER EXISTS { ?p ex:knows ?q } }`)
+	got := names(res, "p")
+	want := []string{"alice", "bob"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("EXISTS: %v", got)
+	}
+}
+
+func TestLogicalOrWithErrorBranch(t *testing.T) {
+	g := testGraph(t)
+	// ?q unbound on some rows: (?q = ex:bob || ?a > 20) must still accept
+	// rows where the right branch is true.
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE {
+  ?p ex:age ?a .
+  OPTIONAL { ?p ex:knows ?q }
+  FILTER(?q = ex:bob || ?a > 20)
+}`)
+	got := map[string]bool{}
+	for _, s := range res.Solutions {
+		got[s["p"].Local()] = true
+	}
+	if !got["alice"] || !got["carol"] {
+		t.Errorf("error-tolerant OR: %v", got)
+	}
+}
+
+func TestOffsetBeyondResults(t *testing.T) {
+	g := testGraph(t)
+	res := mustExec(t, g, `PREFIX ex: <http://example.org/>
+SELECT ?p WHERE { ?p a ex:Person } ORDER BY ?p OFFSET 10`)
+	if res.Len() != 0 {
+		t.Errorf("offset past end: %d rows", res.Len())
+	}
+}

@@ -1,0 +1,410 @@
+package sparql
+
+import (
+	"context"
+
+	"rdfcube/internal/rdf"
+)
+
+// cNode is a compiled pattern slot: either a constant term or a variable
+// slot index.
+type cNode struct {
+	slot int // -1 for constants
+	term rdf.Term
+}
+
+// cPattern is a compiled triple pattern.
+type cPattern struct {
+	s, p, o cNode
+	path    *Path
+}
+
+// filterInfo is compile-time metadata for one filter expression.
+type filterInfo struct {
+	expr      Expr
+	freeSlots []int
+	hasExists bool
+}
+
+// evaluator executes a compiled query against a graph.
+type evaluator struct {
+	g *rdf.Graph
+	q *Query
+
+	vars     map[string]int
+	varNames []string
+
+	cPatterns map[*triplesElem][]cPattern
+	cFilters  map[*groupPattern][]filterInfo
+
+	ctx      context.Context
+	ctxTick  int
+	canceled bool
+}
+
+// checkCtx polls the context every few thousand pattern evaluations; once
+// canceled, every emit chain aborts.
+func (ev *evaluator) checkCtx() bool {
+	if ev.ctx == nil {
+		return true
+	}
+	if ev.canceled {
+		return false
+	}
+	ev.ctxTick++
+	if ev.ctxTick&0x3ff == 0 && ev.ctx.Err() != nil {
+		ev.canceled = true
+		return false
+	}
+	return true
+}
+
+func newEvaluator(g *rdf.Graph, q *Query, vars map[string]int, varNames []string) *evaluator {
+	ev := &evaluator{
+		g: g, q: q,
+		vars:      vars,
+		varNames:  varNames,
+		cPatterns: map[*triplesElem][]cPattern{},
+		cFilters:  map[*groupPattern][]filterInfo{},
+	}
+	ev.compileGroup(q.where)
+	return ev
+}
+
+func (ev *evaluator) slot(name string) int {
+	if i, ok := ev.vars[name]; ok {
+		return i
+	}
+	i := len(ev.varNames)
+	ev.vars[name] = i
+	ev.varNames = append(ev.varNames, name)
+	return i
+}
+
+func (ev *evaluator) compileNode(n Node) cNode {
+	if n.IsVar() {
+		return cNode{slot: ev.slot(n.Var())}
+	}
+	return cNode{slot: -1, term: n.Term()}
+}
+
+func (ev *evaluator) compileGroup(g *groupPattern) {
+	for _, el := range g.elems {
+		switch e := el.(type) {
+		case *triplesElem:
+			cs := make([]cPattern, len(e.patterns))
+			for i, tp := range e.patterns {
+				cs[i] = cPattern{s: ev.compileNode(tp.S), p: ev.compileNode(tp.P), o: ev.compileNode(tp.O), path: tp.Path}
+			}
+			ev.cPatterns[e] = cs
+		case *optionalElem:
+			ev.compileGroup(e.group)
+		case *unionElem:
+			for _, sub := range e.groups {
+				ev.compileGroup(sub)
+			}
+		case *groupPattern:
+			ev.compileGroup(e)
+		}
+	}
+	infos := make([]filterInfo, len(g.filters))
+	for i, f := range g.filters {
+		fi := filterInfo{expr: f}
+		collectExprInfo(f, &fi)
+		infos[i] = fi
+		if fi.hasExists {
+			// compile nested EXISTS groups too
+			compileExistsGroups(ev, f)
+		}
+	}
+	ev.cFilters[g] = infos
+}
+
+func compileExistsGroups(ev *evaluator, e Expr) {
+	switch x := e.(type) {
+	case existsExpr:
+		ev.compileGroup(x.group)
+	case logicalExpr:
+		compileExistsGroups(ev, x.l)
+		compileExistsGroups(ev, x.r)
+	case notExpr:
+		compileExistsGroups(ev, x.e)
+	case cmpExpr:
+		compileExistsGroups(ev, x.l)
+		compileExistsGroups(ev, x.r)
+	case inExpr:
+		compileExistsGroups(ev, x.l)
+		for _, y := range x.list {
+			compileExistsGroups(ev, y)
+		}
+	case unaryFnExpr:
+		compileExistsGroups(ev, x.arg)
+	case regexExpr:
+		compileExistsGroups(ev, x.arg)
+		compileExistsGroups(ev, x.pattern)
+	}
+}
+
+func collectExprInfo(e Expr, fi *filterInfo) {
+	switch x := e.(type) {
+	case varExpr:
+		fi.freeSlots = append(fi.freeSlots, x.slot)
+	case boundExpr:
+		fi.freeSlots = append(fi.freeSlots, x.slot)
+	case logicalExpr:
+		collectExprInfo(x.l, fi)
+		collectExprInfo(x.r, fi)
+	case notExpr:
+		collectExprInfo(x.e, fi)
+	case cmpExpr:
+		collectExprInfo(x.l, fi)
+		collectExprInfo(x.r, fi)
+	case inExpr:
+		collectExprInfo(x.l, fi)
+		for _, y := range x.list {
+			collectExprInfo(y, fi)
+		}
+	case unaryFnExpr:
+		collectExprInfo(x.arg, fi)
+	case regexExpr:
+		collectExprInfo(x.arg, fi)
+		collectExprInfo(x.pattern, fi)
+	case existsExpr:
+		fi.hasExists = true
+	}
+}
+
+// evalGroup streams the group's solutions that extend binding b. Filters
+// without EXISTS apply as soon as their free variables are bound (a safe
+// monotone optimization); EXISTS-bearing filters apply at group end.
+// Returns false when the emit chain aborted.
+func (ev *evaluator) evalGroup(g *groupPattern, b binding, emit func(binding) bool) bool {
+	infos := ev.cFilters[g]
+	applied := make([]bool, len(infos))
+	return ev.evalElems(g, 0, applied, b, emit)
+}
+
+func (ev *evaluator) checkReadyFilters(g *groupPattern, applied []bool, b binding, final bool) (ok bool, newApplied []bool) {
+	infos := ev.cFilters[g]
+	newApplied = applied
+	copied := false
+	for i := range infos {
+		if applied[i] {
+			continue
+		}
+		ready := final
+		if !ready && !infos[i].hasExists {
+			ready = true
+			for _, s := range infos[i].freeSlots {
+				if b[s].IsZero() {
+					ready = false
+					break
+				}
+			}
+		}
+		if !ready {
+			continue
+		}
+		v, okv := ebv(infos[i].expr.eval(b, ev))
+		if !okv || !v {
+			return false, applied
+		}
+		if !copied {
+			newApplied = append([]bool{}, newApplied...)
+			copied = true
+		}
+		newApplied[i] = true
+	}
+	return true, newApplied
+}
+
+func (ev *evaluator) evalElems(g *groupPattern, idx int, applied []bool, b binding, emit func(binding) bool) bool {
+	ok, applied := ev.checkReadyFilters(g, applied, b, idx == len(g.elems))
+	if !ok {
+		return true
+	}
+	if idx == len(g.elems) {
+		return emit(b)
+	}
+	cont := func(b2 binding) bool {
+		return ev.evalElems(g, idx+1, applied, b2, emit)
+	}
+	switch e := g.elems[idx].(type) {
+	case *triplesElem:
+		return ev.evalBGP(ev.cPatterns[e], b, cont)
+	case *optionalElem:
+		matched := false
+		ok := ev.evalGroup(e.group, b, func(b2 binding) bool {
+			matched = true
+			return cont(b2)
+		})
+		if !ok {
+			return false
+		}
+		if !matched {
+			return cont(b)
+		}
+		return true
+	case *unionElem:
+		for _, sub := range e.groups {
+			if !ev.evalGroup(sub, b, cont) {
+				return false
+			}
+		}
+		return true
+	case *groupPattern:
+		return ev.evalGroup(e, b, cont)
+	}
+	return true
+}
+
+// evalBGP joins the patterns with dynamic greedy ordering: at every level
+// the most-bound remaining pattern runs next.
+func (ev *evaluator) evalBGP(patterns []cPattern, b binding, emit func(binding) bool) bool {
+	if len(patterns) == 0 {
+		return emit(b)
+	}
+	best, bestScore := 0, -1
+	for i, p := range patterns {
+		s := ev.patternScore(p, b)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	rest := make([]cPattern, 0, len(patterns)-1)
+	rest = append(rest, patterns[:best]...)
+	rest = append(rest, patterns[best+1:]...)
+	return ev.evalPattern(patterns[best], b, func(b2 binding) bool {
+		return ev.evalBGP(rest, b2, emit)
+	})
+}
+
+func (ev *evaluator) patternScore(p cPattern, b binding) int {
+	score := 0
+	bound := func(n cNode) bool { return n.slot < 0 || !b[n.slot].IsZero() }
+	if bound(p.s) {
+		score += 4
+	}
+	if p.path == nil && bound(p.p) {
+		score += 2
+	}
+	if bound(p.o) {
+		score += 3
+	}
+	if p.path != nil {
+		score -= 2 // paths are expensive; bind their endpoints first
+	}
+	return score
+}
+
+func (ev *evaluator) resolve(n cNode, b binding) rdf.Term {
+	if n.slot < 0 {
+		return n.term
+	}
+	return b[n.slot]
+}
+
+// bindIfNeeded binds slot to t; reports false on conflict with an existing
+// binding. undo receives the slot when a new binding was created.
+func bindIfNeeded(b binding, n cNode, t rdf.Term, undo *[]int) bool {
+	if n.slot < 0 {
+		return n.term == t
+	}
+	cur := b[n.slot]
+	if !cur.IsZero() {
+		return cur == t
+	}
+	b[n.slot] = t
+	*undo = append(*undo, n.slot)
+	return true
+}
+
+func (ev *evaluator) evalPattern(p cPattern, b binding, emit func(binding) bool) bool {
+	if !ev.checkCtx() {
+		return false
+	}
+	if p.path != nil {
+		return ev.evalPathPattern(p, b, emit)
+	}
+	s := ev.resolve(p.s, b)
+	pr := ev.resolve(p.p, b)
+	o := ev.resolve(p.o, b)
+	ok := true
+	ev.g.Match(s, pr, o, func(t rdf.Triple) bool {
+		var undo []int
+		if bindIfNeeded(b, p.s, t.S, &undo) &&
+			bindIfNeeded(b, p.p, t.P, &undo) &&
+			bindIfNeeded(b, p.o, t.O, &undo) {
+			ok = emit(b)
+		}
+		for _, u := range undo {
+			b[u] = rdf.Term{}
+		}
+		return ok
+	})
+	return ok
+}
+
+func (ev *evaluator) evalPathPattern(p cPattern, b binding, emit func(binding) bool) bool {
+	s := ev.resolve(p.s, b)
+	o := ev.resolve(p.o, b)
+	switch {
+	case !s.IsZero() && !o.IsZero():
+		if pathHolds(ev.g, p.path, s, o) {
+			return emit(b)
+		}
+		return true
+	case !s.IsZero():
+		ok := true
+		evalPathForward(ev.g, p.path, s, func(t rdf.Term) bool {
+			var undo []int
+			if bindIfNeeded(b, p.o, t, &undo) {
+				ok = emit(b)
+			}
+			for _, u := range undo {
+				b[u] = rdf.Term{}
+			}
+			return ok
+		})
+		return ok
+	case !o.IsZero():
+		ok := true
+		evalPathBackward(ev.g, p.path, o, func(t rdf.Term) bool {
+			var undo []int
+			if bindIfNeeded(b, p.s, t, &undo) {
+				ok = emit(b)
+			}
+			for _, u := range undo {
+				b[u] = rdf.Term{}
+			}
+			return ok
+		})
+		return ok
+	default:
+		ok := true
+		pathStartCandidates(ev.g, p.path, func(start rdf.Term) bool {
+			var undoS []int
+			if !bindIfNeeded(b, p.s, start, &undoS) {
+				for _, u := range undoS {
+					b[u] = rdf.Term{}
+				}
+				return true
+			}
+			evalPathForward(ev.g, p.path, start, func(t rdf.Term) bool {
+				var undo []int
+				if bindIfNeeded(b, p.o, t, &undo) {
+					ok = emit(b)
+				}
+				for _, u := range undo {
+					b[u] = rdf.Term{}
+				}
+				return ok
+			})
+			for _, u := range undoS {
+				b[u] = rdf.Term{}
+			}
+			return ok
+		})
+		return ok
+	}
+}

@@ -1,0 +1,275 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// Expr is a SPARQL filter expression. Evaluation yields an rdf.Term value
+// (booleans as xsd:boolean literals) or an error state represented by the
+// zero Term, which propagates like SPARQL's type errors.
+type Expr interface {
+	eval(b binding, ev *evaluator) rdf.Term
+}
+
+// binding maps variable slots to terms; the zero Term means unbound.
+type binding []rdf.Term
+
+var (
+	trueTerm  = rdf.NewTypedLiteral("true", rdf.XSDBoolean)
+	falseTerm = rdf.NewTypedLiteral("false", rdf.XSDBoolean)
+)
+
+func boolTerm(b bool) rdf.Term {
+	if b {
+		return trueTerm
+	}
+	return falseTerm
+}
+
+// ebv is the SPARQL effective boolean value; the second result is false on
+// a type error.
+func ebv(t rdf.Term) (bool, bool) {
+	if t.IsZero() {
+		return false, false
+	}
+	if t.Kind != rdf.LiteralKind {
+		return false, false
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return t.Value == "true" || t.Value == "1", true
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return false, true
+		}
+		return f != 0, true
+	default:
+		return t.Value != "", true
+	}
+}
+
+// varExpr references a variable slot.
+type varExpr struct{ slot int }
+
+func (e varExpr) eval(b binding, _ *evaluator) rdf.Term { return b[e.slot] }
+
+// constExpr wraps a constant term.
+type constExpr struct{ t rdf.Term }
+
+func (e constExpr) eval(binding, *evaluator) rdf.Term { return e.t }
+
+// logicalExpr is && or ||.
+type logicalExpr struct {
+	and  bool
+	l, r Expr
+}
+
+func (e logicalExpr) eval(b binding, ev *evaluator) rdf.Term {
+	lv, lok := ebv(e.l.eval(b, ev))
+	rv, rok := ebv(e.r.eval(b, ev))
+	if e.and {
+		switch {
+		case lok && rok:
+			return boolTerm(lv && rv)
+		case lok && !lv, rok && !rv:
+			return falseTerm
+		default:
+			return rdf.Term{}
+		}
+	}
+	switch {
+	case lok && rok:
+		return boolTerm(lv || rv)
+	case lok && lv, rok && rv:
+		return trueTerm
+	default:
+		return rdf.Term{}
+	}
+}
+
+// notExpr is !e.
+type notExpr struct{ e Expr }
+
+func (e notExpr) eval(b binding, ev *evaluator) rdf.Term {
+	v, ok := ebv(e.e.eval(b, ev))
+	if !ok {
+		return rdf.Term{}
+	}
+	return boolTerm(!v)
+}
+
+// cmpExpr is a comparison: = != < <= > >=.
+type cmpExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e cmpExpr) eval(b binding, ev *evaluator) rdf.Term {
+	lv := e.l.eval(b, ev)
+	rv := e.r.eval(b, ev)
+	if lv.IsZero() || rv.IsZero() {
+		return rdf.Term{}
+	}
+	switch e.op {
+	case "=":
+		return boolTerm(termsEqual(lv, rv))
+	case "!=":
+		return boolTerm(!termsEqual(lv, rv))
+	}
+	// Ordering comparisons: numeric when both sides are numeric, string
+	// comparison of lexical forms otherwise.
+	lf, lnum := numericValue(lv)
+	rf, rnum := numericValue(rv)
+	var c int
+	if lnum && rnum {
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	} else {
+		c = strings.Compare(lv.Value, rv.Value)
+	}
+	switch e.op {
+	case "<":
+		return boolTerm(c < 0)
+	case "<=":
+		return boolTerm(c <= 0)
+	case ">":
+		return boolTerm(c > 0)
+	case ">=":
+		return boolTerm(c >= 0)
+	}
+	return rdf.Term{}
+}
+
+// termsEqual implements SPARQL's RDFterm-equal with numeric value equality.
+func termsEqual(a, b rdf.Term) bool {
+	if a == b {
+		return true
+	}
+	if af, aok := numericValue(a); aok {
+		if bf, bok := numericValue(b); bok {
+			return af == bf
+		}
+	}
+	return false
+}
+
+func numericValue(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.LiteralKind {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// boundExpr is BOUND(?v).
+type boundExpr struct{ slot int }
+
+func (e boundExpr) eval(b binding, _ *evaluator) rdf.Term {
+	return boolTerm(!b[e.slot].IsZero())
+}
+
+// unaryFnExpr covers STR, LANG, DATATYPE, ISIRI, ISLITERAL, ISBLANK.
+type unaryFnExpr struct {
+	fn  string
+	arg Expr
+}
+
+func (e unaryFnExpr) eval(b binding, ev *evaluator) rdf.Term {
+	v := e.arg.eval(b, ev)
+	if v.IsZero() {
+		return rdf.Term{}
+	}
+	switch e.fn {
+	case "STR":
+		return rdf.NewLiteral(v.Value)
+	case "LANG":
+		return rdf.NewLiteral(v.Lang)
+	case "DATATYPE":
+		dt := v.Datatype
+		if v.Kind == rdf.LiteralKind && dt == "" {
+			dt = rdf.XSDString
+		}
+		return rdf.NewIRI(dt)
+	case "ISIRI", "ISURI":
+		return boolTerm(v.Kind == rdf.IRIKind)
+	case "ISLITERAL":
+		return boolTerm(v.Kind == rdf.LiteralKind)
+	case "ISBLANK":
+		return boolTerm(v.Kind == rdf.BlankKind)
+	}
+	return rdf.Term{}
+}
+
+// regexExpr is REGEX(str, pattern) with plain substring semantics for the
+// common unanchored case and prefix/suffix anchors — not a full RE engine;
+// enough for code-list matching in examples and tests.
+type regexExpr struct {
+	arg, pattern Expr
+}
+
+func (e regexExpr) eval(b binding, ev *evaluator) rdf.Term {
+	v := e.arg.eval(b, ev)
+	p := e.pattern.eval(b, ev)
+	if v.IsZero() || p.IsZero() {
+		return rdf.Term{}
+	}
+	pat := p.Value
+	s := v.Value
+	switch {
+	case strings.HasPrefix(pat, "^") && strings.HasSuffix(pat, "$"):
+		return boolTerm(s == pat[1:len(pat)-1])
+	case strings.HasPrefix(pat, "^"):
+		return boolTerm(strings.HasPrefix(s, pat[1:]))
+	case strings.HasSuffix(pat, "$"):
+		return boolTerm(strings.HasSuffix(s, pat[:len(pat)-1]))
+	default:
+		return boolTerm(strings.Contains(s, pat))
+	}
+}
+
+// existsExpr is EXISTS { ... } / NOT EXISTS { ... }.
+type existsExpr struct {
+	neg   bool
+	group *groupPattern
+}
+
+func (e existsExpr) eval(b binding, ev *evaluator) rdf.Term {
+	found := false
+	ev.evalGroup(e.group, b, func(binding) bool {
+		found = true
+		return false
+	})
+	return boolTerm(found != e.neg)
+}
+
+// inExpr is ?v IN (e1, e2, ...).
+type inExpr struct {
+	neg  bool
+	l    Expr
+	list []Expr
+}
+
+func (e inExpr) eval(b binding, ev *evaluator) rdf.Term {
+	lv := e.l.eval(b, ev)
+	if lv.IsZero() {
+		return rdf.Term{}
+	}
+	for _, x := range e.list {
+		if termsEqual(lv, x.eval(b, ev)) {
+			return boolTerm(!e.neg)
+		}
+	}
+	return boolTerm(e.neg)
+}

@@ -1,0 +1,218 @@
+package sparql
+
+// brackettedOrBuiltin parses FILTER's argument: a parenthesized expression
+// or a builtin call (including EXISTS / NOT EXISTS).
+func (p *parser) brackettedOrBuiltin() (Expr, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "(" {
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.primaryExpr()
+}
+
+// expression parses with precedence: || < && < relational < unary.
+func (p *parser) expression() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("||") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = logicalExpr{and: false, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.relationalExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("&&") {
+		r, err := p.relationalExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = logicalExpr{and: true, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relationalExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return cmpExpr{op: t.text, l: l, r: r}, nil
+		}
+	}
+	if p.cur().kind == tokKeyword && p.cur().text == "IN" {
+		p.pos++
+		list, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return inExpr{l: l, list: list}, nil
+	}
+	if p.cur().kind == tokKeyword && p.cur().text == "NOT" &&
+		p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "IN" {
+		p.pos += 2
+		list, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return inExpr{neg: true, l: l, list: list}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) exprList() ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.acceptPunct("!") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e: e}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokVar:
+		p.pos++
+		return varExpr{slot: p.slot(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "BOUND":
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if p.cur().kind != tokVar {
+				return nil, p.errf("BOUND expects a variable")
+			}
+			slot := p.slot(p.next().text)
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return boundExpr{slot: slot}, nil
+		case "STR", "LANG", "DATATYPE", "ISIRI", "ISURI", "ISLITERAL", "ISBLANK":
+			p.pos++
+			fn := t.text
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return unaryFnExpr{fn: fn, arg: arg}, nil
+		case "REGEX":
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			pat, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return regexExpr{arg: arg, pattern: pat}, nil
+		case "EXISTS":
+			p.pos++
+			g, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			return existsExpr{group: g}, nil
+		case "NOT":
+			p.pos++
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return nil, err
+			}
+			g, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			return existsExpr{neg: true, group: g}, nil
+		case "TRUE", "FALSE":
+			n, err := p.nodeTermOrVar()
+			if err != nil {
+				return nil, err
+			}
+			return constExpr{t: n.Term()}, nil
+		}
+	case tokIRI, tokPName, tokString, tokNumber:
+		n, err := p.nodeTermOrVar()
+		if err != nil {
+			return nil, err
+		}
+		return constExpr{t: n.Term()}, nil
+	}
+	return nil, p.errf("expected expression")
+}

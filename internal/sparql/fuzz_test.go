@@ -1,0 +1,39 @@
+package sparql
+
+import (
+	"testing"
+
+	"rdfcube/internal/turtle"
+)
+
+// FuzzParse exercises the SPARQL parser on arbitrary inputs: it must never
+// panic; parses that succeed must also execute without panicking against a
+// small graph.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * WHERE { ?s ?p ?o }",
+		"PREFIX ex: <http://x/> SELECT DISTINCT ?s WHERE { ?s a ex:T . FILTER(?s != ex:a) }",
+		"ASK { ?s ?p ?o }",
+		"SELECT ?s WHERE { ?s <http://x/p>+ ?o } ORDER BY DESC(?s) LIMIT 3",
+		"SELECT ?s WHERE { { ?s ?p ?o } UNION { ?o ?p ?s } OPTIONAL { ?s ?q ?r } }",
+		"SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o . FILTER NOT EXISTS { ?s ?p 5 } }",
+		PartialContainmentQuery,
+		FullContainmentQuery,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g, err := turtle.Parse(testData, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := ExecQuery(g, q); err != nil {
+			t.Fatalf("parsed query failed to execute: %v\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package sparql
+
+import (
+	"strings"
+	"unicode"
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "WHERE": true, "FILTER": true,
+	"PREFIX": true, "BASE": true, "DISTINCT": true, "REDUCED": true,
+	"LIMIT": true, "OFFSET": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "OPTIONAL": true, "UNION": true,
+	"EXISTS": true, "NOT": true, "BOUND": true, "STR": true,
+	"ISIRI": true, "ISURI": true, "ISLITERAL": true, "ISBLANK": true,
+	"REGEX": true, "LANG": true, "DATATYPE": true, "IN": true,
+	"TRUE": true, "FALSE": true, "AS": true, "COUNT": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipWS() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.advance(1)
+		} else if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		} else {
+			return
+		}
+	}
+}
+
+// tokens lexes the whole input.
+func (l *lexer) tokens() ([]token, error) {
+	var out []token
+	for {
+		l.skipWS()
+		if l.pos >= len(l.src) {
+			out = append(out, token{kind: tokEOF, line: l.line, col: l.col})
+			return out, nil
+		}
+		line, col := l.line, l.col
+		c := l.src[l.pos]
+		switch {
+		case isTwoCharPunct(l.src[l.pos:]):
+			out = append(out, token{kind: tokPunct, text: l.src[l.pos : l.pos+2], line: line, col: col})
+			l.advance(2)
+		case c == '<' && iriEnd(l.src[l.pos:]) > 0:
+			end := iriEnd(l.src[l.pos:])
+			iri := l.src[l.pos+1 : l.pos+end]
+			l.advance(end + 1)
+			out = append(out, token{kind: tokIRI, text: iri, line: line, col: col})
+		case c == '?' || c == '$':
+			l.advance(1)
+			start := l.pos
+			for l.pos < len(l.src) && isNameChar(rune(l.src[l.pos])) {
+				l.advance(1)
+			}
+			if l.pos == start {
+				// '?' alone is the zero-or-one path operator.
+				out = append(out, token{kind: tokPunct, text: "?", line: line, col: col})
+				continue
+			}
+			out = append(out, token{kind: tokVar, text: l.src[start:l.pos], line: line, col: col})
+		case c == '"' || c == '\'':
+			s, err := l.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, token{kind: tokString, text: s, line: line, col: col})
+			// Language tag or datatype separator handled as separate tokens.
+			if l.pos < len(l.src) && l.src[l.pos] == '@' {
+				l.advance(1)
+				start := l.pos
+				for l.pos < len(l.src) && (isNameChar(rune(l.src[l.pos])) || l.src[l.pos] == '-') {
+					l.advance(1)
+				}
+				out = append(out, token{kind: tokLangTag, text: l.src[start:l.pos], line: line, col: col})
+			} else if strings.HasPrefix(l.src[l.pos:], "^^") {
+				l.advance(2)
+				out = append(out, token{kind: tokDTypeSep, line: line, col: col})
+			}
+		case c == '_' && strings.HasPrefix(l.src[l.pos:], "_:"):
+			l.advance(2)
+			start := l.pos
+			for l.pos < len(l.src) && isNameChar(rune(l.src[l.pos])) {
+				l.advance(1)
+			}
+			out = append(out, token{kind: tokBlank, text: l.src[start:l.pos], line: line, col: col})
+		case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+			start := l.pos
+			dec := false
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d >= '0' && d <= '9' {
+					l.advance(1)
+				} else if d == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+					dec = true
+					l.advance(1)
+				} else if d == 'e' || d == 'E' {
+					dec = true
+					l.advance(1)
+					if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+						l.advance(1)
+					}
+				} else {
+					break
+				}
+			}
+			out = append(out, token{kind: tokNumber, text: l.src[start:l.pos], isDec: dec, line: line, col: col})
+		case strings.IndexByte("{}().;,/|^*+?!=<>-&", c) >= 0:
+			out = append(out, token{kind: tokPunct, text: string(c), line: line, col: col})
+			l.advance(1)
+		default:
+			// Bare word: keyword, 'a', or prefixed name.
+			start := l.pos
+			for l.pos < len(l.src) && (isNameChar(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+				// A dot ends the word when followed by non-name (statement dot).
+				if l.src[l.pos] == '.' {
+					if l.pos+1 >= len(l.src) || !isNameChar(rune(l.src[l.pos+1])) {
+						break
+					}
+				}
+				l.advance(1)
+			}
+			word := l.src[start:l.pos]
+			if word == "" {
+				return nil, &Error{line, col, "unexpected character " + string(c)}
+			}
+			if l.pos < len(l.src) && l.src[l.pos] == ':' {
+				// prefixed name: word is the prefix
+				l.advance(1)
+				lstart := l.pos
+				for l.pos < len(l.src) && (isNameChar(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+					if l.src[l.pos] == '.' {
+						if l.pos+1 >= len(l.src) || !isNameChar(rune(l.src[l.pos+1])) {
+							break
+						}
+					}
+					l.advance(1)
+				}
+				out = append(out, token{kind: tokPName, text: word + ":" + l.src[lstart:l.pos], line: line, col: col})
+				continue
+			}
+			upper := strings.ToUpper(word)
+			if word == "a" {
+				out = append(out, token{kind: tokA, text: "a", line: line, col: col})
+			} else if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, line: line, col: col})
+			} else {
+				return nil, &Error{line, col, "unknown token " + word}
+			}
+		}
+	}
+}
+
+func (l *lexer) lexString(quote byte) (string, error) {
+	line, col := l.line, l.col
+	l.advance(1)
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.advance(1)
+			return b.String(), nil
+		}
+		if c == '\\' {
+			l.advance(1)
+			if l.pos >= len(l.src) {
+				break
+			}
+			e := l.src[l.pos]
+			l.advance(1)
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			default:
+				return "", &Error{line, col, "unknown escape in string"}
+			}
+			continue
+		}
+		b.WriteByte(c)
+		l.advance(1)
+	}
+	return "", &Error{line, col, "unterminated string"}
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// iriEnd returns the index of the closing '>' of an IRIREF starting at
+// s[0] == '<', or -1 when the candidate is not an IRI (whitespace, quote or
+// end of input intervenes) — in that case '<' is the less-than operator.
+func iriEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '>':
+			return i
+		case ' ', '\t', '\n', '\r', '"', '\'', '{', '}':
+			return -1
+		}
+	}
+	return -1
+}
+
+func isTwoCharPunct(s string) bool {
+	if len(s) < 2 {
+		return false
+	}
+	switch s[:2] {
+	case "!=", "<=", ">=", "&&", "||":
+		return true
+	}
+	return false
+}

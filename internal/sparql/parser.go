@@ -1,0 +1,506 @@
+package sparql
+
+import (
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// Parse parses a SELECT or ASK query.
+func Parse(src string) (*Query, error) {
+	toks, err := newLexer(src).tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}, vars: map[string]int{}}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+	base     string
+
+	vars     map[string]int
+	varNames []string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(msg string) *Error {
+	t := p.cur()
+	return &Error{Line: t.line, Col: t.col, Msg: msg + " (at " + t.text + ")"}
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected " + kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected '" + s + "'")
+	}
+	return nil
+}
+
+func (p *parser) slot(name string) int {
+	if i, ok := p.vars[name]; ok {
+		return i
+	}
+	i := len(p.varNames)
+	p.vars[name] = i
+	p.varNames = append(p.varNames, name)
+	return i
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	for {
+		if p.acceptKeyword("PREFIX") {
+			if p.cur().kind != tokPName {
+				return nil, p.errf("expected prefix name")
+			}
+			pn := p.next().text
+			name := strings.TrimSuffix(pn, ":")
+			if i := strings.IndexByte(pn, ':'); i >= 0 {
+				name = pn[:i]
+			}
+			if p.cur().kind != tokIRI {
+				return nil, p.errf("expected IRI after PREFIX")
+			}
+			p.prefixes[name] = p.next().text
+			continue
+		}
+		if p.acceptKeyword("BASE") {
+			if p.cur().kind != tokIRI {
+				return nil, p.errf("expected IRI after BASE")
+			}
+			p.base = p.next().text
+			continue
+		}
+		break
+	}
+
+	switch {
+	case p.acceptKeyword("SELECT"):
+		if p.acceptKeyword("DISTINCT") {
+			q.Distinct = true
+		} else {
+			p.acceptKeyword("REDUCED")
+		}
+		if p.acceptPunct("*") {
+			// SELECT * — project every variable.
+		} else if p.cur().kind == tokPunct && p.cur().text == "(" {
+			if err := p.countProjection(q); err != nil {
+				return nil, err
+			}
+		} else {
+			for p.cur().kind == tokVar {
+				q.Vars = append(q.Vars, p.next().text)
+				p.acceptPunct(",")
+			}
+			if len(q.Vars) == 0 {
+				return nil, p.errf("expected projection variables or *")
+			}
+		}
+		p.acceptKeyword("WHERE")
+	case p.acceptKeyword("ASK"):
+		q.Ask = true
+		p.acceptKeyword("WHERE")
+	default:
+		return nil, p.errf("expected SELECT or ASK")
+	}
+
+	g, err := p.groupGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.where = g
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			switch {
+			case p.acceptKeyword("ASC"), p.acceptKeyword("DESC"):
+				desc := p.toks[p.pos-1].text == "DESC"
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				if p.cur().kind != tokVar {
+					return nil, p.errf("expected variable in ORDER BY")
+				}
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: p.next().text, Desc: desc})
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			case p.cur().kind == tokVar:
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: p.next().text})
+			default:
+				if len(q.OrderBy) == 0 {
+					return nil, p.errf("expected ORDER BY key")
+				}
+				goto done
+			}
+		}
+	done:
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		q.Limit = atoiSafe(p.next().text)
+	}
+	if p.acceptKeyword("OFFSET") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected number after OFFSET")
+		}
+		q.Offset = atoiSafe(p.next().text)
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	q.prefixes = p.prefixes
+	q.vars = p.vars
+	q.varNames = p.varNames
+	return q, nil
+}
+
+// countProjection parses "( COUNT( [DISTINCT] * | ?v ) AS ?n )".
+func (p *parser) countProjection(q *Query) error {
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("COUNT"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	if p.acceptKeyword("DISTINCT") {
+		q.CountDistinct = true
+	}
+	switch {
+	case p.acceptPunct("*"):
+		q.CountArg = ""
+	case p.cur().kind == tokVar:
+		q.CountArg = p.next().text
+	default:
+		return p.errf("COUNT expects * or a variable")
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return err
+	}
+	if p.cur().kind != tokVar {
+		return p.errf("expected variable after AS")
+	}
+	q.CountVar = p.next().text
+	return p.expectPunct(")")
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func (p *parser) groupGraphPattern() (*groupPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g := &groupPattern{}
+	for {
+		switch {
+		case p.acceptPunct("}"):
+			return g, nil
+		case p.cur().kind == tokKeyword && p.cur().text == "FILTER":
+			p.pos++
+			e, err := p.brackettedOrBuiltin()
+			if err != nil {
+				return nil, err
+			}
+			g.filters = append(g.filters, e)
+			p.acceptPunct(".")
+		case p.cur().kind == tokKeyword && p.cur().text == "OPTIONAL":
+			p.pos++
+			sub, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.elems = append(g.elems, &optionalElem{group: sub})
+			p.acceptPunct(".")
+		case p.cur().kind == tokPunct && p.cur().text == "{":
+			first, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			u := &unionElem{groups: []*groupPattern{first}}
+			for p.acceptKeyword("UNION") {
+				nxt, err := p.groupGraphPattern()
+				if err != nil {
+					return nil, err
+				}
+				u.groups = append(u.groups, nxt)
+			}
+			if len(u.groups) == 1 {
+				g.elems = append(g.elems, first)
+			} else {
+				g.elems = append(g.elems, u)
+			}
+			p.acceptPunct(".")
+		default:
+			tp, err := p.triplesSameSubject()
+			if err != nil {
+				return nil, err
+			}
+			g.elems = append(g.elems, &triplesElem{patterns: tp})
+			if !p.acceptPunct(".") {
+				// The block must end here.
+				if p.cur().kind == tokPunct && p.cur().text == "}" {
+					continue
+				}
+				if p.cur().kind == tokKeyword {
+					continue
+				}
+				return nil, p.errf("expected '.' between triple patterns")
+			}
+		}
+	}
+}
+
+func (p *parser) triplesSameSubject() ([]TriplePattern, error) {
+	subj, err := p.nodeTermOrVar()
+	if err != nil {
+		return nil, err
+	}
+	var out []TriplePattern
+	for {
+		var pred Node
+		var path *Path
+		if p.cur().kind == tokVar {
+			pred = varNode(p.next().text)
+		} else {
+			pt, err := p.path()
+			if err != nil {
+				return nil, err
+			}
+			if pt.Op == PathLink {
+				pred = termNode(pt.IRI)
+			} else {
+				path = pt
+			}
+		}
+		for {
+			obj, err := p.nodeTermOrVar()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TriplePattern{S: subj, P: pred, O: obj, Path: path})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if !p.acceptPunct(";") {
+			return out, nil
+		}
+		// Allow trailing semicolon.
+		if t := p.cur(); t.kind == tokPunct && (t.text == "." || t.text == "}") {
+			return out, nil
+		}
+	}
+}
+
+// path parses a property path: alternatives of sequences of (possibly
+// inverted, possibly modified) primaries.
+func (p *parser) path() (*Path, error) {
+	first, err := p.pathSeq()
+	if err != nil {
+		return nil, err
+	}
+	if !(p.cur().kind == tokPunct && p.cur().text == "|") {
+		return first, nil
+	}
+	alt := &Path{Op: PathAlt, Subs: []*Path{first}}
+	for p.acceptPunct("|") {
+		nxt, err := p.pathSeq()
+		if err != nil {
+			return nil, err
+		}
+		alt.Subs = append(alt.Subs, nxt)
+	}
+	return alt, nil
+}
+
+func (p *parser) pathSeq() (*Path, error) {
+	first, err := p.pathElt()
+	if err != nil {
+		return nil, err
+	}
+	if !(p.cur().kind == tokPunct && p.cur().text == "/") {
+		return first, nil
+	}
+	seq := &Path{Op: PathSeq, Subs: []*Path{first}}
+	for p.acceptPunct("/") {
+		nxt, err := p.pathElt()
+		if err != nil {
+			return nil, err
+		}
+		seq.Subs = append(seq.Subs, nxt)
+	}
+	return seq, nil
+}
+
+func (p *parser) pathElt() (*Path, error) {
+	inverse := p.acceptPunct("^")
+	var prim *Path
+	switch {
+	case p.cur().kind == tokA:
+		p.pos++
+		prim = linkPath(rdf.NewIRI(rdf.RDFType))
+	case p.cur().kind == tokIRI:
+		prim = linkPath(rdf.NewIRI(p.resolveIRI(p.next().text)))
+	case p.cur().kind == tokPName:
+		iri, err := p.expandPName(p.next().text)
+		if err != nil {
+			return nil, err
+		}
+		prim = linkPath(rdf.NewIRI(iri))
+	case p.acceptPunct("("):
+		sub, err := p.path()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		prim = sub
+	default:
+		return nil, p.errf("expected path primary")
+	}
+	// Modifier.
+	switch {
+	case p.acceptPunct("*"):
+		prim = &Path{Op: PathZeroOrMore, Subs: []*Path{prim}}
+	case p.acceptPunct("+"):
+		prim = &Path{Op: PathOneOrMore, Subs: []*Path{prim}}
+	case p.acceptPunct("?"):
+		prim = &Path{Op: PathZeroOrOne, Subs: []*Path{prim}}
+	}
+	if inverse {
+		prim = &Path{Op: PathInverse, Subs: []*Path{prim}}
+	}
+	return prim, nil
+}
+
+func (p *parser) nodeTermOrVar() (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.pos++
+		return varNode(t.text), nil
+	case tokIRI:
+		p.pos++
+		return termNode(rdf.NewIRI(p.resolveIRI(t.text))), nil
+	case tokPName:
+		p.pos++
+		iri, err := p.expandPName(t.text)
+		if err != nil {
+			return Node{}, err
+		}
+		return termNode(rdf.NewIRI(iri)), nil
+	case tokBlank:
+		p.pos++
+		return termNode(rdf.NewBlank(t.text)), nil
+	case tokString:
+		p.pos++
+		lex := t.text
+		if p.cur().kind == tokLangTag {
+			return termNode(rdf.NewLangLiteral(lex, p.next().text)), nil
+		}
+		if p.cur().kind == tokDTypeSep {
+			p.pos++
+			switch p.cur().kind {
+			case tokIRI:
+				return termNode(rdf.NewTypedLiteral(lex, p.resolveIRI(p.next().text))), nil
+			case tokPName:
+				iri, err := p.expandPName(p.next().text)
+				if err != nil {
+					return Node{}, err
+				}
+				return termNode(rdf.NewTypedLiteral(lex, iri)), nil
+			default:
+				return Node{}, p.errf("expected datatype IRI")
+			}
+		}
+		return termNode(rdf.NewLiteral(lex)), nil
+	case tokNumber:
+		p.pos++
+		dt := rdf.XSDInteger
+		if t.isDec {
+			dt = rdf.XSDDecimal
+		}
+		return termNode(rdf.NewTypedLiteral(t.text, dt)), nil
+	case tokKeyword:
+		if t.text == "TRUE" || t.text == "FALSE" {
+			p.pos++
+			return termNode(rdf.NewTypedLiteral(strings.ToLower(t.text), rdf.XSDBoolean)), nil
+		}
+	case tokA:
+		p.pos++
+		return termNode(rdf.NewIRI(rdf.RDFType)), nil
+	}
+	return Node{}, p.errf("expected term or variable")
+}
+
+func (p *parser) resolveIRI(iri string) string {
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		return p.base + iri
+	}
+	return iri
+}
+
+func (p *parser) expandPName(pn string) (string, error) {
+	i := strings.IndexByte(pn, ':')
+	if i < 0 {
+		return "", p.errf("malformed prefixed name " + pn)
+	}
+	ns, ok := p.prefixes[pn[:i]]
+	if !ok {
+		return "", p.errf("undefined prefix " + pn[:i])
+	}
+	return ns + pn[i+1:], nil
+}

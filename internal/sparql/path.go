@@ -1,0 +1,217 @@
+package sparql
+
+import "rdfcube/internal/rdf"
+
+// PathOp is a property-path operator.
+type PathOp int
+
+// Path operators.
+const (
+	// PathLink is a single predicate IRI step.
+	PathLink PathOp = iota
+	// PathInverse reverses its operand (^p).
+	PathInverse
+	// PathSeq chains its operands (p1/p2).
+	PathSeq
+	// PathAlt branches over its operands (p1|p2).
+	PathAlt
+	// PathZeroOrMore is p*.
+	PathZeroOrMore
+	// PathOneOrMore is p+.
+	PathOneOrMore
+	// PathZeroOrOne is p?.
+	PathZeroOrOne
+)
+
+// Path is a property-path expression tree.
+type Path struct {
+	Op   PathOp
+	IRI  rdf.Term // PathLink only
+	Subs []*Path  // operands for the composite operators
+}
+
+// linkPath returns a single-IRI path step.
+func linkPath(iri rdf.Term) *Path { return &Path{Op: PathLink, IRI: iri} }
+
+// evalPathForward streams every object reachable from subject s via the
+// path, calling emit once per distinct target. It implements the SPARQL
+// ALP semantics (cycle-safe, set results for * and +).
+func evalPathForward(g *rdf.Graph, p *Path, s rdf.Term, emit func(rdf.Term) bool) bool {
+	seen := map[rdf.Term]bool{}
+	return pathStep(g, p, s, false, func(t rdf.Term) bool {
+		if seen[t] {
+			return true
+		}
+		seen[t] = true
+		return emit(t)
+	})
+}
+
+// evalPathBackward streams every subject that reaches object o via the path.
+func evalPathBackward(g *rdf.Graph, p *Path, o rdf.Term, emit func(rdf.Term) bool) bool {
+	seen := map[rdf.Term]bool{}
+	return pathStep(g, p, o, true, func(t rdf.Term) bool {
+		if seen[t] {
+			return true
+		}
+		seen[t] = true
+		return emit(t)
+	})
+}
+
+// pathHolds reports whether the path connects s to o.
+func pathHolds(g *rdf.Graph, p *Path, s, o rdf.Term) bool {
+	found := false
+	evalPathForward(g, p, s, func(t rdf.Term) bool {
+		if t == o {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pathStep enumerates path targets from start. When reverse is true the
+// path is traversed from object to subject. Emission may contain
+// duplicates; callers dedupe. Returns false when the emit chain aborted.
+func pathStep(g *rdf.Graph, p *Path, start rdf.Term, reverse bool, emit func(rdf.Term) bool) bool {
+	switch p.Op {
+	case PathLink:
+		ok := true
+		if reverse {
+			g.Match(rdf.Term{}, p.IRI, start, func(t rdf.Triple) bool {
+				ok = emit(t.S)
+				return ok
+			})
+		} else {
+			g.Match(start, p.IRI, rdf.Term{}, func(t rdf.Triple) bool {
+				ok = emit(t.O)
+				return ok
+			})
+		}
+		return ok
+	case PathInverse:
+		return pathStep(g, p.Subs[0], start, !reverse, emit)
+	case PathSeq:
+		subs := p.Subs
+		if reverse {
+			subs = reversePaths(subs)
+		}
+		return seqStep(g, subs, start, reverse, emit)
+	case PathAlt:
+		for _, sub := range p.Subs {
+			if !pathStep(g, sub, start, reverse, emit) {
+				return false
+			}
+		}
+		return true
+	case PathZeroOrOne:
+		if !emit(start) {
+			return false
+		}
+		return pathStep(g, p.Subs[0], start, reverse, emit)
+	case PathZeroOrMore, PathOneOrMore:
+		visited := map[rdf.Term]bool{}
+		frontier := []rdf.Term{}
+		abort := false
+		expand := func(from rdf.Term) {
+			pathStep(g, p.Subs[0], from, reverse, func(t rdf.Term) bool {
+				if !visited[t] {
+					visited[t] = true
+					frontier = append(frontier, t)
+					if !emit(t) {
+						abort = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+		if p.Op == PathZeroOrMore {
+			visited[start] = true
+			if !emit(start) {
+				return false
+			}
+		}
+		expand(start)
+		for len(frontier) > 0 && !abort {
+			next := frontier[0]
+			frontier = frontier[1:]
+			expand(next)
+		}
+		return !abort
+	}
+	return true
+}
+
+func seqStep(g *rdf.Graph, subs []*Path, start rdf.Term, reverse bool, emit func(rdf.Term) bool) bool {
+	if len(subs) == 1 {
+		return pathStep(g, subs[0], start, reverse, emit)
+	}
+	ok := true
+	pathStep(g, subs[0], start, reverse, func(mid rdf.Term) bool {
+		ok = seqStep(g, subs[1:], mid, reverse, emit)
+		return ok
+	})
+	return ok
+}
+
+func reversePaths(subs []*Path) []*Path {
+	out := make([]*Path, len(subs))
+	for i, s := range subs {
+		out[len(subs)-1-i] = s
+	}
+	return out
+}
+
+// pathStartCandidates enumerates terms that can start the path (used when
+// both endpoints are unbound): subjects of the leftmost link, or every
+// graph node for zero-length-admitting paths.
+func pathStartCandidates(g *rdf.Graph, p *Path, emit func(rdf.Term) bool) {
+	switch p.Op {
+	case PathLink:
+		seen := map[rdf.Term]bool{}
+		g.Match(rdf.Term{}, p.IRI, rdf.Term{}, func(t rdf.Triple) bool {
+			if !seen[t.S] {
+				seen[t.S] = true
+				if !emit(t.S) {
+					return false
+				}
+			}
+			return true
+		})
+	case PathInverse:
+		// Subjects of the inverse are objects of the operand's links; fall
+		// back to all terms for composite operands.
+		allTerms(g, emit)
+	case PathSeq:
+		pathStartCandidates(g, p.Subs[0], emit)
+	case PathAlt:
+		for _, sub := range p.Subs {
+			ok := true
+			pathStartCandidates(g, sub, func(t rdf.Term) bool { ok = emit(t); return ok })
+			if !ok {
+				return
+			}
+		}
+	default:
+		// Zero-length admitting paths can start anywhere.
+		allTerms(g, emit)
+	}
+}
+
+func allTerms(g *rdf.Graph, emit func(rdf.Term) bool) {
+	seen := map[rdf.Term]bool{}
+	g.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+		for _, x := range []rdf.Term{t.S, t.O} {
+			if !seen[x] {
+				seen[x] = true
+				if !emit(x) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,59 @@
+// Package sparql implements the subset of SPARQL 1.1 the paper's
+// comparator experiments require, plus the surrounding conveniences of a
+// small query engine: SELECT/ASK queries over basic graph patterns with
+// variable predicates, property paths (sequence, alternative, inverse,
+// *, +, ?), FILTER expressions, EXISTS / NOT EXISTS (nested arbitrarily),
+// OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT and OFFSET.
+//
+// The engine evaluates directly against the indexed rdf.Graph with a
+// selectivity-ordered nested-loop strategy — deliberately the profile of a
+// general-purpose store, since its role in the reproduction is to stand in
+// for the paper's Virtuoso baseline (see DESIGN.md).
+package sparql
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota
+	tokIRI                // <...>
+	tokPName              // prefix:local or prefix:
+	tokVar                // ?x or $x
+	tokString             // "..." (lexical form, unescaped)
+	tokLangTag            // @en
+	tokDTypeSep           // ^^
+	tokNumber             // 123, 4.5, 1e3
+	tokKeyword            // SELECT, WHERE, FILTER, ... (upper-cased)
+	tokA                  // the 'a' keyword
+	tokPunct              // single/double char punctuation: { } ( ) . ; , / | ^ * + ? ! = != < > <= >= && || -
+	tokBlank              // _:label
+)
+
+type token struct {
+	kind tokenKind
+	text string // normalized text: IRIs without <>, keywords upper-cased
+	// lexical extras for literals
+	lang  string
+	line  int
+	col   int
+	isDec bool // number contains '.' or exponent
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("%v(%q)@%d:%d", t.kind, t.text, t.line, t.col)
+}
+
+// Error reports a SPARQL syntax or evaluation error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sparql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "sparql: " + e.Msg
+}

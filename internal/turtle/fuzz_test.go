@@ -1,0 +1,36 @@
+package turtle
+
+import "testing"
+
+// FuzzParse exercises the Turtle reader on arbitrary inputs: it must never
+// panic, and on success the parsed graph must re-serialize and re-parse to
+// the same triple set.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"@prefix ex: <http://x/> .\nex:s ex:p ex:o .",
+		`@prefix ex: <http://x/> . ex:s a ex:T ; ex:p "lit"@en, 42, 3.14 .`,
+		"_:b <http://x/p> [ <http://x/q> true ] .",
+		"@base <http://x/> . <s> <p> <o> .",
+		"# comment only",
+		`@prefix ex: <http://x/> . ex:s ex:p """long
+string""" .`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src, nil)
+		if err != nil {
+			return
+		}
+		out := WriteNTriples(g)
+		g2, err := Parse(out, nil)
+		if err != nil {
+			t.Fatalf("re-parse of serialized output failed: %v\n%s", err, out)
+		}
+		if g2.Len() != g.Len() {
+			t.Fatalf("round trip changed triple count %d → %d", g.Len(), g2.Len())
+		}
+	})
+}

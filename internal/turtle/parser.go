@@ -1,0 +1,594 @@
+// Package turtle reads and writes RDF graphs in the Turtle and N-Triples
+// syntaxes. The reader covers the subset of Turtle used by published Data
+// Cube datasets: prefix and base directives, prefixed names, the 'a'
+// keyword, predicate-object and object lists, numeric/boolean shorthand
+// literals, language tags, datatype annotations, labelled blank nodes and
+// anonymous blank-node property lists.
+package turtle
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"rdfcube/internal/rdf"
+)
+
+// ParseError describes a syntax error with its line and column.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("turtle: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a Turtle document and adds its triples to g.
+// If g is nil a new graph is allocated. The populated graph is returned.
+func Parse(src string, g *rdf.Graph) (*rdf.Graph, error) {
+	if g == nil {
+		g = rdf.NewGraph()
+	}
+	p := &parser{src: src, line: 1, col: 1, g: g, prefixes: map[string]string{}, blanks: map[string]rdf.Term{}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type parser struct {
+	src       string
+	pos       int
+	line, col int
+	g         *rdf.Graph
+	prefixes  map[string]string
+	base      string
+	blanks    map[string]rdf.Term
+	blankSeq  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) run() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) statement() error {
+	if p.hasKeyword("@prefix") || p.hasKeywordCI("PREFIX") {
+		atForm := p.peekByte() == '@'
+		if atForm {
+			p.consume(len("@prefix"))
+		} else {
+			p.consume(len("PREFIX"))
+		}
+		p.skipWS()
+		name, err := p.prefixName()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		iri, err := p.iriRef()
+		if err != nil {
+			return err
+		}
+		p.prefixes[name] = iri
+		if atForm {
+			p.skipWS()
+			if !p.accept('.') {
+				return p.errf("expected '.' after @prefix directive")
+			}
+		}
+		return nil
+	}
+	if p.hasKeyword("@base") || p.hasKeywordCI("BASE") {
+		atForm := p.peekByte() == '@'
+		if atForm {
+			p.consume(len("@base"))
+		} else {
+			p.consume(len("BASE"))
+		}
+		p.skipWS()
+		iri, err := p.iriRef()
+		if err != nil {
+			return err
+		}
+		p.base = iri
+		if atForm {
+			p.skipWS()
+			if !p.accept('.') {
+				return p.errf("expected '.' after @base directive")
+			}
+		}
+		return nil
+	}
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	// An anonymous property list may form a whole statement: [ p o ] .
+	if p.peekByte() == '.' {
+		p.accept('.')
+		return nil
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if !p.accept('.') {
+		return p.errf("expected '.' at end of statement")
+	}
+	return nil
+}
+
+func (p *parser) predicateObjectList(subj rdf.Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.g.Add(subj, pred, obj)
+			p.skipWS()
+			if !p.accept(',') {
+				break
+			}
+		}
+		p.skipWS()
+		if !p.accept(';') {
+			return nil
+		}
+		p.skipWS()
+		// Trailing semicolon before '.', ']' or another ';' is legal.
+		if b := p.peekByte(); b == '.' || b == ']' || b == 0 {
+			return nil
+		}
+	}
+}
+
+func (p *parser) subject() (rdf.Term, error) {
+	p.skipWS()
+	switch b := p.peekByte(); {
+	case b == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case b == '_':
+		return p.blankLabel()
+	case b == '[':
+		return p.blankPropertyList()
+	default:
+		iri, err := p.prefixedName()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+}
+
+func (p *parser) predicate() (rdf.Term, error) {
+	if p.peekByte() == 'a' && p.isBoundaryAt(p.pos+1) {
+		p.consume(1)
+		return rdf.NewIRI(rdf.RDFType), nil
+	}
+	if p.peekByte() == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+	iri, err := p.prefixedName()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return rdf.NewIRI(iri), nil
+}
+
+func (p *parser) object() (rdf.Term, error) {
+	switch b := p.peekByte(); {
+	case b == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case b == '_':
+		return p.blankLabel()
+	case b == '[':
+		return p.blankPropertyList()
+	case b == '"' || b == '\'':
+		return p.literal()
+	case b == '+' || b == '-' || (b >= '0' && b <= '9'):
+		return p.number()
+	case p.hasKeyword("true") && p.isBoundaryAt(p.pos+4):
+		p.consume(4)
+		return rdf.NewTypedLiteral("true", rdf.XSDBoolean), nil
+	case p.hasKeyword("false") && p.isBoundaryAt(p.pos+5):
+		p.consume(5)
+		return rdf.NewTypedLiteral("false", rdf.XSDBoolean), nil
+	default:
+		iri, err := p.prefixedName()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+}
+
+func (p *parser) blankLabel() (rdf.Term, error) {
+	if !strings.HasPrefix(p.rest(), "_:") {
+		return rdf.Term{}, p.errf("expected blank node label")
+	}
+	p.consume(2)
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if isPNChar(rune(c)) || c == '.' && p.pos+1 < len(p.src) && isPNChar(rune(p.src[p.pos+1])) {
+			p.consume(1)
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	label := p.src[start:p.pos]
+	if t, ok := p.blanks[label]; ok {
+		return t, nil
+	}
+	t := rdf.NewBlank(label)
+	p.blanks[label] = t
+	return t, nil
+}
+
+func (p *parser) blankPropertyList() (rdf.Term, error) {
+	if !p.accept('[') {
+		return rdf.Term{}, p.errf("expected '['")
+	}
+	p.blankSeq++
+	node := rdf.NewBlank(fmt.Sprintf("anon%d", p.blankSeq))
+	p.skipWS()
+	if p.accept(']') {
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return rdf.Term{}, err
+	}
+	p.skipWS()
+	if !p.accept(']') {
+		return rdf.Term{}, p.errf("expected ']' closing property list")
+	}
+	return node, nil
+}
+
+func (p *parser) literal() (rdf.Term, error) {
+	quote := p.peekByte()
+	long := false
+	q3 := string([]byte{quote, quote, quote})
+	if strings.HasPrefix(p.rest(), q3) {
+		long = true
+		p.consume(3)
+	} else {
+		p.consume(1)
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return rdf.Term{}, p.errf("unterminated string literal")
+		}
+		if long && strings.HasPrefix(p.rest(), q3) {
+			p.consume(3)
+			break
+		}
+		c := p.src[p.pos]
+		if !long && c == quote {
+			p.consume(1)
+			break
+		}
+		if !long && (c == '\n' || c == '\r') {
+			return rdf.Term{}, p.errf("newline in short string literal")
+		}
+		if c == '\\' {
+			p.consume(1)
+			if p.eof() {
+				return rdf.Term{}, p.errf("dangling escape")
+			}
+			e := p.src[p.pos]
+			p.consume(1)
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			case 'u', 'U':
+				n := 4
+				if e == 'U' {
+					n = 8
+				}
+				if p.pos+n > len(p.src) {
+					return rdf.Term{}, p.errf("truncated \\%c escape", e)
+				}
+				var r rune
+				for i := 0; i < n; i++ {
+					d := hexVal(p.src[p.pos+i])
+					if d < 0 {
+						return rdf.Term{}, p.errf("bad hex digit in \\%c escape", e)
+					}
+					r = r<<4 | rune(d)
+				}
+				p.consume(n)
+				b.WriteRune(r)
+			default:
+				return rdf.Term{}, p.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+		p.consume(1)
+	}
+	lex := b.String()
+	// Language tag or datatype?
+	if p.peekByte() == '@' {
+		p.consume(1)
+		start := p.pos
+		for !p.eof() {
+			c := p.src[p.pos]
+			if c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				p.consume(1)
+				continue
+			}
+			break
+		}
+		if p.pos == start {
+			return rdf.Term{}, p.errf("empty language tag")
+		}
+		return rdf.NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.rest(), "^^") {
+		p.consume(2)
+		var dt string
+		var err error
+		if p.peekByte() == '<' {
+			dt, err = p.iriRef()
+		} else {
+			dt, err = p.prefixedName()
+		}
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func (p *parser) number() (rdf.Term, error) {
+	start := p.pos
+	if b := p.peekByte(); b == '+' || b == '-' {
+		p.consume(1)
+	}
+	digits := 0
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.consume(1)
+		digits++
+	}
+	isDecimal, isDouble := false, false
+	if p.peekByte() == '.' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+		isDecimal = true
+		p.consume(1)
+		for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.consume(1)
+			digits++
+		}
+	}
+	if b := p.peekByte(); b == 'e' || b == 'E' {
+		isDouble = true
+		p.consume(1)
+		if b := p.peekByte(); b == '+' || b == '-' {
+			p.consume(1)
+		}
+		for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.consume(1)
+		}
+	}
+	if digits == 0 {
+		return rdf.Term{}, p.errf("malformed numeric literal")
+	}
+	lex := p.src[start:p.pos]
+	switch {
+	case isDouble:
+		return rdf.NewTypedLiteral(lex, rdf.XSDDouble), nil
+	case isDecimal:
+		return rdf.NewTypedLiteral(lex, rdf.XSDDecimal), nil
+	default:
+		return rdf.NewTypedLiteral(lex, rdf.XSDInteger), nil
+	}
+}
+
+func (p *parser) iriRef() (string, error) {
+	if !p.accept('<') {
+		return "", p.errf("expected '<'")
+	}
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != '>' {
+		if c := p.src[p.pos]; c == '\n' || c == '\r' {
+			return "", p.errf("newline in IRI")
+		}
+		p.consume(1)
+	}
+	if p.eof() {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[start:p.pos]
+	p.consume(1)
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		iri = p.base + iri
+	}
+	return iri, nil
+}
+
+// prefixName parses the "pfx:" part of a @prefix directive (possibly ":").
+func (p *parser) prefixName() (string, error) {
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != ':' {
+		if !isPNChar(rune(p.src[p.pos])) && p.src[p.pos] != '.' {
+			return "", p.errf("bad prefix name")
+		}
+		p.consume(1)
+	}
+	if !p.accept(':') {
+		return "", p.errf("expected ':' in prefix name")
+	}
+	return p.src[start : p.pos-1], nil
+}
+
+// prefixedName parses pfx:local and expands it.
+func (p *parser) prefixedName() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if isPNChar(rune(c)) {
+			p.consume(1)
+			continue
+		}
+		break
+	}
+	if p.eof() || p.src[p.pos] != ':' {
+		return "", p.errf("expected prefixed name")
+	}
+	prefix := p.src[start:p.pos]
+	p.consume(1)
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return "", p.errf("undefined prefix %q", prefix)
+	}
+	lstart := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if isPNChar(rune(c)) || c == '%' {
+			p.consume(1)
+			continue
+		}
+		// Dots are allowed inside local names but not as the final char.
+		if c == '.' && p.pos+1 < len(p.src) && (isPNChar(rune(p.src[p.pos+1])) || p.src[p.pos+1] == '.') {
+			p.consume(1)
+			continue
+		}
+		break
+	}
+	return ns + p.src[lstart:p.pos], nil
+}
+
+func isPNChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func (p *parser) skipWS() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch c {
+		case ' ', '\t', '\r':
+			p.consume(1)
+		case '\n':
+			p.consume(1)
+		case '#':
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.consume(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peekByte() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+func (p *parser) accept(c byte) bool {
+	if p.peekByte() == c {
+		p.consume(1)
+		return true
+	}
+	return false
+}
+
+func (p *parser) consume(n int) {
+	for i := 0; i < n && p.pos < len(p.src); i++ {
+		if p.src[p.pos] == '\n' {
+			p.line++
+			p.col = 1
+		} else {
+			p.col++
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) hasKeyword(kw string) bool { return strings.HasPrefix(p.rest(), kw) }
+
+func (p *parser) hasKeywordCI(kw string) bool {
+	r := p.rest()
+	return len(r) >= len(kw) && strings.EqualFold(r[:len(kw)], kw)
+}
+
+// isBoundaryAt reports whether position i is a token boundary (whitespace,
+// punctuation or EOF) — used to keep 'a' and boolean keywords from eating
+// the start of longer names.
+func (p *parser) isBoundaryAt(i int) bool {
+	if i >= len(p.src) {
+		return true
+	}
+	switch p.src[i] {
+	case ' ', '\t', '\n', '\r', '<', '"', '\'', ';', ',', '.', '[', ']', '(', ')', '#':
+		return true
+	}
+	return false
+}

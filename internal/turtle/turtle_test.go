@@ -1,0 +1,333 @@
+package turtle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rdfcube/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) *rdf.Graph {
+	t.Helper()
+	g, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return g
+}
+
+func TestParseBasics(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://example.org/> .
+ex:s ex:p ex:o .
+<http://example.org/s2> <http://example.org/p> "lit" .
+`)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Has(rdf.NewIRI("http://example.org/s"), rdf.NewIRI("http://example.org/p"), rdf.NewIRI("http://example.org/o")) {
+		t.Errorf("prefixed triple missing")
+	}
+	if !g.Has(rdf.NewIRI("http://example.org/s2"), rdf.NewIRI("http://example.org/p"), rdf.NewLiteral("lit")) {
+		t.Errorf("literal triple missing")
+	}
+}
+
+func TestParseAKeywordAndLists(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://example.org/> .
+ex:s a ex:Thing ;
+     ex:p ex:a, ex:b ;
+     ex:q "x" .
+`)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	if !g.Has(rdf.NewIRI("http://example.org/s"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://example.org/Thing")) {
+		t.Errorf("'a' keyword")
+	}
+	objs := g.Objects(rdf.NewIRI("http://example.org/s"), rdf.NewIRI("http://example.org/p"))
+	if len(objs) != 2 {
+		t.Errorf("object list: %v", objs)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s ex:int 42 ;
+     ex:neg -7 ;
+     ex:dec 3.14 ;
+     ex:dbl 1.0e3 ;
+     ex:bool true ;
+     ex:typed "5"^^xsd:integer ;
+     ex:lang "bonjour"@fr ;
+     ex:esc "a\"b\nc" ;
+     ex:long """multi
+line""" .
+`)
+	s := rdf.NewIRI("http://example.org/s")
+	checks := map[string]rdf.Term{
+		"int":   rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		"neg":   rdf.NewTypedLiteral("-7", rdf.XSDInteger),
+		"dec":   rdf.NewTypedLiteral("3.14", rdf.XSDDecimal),
+		"dbl":   rdf.NewTypedLiteral("1.0e3", rdf.XSDDouble),
+		"bool":  rdf.NewTypedLiteral("true", rdf.XSDBoolean),
+		"typed": rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		"lang":  rdf.NewLangLiteral("bonjour", "fr"),
+		"esc":   rdf.NewLiteral("a\"b\nc"),
+		"long":  rdf.NewLiteral("multi\nline"),
+	}
+	for p, want := range checks {
+		got := g.Object(s, rdf.NewIRI("http://example.org/"+p))
+		if got != want {
+			t.Errorf("%s: got %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://example.org/> .
+_:b1 ex:p ex:o .
+_:b1 ex:q ex:o2 .
+ex:s ex:comp [ ex:dim ex:geo ; ex:order 1 ] .
+[] ex:standalone ex:x .
+`)
+	b1 := rdf.NewBlank("b1")
+	if g.Count(b1, rdf.Term{}, rdf.Term{}) != 2 {
+		t.Errorf("labelled blank node reuse")
+	}
+	comp := g.Object(rdf.NewIRI("http://example.org/s"), rdf.NewIRI("http://example.org/comp"))
+	if !comp.IsBlank() {
+		t.Fatalf("property list object not blank: %v", comp)
+	}
+	if g.Object(comp, rdf.NewIRI("http://example.org/dim")).Local() != "geo" {
+		t.Errorf("nested property list content")
+	}
+}
+
+func TestParseUnicodeEscapes(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://example.org/> .
+ex:s ex:p "A\U0001F600" .
+`)
+	got := g.Object(rdf.NewIRI("http://example.org/s"), rdf.NewIRI("http://example.org/p"))
+	if got.Value != "A😀" {
+		t.Errorf("unicode escapes: %q", got.Value)
+	}
+}
+
+func TestParseBaseAndComments(t *testing.T) {
+	g := mustParse(t, `
+@base <http://example.org/> .
+@prefix ex: <http://example.org/> .
+# a comment
+<s> ex:p <o> . # trailing comment
+`)
+	if !g.Has(rdf.NewIRI("http://example.org/s"), rdf.NewIRI("http://example.org/p"), rdf.NewIRI("http://example.org/o")) {
+		t.Errorf("base resolution failed: %v", g.Triples())
+	}
+}
+
+func TestParseSparqlStyleDirectives(t *testing.T) {
+	g := mustParse(t, `
+PREFIX ex: <http://example.org/>
+ex:s ex:p ex:o .
+`)
+	if g.Len() != 1 {
+		t.Errorf("SPARQL-style PREFIX")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`ex:s ex:p ex:o .`,                            // undefined prefix
+		`@prefix ex: <http://x/> . ex:s ex:p "open`,   // unterminated string
+		`@prefix ex: <http://x/> . ex:s ex:p ex:o`,    // missing dot
+		`@prefix ex: <http://x/> . ex:s ex:p <no-end`, // unterminated IRI
+		`@prefix ex: <http://x/> . ex:s "lit" ex:o .`, // literal predicate
+		`@prefix ex: <http://x/> . ex:s ex:p "a
+b" .`, // newline in short literal
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("expected error for %q", src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("error is not *ParseError: %T", err)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("@prefix ex: <http://x/> .\nex:s ex:p zz .", nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe := err.(*ParseError)
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2 (%v)", pe.Line, err)
+	}
+}
+
+func TestRoundTripTurtle(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s a ex:Thing ; ex:p ex:o ; ex:num 42 ; ex:str "hi"@en .
+ex:t ex:p ex:s .
+`
+	g := mustParse(t, src)
+	out := Write(g, map[string]string{"ex": "http://example.org/"})
+	g2 := mustParse(t, out)
+	a, b := g.Triples(), g2.Triples()
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed triple count %d → %d\n%s", len(a), len(b), out)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("triple %d changed: %v → %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRoundTripNTriples(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+ex:s ex:p "x\n\"y\"" ; ex:q 1.5 .
+_:b ex:p ex:s .
+`
+	g := mustParse(t, src)
+	nt := WriteNTriples(g)
+	g2 := mustParse(t, nt) // N-Triples is a Turtle subset
+	if g2.Len() != g.Len() {
+		t.Fatalf("N-Triples round trip: %d → %d\n%s", g.Len(), g2.Len(), nt)
+	}
+	if !strings.Contains(nt, `"x\n\"y\""`) {
+		t.Errorf("escaping in N-Triples: %s", nt)
+	}
+}
+
+func TestWriterAbbreviation(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(rdf.NewIRI("http://example.org/s"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://example.org/T"))
+	out := Write(g, map[string]string{"ex": "http://example.org/"})
+	if !strings.Contains(out, "ex:s") || !strings.Contains(out, " a ex:T") {
+		t.Errorf("abbreviation failed:\n%s", out)
+	}
+	// IRIs whose local part is not a valid PN local must stay verbatim.
+	g2 := rdf.NewGraph()
+	g2.Add(rdf.NewIRI("http://example.org/a/b"), rdf.NewIRI("http://example.org/p"), rdf.NewLiteral("x"))
+	out2 := Write(g2, map[string]string{"ex": "http://example.org/"})
+	if !strings.Contains(out2, "<http://example.org/a/b>") {
+		t.Errorf("slash local must not abbreviate:\n%s", out2)
+	}
+}
+
+// TestQuickRandomGraphRoundTrip writes random graphs as Turtle and as
+// N-Triples and checks both parse back to the identical triple set.
+func TestQuickRandomGraphRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		terms := []rdf.Term{
+			rdf.NewIRI("http://example.org/a"),
+			rdf.NewIRI("http://example.org/b#frag"),
+			rdf.NewBlank("bn1"),
+			rdf.NewLiteral("plain"),
+			rdf.NewLiteral("esc\"ape\n"),
+			rdf.NewLangLiteral("bonjour", "fr"),
+			rdf.NewTypedLiteral("42", rdf.XSDInteger),
+			rdf.NewTypedLiteral("4.5", rdf.XSDDecimal),
+		}
+		preds := []rdf.Term{
+			rdf.NewIRI("http://example.org/p"),
+			rdf.NewIRI("http://example.org/q"),
+			rdf.NewIRI(rdf.RDFType),
+		}
+		subjs := []rdf.Term{terms[0], terms[1], terms[2]}
+		for i := 0; i < 25; i++ {
+			g.Add(subjs[r.Intn(len(subjs))], preds[r.Intn(len(preds))], terms[r.Intn(len(terms))])
+		}
+		for _, out := range []string{
+			Write(g, map[string]string{"ex": "http://example.org/"}),
+			WriteNTriples(g),
+		} {
+			g2, err := Parse(out, nil)
+			if err != nil {
+				return false
+			}
+			a, b := g.Triples(), g2.Triples()
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse(`@prefix ex: <http://x/> . ex:s ex:p "bad \q escape" .`, nil)
+	if err == nil {
+		t.Fatal("expected escape error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "turtle:") || !strings.Contains(msg, "line 1") {
+		t.Errorf("error message: %q", msg)
+	}
+}
+
+func TestHexEscapeCases(t *testing.T) {
+	g := mustParse(t, `@prefix ex: <http://x/> . ex:s ex:p "éÉ" .`)
+	got := g.Object(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"))
+	if got.Value != "éÉ" {
+		t.Errorf("hex escapes: %q", got.Value)
+	}
+	if _, err := Parse(`@prefix ex: <http://x/> . ex:s ex:p "\uZZZZ" .`, nil); err == nil {
+		t.Errorf("bad hex digit must fail")
+	}
+	if _, err := Parse(`@prefix ex: <http://x/> . ex:s ex:p "\u00`, nil); err == nil {
+		t.Errorf("truncated escape must fail")
+	}
+}
+
+func TestBooleanKeywordBoundaries(t *testing.T) {
+	// 'a' and 'true' must not eat prefixed names that start the same way.
+	g := mustParse(t, `
+@prefix ex: <http://x/> .
+ex:s ex:p true .
+ex:s ex:q ex:trueish .
+ex:along a ex:T .
+`)
+	if !g.Has(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/q"), rdf.NewIRI("http://x/trueish")) {
+		t.Errorf("trueish mis-lexed")
+	}
+	if !g.Has(rdf.NewIRI("http://x/along"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://x/T")) {
+		t.Errorf("subject starting with 'a' mis-lexed")
+	}
+}
+
+func TestNumbersWithSigns(t *testing.T) {
+	g := mustParse(t, `@prefix ex: <http://x/> . ex:s ex:a +5 ; ex:b -2.5 ; ex:c 1E2 .`)
+	s := rdf.NewIRI("http://x/s")
+	if g.Object(s, rdf.NewIRI("http://x/a")).Value != "+5" {
+		t.Errorf("plus sign")
+	}
+	if g.Object(s, rdf.NewIRI("http://x/b")).Datatype != rdf.XSDDecimal {
+		t.Errorf("negative decimal")
+	}
+	if g.Object(s, rdf.NewIRI("http://x/c")).Datatype != rdf.XSDDouble {
+		t.Errorf("exponent double")
+	}
+}

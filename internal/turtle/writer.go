@@ -1,0 +1,97 @@
+package turtle
+
+import (
+	"sort"
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// WriteNTriples serializes g as sorted N-Triples.
+func WriteNTriples(g *rdf.Graph) string {
+	var b strings.Builder
+	for _, t := range g.Triples() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Write serializes g as Turtle, grouping triples by subject and abbreviating
+// IRIs with the supplied prefix map (prefix name -> namespace IRI).
+func Write(g *rdf.Graph, prefixes map[string]string) string {
+	var b strings.Builder
+	names := make([]string, 0, len(prefixes))
+	for n := range prefixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b.WriteString("@prefix ")
+		b.WriteString(n)
+		b.WriteString(": <")
+		b.WriteString(prefixes[n])
+		b.WriteString("> .\n")
+	}
+	if len(names) > 0 {
+		b.WriteByte('\n')
+	}
+
+	triples := g.Triples()
+	i := 0
+	for i < len(triples) {
+		s := triples[i].S
+		b.WriteString(abbrev(s, prefixes))
+		j := i
+		for j < len(triples) && triples[j].S == s {
+			j++
+		}
+		for k := i; k < j; k++ {
+			if k > i {
+				b.WriteString(" ;")
+			}
+			b.WriteString("\n    ")
+			if triples[k].P.Value == rdf.RDFType {
+				b.WriteString("a")
+			} else {
+				b.WriteString(abbrev(triples[k].P, prefixes))
+			}
+			b.WriteByte(' ')
+			b.WriteString(abbrev(triples[k].O, prefixes))
+		}
+		b.WriteString(" .\n")
+		i = j
+	}
+	return b.String()
+}
+
+func abbrev(t rdf.Term, prefixes map[string]string) string {
+	if t.Kind != rdf.IRIKind {
+		return t.String()
+	}
+	best, bestNS := "", ""
+	for name, ns := range prefixes {
+		if strings.HasPrefix(t.Value, ns) && len(ns) > len(bestNS) {
+			local := t.Value[len(ns):]
+			if validLocal(local) {
+				best, bestNS = name, ns
+			}
+		}
+	}
+	if bestNS != "" {
+		return best + ":" + t.Value[len(bestNS):]
+	}
+	return t.String()
+}
+
+func validLocal(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !isPNChar(r) {
+			return false
+		}
+	}
+	return true
+}
