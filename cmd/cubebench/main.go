@@ -8,7 +8,8 @@
 //	cubebench -fig all
 //	cubebench -fig 5a,5f -sizes 2000,4000,8000 -seed 7
 //	cubebench -fig 5e -synthetic-sizes 10000,100000,1000000 -baseline-cap 50000
-//	cubebench -fig all -csv results/
+//	cubebench -fig all -csv results/ -json results/
+//	cubebench -fig ext -progress -metrics -debug-addr localhost:6060
 //
 // The defaults run at laptop scale; the paper's published scale is
 // -sizes 2000,20000,40000,...,100000 -synthetic-sizes ...,2500000.
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"rdfcube/internal/bench"
+	"rdfcube/internal/obsv"
 )
 
 func main() {
@@ -38,9 +40,35 @@ func main() {
 		baseCap   = flag.Int("baseline-cap", 50000, "largest synthetic size for the measured baseline in 5e")
 		workers   = flag.Int("workers", 0, "parallel extension worker count (0 = GOMAXPROCS)")
 		csvDir    = flag.String("csv", "", "directory to write per-figure CSV files into")
+		jsonDir   = flag.String("json", "", "directory to write per-figure JSON files into (counters included in full)")
 		table4Obs = flag.Int("table4-obs", 246500, "total observations for the Table 4 manifest")
+
+		metrics   = flag.Bool("metrics", false, "print the suite-wide run report (phase tree + counter table) to stderr at the end")
+		progress  = flag.Bool("progress", false, "stream phase transitions and counter digests to stderr while running")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, /debug/vars and /debug/pprof/ on this address for the duration of the suite")
 	)
 	flag.Parse()
+
+	var col *obsv.Collector
+	if *metrics || *debugAddr != "" {
+		col = obsv.NewCollector()
+	}
+	var rec obsv.Recorder
+	if col != nil {
+		rec = col
+	}
+	if *progress {
+		rec = obsv.Multi(rec, obsv.NewProgress(os.Stderr))
+	}
+	if *debugAddr != "" {
+		srv, url, err := obsv.StartDebugServer(*debugAddr, col)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubebench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cubebench: debug server listening at %s (metrics at %s/metrics, profiles at %s/debug/pprof/)\n", url, url, url)
+	}
 
 	cfg := bench.Config{
 		Sizes:          parseSizes(*sizes),
@@ -51,6 +79,7 @@ func main() {
 		RulesOOMCap:    *oomCap,
 		BaselineCap:    *baseCap,
 		Workers:        *workers,
+		Obs:            rec,
 	}
 
 	want := map[string]bool{}
@@ -115,6 +144,27 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "cubebench: %v\n", err)
+				os.Exit(1)
+			}
+			data, err := series.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cubebench: %s: %v\n", f.id, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "fig"+f.id+".json")
+			if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "cubebench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+
+	if *metrics {
+		fmt.Fprint(os.Stderr, col.Report())
 	}
 }
 

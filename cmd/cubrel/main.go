@@ -30,7 +30,7 @@ func main() {
 		genK    = flag.String("gen", "", "generate instead of loading: example, real, synthetic")
 		n       = flag.Int("n", 5000, "observation count for -gen real/synthetic")
 		seed    = flag.Int64("seed", 1, "generator seed")
-		algStr  = flag.String("alg", "cubemasking", "algorithm: baseline, clustering, cubemasking, cubemasking-prefetch, hybrid, parallel")
+		algStr  = flag.String("alg", "cubemasking", "algorithm: "+core.AlgorithmNames())
 		tasks   = flag.String("tasks", "all", "relationships: full, partial, compl, all (comma-separated)")
 		format  = flag.String("format", "summary", "output: summary, csv, ttl")
 		query   = flag.String("query", "", "run a SPARQL query against the corpus instead of computing relationships")
@@ -40,6 +40,10 @@ func main() {
 		rollup  = flag.String("rollup", "", "roll every dataset up before computing: <dimensionLocalName>:<level> (e.g. refArea:2)")
 		aggStr  = flag.String("agg", "sum", "roll-up aggregation: sum, avg, count")
 		vocab   = flag.Bool("vocab", false, "print the qbr: relationship vocabulary definition and exit")
+
+		metrics   = flag.Bool("metrics", false, "print a run report (phase tree + counter table) to stderr after computing")
+		progress  = flag.Bool("progress", false, "stream phase transitions and counter digests to stderr while computing")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -115,6 +119,29 @@ func main() {
 
 	opts := rdfcube.Options{Tasks: parseTasks(*tasks)}
 	opts.Clustering.Config.Seed = *seed
+
+	var col *rdfcube.Collector
+	if *metrics || *debugAddr != "" {
+		col = rdfcube.NewCollector()
+	}
+	var rec rdfcube.Recorder
+	if col != nil {
+		rec = col
+	}
+	if *progress {
+		rec = rdfcube.MultiRecorder(rec, rdfcube.NewProgress(os.Stderr))
+	}
+	opts.Obs = rec
+	if *debugAddr != "" {
+		srv, url, err := rdfcube.StartDebugServer(*debugAddr, col)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubrel: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cubrel: debug server listening at %s (metrics at %s/metrics, profiles at %s/debug/pprof/)\n", url, url, url)
+	}
+
 	start := time.Now()
 	comp, err := rdfcube.Compute(corpus, rdfcube.Algorithm(*algStr), opts)
 	if err != nil {
@@ -122,6 +149,9 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if *metrics {
+		fmt.Fprint(os.Stderr, col.Report())
+	}
 
 	switch *format {
 	case "summary":

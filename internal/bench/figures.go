@@ -7,6 +7,7 @@ import (
 	"rdfcube/internal/cluster"
 	"rdfcube/internal/core"
 	"rdfcube/internal/gen"
+	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/rules"
@@ -41,6 +42,11 @@ type Config struct {
 	// Workers is the pool size of the parallel extension; zero means
 	// GOMAXPROCS.
 	Workers int
+	// Obs, when non-nil, observes every core algorithm run of the suite
+	// (progress streaming, aggregate counters). Each RunCore additionally
+	// attaches its own per-run collector, so Measurement.Counters is
+	// populated regardless.
+	Obs obsv.Recorder
 }
 
 // DefaultConfig returns the laptop-scale configuration.
@@ -98,7 +104,7 @@ func Fig5(fig string, rel rules.Relationship, cfg Config) (Series, error) {
 			return nil, err
 		}
 		for _, alg := range []core.Algorithm{core.AlgorithmBaseline, core.AlgorithmClustering, core.AlgorithmCubeMasking} {
-			opts := core.Options{}
+			opts := core.Options{Obs: cfg.Obs}
 			opts.Clustering.Config.Seed = cfg.Seed
 			m, err := RunCore(s, alg, rel, opts)
 			if err != nil {
@@ -152,6 +158,7 @@ func Fig5d(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.SetRecorder(cfg.Obs)
 		truth := &core.Counter{}
 		start := time.Now()
 		core.Baseline(s, core.TaskAll, truth)
@@ -177,6 +184,7 @@ func Fig5d(cfg Config) (Series, error) {
 				Extra: map[string]float64{"recall": recall, "baselineSeconds": baseDur.Seconds()},
 			})
 		}
+		s.SetRecorder(nil)
 	}
 	return out, nil
 }
@@ -196,7 +204,7 @@ func Fig5e(cfg Config) (Series, error) {
 			return nil, err
 		}
 		if size <= cfg.BaselineCap {
-			m, err := RunCore(s, core.AlgorithmBaseline, rules.FullContainment, core.Options{})
+			m, err := RunCore(s, core.AlgorithmBaseline, rules.FullContainment, core.Options{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -211,7 +219,7 @@ func Fig5e(cfg Config) (Series, error) {
 				Duration: time.Duration(float64(lastBase.Duration) * ratio * ratio), Projected: true,
 			})
 		}
-		opts := core.Options{}
+		opts := core.Options{Obs: cfg.Obs}
 		opts.Clustering.Config.Seed = cfg.Seed
 		for _, alg := range []core.Algorithm{core.AlgorithmClustering, core.AlgorithmCubeMasking} {
 			m, err := RunCore(s, alg, rules.FullContainment, opts)
@@ -237,9 +245,11 @@ func Fig5f(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.SetRecorder(cfg.Obs)
 		start := time.Now()
 		l := core.BuildLattice(s)
 		d := time.Since(start)
+		s.SetRecorder(nil)
 		out = append(out, Measurement{
 			Figure: "5f", Approach: "cubes", Size: size, Duration: d,
 			Extra: map[string]float64{
@@ -263,11 +273,11 @@ func Fig5g(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		normal, err := RunCore(s, core.AlgorithmCubeMasking, rules.FullContainment, core.Options{})
+		normal, err := RunCore(s, core.AlgorithmCubeMasking, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
-		pre, err := RunCore(s, core.AlgorithmCubeMaskingPrefetch, rules.FullContainment, core.Options{})
+		pre, err := RunCore(s, core.AlgorithmCubeMaskingPrefetch, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -292,7 +302,7 @@ func Extensions(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := core.Options{Workers: cfg.Workers}
+		opts := core.Options{Workers: cfg.Workers, Obs: cfg.Obs}
 		opts.Clustering.Config.Seed = cfg.Seed
 		opts.Hybrid.Clustering.Config.Seed = cfg.Seed
 		for _, alg := range []core.Algorithm{core.AlgorithmCubeMasking, core.AlgorithmHybrid, core.AlgorithmParallel} {
@@ -319,7 +329,7 @@ func SparseAblation(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		packed, err := RunCore(s, core.AlgorithmBaseline, rules.FullContainment, core.Options{})
+		packed, err := RunCore(s, core.AlgorithmBaseline, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +337,7 @@ func SparseAblation(cfg Config) (Series, error) {
 		packed.Extra = map[string]float64{
 			"rowBytes": float64(s.N() * ((s.NumCols() + 63) / 64) * 8),
 		}
-		sparse, err := RunCore(s, core.AlgorithmBaselineSparse, rules.FullContainment, core.Options{})
+		sparse, err := RunCore(s, core.AlgorithmBaselineSparse, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

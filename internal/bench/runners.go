@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rdfcube/internal/core"
+	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/rules"
@@ -59,16 +60,20 @@ func taskFor(rel rules.Relationship) core.Tasks {
 // space, counting (not materializing) the result pairs.
 func RunCore(s *core.Space, alg core.Algorithm, rel rules.Relationship, opts core.Options) (Measurement, error) {
 	opts.Tasks = taskFor(rel)
+	col := obsv.NewCollector()
+	opts.Obs = obsv.Multi(opts.Obs, col)
 	cnt := &core.Counter{}
 	start := time.Now()
 	err := core.Compute(s, alg, opts, cnt)
 	d := time.Since(start)
+	s.SetRecorder(nil) // spaces are cached across runs: detach the per-run recorder
 	if err != nil {
 		return Measurement{}, err
 	}
 	return Measurement{
 		Approach: approachName(alg), Size: s.N(), Duration: d,
 		Full: cnt.NFull, Partial: cnt.NPartial, Compl: cnt.NCompl,
+		Counters: col.Snapshot(),
 	}, nil
 }
 

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,27 +18,34 @@ import (
 // Measurement is one data point of a timing figure.
 type Measurement struct {
 	// Figure tags the experiment (e.g. "5a").
-	Figure string
+	Figure string `json:"figure"`
 	// Approach is the algorithm or comparator name.
-	Approach string
+	Approach string `json:"approach"`
 	// Size is the observation count of the input.
-	Size int
+	Size int `json:"size"`
 	// Duration is the measured wall-clock time.
-	Duration time.Duration
+	Duration time.Duration `json:"durationNs"`
 	// TimedOut marks runs aborted at the configured timeout (rendered
 	// like the paper's time-out entries).
-	TimedOut bool
+	TimedOut bool `json:"timedOut,omitempty"`
 	// OOM marks runs skipped because their projected memory exceeds the
 	// configured budget (the paper's o/m entries).
-	OOM bool
+	OOM bool `json:"oom,omitempty"`
 	// Projected marks analytically extrapolated points (the paper
 	// projects the baseline's 2.5 M point from its quadratic fit).
-	Projected bool
+	Projected bool `json:"projected,omitempty"`
 	// Full, Partial, Compl are the relationship counts found (0 when not
 	// applicable).
-	Full, Partial, Compl int
+	Full    int `json:"full"`
+	Partial int `json:"partial"`
+	Compl   int `json:"compl"`
 	// Extra carries figure-specific values (e.g. recall, cube counts).
-	Extra map[string]float64
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Counters is the instrumentation snapshot of the run (work performed:
+	// observation/cube pairs compared, pruned pairs, bit-AND tests, …), so
+	// every figure reports work alongside wall-clock. Nil for comparator
+	// and projected rows.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // Cell renders the duration column like the paper's plots: a time, or the
@@ -119,12 +127,20 @@ func (s Series) Table(title string) string {
 	return b.String()
 }
 
-// CSV renders the series as comma-separated rows with a header.
+// CSV renders the series as comma-separated rows with a header. Counter
+// snapshots become one column per counter name (union over the series, in
+// sorted order), so plots can put comparisons-performed next to durations;
+// per-worker breakdown counters are elided to keep the width bounded.
 func (s Series) CSV() string {
 	var b strings.Builder
 	b.WriteString("figure,approach,size,seconds,status,full,partial,compl")
 	extraKeys := s.extraKeys()
 	for _, k := range extraKeys {
+		b.WriteByte(',')
+		b.WriteString(k)
+	}
+	counterKeys := s.counterKeys()
+	for _, k := range counterKeys {
 		b.WriteByte(',')
 		b.WriteString(k)
 	}
@@ -144,9 +160,42 @@ func (s Series) CSV() string {
 		for _, k := range extraKeys {
 			fmt.Fprintf(&b, ",%g", m.Extra[k])
 		}
+		for _, k := range counterKeys {
+			fmt.Fprintf(&b, ",%d", m.Counters[k])
+		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the series as an indented JSON array, counter snapshots
+// included in full (per-worker counters too).
+func (s Series) JSON() (string, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}
+
+// counterKeys returns the sorted union of counter names over the series,
+// skipping the unbounded per-worker breakdown.
+func (s Series) counterKeys() []string {
+	set := map[string]bool{}
+	for _, m := range s {
+		for k := range m.Counters {
+			if strings.HasPrefix(k, "parallel.worker.") {
+				continue
+			}
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func (s Series) axes() (sizes []int, approaches []string) {

@@ -29,11 +29,15 @@ func (t Tasks) Has(q Tasks) bool { return t&q == q }
 // Θ(n²) in pairs; both directions of a pair are resolved in one visit.
 func Baseline(s *Space, tasks Tasks, sink Sink) {
 	om := BuildOccurrenceMatrix(s)
+	sink = instrumentSink(s, sink)
+	endCompare := s.span(SpanCompare)
 	BaselineOver(om, nil, tasks, sink)
+	endCompare()
 }
 
 // BaselineOver runs the baseline pair scan over a subset of observation
 // indices (nil means all). The clustering algorithm reuses it per cluster.
+// Comparison counters are batched locally and flushed per outer row.
 func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
 	s := om.Space
 	n := s.N()
@@ -55,11 +59,13 @@ func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
 	for x := 0; x < len(idx); x++ {
 		i := idx[x]
 		ri := om.Rows[i]
+		var ordered, bitTests int64 // batched, flushed per outer row
 		for y := x + 1; y < len(idx); y++ {
 			j := idx[y]
 			rj := om.Rows[j]
 
 			// One pass over the dimensions resolves both directions.
+			ordered += 2
 			degIJ, degJI := 0, 0
 			okIJ, okJI := true, true
 			if recorder != nil {
@@ -67,6 +73,7 @@ func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
 			}
 			for d := 0; d < p; d++ {
 				lo, hi := s.ColRange(d)
+				bitTests += 2
 				cij := ri.AndEqualsRange(rj, lo, hi)
 				cji := rj.AndEqualsRange(ri, lo, hi)
 				if cij {
@@ -119,5 +126,7 @@ func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
 				sink.Compl(i, j)
 			}
 		}
+		s.count(CtrObsPairsCompared, ordered)
+		s.count(CtrBitAndTests, bitTests)
 	}
 }

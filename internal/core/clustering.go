@@ -17,13 +17,34 @@ type ClusteringOptions struct {
 // Comparisons across clusters are skipped, which makes the method lossy:
 // related observations that land in different clusters are missed (the
 // recall trade-off of Figure 5(d)).
+//
+// With a recorder attached, the skipped cross-cluster work is counted as
+// cluster.pairs.skipped (ordered pairs), so the lossiness of a run is
+// observable next to its speedup.
 func Clustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions) (cluster.Clustering, error) {
 	om := BuildOccurrenceMatrix(s)
+	sink = instrumentSink(s, sink)
+	endAssign := s.span(SpanCluster)
 	cl, err := cluster.Cluster(om.Rows, opts.Config)
+	endAssign()
 	if err != nil {
 		return cluster.Clustering{}, err
 	}
-	for _, members := range cl.Members() {
+	members := cl.Members()
+	s.gauge(GaugeClusters, float64(len(members)))
+
+	// Ordered pairs skipped = all ordered pairs − intra-cluster ordered
+	// pairs: the work clustering avoids, and the source of its recall loss.
+	n := int64(s.N())
+	intra := int64(0)
+	for _, m := range members {
+		intra += int64(len(m)) * int64(len(m)-1)
+	}
+	s.count(CtrClusterPairsSkipped, n*(n-1)-intra)
+
+	endCompare := s.span(SpanCompare)
+	defer endCompare()
+	for _, members := range members {
 		if len(members) < 2 {
 			continue
 		}

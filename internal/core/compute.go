@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
+	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 )
 
@@ -40,18 +42,46 @@ func Algorithms() []Algorithm {
 	}
 }
 
+// AlgorithmNames renders the supported algorithm names as a comma-
+// separated list — the single source of truth for CLI help strings, so
+// flag documentation cannot drift from Algorithms().
+func AlgorithmNames() string {
+	names := make([]string, 0, len(Algorithms()))
+	for _, a := range Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, ", ")
+}
+
 // Options bundle per-algorithm settings for Compute.
+//
+// Each field is consumed only by the algorithms named in its comment; the
+// others ignore it. By default Compute is lenient about that — a non-zero
+// Clustering passed to the baseline is silently unused, so one Options
+// value can drive several algorithms (as the benchmark harness does). Set
+// Strict to make Compute reject such ignored settings instead.
 type Options struct {
-	// Tasks selects the relationship types; zero means TaskAll.
+	// Tasks selects the relationship types; zero means TaskAll. All
+	// algorithms consult it.
 	Tasks Tasks
-	// Clustering configures AlgorithmClustering and AlgorithmHybrid.
+	// Clustering configures AlgorithmClustering only. (AlgorithmHybrid's
+	// intra-cube clustering is configured via Hybrid.Clustering.)
 	Clustering ClusteringOptions
-	// CubeMask configures the cubeMasking variants.
+	// CubeMask configures AlgorithmCubeMasking and
+	// AlgorithmCubeMaskingPrefetch (which forces PrefetchChildren on).
 	CubeMask CubeMaskOptions
 	// Hybrid configures AlgorithmHybrid.
 	Hybrid HybridOptions
 	// Workers bounds AlgorithmParallel's pool; zero means GOMAXPROCS.
 	Workers int
+	// Obs, when non-nil, receives phase spans, counters and gauges from
+	// the run (see obs.go for the name glossary). All algorithms consult
+	// it; nil disables instrumentation entirely.
+	Obs obsv.Recorder
+	// Strict makes Compute return an error when a field not consumed by
+	// the selected algorithm is set to a non-zero value, instead of
+	// silently ignoring it.
+	Strict bool
 }
 
 func (o Options) tasks() Tasks {
@@ -61,9 +91,53 @@ func (o Options) tasks() Tasks {
 	return o.Tasks
 }
 
+// Validate reports which non-zero Options fields the given algorithm
+// would ignore. It returns nil when every set field is consumed. Compute
+// calls it when Strict is set; callers may invoke it directly for
+// up-front flag validation.
+func (o Options) Validate(alg Algorithm) error {
+	known := false
+	for _, a := range Algorithms() {
+		if a == alg {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown algorithm %q (supported: %s)", alg, AlgorithmNames())
+	}
+	var ignored []string
+	if o.Clustering != (ClusteringOptions{}) && alg != AlgorithmClustering {
+		ignored = append(ignored, "Clustering")
+	}
+	if o.CubeMask != (CubeMaskOptions{}) && alg != AlgorithmCubeMasking && alg != AlgorithmCubeMaskingPrefetch {
+		ignored = append(ignored, "CubeMask")
+	}
+	if o.Hybrid != (HybridOptions{}) && alg != AlgorithmHybrid {
+		ignored = append(ignored, "Hybrid")
+	}
+	if o.Workers != 0 && alg != AlgorithmParallel {
+		ignored = append(ignored, "Workers")
+	}
+	if len(ignored) > 0 {
+		return fmt.Errorf("core: algorithm %q ignores Options.%s; clear the field(s) or pick an algorithm that uses them",
+			alg, strings.Join(ignored, ", Options."))
+	}
+	return nil
+}
+
 // Compute runs the selected algorithm over the space, streaming
-// relationships into sink.
+// relationships into sink. When opts.Obs is non-nil it is attached to the
+// space for the duration of the run (and left attached afterwards).
 func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
+	if opts.Strict {
+		if err := opts.Validate(alg); err != nil {
+			return err
+		}
+	}
+	if opts.Obs != nil {
+		s.SetRecorder(opts.Obs)
+	}
 	tasks := opts.tasks()
 	switch alg {
 	case AlgorithmBaseline:
@@ -74,24 +148,27 @@ func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
 		_, err := Clustering(s, tasks, sink, opts.Clustering)
 		return err
 	case AlgorithmCubeMasking:
-		CubeMasking(s, tasks, sink, CubeMaskOptions{})
+		CubeMasking(s, tasks, sink, opts.CubeMask)
 	case AlgorithmCubeMaskingPrefetch:
-		CubeMasking(s, tasks, sink, CubeMaskOptions{PrefetchChildren: true})
+		cm := opts.CubeMask
+		cm.PrefetchChildren = true
+		CubeMasking(s, tasks, sink, cm)
 	case AlgorithmHybrid:
 		return Hybrid(s, tasks, sink, opts.Hybrid)
 	case AlgorithmParallel:
 		ParallelCubeMasking(s, tasks, sink, opts.Workers)
 	default:
-		return fmt.Errorf("core: unknown algorithm %q", alg)
+		return fmt.Errorf("core: unknown algorithm %q (supported: %s)", alg, AlgorithmNames())
 	}
 	return nil
 }
 
 // ComputeCorpus compiles the corpus and runs Compute, collecting the
 // relationship sets into a Result. It is the façade-level convenience
-// entry point.
+// entry point. With opts.Obs set, the full phase tree is recorded:
+// compile → (algorithm phases) → emit.
 func ComputeCorpus(c *qb.Corpus, alg Algorithm, opts Options) (*Space, *Result, error) {
-	s, err := NewSpace(c)
+	s, err := NewSpaceObs(c, opts.Obs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -99,6 +176,8 @@ func ComputeCorpus(c *qb.Corpus, alg Algorithm, opts Options) (*Space, *Result, 
 	if err := Compute(s, alg, opts, res); err != nil {
 		return nil, nil, err
 	}
+	endEmit := s.span(SpanEmit)
 	res.Sort()
+	endEmit()
 	return s, res, nil
 }

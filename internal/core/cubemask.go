@@ -16,8 +16,10 @@ type CubeMaskOptions struct {
 
 // BuildLattice hashes every observation of the space into its lattice cube
 // (Algorithm 4, steps i–ii). The identification and assignment pass is a
-// single linear scan.
+// single linear scan, recorded under the lattice.build span; the cube
+// count is reported as the lattice.cubes gauge (Fig. 5(f)).
 func BuildLattice(s *Space) *lattice.Lattice {
+	end := s.span(SpanLatticeBuild)
 	l := lattice.New(s.NumDims())
 	sig := make(lattice.Signature, s.NumDims())
 	for i := 0; i < s.N(); i++ {
@@ -26,6 +28,8 @@ func BuildLattice(s *Space) *lattice.Lattice {
 		}
 		l.Add(i, sig)
 	}
+	end()
+	s.gauge(GaugeCubes, float64(l.Len()))
 	return l
 }
 
@@ -34,49 +38,85 @@ func BuildLattice(s *Space) *lattice.Lattice {
 // comparability, and only observations of comparable cube pairs are
 // compared. Unlike clustering, the pruning is exact, so recall is 1.
 // It returns the lattice for inspection (cube counts feed Fig. 5(f)).
+//
+// With a recorder attached, the sweep reports cubes.pairs.considered,
+// cubes.pairs.pruned and cubes.pairs.compared; pruned + compared equals
+// considered (= #cubes²) in every mode — the pruned ratio is the paper's
+// Fig. 5 work-avoidance argument made measurable.
 func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattice.Lattice {
 	l := BuildLattice(s)
+	sink = instrumentSink(s, sink)
 	cubes := l.Cubes()
 	p := s.NumDims()
+	nc := int64(len(cubes))
+
+	endCompare := s.span(SpanCompare)
+	defer endCompare()
 
 	if tasks&(TaskFull|TaskPartial) == 0 && tasks.Has(TaskCompl) {
 		// Complementarity requires identical dimension values, hence
-		// identical signatures: only same-cube pairs can qualify.
+		// identical signatures: only same-cube pairs can qualify. Every
+		// cross-cube pair is pruned without even a signature test.
 		for _, c := range cubes {
 			comparePair(s, c, c, p, tasks, sink, nil)
 		}
+		s.count(CtrCubePairsConsidered, nc*nc)
+		s.count(CtrCubePairsCompared, nc)
+		s.count(CtrCubePairsPruned, nc*nc-nc)
 		return l
 	}
 
 	if !tasks.Has(TaskPartial) && opts.PrefetchChildren {
-		// Prefetched sweep: each cube visits exactly its descendants.
+		// Prefetched sweep: each cube visits exactly its descendants. The
+		// signature tests happen once inside PrefetchChildren; the sweep
+		// itself only walks cache hits.
 		l.PrefetchChildren()
+		s.count(CtrCandidateDimTests, nc*nc)
+		var compared int64
 		for ai := range cubes {
 			a := cubes[ai]
-			for _, b := range l.Children(ai) {
+			children := l.Children(ai)
+			compared += int64(len(children))
+			for _, b := range children {
 				comparePair(s, a, b, p, tasks, sink, nil)
 			}
 		}
+		s.count(CtrCubePairsConsidered, nc*nc)
+		s.count(CtrCubePairsCompared, compared)
+		s.count(CtrCubePairsPruned, nc*nc-compared)
+		s.count(CtrPrefetchHits, compared)
 		return l
 	}
 
 	cand := make([]int, 0, p)
+	var considered, pruned, compared, candTests int64
 	for _, a := range cubes {
 		for _, b := range cubes {
+			considered++
+			candTests++
 			cand = a.Sig.CandidateDims(b.Sig, cand)
 			if len(cand) == 0 {
+				pruned++
 				continue
 			}
 			allLE := len(cand) == p
 			if !tasks.Has(TaskPartial) && !allLE {
+				pruned++
 				continue
 			}
+			compared++
 			if allLE {
 				comparePair(s, a, b, p, tasks, sink, nil)
 			} else {
 				comparePair(s, a, b, p, tasks, sink, cand)
 			}
 		}
+		// Flush per outer cube so live progress sees the sweep advance.
+		s.count(CtrCubePairsConsidered, considered)
+		s.count(CtrCubePairsPruned, pruned)
+		s.count(CtrCubePairsCompared, compared)
+		s.count(CtrCandidateDimTests, candTests)
+		considered, pruned, compared, candTests = 0, 0, 0, 0
 	}
 	return l
 }
@@ -84,6 +124,9 @@ func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattic
 // comparePair compares every observation of cube a against every
 // observation of cube b, testing containment only on cand dimensions
 // (nil means all dimensions, implying a.Sig ≤ b.Sig level-wise).
+// Observation-pair and dimension-test counters are batched locally and
+// flushed once per cube pair; the flush is atomic-safe, so the parallel
+// worker pool calls this concurrently.
 func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, cand []int) {
 	sameCube := a == b
 	allLE := cand == nil
@@ -93,17 +136,20 @@ func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, ca
 	if recorder != nil {
 		dims = make([]int, 0, p)
 	}
+	var ordered, dimTests int64
 	for _, i := range a.Obs {
 		for _, j := range b.Obs {
 			if i == j {
 				continue
 			}
+			ordered++
 			deg := 0
 			if recorder != nil {
 				dims = dims[:0]
 			}
 			if allLE {
 				for d := 0; d < p; d++ {
+					dimTests++
 					if s.DimContains(i, j, d) {
 						deg++
 						if recorder != nil {
@@ -116,6 +162,7 @@ func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, ca
 				}
 			} else {
 				for _, d := range cand {
+					dimTests++
 					if s.DimContains(i, j, d) {
 						deg++
 						if recorder != nil {
@@ -145,4 +192,6 @@ func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, ca
 			}
 		}
 	}
+	s.count(CtrObsPairsCompared, ordered)
+	s.count(CtrDimTests, dimTests)
 }

@@ -26,32 +26,49 @@ func Hybrid(s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
 		maxSize = 512
 	}
 	l := BuildLattice(s)
+	sink = instrumentSink(s, sink)
 	cubes := l.Cubes()
 	p := s.NumDims()
 
+	endCompare := s.span(SpanCompare)
+	defer endCompare()
 	cand := make([]int, 0, p)
+	var considered, pruned, compared, candTests, clustered int64
 	for _, a := range cubes {
 		for _, b := range cubes {
+			considered++
 			if a == b && len(a.Obs) > maxSize {
+				clustered++
+				compared++
 				if err := clusterWithin(s, a.Obs, tasks, sink, opts.Clustering); err != nil {
 					return err
 				}
 				continue
 			}
+			candTests++
 			cand = a.Sig.CandidateDims(b.Sig, cand)
 			if len(cand) == 0 {
+				pruned++
 				continue
 			}
 			allLE := len(cand) == p
 			if !tasks.Has(TaskPartial) && !allLE {
+				pruned++
 				continue
 			}
+			compared++
 			if allLE {
 				comparePair(s, a, b, p, tasks, sink, nil)
 			} else {
 				comparePair(s, a, b, p, tasks, sink, cand)
 			}
 		}
+		s.count(CtrCubePairsConsidered, considered)
+		s.count(CtrCubePairsPruned, pruned)
+		s.count(CtrCubePairsCompared, compared)
+		s.count(CtrCandidateDimTests, candTests)
+		s.count(CtrHybridCubesClustered, clustered)
+		considered, pruned, compared, candTests, clustered = 0, 0, 0, 0, 0
 	}
 	return nil
 }
@@ -69,7 +86,14 @@ func clusterWithin(s *Space, members []int, tasks Tasks, sink Sink, opts Cluster
 		return err
 	}
 	p := s.NumDims()
+	var ordered, dimTests, intra int64
 	for _, local := range cl.Members() {
+		m := int64(len(local))
+		// pairwiseDirect resolves both directions per unordered visit and
+		// always tests all p dimensions.
+		ordered += m * (m - 1)
+		dimTests += int64(p) * m * (m - 1) / 2
+		intra += m * (m - 1)
 		for x := 0; x < len(local); x++ {
 			i := members[local[x]]
 			for y := x + 1; y < len(local); y++ {
@@ -78,6 +102,10 @@ func clusterWithin(s *Space, members []int, tasks Tasks, sink Sink, opts Cluster
 			}
 		}
 	}
+	n := int64(len(members))
+	s.count(CtrObsPairsCompared, ordered)
+	s.count(CtrDimTests, dimTests)
+	s.count(CtrClusterPairsSkipped, n*(n-1)-intra)
 	return nil
 }
 

@@ -86,6 +86,8 @@ func (inc *Incremental) Lattice() *lattice.Lattice { return inc.l }
 
 // Insert adds one observation, updates the relationship sets with every
 // relationship the new observation participates in, and returns its index.
+// With a recorder attached to the space, each insert batches its pruning
+// and comparison counters and flushes them once on return.
 func (inc *Incremental) Insert(o *qb.Observation) (int, error) {
 	s := inc.S
 	i, err := s.AppendObservation(o)
@@ -95,19 +97,33 @@ func (inc *Incremental) Insert(o *qb.Observation) (int, error) {
 	p := s.NumDims()
 	sig := s.Signature(i)
 
+	var considered, pruned, compared, candTests, ordered, dimTests int64
 	candA := make([]int, 0, p) // dimensions where new may contain cube
 	candB := make([]int, 0, p) // dimensions where cube may contain new
 	for _, c := range inc.l.Cubes() {
+		considered++
+		candTests += 2
 		candA = sig.CandidateDims(c.Sig, candA)
 		candB = c.Sig.CandidateDims(sig, candB)
 		if len(candA) == 0 && len(candB) == 0 {
+			pruned++
 			continue
 		}
+		compared++
+		ordered += 2 * int64(len(c.Obs))
+		dimTests += int64(len(candA)+len(candB)) * int64(len(c.Obs))
 		for _, j := range c.Obs {
 			inc.comparePairBoth(i, j, sig, c.Sig, candA, candB)
 		}
 	}
 	inc.l.Add(i, sig)
+	s.count(CtrIncInserts, 1)
+	s.count(CtrCubePairsConsidered, considered)
+	s.count(CtrCubePairsPruned, pruned)
+	s.count(CtrCubePairsCompared, compared)
+	s.count(CtrCandidateDimTests, candTests)
+	s.count(CtrObsPairsCompared, ordered)
+	s.count(CtrDimTests, dimTests)
 	return i, nil
 }
 

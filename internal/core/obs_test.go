@@ -1,0 +1,288 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rdfcube/internal/gen"
+	"rdfcube/internal/obsv"
+)
+
+func obsTestSpace(t testing.TB, n int) *Space {
+	t.Helper()
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: n, Seed: 1})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCubeMaskingPruningAccounting is the acceptance check of the pruning
+// counters: over the real generator at n = 5000, pruned + compared cube
+// pairs must equal the unpruned pair total #cubes², in every task mode.
+func TestCubeMaskingPruningAccounting(t *testing.T) {
+	s := obsTestSpace(t, 5000)
+	for _, tasks := range []Tasks{TaskAll, TaskFull, TaskCompl} {
+		col := obsv.NewCollector()
+		s.SetRecorder(col)
+		l := CubeMasking(s, tasks, &Counter{}, CubeMaskOptions{})
+		s.SetRecorder(nil)
+
+		snap := col.Snapshot()
+		nc := int64(l.Len())
+		considered := snap[CtrCubePairsConsidered]
+		pruned := snap[CtrCubePairsPruned]
+		compared := snap[CtrCubePairsCompared]
+		if considered != nc*nc {
+			t.Errorf("tasks %b: considered = %d, want #cubes² = %d", tasks, considered, nc*nc)
+		}
+		if pruned+compared != considered {
+			t.Errorf("tasks %b: pruned (%d) + compared (%d) != considered (%d)",
+				tasks, pruned, compared, considered)
+		}
+		if compared == 0 {
+			t.Errorf("tasks %b: degenerate accounting: no cube pair compared", tasks)
+		}
+		// With the partial task active any shared candidate dimension
+		// forces a comparison, so pruning may legitimately be zero; for
+		// full/compl-only runs the lattice must actually prune.
+		if !tasks.Has(TaskPartial) && pruned == 0 {
+			t.Errorf("tasks %b: lattice pruned nothing", tasks)
+		}
+	}
+}
+
+// TestPrefetchPruningAccounting checks the invariant holds on the
+// prefetched sweep too, and that cache hits equal compared pairs.
+func TestPrefetchPruningAccounting(t *testing.T) {
+	s := obsTestSpace(t, 2000)
+	col := obsv.NewCollector()
+	s.SetRecorder(col)
+	l := CubeMasking(s, TaskFull, &Counter{}, CubeMaskOptions{PrefetchChildren: true})
+	s.SetRecorder(nil)
+	snap := col.Snapshot()
+	nc := int64(l.Len())
+	if snap[CtrCubePairsConsidered] != nc*nc {
+		t.Errorf("considered = %d, want %d", snap[CtrCubePairsConsidered], nc*nc)
+	}
+	if snap[CtrCubePairsPruned]+snap[CtrCubePairsCompared] != snap[CtrCubePairsConsidered] {
+		t.Errorf("pruned (%d) + compared (%d) != considered (%d)",
+			snap[CtrCubePairsPruned], snap[CtrCubePairsCompared], snap[CtrCubePairsConsidered])
+	}
+	if snap[CtrPrefetchHits] != snap[CtrCubePairsCompared] {
+		t.Errorf("prefetch.hits = %d, want compared = %d", snap[CtrPrefetchHits], snap[CtrCubePairsCompared])
+	}
+}
+
+// TestBaselineComparisonCount is the acceptance check of the baseline
+// counter: a full baseline run performs exactly n·(n−1) ordered
+// observation comparisons (each unordered pair visit resolves both
+// directions), for both the packed and the sparse occurrence matrix.
+func TestBaselineComparisonCount(t *testing.T) {
+	s := obsTestSpace(t, 5000)
+	n := int64(s.N())
+	want := n * (n - 1)
+
+	for name, run := range map[string]func(*Space, Tasks, Sink){
+		"baseline":        Baseline,
+		"baseline-sparse": BaselineSparse,
+	} {
+		col := obsv.NewCollector()
+		s.SetRecorder(col)
+		run(s, TaskFull, &Counter{})
+		s.SetRecorder(nil)
+		if got := col.Snapshot()[CtrObsPairsCompared]; got != want {
+			t.Errorf("%s: obs.pairs.compared = %d, want n(n-1) = %d", name, got, want)
+		}
+	}
+}
+
+// TestEmitCountersMatchSink checks the instrumented sink counts exactly
+// the relationships the sink receives, and that counts agree across
+// algorithms.
+func TestEmitCountersMatchSink(t *testing.T) {
+	s := obsTestSpace(t, 1500)
+	var ref [3]int
+	for i, alg := range []Algorithm{AlgorithmBaseline, AlgorithmCubeMasking, AlgorithmParallel} {
+		col := obsv.NewCollector()
+		cnt := &Counter{}
+		opts := Options{Obs: col}
+		if alg == AlgorithmParallel {
+			opts.Workers = 4
+		}
+		if err := Compute(s, alg, opts, cnt); err != nil {
+			t.Fatal(err)
+		}
+		s.SetRecorder(nil)
+		snap := col.Snapshot()
+		if snap[CtrEmitFull] != int64(cnt.NFull) ||
+			snap[CtrEmitPartial] != int64(cnt.NPartial) ||
+			snap[CtrEmitCompl] != int64(cnt.NCompl) {
+			t.Errorf("%s: emit counters (%d,%d,%d) != sink counts (%d,%d,%d)", alg,
+				snap[CtrEmitFull], snap[CtrEmitPartial], snap[CtrEmitCompl],
+				cnt.NFull, cnt.NPartial, cnt.NCompl)
+		}
+		if i == 0 {
+			ref = [3]int{cnt.NFull, cnt.NPartial, cnt.NCompl}
+		} else if got := [3]int{cnt.NFull, cnt.NPartial, cnt.NCompl}; got != ref {
+			t.Errorf("%s: counts %v differ from baseline %v", alg, got, ref)
+		}
+	}
+}
+
+// TestPhaseTree checks the recorded span tree of a full ComputeCorpus run:
+// compile → lattice.build → compare → emit.
+func TestPhaseTree(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 500, Seed: 1})
+	col := obsv.NewCollector()
+	_, _, err := ComputeCorpus(c, AlgorithmCubeMasking, Options{Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sp := range col.Spans() {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{SpanCompile, SpanLatticeBuild, SpanCompare, SpanEmit} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("phase tree %q missing %q", joined, want)
+		}
+	}
+	// compile must come before compare, compare before emit.
+	if idx(names, SpanCompile) > idx(names, SpanCompare) || idx(names, SpanCompare) > idx(names, SpanEmit) {
+		t.Errorf("phase order wrong: %v", names)
+	}
+}
+
+func idx(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestIncrementalCounters checks insert instrumentation.
+func TestIncrementalCounters(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 1})
+	obs := c.Observations()
+	grow := gen.RealWorld(gen.RealWorldConfig{TotalObs: 320, Seed: 1}).Observations()
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obsv.NewCollector()
+	s.SetRecorder(col)
+	inc := NewIncremental(s, TaskAll)
+	inserted := 0
+	for _, o := range grow[len(obs):] {
+		if _, err := inc.Insert(o); err != nil {
+			continue // schema outside the initial space — not under test
+		}
+		inserted++
+	}
+	if inserted == 0 {
+		t.Skip("no compatible growth observations")
+	}
+	if got := col.Snapshot()[CtrIncInserts]; got != int64(inserted) {
+		t.Errorf("incremental.inserts = %d, want %d", got, inserted)
+	}
+}
+
+// TestOptionsValidate covers the Strict/Validate satellite: ignored
+// non-zero fields are reported, consumed fields pass.
+func TestOptionsValidate(t *testing.T) {
+	var opts Options
+	opts.Workers = 4
+	if err := opts.Validate(AlgorithmBaseline); err == nil {
+		t.Errorf("baseline must reject Workers")
+	} else if !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("error must name the field: %v", err)
+	}
+	if err := opts.Validate(AlgorithmParallel); err != nil {
+		t.Errorf("parallel consumes Workers: %v", err)
+	}
+
+	opts = Options{}
+	opts.Clustering.Config.Seed = 7
+	if err := opts.Validate(AlgorithmCubeMasking); err == nil {
+		t.Errorf("cubemasking must reject Clustering")
+	}
+	if err := opts.Validate(AlgorithmClustering); err != nil {
+		t.Errorf("clustering consumes Clustering: %v", err)
+	}
+
+	opts = Options{CubeMask: CubeMaskOptions{PrefetchChildren: true}}
+	if err := opts.Validate(AlgorithmBaselineSparse); err == nil {
+		t.Errorf("baseline-sparse must reject CubeMask")
+	}
+	for _, alg := range []Algorithm{AlgorithmCubeMasking, AlgorithmCubeMaskingPrefetch} {
+		if err := opts.Validate(alg); err != nil {
+			t.Errorf("%s consumes CubeMask: %v", alg, err)
+		}
+	}
+
+	opts = Options{Hybrid: HybridOptions{MaxCubeSize: 9}}
+	if err := opts.Validate(AlgorithmCubeMasking); err == nil {
+		t.Errorf("cubemasking must reject Hybrid")
+	}
+	if err := opts.Validate(AlgorithmHybrid); err != nil {
+		t.Errorf("hybrid consumes Hybrid: %v", err)
+	}
+
+	if err := (Options{}).Validate(Algorithm("nope")); err == nil {
+		t.Errorf("unknown algorithm must fail")
+	}
+
+	// Strict threads through Compute.
+	s := obsTestSpace(t, 100)
+	bad := Options{Workers: 2, Strict: true}
+	if err := Compute(s, AlgorithmBaseline, bad, &Counter{}); err == nil {
+		t.Errorf("strict Compute must reject ignored Workers")
+	}
+	bad.Strict = false
+	if err := Compute(s, AlgorithmBaseline, bad, &Counter{}); err != nil {
+		t.Errorf("lenient Compute must ignore Workers: %v", err)
+	}
+}
+
+// TestComputeUsesCubeMaskOptions guards the fixed bug where Compute
+// dropped Options.CubeMask on the floor: the prefetch flag must reach the
+// algorithm (observable through the prefetch.hits counter).
+func TestComputeUsesCubeMaskOptions(t *testing.T) {
+	s := obsTestSpace(t, 500)
+	col := obsv.NewCollector()
+	opts := Options{
+		Tasks:    TaskFull,
+		CubeMask: CubeMaskOptions{PrefetchChildren: true},
+		Obs:      col,
+	}
+	if err := Compute(s, AlgorithmCubeMasking, opts, &Counter{}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRecorder(nil)
+	if col.Snapshot()[CtrPrefetchHits] == 0 {
+		t.Errorf("Options.CubeMask.PrefetchChildren was dropped by Compute")
+	}
+}
+
+// TestNoRecorderNoWrap checks the zero-overhead contract: without a
+// recorder, instrumentSink must return the sink unchanged.
+func TestNoRecorderNoWrap(t *testing.T) {
+	s := obsTestSpace(t, 100)
+	sink := NewResult()
+	if got := instrumentSink(s, sink); got != Sink(sink) {
+		t.Errorf("instrumentSink without recorder must be the identity")
+	}
+	s.SetRecorder(obsv.NewCollector())
+	wrapped := instrumentSink(s, sink)
+	if _, ok := wrapped.(DimsRecorder); !ok {
+		t.Errorf("wrapping must preserve the DimsRecorder extension")
+	}
+	if _, ok := instrumentSink(s, &Counter{}).(DimsRecorder); ok {
+		t.Errorf("wrapping must not invent a DimsRecorder")
+	}
+}

@@ -18,6 +18,7 @@ type OccurrenceMatrix struct {
 
 // BuildOccurrenceMatrix materializes OM for every observation of the space.
 func BuildOccurrenceMatrix(s *Space) *OccurrenceMatrix {
+	defer s.span(SpanOMBuild)()
 	om := &OccurrenceMatrix{Space: s, Rows: make([]*bitvec.Vector, s.N())}
 	for i := 0; i < s.N(); i++ {
 		om.Rows[i] = s.Row(i)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -12,6 +13,13 @@ import (
 // sequentially afterwards so Sink implementations need not be thread-safe.
 // The relationship sets are identical to CubeMasking's; only emission order
 // differs before Result.Sort.
+//
+// Instrumentation: workers flush batched counters into the attached
+// recorder concurrently (recorders are goroutine-safe; the Collector uses
+// atomic counters), so cube-pair and observation-pair totals stay exact
+// under parallelism. Each worker additionally reports its outer-cube
+// throughput as parallel.worker.<id>.cubes, and the replay of private
+// results into the caller's sink is recorded under the replay span.
 func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,42 +32,64 @@ func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 		CubeMasking(s, tasks, sink, CubeMaskOptions{})
 		return
 	}
+	s.gauge(GaugeWorkers, float64(workers))
 
+	endCompare := s.span(SpanCompare)
 	next := make(chan int)
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		results[w] = NewResult()
 		wg.Add(1)
-		go func(local *Result) {
+		go func(id int, local *Result) {
 			defer wg.Done()
 			cand := make([]int, 0, p)
+			var outer, considered, pruned, compared, candTests int64
 			for ai := range next {
+				outer++
 				a := cubes[ai]
 				for _, b := range cubes {
+					considered++
+					candTests++
 					cand = a.Sig.CandidateDims(b.Sig, cand)
 					if len(cand) == 0 {
+						pruned++
 						continue
 					}
 					allLE := len(cand) == p
 					if !tasks.Has(TaskPartial) && !allLE {
+						pruned++
 						continue
 					}
+					compared++
 					if allLE {
 						comparePair(s, a, b, p, tasks, local, nil)
 					} else {
 						comparePair(s, a, b, p, tasks, local, cand)
 					}
 				}
+				// Flush per outer cube: keeps live progress moving while
+				// bounding recorder traffic to one call set per cube.
+				s.count(CtrCubePairsConsidered, considered)
+				s.count(CtrCubePairsPruned, pruned)
+				s.count(CtrCubePairsCompared, compared)
+				s.count(CtrCandidateDimTests, candTests)
+				considered, pruned, compared, candTests = 0, 0, 0, 0
 			}
-		}(results[w])
+			s.count(CtrParallelCubes, outer)
+			s.count(fmt.Sprintf("parallel.worker.%02d.cubes", id), outer)
+		}(w, results[w])
 	}
 	for ai := range cubes {
 		next <- ai
 	}
 	close(next)
 	wg.Wait()
+	endCompare()
 
+	endReplay := s.span(SpanReplay)
+	defer endReplay()
+	sink = instrumentSink(s, sink)
 	recorder, _ := sink.(DimsRecorder)
 	for _, r := range results {
 		for _, pr := range r.FullSet {

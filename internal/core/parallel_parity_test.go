@@ -1,0 +1,48 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfcube/internal/gen"
+)
+
+// TestParallelReplayParity asserts ParallelCubeMasking's replay produces
+// exactly CubeMasking's output — Full/Partial/Compl sets, PartialDegree
+// AND the RecordPartialDims map — across worker counts. Run under -race
+// this also exercises the worker pool's concurrent counter flushes.
+func TestParallelReplayParity(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 800, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewResult()
+	CubeMasking(s, TaskAll, want, CubeMaskOptions{})
+	want.Sort()
+
+	for _, workers := range []int{1, 2, 8} {
+		got := NewResult()
+		ParallelCubeMasking(s, TaskAll, got, workers)
+		got.Sort()
+
+		if !reflect.DeepEqual(got.FullSet, want.FullSet) {
+			t.Errorf("workers=%d: FullSet differs (%d vs %d pairs)", workers, len(got.FullSet), len(want.FullSet))
+		}
+		if !reflect.DeepEqual(got.PartialSet, want.PartialSet) {
+			t.Errorf("workers=%d: PartialSet differs (%d vs %d pairs)", workers, len(got.PartialSet), len(want.PartialSet))
+		}
+		if !reflect.DeepEqual(got.ComplSet, want.ComplSet) {
+			t.Errorf("workers=%d: ComplSet differs (%d vs %d pairs)", workers, len(got.ComplSet), len(want.ComplSet))
+		}
+		if !reflect.DeepEqual(got.PartialDegree, want.PartialDegree) {
+			t.Errorf("workers=%d: PartialDegree differs", workers)
+		}
+		if !reflect.DeepEqual(got.PartialDims, want.PartialDims) {
+			t.Errorf("workers=%d: PartialDims (RecordPartialDims output) differs", workers)
+		}
+		if len(want.PartialDims) == 0 {
+			t.Errorf("degenerate input: no partial dims recorded")
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"rdfcube/internal/bitvec"
 	"rdfcube/internal/hierarchy"
 	"rdfcube/internal/lattice"
+	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
 )
@@ -61,18 +62,29 @@ type Space struct {
 
 	colStart []int // occurrence-matrix column offset per dimension
 	numCols  int
+
+	rec obsv.Recorder // optional instrumentation hook (see obs.go)
 }
 
 // NewSpace compiles a corpus. It fails when a dimension lacks a code list,
 // an observation value is outside its code list, or there are more than
 // MaxMeasures measure properties.
-func NewSpace(c *qb.Corpus) (*Space, error) {
+func NewSpace(c *qb.Corpus) (*Space, error) { return NewSpaceObs(c, nil) }
+
+// NewSpaceObs compiles a corpus with an instrumentation recorder attached:
+// the compile pass runs under a "compile" span and the space dimensions
+// are reported as gauges. The recorder stays attached to the returned
+// space, so subsequent algorithm runs report into it too.
+func NewSpaceObs(c *qb.Corpus, rec obsv.Recorder) (*Space, error) {
 	s := &Space{
 		Corpus:   c,
 		Obs:      c.Observations(),
 		Dims:     c.AllDimensions(),
 		Measures: c.AllMeasures(),
+		rec:      rec,
 	}
+	endCompile := s.span(SpanCompile)
+	defer endCompile()
 	if len(s.Measures) > MaxMeasures {
 		return nil, fmt.Errorf("core: %d measures exceed the %d-measure limit", len(s.Measures), MaxMeasures)
 	}
@@ -145,6 +157,9 @@ func NewSpace(c *qb.Corpus) (*Space, error) {
 		}
 		s.mmask[i] = mask
 	}
+	s.gauge(GaugeObservations, float64(len(s.Obs)))
+	s.gauge(GaugeDimensions, float64(len(s.Dims)))
+	s.gauge(GaugeColumns, float64(s.numCols))
 	return s, nil
 }
 

@@ -23,6 +23,7 @@ type SparseOM struct {
 
 // BuildSparseOM materializes the sparse occurrence matrix.
 func BuildSparseOM(s *Space) *SparseOM {
+	defer s.span(SpanSparseBuild)()
 	om := &SparseOM{Space: s, Rows: make([]SparseRow, s.N())}
 	for i := 0; i < s.N(); i++ {
 		om.Rows[i] = s.sparseRow(i)
@@ -100,6 +101,8 @@ func lowerBound(r SparseRow, x int32) int {
 // matrix: identical semantics to Baseline, Θ(Σ depth) memory per row.
 func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
 	om := BuildSparseOM(s)
+	sink = instrumentSink(s, sink)
+	defer s.span(SpanCompare)()
 	n := s.N()
 	p := s.NumDims()
 	needPartial := tasks.Has(TaskPartial)
@@ -112,8 +115,10 @@ func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
 
 	for i := 0; i < n; i++ {
 		ri := om.Rows[i]
+		var ordered, subsetTests int64 // batched, flushed per outer row
 		for j := i + 1; j < n; j++ {
 			rj := om.Rows[j]
+			ordered += 2
 			degIJ, degJI := 0, 0
 			okIJ, okJI := true, true
 			if recorder != nil {
@@ -121,6 +126,7 @@ func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
 			}
 			for d := 0; d < p; d++ {
 				lo, hi := int32(s.colStart[d]), int32(s.colStart[d+1])
+				subsetTests += 2
 				if sparseContainsDim(ri, rj, lo, hi) {
 					degIJ++
 					if recorder != nil {
@@ -168,5 +174,7 @@ func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
 				sink.Compl(i, j)
 			}
 		}
+		s.count(CtrObsPairsCompared, ordered)
+		s.count(CtrSparseSubsetTests, subsetTests)
 	}
 }

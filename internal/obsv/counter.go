@@ -1,0 +1,16 @@
+package obsv
+
+import "sync/atomic"
+
+// Counter is a monotonic counter safe for concurrent use — the unit the
+// Collector hands to the parallel cubeMasking worker pool. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }

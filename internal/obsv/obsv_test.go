@@ -1,0 +1,215 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	c.Count("a", 3)
+	c.Count("a", 4)
+	c.Count("b", 1)
+	c.Count("zero", 0) // no-op, must not create the counter
+	snap := c.Snapshot()
+	if snap["a"] != 7 || snap["b"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if _, ok := snap["zero"]; ok {
+		t.Errorf("zero-delta Count must not create a counter")
+	}
+}
+
+func TestCollectorConcurrentCounts(t *testing.T) {
+	c := NewCollector()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Count("shared", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot()["shared"]; got != workers*per {
+		t.Errorf("shared = %d, want %d", got, workers*per)
+	}
+}
+
+func TestCollectorSpanTree(t *testing.T) {
+	c := NewCollector()
+	endA := c.Start("compile")
+	endB := c.Start("om.build")
+	endB()
+	endA()
+	endC := c.Start("compare")
+	endC()
+
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("roots = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "compile" || spans[1].Name != "compare" {
+		t.Errorf("root names: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if len(spans[0].Children) != 1 || spans[0].Children[0].Name != "om.build" {
+		t.Errorf("compile children: %+v", spans[0].Children)
+	}
+	rep := c.Report()
+	for _, want := range []string{"phases:", "compile", "om.build", "compare"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCollectorDoubleEndIsSafe(t *testing.T) {
+	c := NewCollector()
+	end := c.Start("x")
+	end()
+	end() // second call must be a no-op
+	if n := len(c.Spans()); n != 1 {
+		t.Errorf("spans = %d, want 1", n)
+	}
+}
+
+func TestCollectorJSON(t *testing.T) {
+	c := NewCollector()
+	c.Count("pairs", 42)
+	c.Gauge("workers", 8)
+	end := c.Start("compare")
+	end()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Phases   []*Span            `json:"phases"`
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["pairs"] != 42 || got.Gauges["workers"] != 8 || len(got.Phases) != 1 {
+		t.Errorf("json round trip: %+v", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Errorf("Multi of nils must be nil")
+	}
+	a, b := NewCollector(), NewCollector()
+	if got := Multi(a, nil); got != Recorder(a) {
+		t.Errorf("Multi with one live recorder must return it directly")
+	}
+	m := Multi(a, b)
+	m.Count("x", 2)
+	end := m.Start("phase")
+	end()
+	m.Gauge("g", 1)
+	for _, c := range []*Collector{a, b} {
+		if c.Snapshot()["x"] != 2 || len(c.Spans()) != 1 || c.Gauges()["g"] != 1 {
+			t.Errorf("fan-out missed a recorder")
+		}
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var n Nop
+	n.Count("x", 1)
+	n.Gauge("g", 2)
+	n.Start("s")()
+}
+
+func TestProgressNarration(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	w := lockedWriter{w: &sb, mu: &mu}
+	p := NewProgressInterval(w, time.Nanosecond)
+	end := p.Start("compare")
+	p.Count("pairs", 123456)
+	p.Count("pairs", 1)
+	p.Gauge("workers", 4)
+	end()
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	for _, want := range []string{"> compare", "< compare", "pairs=", "workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestDebugServer(t *testing.T) {
+	c := NewCollector()
+	c.Count("obs.pairs.compared", 99)
+	end := c.Start("compare")
+	end()
+	srv, addr, err := StartDebugServer("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `rdfcube_counter{name="obs.pairs.compared"} 99`) {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, `"obs.pairs.compared":99`) {
+		t.Errorf("/metrics.json body:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ body:\n%s", body)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := groupDigits(1234567); got != "1,234,567" {
+		t.Errorf("groupDigits = %q", got)
+	}
+	if got := groupDigits(-1000); got != "-1,000" {
+		t.Errorf("groupDigits neg = %q", got)
+	}
+	if got := humanCount(56_789_012); got != "56.8M" {
+		t.Errorf("humanCount = %q", got)
+	}
+	if got := FormatSeconds(0.0123); got != "12.3ms" {
+		t.Errorf("FormatSeconds = %q", got)
+	}
+}

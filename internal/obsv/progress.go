@@ -1,0 +1,127 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is the streaming Recorder: it narrates phase starts/ends as
+// they happen and prints a throttled one-line counter digest while a long
+// phase runs, so an operator watching stderr sees live progress instead
+// of a silent multi-minute gap. It is safe for concurrent use.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	last     time.Time
+	counts   map[string]int64
+	depth    int
+}
+
+// NewProgress returns a Progress recorder writing to w, emitting counter
+// digests at most every 500 ms.
+func NewProgress(w io.Writer) *Progress {
+	return NewProgressInterval(w, 500*time.Millisecond)
+}
+
+// NewProgressInterval returns a Progress recorder with an explicit digest
+// throttle interval.
+func NewProgressInterval(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return &Progress{w: w, interval: interval, counts: map[string]int64{}}
+}
+
+// Start implements Recorder.
+func (p *Progress) Start(name string) func() {
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "[obsv] %s> %s\n", strings.Repeat("  ", p.depth), name)
+	p.depth++
+	p.mu.Unlock()
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			if p.depth > 0 {
+				p.depth--
+			}
+			fmt.Fprintf(p.w, "[obsv] %s< %s %s\n",
+				strings.Repeat("  ", p.depth), name, FormatSeconds(time.Since(start).Seconds()))
+			p.mu.Unlock()
+		})
+	}
+}
+
+// Count implements Recorder: it accumulates and, at most once per
+// interval, prints a digest of the largest counters.
+func (p *Progress) Count(name string, delta int64) {
+	if delta == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.counts[name] += delta
+	now := time.Now()
+	if now.Sub(p.last) < p.interval {
+		p.mu.Unlock()
+		return
+	}
+	p.last = now
+	line := p.digestLocked()
+	depth := p.depth
+	p.mu.Unlock()
+	fmt.Fprintf(p.w, "[obsv] %s… %s\n", strings.Repeat("  ", depth), line)
+}
+
+// Gauge implements Recorder.
+func (p *Progress) Gauge(name string, value float64) {
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "[obsv] %s= %s %g\n", strings.Repeat("  ", p.depth), name, value)
+	p.mu.Unlock()
+}
+
+// digestLocked renders the top counters by value, largest first.
+func (p *Progress) digestLocked() string {
+	type kv struct {
+		k string
+		v int64
+	}
+	all := make([]kv, 0, len(p.counts))
+	for k, v := range p.counts {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	const maxShown = 4
+	if len(all) > maxShown {
+		all = all[:maxShown]
+	}
+	parts := make([]string, len(all))
+	for i, e := range all {
+		parts[i] = fmt.Sprintf("%s=%s", e.k, humanCount(e.v))
+	}
+	return strings.Join(parts, " ")
+}
+
+// humanCount renders large counts compactly: 1234 → "1.2k", 56789012 → "56.8M".
+func humanCount(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"rdfcube/internal/gen"
 	"rdfcube/internal/hierarchy"
 	"rdfcube/internal/integrity"
+	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/sparql"
@@ -70,6 +71,18 @@ type (
 	AlignConfig = align.Config
 	// AlignLink is one discovered code correspondence.
 	AlignLink = align.Link
+
+	// Recorder observes a computation: phase spans, monotonic counters and
+	// gauges. Attach one via Options.Obs; a nil Recorder costs nothing.
+	Recorder = obsv.Recorder
+	// Collector is an in-memory Recorder: thread-safe counters plus a span
+	// tree, with text/JSON/Prometheus-style exposition.
+	Collector = obsv.Collector
+	// Progress is a streaming Recorder that prints phase transitions and
+	// throttled counter digests to a writer (typically stderr).
+	Progress = obsv.Progress
+	// Span is one recorded phase of a Collector's span tree.
+	Span = obsv.Span
 )
 
 // Algorithm and task constants.
@@ -117,6 +130,17 @@ var (
 	NewRegistry = hierarchy.NewRegistry
 	// AlignCodes matches code terms across sources (LIMES substitute).
 	AlignCodes = align.Match
+
+	// NewCollector builds an empty in-memory metrics collector.
+	NewCollector = obsv.NewCollector
+	// NewProgress builds a streaming progress recorder over a writer.
+	NewProgress = obsv.NewProgress
+	// MultiRecorder fans one recording out to several recorders (nils are
+	// skipped, so optional recorders compose freely).
+	MultiRecorder = obsv.Multi
+	// StartDebugServer serves a collector's live /metrics, /metrics.json,
+	// /debug/vars and /debug/pprof/ endpoints on the given address.
+	StartDebugServer = obsv.StartDebugServer
 )
 
 // Computation is a computed result with its compiled space, so pair
@@ -314,6 +338,12 @@ func NewIncremental(s *Space, tasks Tasks) *core.Incremental {
 // Compile compiles a corpus without computing relationships (for Skyline,
 // incremental use, or repeated Compute runs).
 func Compile(corpus *Corpus) (*Space, error) { return core.NewSpace(corpus) }
+
+// CompileObs compiles a corpus with a recorder attached, so the compile
+// phase is timed and later algorithm runs over the space are observed.
+func CompileObs(corpus *Corpus, rec Recorder) (*Space, error) {
+	return core.NewSpaceObs(corpus, rec)
+}
 
 // ExampleCorpus returns the paper's Figure 2 running example (three
 // datasets, ten observations) — a ready-made playground.
