@@ -1,0 +1,338 @@
+// Command cubed is the relationship daemon: it computes (or reloads) the
+// containment/complementarity sets over a QB corpus once, then serves
+// them over HTTP while accepting live observation inserts — the paper's
+// batch job turned into a long-running service.
+//
+// Usage:
+//
+//	cubed -load corpus.ttl -alg cubemasking -snapshot idx.bin -addr :8080
+//	cubed -gen synthetic -n 10000 -snapshot idx.bin -once        # build only
+//	cubed -snapshot idx.bin -check                               # verify
+//	cubed -snapshot idx.bin -addr :8080 -checkpoint 2m
+//
+// Startup: when -snapshot names an existing file it is loaded (milliseconds)
+// and -load/-gen are ignored; otherwise the corpus is loaded, the algorithm
+// runs, and the snapshot is written before serving. While serving, the
+// state is checkpointed on the -checkpoint interval and once more during
+// graceful shutdown (SIGINT/SIGTERM), so restarts never recompute.
+//
+// The main address serves the /v1 query API (see internal/serve) next to
+// the observability endpoints (/metrics, /metrics.json, /debug/vars,
+// /debug/pprof/) backed by the same collector the algorithms and handlers
+// report into.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/gen"
+	"rdfcube/internal/lattice"
+	"rdfcube/internal/obsv"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
+
+	rdfcube "rdfcube"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon body; ctx cancellation is treated like a termination
+// signal (tests use it in place of SIGTERM).
+func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cubed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		load     = fs.String("load", "", "Turtle corpus to load when no snapshot exists yet")
+		genK     = fs.String("gen", "", "generate a corpus instead of loading: example, real, synthetic")
+		n        = fs.Int("n", 10000, "observation count for -gen real/synthetic")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		algStr   = fs.String("alg", "cubemasking", "initial computation algorithm: "+core.AlgorithmNames())
+		taskStr  = fs.String("tasks", "all", "relationship tasks: all, or a comma list of full,partial,compl")
+		snapPath = fs.String("snapshot", "", "snapshot file: loaded when present, written after computing and on checkpoints")
+		addr     = fs.String("addr", ":8080", "HTTP listen address (port 0 for ephemeral)")
+		interval = fs.Duration("checkpoint", 5*time.Minute, "checkpoint interval while serving (0 disables)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		inflight = fs.Int("max-inflight", 128, "max concurrently executing requests before 429 shedding")
+		once     = fs.Bool("once", false, "compute or load the snapshot, write it, and exit without serving")
+		check    = fs.Bool("check", false, "load the snapshot, recompute relationships from its space, verify they match, and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "cubed: "+format+"\n", a...) }
+
+	alg := normalizeAlg(*algStr)
+	tasks, err := parseTasks(*taskStr)
+	if err != nil {
+		logf("%v", err)
+		return 2
+	}
+	col := obsv.NewCollector()
+
+	if *check {
+		if *snapPath == "" {
+			logf("-check requires -snapshot")
+			return 2
+		}
+		return runCheck(*snapPath, alg, tasks, stdout, logf)
+	}
+
+	sn, err := loadOrCompute(*snapPath, *load, *genK, *n, *seed, alg, tasks, col, logf)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	if *once {
+		fmt.Fprintf(stdout, "snapshot ready: %d observations, %d/%d/%d full/partial/compl pairs\n",
+			sn.Space.N(), len(sn.Result.FullSet), len(sn.Result.PartialSet), len(sn.Result.ComplSet))
+		return 0
+	}
+
+	srv, err := serve.New(sn, serve.Config{
+		Tasks:          tasks,
+		Recorder:       col,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *inflight,
+	})
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+
+	// The query API and the PR-1 observability surface share the address.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	obsHandler := obsv.Handler(col)
+	mux.Handle("/metrics", obsHandler)
+	mux.Handle("/metrics.json", obsHandler)
+	mux.Handle("/debug/", obsHandler)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("listen: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() { _ = httpSrv.Serve(ln) }()
+	logf("serving on %s (%d observations, %d lattice cubes)", ln.Addr(), sn.Space.N(), srv.Incremental().Lattice().Len())
+
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	checkpoint := func(reason string) {
+		if *snapPath == "" {
+			return
+		}
+		start := time.Now()
+		if err := srv.Checkpoint(*snapPath); err != nil {
+			logf("checkpoint (%s): %v", reason, err)
+			return
+		}
+		logf("checkpoint (%s) written to %s in %s", reason, *snapPath, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *interval > 0 && *snapPath != "" {
+		go func() {
+			t := time.NewTicker(*interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					checkpoint("timer")
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	stop()
+	logf("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logf("shutdown: %v", err)
+	}
+	checkpoint("shutdown")
+	logf("bye")
+	return 0
+}
+
+// normalizeAlg accepts a few spelling shortcuts for algorithm names.
+func normalizeAlg(s string) core.Algorithm {
+	switch s {
+	case "cubemask":
+		return core.AlgorithmCubeMasking
+	case "cubemask-prefetch":
+		return core.AlgorithmCubeMaskingPrefetch
+	}
+	return core.Algorithm(s)
+}
+
+// parseTasks parses the -tasks flag: "all" or a comma list of
+// full, partial, compl.
+func parseTasks(s string) (core.Tasks, error) {
+	if s == "" || s == "all" {
+		return core.TaskAll, nil
+	}
+	var tasks core.Tasks
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "full":
+			tasks |= core.TaskFull
+		case "partial":
+			tasks |= core.TaskPartial
+		case "compl", "complementarity":
+			tasks |= core.TaskCompl
+		case "":
+		default:
+			return 0, fmt.Errorf("unknown task %q (want full, partial, compl or all)", part)
+		}
+	}
+	if tasks == 0 {
+		return 0, fmt.Errorf("empty -tasks selection")
+	}
+	return tasks, nil
+}
+
+// loadOrCompute resolves the startup state: an existing snapshot wins;
+// otherwise the corpus is loaded or generated, the algorithm runs, and
+// the result is persisted (when a snapshot path is configured).
+func loadOrCompute(snapPath, load, genK string, n int, seed int64, alg core.Algorithm, tasks core.Tasks, col *obsv.Collector, logf func(string, ...any)) (*snapshot.Snapshot, error) {
+	if snapPath != "" {
+		if _, err := os.Stat(snapPath); err == nil {
+			start := time.Now()
+			sn, err := snapshot.ReadFile(snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("loading snapshot %s: %w", snapPath, err)
+			}
+			logf("loaded snapshot %s in %s (%d observations)", snapPath, time.Since(start).Round(time.Millisecond), sn.Space.N())
+			return sn, nil
+		}
+	}
+
+	corpus, err := loadCorpus(load, genK, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s, err := core.NewSpaceObs(corpus, col)
+	if err != nil {
+		return nil, err
+	}
+	res := core.NewResult()
+	var l *lattice.Lattice
+	switch alg {
+	case core.AlgorithmCubeMasking:
+		l = core.CubeMasking(s, tasks, res, core.CubeMaskOptions{})
+	case core.AlgorithmCubeMaskingPrefetch:
+		l = core.CubeMasking(s, tasks, res, core.CubeMaskOptions{PrefetchChildren: true})
+	default:
+		if err := core.Compute(s, alg, core.Options{Tasks: tasks, Obs: col}, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Sort()
+	logf("computed %d/%d/%d full/partial/compl pairs over %d observations with %s in %s",
+		len(res.FullSet), len(res.PartialSet), len(res.ComplSet), s.N(), alg, time.Since(start).Round(time.Millisecond))
+	sn := snapshot.New(s, res, l)
+	if snapPath != "" {
+		if err := sn.WriteFile(snapPath); err != nil {
+			return nil, err
+		}
+		logf("wrote snapshot %s", snapPath)
+	}
+	return sn, nil
+}
+
+func loadCorpus(load, genK string, n int, seed int64) (*qb.Corpus, error) {
+	switch {
+	case load != "" && genK != "":
+		return nil, fmt.Errorf("use either -load or -gen, not both")
+	case load != "":
+		data, err := os.ReadFile(load)
+		if err != nil {
+			return nil, err
+		}
+		return rdfcube.LoadTurtle(string(data))
+	case genK == "example":
+		return gen.PaperExample(), nil
+	case genK == "real":
+		return gen.RealWorld(gen.RealWorldConfig{TotalObs: n, Seed: seed}), nil
+	case genK == "synthetic":
+		return gen.Synthetic(gen.SyntheticConfig{N: n, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("no snapshot found: need -load FILE or -gen example|real|synthetic")
+	}
+}
+
+// runCheck verifies a snapshot round trip: the persisted relationship
+// sets must equal a fresh recomputation over the reconstructed space.
+func runCheck(snapPath string, alg core.Algorithm, tasks core.Tasks, stdout io.Writer, logf func(string, ...any)) int {
+	sn, err := snapshot.ReadFile(snapPath)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	fresh := core.NewResult()
+	switch alg {
+	case core.AlgorithmCubeMasking, core.AlgorithmCubeMaskingPrefetch:
+		core.CubeMasking(sn.Space, tasks, fresh, core.CubeMaskOptions{})
+	default:
+		if err := core.Compute(sn.Space, alg, core.Options{Tasks: tasks}, fresh); err != nil {
+			logf("%v", err)
+			return 1
+		}
+	}
+	fresh.Sort()
+	persisted := &core.Result{
+		FullSet:    append([]core.Pair{}, sn.Result.FullSet...),
+		PartialSet: append([]core.Pair{}, sn.Result.PartialSet...),
+		ComplSet:   append([]core.Pair{}, sn.Result.ComplSet...),
+	}
+	persisted.Sort()
+	if !equalPairs(persisted.FullSet, fresh.FullSet) {
+		logf("check failed: full containment differs (persisted %d, fresh %d)", len(persisted.FullSet), len(fresh.FullSet))
+		return 1
+	}
+	if !equalPairs(persisted.PartialSet, fresh.PartialSet) {
+		logf("check failed: partial containment differs (persisted %d, fresh %d)", len(persisted.PartialSet), len(fresh.PartialSet))
+		return 1
+	}
+	if !equalPairs(persisted.ComplSet, fresh.ComplSet) {
+		logf("check failed: complementarity differs (persisted %d, fresh %d)", len(persisted.ComplSet), len(fresh.ComplSet))
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d observations, %d/%d/%d full/partial/compl pairs match a fresh recomputation\n",
+		sn.Space.N(), len(fresh.FullSet), len(fresh.PartialSet), len(fresh.ComplSet))
+	return 0
+}
+
+// equalPairs compares two sorted pair sets, treating nil and empty as
+// equal (the decoder returns nil for empty sections).
+func equalPairs(a, b []core.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rdfcube "rdfcube"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the daemon goroutine
+// writes log lines while the test polls String.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestOnceBuildsSnapshotAndCheckPasses drives the batch path: -gen
+// example -once writes a snapshot, -check verifies it, and a second
+// -once run loads it instead of recomputing.
+func TestOnceBuildsSnapshotAndCheckPasses(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "idx.bin")
+
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-gen", "example", "-snapshot", snap, "-once"}, &out, &errOut); code != 0 {
+		t.Fatalf("build: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "snapshot ready") {
+		t.Fatalf("unexpected stdout: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(context.Background(), []string{"-snapshot", snap, "-check"}, &out, &errOut); code != 0 {
+		t.Fatalf("check: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Fatalf("check stdout: %q", out.String())
+	}
+
+	// A second -once run must load, not recompute.
+	out.Reset()
+	errOut.Reset()
+	if code := run(context.Background(), []string{"-snapshot", snap, "-once"}, &out, &errOut); code != 0 {
+		t.Fatalf("reload: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "loaded snapshot") {
+		t.Fatalf("expected snapshot load on second run, stderr: %q", errOut.String())
+	}
+}
+
+// TestBadFlags pins the usage-error exits.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-once"},                                  // no corpus and no snapshot
+		{"-load", "a.ttl", "-gen", "example"},      // mutually exclusive
+		{"-check"},                                 // -check without -snapshot
+		{"-gen", "nope", "-once"},                  // unknown generator
+		{"-load", "/does/not/exist.ttl", "-once"},  // missing file
+		{"-snapshot", "/does/not/exist", "-check"}, // missing snapshot
+		{"-tasks", "bogus", "-gen", "example"},     // unknown task
+		{"-tasks", ",", "-gen", "example"},         // empty task list
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(context.Background(), args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: expected non-zero exit", args)
+		}
+	}
+}
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, queries it,
+// inserts an observation, cancels the context (the SIGTERM stand-in) and
+// verifies a clean exit plus a reloadable shutdown checkpoint that
+// includes the insert.
+func TestServeEndToEnd(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "idx.bin")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-gen", "example", "-snapshot", snap, "-addr", "127.0.0.1:0", "-checkpoint", "0"}, &out, &errOut)
+	}()
+
+	base := waitForAddr(t, &errOut, done)
+
+	// Readiness and a relationship query.
+	waitForOK(t, base+"/readyz")
+	resp, err := http.Get(base + "/v1/related?obs=0")
+	if err != nil {
+		t.Fatalf("related: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("related: status %d", resp.StatusCode)
+	}
+
+	// The PR-1 observability surface shares the address.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+
+	// Live insert.
+	body := `{"dataset":"http://example.org/dataset/D3","uri":"http://example.org/obs/live1",` +
+		`"dimensions":{"http://example.org/dim/refArea":"http://example.org/code/area/Rome",` +
+		`"http://example.org/dim/refPeriod":"http://example.org/code/time/Feb2011"},` +
+		`"measures":{"http://example.org/measure/unemployment":"0.07"}}`
+	resp, err = http.Post(base+"/v1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	var created struct {
+		Obs int `json:"obs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatalf("insert response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert: status %d", resp.StatusCode)
+	}
+
+	// Visible without restart.
+	resp, err = http.Get(base + "/v1/contains?obs=http://example.org/obs/live1")
+	if err != nil {
+		t.Fatalf("query after insert: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after insert: status %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown writes a checkpoint.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit %d\nstderr: %s", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+	if !strings.Contains(errOut.String(), "checkpoint (shutdown) written") {
+		t.Fatalf("no shutdown checkpoint, stderr: %s", errOut.String())
+	}
+
+	// The checkpoint reloads and still knows the live insert.
+	var out2, errOut2 bytes.Buffer
+	if code := run(context.Background(), []string{"-snapshot", snap, "-once"}, &out2, &errOut2); code != 0 {
+		t.Fatalf("reload: exit %d\nstderr: %s", code, errOut2.String())
+	}
+	if !strings.Contains(out2.String(), "11 observations") {
+		t.Fatalf("reloaded snapshot missing the live insert: %q", out2.String())
+	}
+}
+
+var addrRe = regexp.MustCompile(`serving on (\S+)`)
+
+// waitForAddr polls the daemon's stderr for the bound address.
+func waitForAddr(t *testing.T, errOut *syncBuffer, done <-chan int) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRe.FindStringSubmatch(errOut.String()); m != nil {
+			return "http://" + m[1]
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited early with %d: %s", code, errOut.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("daemon never reported its address: %s", errOut.String())
+	return ""
+}
+
+func waitForOK(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", url)
+}
+
+// TestLoadTurtleRoundTrip feeds a corpus exported by the library back
+// through -load.
+func TestLoadTurtleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ttl := filepath.Join(dir, "corpus.ttl")
+	snap := filepath.Join(dir, "idx.bin")
+
+	// Export the example corpus with the cubegen logic's underlying API.
+	data := exportExample(t)
+	if err := os.WriteFile(ttl, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-load", ttl, "-snapshot", snap, "-once"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "10 observations") {
+		t.Fatalf("stdout: %q", out.String())
+	}
+}
+
+func exportExample(t *testing.T) []byte {
+	t.Helper()
+	// Reuse the daemon's own loader plumbing via gen + turtle export.
+	corpus, err := loadCorpus("", "example", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []byte(rdfcube.ExportTurtle(corpus))
+}
+
+// TestTasksSubsetCheck builds a full+compl snapshot and verifies it with
+// the matching -tasks selection (the CI round-trip path at scale).
+func TestTasksSubsetCheck(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "fc.bin")
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-gen", "example", "-tasks", "full,compl", "-snapshot", snap, "-once"}, &out, &errOut); code != 0 {
+		t.Fatalf("build: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "4/0/2 full/partial/compl") {
+		t.Fatalf("unexpected counts: %q", out.String())
+	}
+	out.Reset()
+	if code := run(context.Background(), []string{"-snapshot", snap, "-tasks", "full,compl", "-check"}, &out, &errOut); code != 0 {
+		t.Fatalf("check: exit %d\nstderr: %s", code, errOut.String())
+	}
+	// A mismatched task selection must fail the check: the fresh
+	// recomputation includes partial pairs the snapshot never stored.
+	if code := run(context.Background(), []string{"-snapshot", snap, "-tasks", "all", "-check"}, &out, &errOut); code == 0 {
+		t.Fatal("check with mismatched tasks unexpectedly passed")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rdfcube/internal/bench"
@@ -23,19 +24,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cubegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind     = flag.String("kind", "example", "corpus kind: example, real, synthetic")
-		n        = flag.Int("n", 10000, "observation count (real, synthetic)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		out      = flag.String("o", "", "output Turtle file (default stdout)")
-		manifest = flag.Bool("manifest", false, "print the Table 4 manifest instead of data")
-		stats    = flag.Bool("stats", false, "print corpus statistics instead of data")
+		kind     = fs.String("kind", "example", "corpus kind: example, real, synthetic")
+		n        = fs.Int("n", 10000, "observation count (real, synthetic)")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		out      = fs.String("o", "", "output Turtle file (default stdout)")
+		manifest = fs.Bool("manifest", false, "print the Table 4 manifest instead of data")
+		stats    = fs.Bool("stats", false, "print corpus statistics instead of data")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *manifest {
-		fmt.Print(bench.TableFourManifest(*n, *seed))
-		return
+		fmt.Fprint(stdout, bench.TableFourManifest(*n, *seed))
+		return 0
 	}
 
 	var corpus *qb.Corpus
@@ -47,27 +56,28 @@ func main() {
 	case "synthetic":
 		corpus = gen.Synthetic(gen.SyntheticConfig{N: *n, Seed: *seed})
 	default:
-		fmt.Fprintf(os.Stderr, "cubegen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "cubegen: unknown kind %q\n", *kind)
+		return 2
 	}
 
 	if *stats {
-		fmt.Printf("datasets:      %d\n", len(corpus.Datasets))
-		fmt.Printf("observations:  %d\n", corpus.NumObservations())
-		fmt.Printf("dimensions:    %d\n", len(corpus.AllDimensions()))
-		fmt.Printf("measures:      %d\n", len(corpus.AllMeasures()))
-		fmt.Printf("code values:   %d\n", corpus.Hierarchies.TotalCodes())
-		return
+		fmt.Fprintf(stdout, "datasets:      %d\n", len(corpus.Datasets))
+		fmt.Fprintf(stdout, "observations:  %d\n", corpus.NumObservations())
+		fmt.Fprintf(stdout, "dimensions:    %d\n", len(corpus.AllDimensions()))
+		fmt.Fprintf(stdout, "measures:      %d\n", len(corpus.AllMeasures()))
+		fmt.Fprintf(stdout, "code values:   %d\n", corpus.Hierarchies.TotalCodes())
+		return 0
 	}
 
 	ttl := rdfcube.ExportTurtle(corpus)
 	if *out == "" {
-		fmt.Print(ttl)
-		return
+		fmt.Fprint(stdout, ttl)
+		return 0
 	}
 	if err := os.WriteFile(*out, []byte(ttl), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "cubegen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cubegen: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "cubegen: wrote %d observations to %s\n", corpus.NumObservations(), *out)
+	fmt.Fprintf(stderr, "cubegen: wrote %d observations to %s\n", corpus.NumObservations(), *out)
+	return 0
 }

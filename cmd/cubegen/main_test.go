@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rdfcube "rdfcube"
+)
+
+// TestGenerateExampleRoundTrips generates the example corpus to stdout
+// and feeds the Turtle back through the parser.
+func TestGenerateExampleRoundTrips(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-kind", "example"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	corpus, err := rdfcube.LoadTurtle(out.String())
+	if err != nil {
+		t.Fatalf("generated Turtle does not parse: %v", err)
+	}
+	if corpus.NumObservations() != 10 {
+		t.Fatalf("round trip kept %d observations, want 10", corpus.NumObservations())
+	}
+	if len(corpus.Datasets) != 3 {
+		t.Fatalf("round trip kept %d datasets, want 3", len(corpus.Datasets))
+	}
+}
+
+// TestGenerateSyntheticToFile exercises -o plus a tiny synthetic corpus.
+func TestGenerateSyntheticToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.ttl")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-kind", "synthetic", "-n", "50", "-seed", "7", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := rdfcube.LoadTurtle(string(data))
+	if err != nil {
+		t.Fatalf("generated Turtle does not parse: %v", err)
+	}
+	if corpus.NumObservations() != 50 {
+		t.Fatalf("got %d observations, want 50", corpus.NumObservations())
+	}
+	// The generated corpus must be computable end to end.
+	if _, err := rdfcube.Compute(corpus, rdfcube.CubeMasking, rdfcube.Options{}); err != nil {
+		t.Fatalf("Compute over generated corpus: %v", err)
+	}
+}
+
+// TestStatsAndManifest covers the two non-Turtle outputs.
+func TestStatsAndManifest(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-kind", "example", "-stats"}, &out, &errOut); code != 0 {
+		t.Fatalf("stats: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "observations:  10") {
+		t.Fatalf("stats output: %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-manifest", "-n", "1000"}, &out, &errOut); code != 0 {
+		t.Fatalf("manifest: exit %d", code)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty manifest")
+	}
+}
+
+// TestUnknownKind pins the usage error.
+func TestUnknownKind(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-kind", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown kind") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}

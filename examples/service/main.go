@@ -1,0 +1,119 @@
+// Service: the paper's batch computation turned into a live query
+// service, in-process. Compute the running example's relationships once,
+// snapshot them, serve them over HTTP on a random port, query one
+// observation's fan-out, insert a new observation over the wire, and see
+// it answer queries immediately — no recomputation, no restart.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	rdfcube "rdfcube"
+)
+
+func main() {
+	if err := demo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func demo() error {
+	// 1. Pay the batch cost once: compute all relationships over the
+	//    paper's Figure 2 corpus and capture the state as a snapshot.
+	comp, err := rdfcube.Compute(rdfcube.ExampleCorpus(), rdfcube.CubeMasking, rdfcube.Options{})
+	if err != nil {
+		return err
+	}
+	f, p, c := comp.Result.Counts()
+	fmt.Printf("computed %d full, %d partial, %d complementary pairs\n", f, p, c)
+
+	// 2. Serve the snapshot. Port 0 picks a free port; the bound address
+	//    comes back from StartServer.
+	srv, err := rdfcube.NewServer(rdfcube.NewSnapshot(comp), rdfcube.ServerConfig{})
+	if err != nil {
+		return err
+	}
+	httpSrv, addr, err := rdfcube.StartServer("127.0.0.1:0", srv)
+	if err != nil {
+		return err
+	}
+	defer httpSrv.Close()
+	base := "http://" + addr
+
+	// 3. Query one observation's relationship fan-out.
+	const o35 = "http://example.org/obs/o35"
+	var rel struct {
+		Contains    []any `json:"contains"`
+		ContainedBy []any `json:"containedBy"`
+		Complements []any `json:"complements"`
+	}
+	if err := getJSON(base+"/v1/related?obs="+o35, &rel); err != nil {
+		return err
+	}
+	fmt.Printf("o35: contains %d, contained by %d, complements %d\n",
+		len(rel.Contains), len(rel.ContainedBy), len(rel.Complements))
+
+	// 4. Insert a new observation over the wire: Austin unemployment for
+	//    Feb 2011 — a drill-down of o35's year-level coordinate.
+	body := `{
+	  "dataset": "http://example.org/dataset/D3",
+	  "uri": "http://example.org/obs/o36",
+	  "dimensions": {
+	    "http://example.org/dim/refArea":   "http://example.org/code/area/Austin",
+	    "http://example.org/dim/refPeriod": "http://example.org/code/time/Feb2011"
+	  },
+	  "measures": {"http://example.org/measure/unemployment": "0.04"}
+	}`
+	resp, err := http.Post(base+"/v1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var created struct {
+		Obs     int `json:"obs"`
+		NewFull int `json:"newFull"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		resp.Body.Close()
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("insert failed with status %d", resp.StatusCode)
+	}
+	fmt.Printf("inserted o36 as observation %d (%d new full pairs)\n", created.Obs, created.NewFull)
+
+	// 5. The insert is queryable immediately: o35 (Austin, 2011) now
+	//    fully contains o36 (Austin, Feb 2011).
+	if err := getJSON(base+"/v1/related?obs="+o35, &rel); err != nil {
+		return err
+	}
+	fmt.Printf("o35 after insert: contains %d\n", len(rel.Contains))
+
+	var stats struct {
+		Observations int `json:"observations"`
+		Inserts      int `json:"inserts"`
+	}
+	if err := getJSON(base+"/v1/stats", &stats); err != nil {
+		return err
+	}
+	fmt.Printf("serving %d observations after %d live insert(s)\n", stats.Observations, stats.Inserts)
+	return nil
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,13 @@
+package main
+
+// Example pins the demo's deterministic output, so the documented
+// walkthrough doubles as a test (go test ./examples/service).
+func Example() {
+	main()
+	// Output:
+	// computed 4 full, 43 partial, 2 complementary pairs
+	// o35: contains 0, contained by 0, complements 1
+	// inserted o36 as observation 10 (1 new full pairs)
+	// o35 after insert: contains 1
+	// serving 11 observations after 1 live insert(s)
+}

@@ -81,6 +81,32 @@ func NewIncremental(s *Space, tasks Tasks) *Incremental {
 	return &Incremental{S: s, Res: res, l: l, tasks: tasks}
 }
 
+// NewIncrementalFrom resumes incremental maintenance over an already
+// computed state — the restart path of a long-running service: a snapshot
+// restores the space and result that a previous cubeMasking run paid for,
+// and maintenance picks up where it left off without recomputation. A nil
+// res starts from empty sets (inserts then only discover relationships
+// involving new observations); a nil l rebuilds the lattice from the
+// space's signatures in one linear scan.
+func NewIncrementalFrom(s *Space, tasks Tasks, res *Result, l *lattice.Lattice) *Incremental {
+	if tasks == 0 {
+		tasks = TaskAll
+	}
+	if res == nil {
+		res = NewResult()
+	}
+	if res.PartialDegree == nil {
+		res.PartialDegree = map[Pair]float64{}
+	}
+	if res.PartialDims == nil {
+		res.PartialDims = map[Pair][]int{}
+	}
+	if l == nil {
+		l = BuildLattice(s)
+	}
+	return &Incremental{S: s, Res: res, l: l, tasks: tasks}
+}
+
 // Lattice exposes the maintained lattice (for inspection).
 func (inc *Incremental) Lattice() *lattice.Lattice { return inc.l }
 

@@ -33,22 +33,22 @@ import "rdfcube/internal/obsv"
 //   - CtrParallelCubes: outer cubes processed by the worker pool; the
 //     per-worker split is reported as parallel.worker.<id>.cubes.
 const (
-	CtrObsPairsCompared    = "obs.pairs.compared"
-	CtrCubePairsConsidered = "cubes.pairs.considered"
-	CtrCubePairsPruned     = "cubes.pairs.pruned"
-	CtrCubePairsCompared   = "cubes.pairs.compared"
-	CtrCandidateDimTests   = "lattice.candidate.tests"
-	CtrDimTests            = "dim.tests"
-	CtrBitAndTests         = "bitand.tests"
-	CtrSparseSubsetTests   = "sparse.subset.tests"
-	CtrPrefetchHits        = "prefetch.hits"
-	CtrEmitFull            = "emit.full"
-	CtrEmitPartial         = "emit.partial"
-	CtrEmitCompl           = "emit.compl"
-	CtrClusterPairsSkipped = "cluster.pairs.skipped"
+	CtrObsPairsCompared     = "obs.pairs.compared"
+	CtrCubePairsConsidered  = "cubes.pairs.considered"
+	CtrCubePairsPruned      = "cubes.pairs.pruned"
+	CtrCubePairsCompared    = "cubes.pairs.compared"
+	CtrCandidateDimTests    = "lattice.candidate.tests"
+	CtrDimTests             = "dim.tests"
+	CtrBitAndTests          = "bitand.tests"
+	CtrSparseSubsetTests    = "sparse.subset.tests"
+	CtrPrefetchHits         = "prefetch.hits"
+	CtrEmitFull             = "emit.full"
+	CtrEmitPartial          = "emit.partial"
+	CtrEmitCompl            = "emit.compl"
+	CtrClusterPairsSkipped  = "cluster.pairs.skipped"
 	CtrHybridCubesClustered = "hybrid.cubes.clustered"
-	CtrIncInserts          = "incremental.inserts"
-	CtrParallelCubes       = "parallel.cubes"
+	CtrIncInserts           = "incremental.inserts"
+	CtrParallelCubes        = "parallel.cubes"
 )
 
 // Span (phase) names, forming the run's phase tree: compile (with om.build

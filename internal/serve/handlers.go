@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
+)
+
+// maxInsertBody bounds a POST /v1/observations body.
+const maxInsertBody = 1 << 20
+
+// obsRef is one neighbor in a fan-out response.
+type obsRef struct {
+	Obs int    `json:"obs"`
+	URI string `json:"uri"`
+}
+
+// partialRef is a neighbor with its OCM containment degree.
+type partialRef struct {
+	Obs    int     `json:"obs"`
+	URI    string  `json:"uri"`
+	Degree float64 `json:"degree"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolveObs resolves the ?obs= parameter (index or full URI) to an
+// observation index. Callers must hold at least the read lock.
+func (s *Server) resolveObs(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("obs")
+	if q == "" {
+		return 0, fmt.Errorf("missing ?obs= parameter (observation index or URI)")
+	}
+	if i, err := strconv.Atoi(q); err == nil {
+		if i < 0 || i >= s.inc.S.N() {
+			return 0, fmt.Errorf("observation index %d out of range [0, %d)", i, s.inc.S.N())
+		}
+		return i, nil
+	}
+	if i, ok := s.uriIdx[q]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("unknown observation %q", q)
+}
+
+func (s *Server) refs(ids []int32) []obsRef {
+	out := make([]obsRef, len(ids))
+	for k, j := range ids {
+		out[k] = obsRef{Obs: int(j), URI: s.inc.S.Obs[j].URI.Value}
+	}
+	return out
+}
+
+// partialRefs resolves partial-containment neighbors with their degrees
+// for the ordered direction (a contains b ⇒ degree of Pair{a,b}).
+func (s *Server) partialRefs(from int, ids []int32, fromIsSource bool) []partialRef {
+	out := make([]partialRef, len(ids))
+	for k, j := range ids {
+		p := core.Pair{A: from, B: int(j)}
+		if !fromIsSource {
+			p = core.Pair{A: int(j), B: from}
+		}
+		out[k] = partialRef{Obs: int(j), URI: s.inc.S.Obs[j].URI.Value, Degree: s.inc.Res.PartialDegree[p]}
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "state not loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.resolveObs(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"obs":         i,
+		"uri":         s.inc.S.Obs[i].URI.Value,
+		"contains":    s.refs(s.adj.contains[i]),
+		"containedBy": s.refs(s.adj.containedBy[i]),
+	})
+}
+
+func (s *Server) handleComplements(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.resolveObs(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"obs":         i,
+		"uri":         s.inc.S.Obs[i].URI.Value,
+		"complements": s.refs(s.adj.complements[i]),
+	})
+}
+
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.resolveObs(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"obs":                  i,
+		"uri":                  s.inc.S.Obs[i].URI.Value,
+		"contains":             s.refs(s.adj.contains[i]),
+		"containedBy":          s.refs(s.adj.containedBy[i]),
+		"partiallyContains":    s.partialRefs(i, s.adj.partials[i], true),
+		"partiallyContainedBy": s.partialRefs(i, s.adj.partialBy[i], false),
+		"complements":          s.refs(s.adj.complements[i]),
+	})
+}
+
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil || i < 0 || i >= s.inc.S.N() {
+		writeError(w, http.StatusNotFound, "no observation %q", r.PathValue("i"))
+		return
+	}
+	o := s.inc.S.Obs[i]
+	dims := map[string]string{}
+	for k, d := range o.Dataset.Schema.Dimensions {
+		dims[d.Value] = o.DimValues[k].Value
+	}
+	measures := map[string]string{}
+	for k, m := range o.Dataset.Schema.Measures {
+		measures[m.Value] = o.MeasureValues[k].Value
+	}
+	sig := s.inc.S.Signature(i)
+	levels := make([]int, len(sig))
+	for k, l := range sig {
+		levels[k] = int(l)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"obs":        i,
+		"uri":        o.URI.Value,
+		"dataset":    o.Dataset.URI.Value,
+		"dimensions": dims,
+		"measures":   measures,
+		"signature":  levels,
+	})
+}
+
+// insertRequest is the POST /v1/observations body. Dimension values are
+// code IRIs keyed by dimension IRI; omitted dimensions default to the
+// code-list root (the paper's c_root convention). Measure values are
+// lexical forms keyed by measure IRI.
+type insertRequest struct {
+	Dataset    string            `json:"dataset"`
+	URI        string            `json:"uri"`
+	Dimensions map[string]string `json:"dimensions"`
+	Measures   map[string]string `json:"measures"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInsertBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad insert body: %v", err)
+		return
+	}
+	if req.URI == "" {
+		writeError(w, http.StatusBadRequest, "missing observation uri")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	di, ok := s.dsIdx[req.Dataset]
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown dataset %q", req.Dataset)
+		return
+	}
+	ds := s.inc.S.Corpus.Datasets[di]
+	if _, dup := s.uriIdx[req.URI]; dup {
+		writeError(w, http.StatusConflict, "observation %q already exists", req.URI)
+		return
+	}
+
+	o := &qb.Observation{
+		URI:           rdf.NewIRI(req.URI),
+		Dataset:       ds,
+		DimValues:     make([]rdf.Term, len(ds.Schema.Dimensions)),
+		MeasureValues: make([]rdf.Term, len(ds.Schema.Measures)),
+	}
+	unknown := func(kind, key string) {
+		writeError(w, http.StatusBadRequest, "%s %q is not in the schema of %s", kind, key, req.Dataset)
+	}
+	for key, val := range req.Dimensions {
+		k := ds.Schema.DimIndex(rdf.NewIRI(key))
+		if k < 0 {
+			unknown("dimension", key)
+			return
+		}
+		o.DimValues[k] = rdf.NewIRI(val)
+	}
+	for key, val := range req.Measures {
+		k := ds.Schema.MeasureIndex(rdf.NewIRI(key))
+		if k < 0 {
+			unknown("measure", key)
+			return
+		}
+		o.MeasureValues[k] = measureLiteral(val)
+	}
+
+	f0 := len(s.inc.Res.FullSet)
+	p0 := len(s.inc.Res.PartialSet)
+	c0 := len(s.inc.Res.ComplSet)
+	idx, err := s.inc.Insert(o)
+	if err != nil {
+		// Insert validates before mutating: the space is unchanged here.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds.Observations = append(ds.Observations, o)
+	s.uriIdx[req.URI] = idx
+	s.adj.applyDelta(s.inc.Res, idx, f0, p0, c0)
+	s.inserts.Add(1)
+	s.count(CtrInserts, 1)
+
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"obs":        idx,
+		"uri":        req.URI,
+		"newFull":    len(s.inc.Res.FullSet) - f0,
+		"newPartial": len(s.inc.Res.PartialSet) - p0,
+		"newCompl":   len(s.inc.Res.ComplSet) - c0,
+	})
+}
+
+// measureLiteral interprets a lexical measure value: integers and
+// decimals get their XSD datatype, anything else stays a plain literal.
+func measureLiteral(v string) rdf.Term {
+	if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return rdf.NewTypedLiteral(v, rdf.XSDInteger)
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return rdf.NewTypedLiteral(v, rdf.XSDDecimal)
+	}
+	return rdf.NewLiteral(v)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, p, c := s.inc.Res.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"observations":  s.inc.S.N(),
+		"dimensions":    s.inc.S.NumDims(),
+		"datasets":      len(s.inc.S.Corpus.Datasets),
+		"cubes":         s.inc.Lattice().Len(),
+		"full":          f,
+		"partial":       p,
+		"complementary": c,
+		"inserts":       s.inserts.Load(),
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}

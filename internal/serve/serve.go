@@ -1,0 +1,238 @@
+// Package serve exposes a computed relationship state as an HTTP/JSON
+// query service — the shape the ROADMAP's production north star needs:
+// pay the batch cubeMasking pass once (or load its snapshot), keep the
+// sets in memory behind a single-writer/many-readers lock, answer
+// per-observation queries from inverted adjacency lists, and route live
+// inserts through core.Incremental so new observations are queryable
+// without a restart.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/contains?obs=…     full containment fan-out of one observation
+//	GET  /v1/complements?obs=…  complementarity partners
+//	GET  /v1/related?obs=…      everything: full both ways, partial both
+//	                            ways (with degrees), complements
+//	GET  /v1/obs/{i}            observation detail (URI, values, signature)
+//	POST /v1/observations       live insert via core.Incremental
+//	GET  /v1/stats              corpus, relationship and service counters
+//	GET  /healthz               liveness (always 200 once the process is up)
+//	GET  /readyz                readiness (503 until the state is loaded)
+//
+// The ?obs= parameter accepts either an observation index or a full
+// observation URI.
+//
+// Operational behavior: every request runs under a request-scoped timeout
+// (Config.RequestTimeout); a semaphore bounds in-flight requests and
+// sheds the excess with 429 (Config.MaxInFlight); every handler reports
+// request counters and latency through the same obsv.Recorder the
+// algorithms use, so the PR-1 /metrics exposition shows serving and
+// computation side by side.
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/obsv"
+	"rdfcube/internal/snapshot"
+)
+
+// Metric names reported through the Recorder.
+const (
+	CtrRequests     = "serve.requests"        // total requests admitted
+	CtrShed         = "serve.shed"            // requests shed with 429
+	CtrErrors       = "serve.errors"          // 4xx/5xx responses
+	CtrInserts      = "serve.inserts"         // observations inserted
+	CtrLatencyMicro = "serve.latency.us"      // summed handler latency (µs)
+	GaugeInFlight   = "serve.inflight"        // requests currently executing
+	GaugeLastMicro  = "serve.latency.last.us" // last handler latency (µs)
+)
+
+// Config tunes a Server. The zero value is serviceable.
+type Config struct {
+	// Tasks selects the relationship types maintained on insert; zero
+	// means all three.
+	Tasks core.Tasks
+	// Recorder receives request counters, latency gauges and the insert
+	// counters core.Incremental reports. Nil disables instrumentation.
+	Recorder obsv.Recorder
+	// RequestTimeout bounds one request's handling; zero means 5s.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing requests; beyond it
+	// requests are shed with 429. Zero means 128.
+	MaxInFlight int
+}
+
+func (c Config) timeout() time.Duration {
+	if c.RequestTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight <= 0 {
+		return 128
+	}
+	return c.MaxInFlight
+}
+
+// Server answers relationship queries over one snapshot's state and
+// accepts live inserts. One writer (POST /v1/observations, checkpoints)
+// excludes the many readers via an RWMutex; read handlers touch only
+// state guarded by it.
+type Server struct {
+	mu  sync.RWMutex
+	inc *core.Incremental
+	adj *adjacency
+	// uriIdx resolves a full observation URI to its index; maintained
+	// under mu alongside the space.
+	uriIdx map[string]int
+	// dsIdx resolves a dataset URI to its corpus position.
+	dsIdx map[string]int
+
+	rec     obsv.Recorder
+	timeout time.Duration
+	sem     chan struct{}
+
+	ready   atomic.Bool
+	inserts atomic.Int64
+	started time.Time
+}
+
+// New builds a server over the snapshot's state. The snapshot's space,
+// result and lattice are adopted (not copied): the server becomes their
+// owner and mutates them on insert.
+func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
+	inc := core.NewIncrementalFrom(sn.Space, cfg.Tasks, sn.Result, sn.Lattice)
+	if cfg.Recorder != nil {
+		sn.Space.SetRecorder(cfg.Recorder)
+	}
+	s := &Server{
+		inc:     inc,
+		adj:     newAdjacency(sn.Space.N(), sn.Result),
+		uriIdx:  make(map[string]int, sn.Space.N()),
+		dsIdx:   make(map[string]int, len(sn.Space.Corpus.Datasets)),
+		rec:     cfg.Recorder,
+		timeout: cfg.timeout(),
+		sem:     make(chan struct{}, cfg.maxInFlight()),
+		started: time.Now(),
+	}
+	for i, o := range sn.Space.Obs {
+		if _, dup := s.uriIdx[o.URI.Value]; !dup {
+			s.uriIdx[o.URI.Value] = i
+		}
+	}
+	for i, ds := range sn.Space.Corpus.Datasets {
+		s.dsIdx[ds.URI.Value] = i
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Incremental exposes the maintained state (for the daemon's checkpoint
+// and for tests). Callers must not mutate it concurrently with requests.
+func (s *Server) Incremental() *core.Incremental { return s.inc }
+
+// EncodeSnapshot captures a consistent snapshot of the current state as
+// encoded bytes. It takes the write lock (the lattice's lazily sorted
+// cube order makes even encoding a logical write) but performs no I/O, so
+// the pause is bounded by encoding speed, not disk speed.
+func (s *Server) EncodeSnapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return snapshot.New(s.inc.S, s.inc.Res, s.inc.Lattice()).Encode()
+}
+
+// Checkpoint atomically persists the current state to path: encode under
+// the lock, write outside it.
+func (s *Server) Checkpoint(path string) error {
+	data, err := s.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFileBytes(path, data)
+}
+
+// Handler returns the service's HTTP handler: the /v1 API plus health
+// endpoints, instrumented, concurrency-limited and timeout-bounded.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.wrap("readyz", s.handleReadyz))
+	mux.Handle("GET /v1/contains", s.wrap("contains", s.handleContains))
+	mux.Handle("GET /v1/complements", s.wrap("complements", s.handleComplements))
+	mux.Handle("GET /v1/related", s.wrap("related", s.handleRelated))
+	mux.Handle("GET /v1/obs/{i}", s.wrap("obs", s.handleObs))
+	mux.Handle("POST /v1/observations", s.wrap("insert", s.handleInsert))
+	mux.Handle("GET /v1/stats", s.wrap("stats", s.handleStats))
+	return http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
+}
+
+// wrap applies the semaphore, instrumentation and error counting to one
+// route's handler.
+func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.count(CtrShed, 1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"too many in-flight requests"}`, http.StatusTooManyRequests)
+			return
+		}
+		defer func() { <-s.sem }()
+		s.count(CtrRequests, 1)
+		s.count(CtrRequests+"."+route, 1)
+		s.gauge(GaugeInFlight, float64(len(s.sem)))
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		us := time.Since(start).Microseconds()
+		s.count(CtrLatencyMicro, us)
+		s.gauge(GaugeLastMicro, float64(us))
+		if sw.status >= 400 {
+			s.count(CtrErrors, 1)
+		}
+	})
+}
+
+// statusWriter remembers the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) count(name string, delta int64) {
+	if s.rec != nil {
+		s.rec.Count(name, delta)
+	}
+}
+
+func (s *Server) gauge(name string, v float64) {
+	if s.rec != nil {
+		s.rec.Gauge(name, v)
+	}
+}
+
+// Start listens on addr (port 0 for an ephemeral port) and serves the
+// handler until the returned http.Server is shut down. It returns the
+// bound address.
+func Start(addr string, s *Server) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

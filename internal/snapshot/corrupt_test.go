@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rdfcube/internal/gen"
+)
+
+// validBytes returns one valid encoded snapshot for mutation testing.
+func validBytes(t *testing.T) []byte {
+	t.Helper()
+	sn := computeSnapshot(t, gen.PaperExample())
+	var buf bytes.Buffer
+	if err := sn.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTruncationNeverPanics: Read of a prefix of any length must return an
+// error (never panic, never succeed — a strict prefix is always missing at
+// least the END terminator).
+func TestTruncationNeverPanics(t *testing.T) {
+	data := validBytes(t)
+	for n := 0; n < len(data); n++ {
+		sn, err := Read(bytes.NewReader(data[:n]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully (%v)", n, len(data), sn)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v is not ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestBitFlipsNeverPanic flips every byte of the stream (each to several
+// values) and requires Read to survive without panicking. Almost every
+// flip must be caught — by the magic check, the version check, the section
+// framing or the CRC — so a successful decode is also reported.
+func TestBitFlipsNeverPanic(t *testing.T) {
+	data := validBytes(t)
+	mutants := []byte{0x00, 0xFF, 0x01, 0x80}
+	for off := 0; off < len(data); off++ {
+		for _, m := range mutants {
+			if data[off] == m {
+				continue
+			}
+			cp := append([]byte{}, data...)
+			cp[off] = m
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic decoding flip at offset %d -> %#x: %v", off, m, r)
+					}
+				}()
+				_, err := Read(bytes.NewReader(cp))
+				if err == nil {
+					t.Fatalf("flip at offset %d -> %#x decoded without error", off, m)
+				}
+			}()
+		}
+	}
+}
+
+// TestGarbageInputs throws structured garbage at Read.
+func TestGarbageInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"short magic":     []byte("RDFC"),
+		"wrong magic":     []byte("NOTASNAP\x01\x00\x00\x00"),
+		"bad version":     []byte("RDFCSNAP\x63\x00\x00\x00"),
+		"header only":     []byte("RDFCSNAP\x01\x00\x00\x00"),
+		"random noise":    bytes.Repeat([]byte{0xA5, 0x5A, 0x3C}, 400),
+		"huge section":    append([]byte("RDFCSNAP\x01\x00\x00\x00TERM\xff\xff\xff\xff"), bytes.Repeat([]byte{1}, 64)...),
+		"wrong first tag": append([]byte("RDFCSNAP\x01\x00\x00\x00DIMS\x00\x00\x00\x00"), []byte{0, 0, 0, 0}...),
+	}
+	for name, in := range cases {
+		if _, err := Read(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestTrailingGarbage: bytes after the END section are rejected.
+func TestTrailingGarbage(t *testing.T) {
+	data := append(validBytes(t), 0xFF)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatalf("trailing garbage accepted")
+	}
+}
+
+// TestCrossSectionSwap moves a whole valid section elsewhere; the section-
+// order check must catch it even though every CRC is intact.
+func TestCrossSectionSwap(t *testing.T) {
+	data := validBytes(t)
+	// Parse the frame offsets.
+	type frame struct{ start, end int }
+	var frames []frame
+	off := 12
+	for off < len(data) {
+		n := int(uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24)
+		end := off + 8 + n + 4
+		frames = append(frames, frame{off, end})
+		off = end
+	}
+	if len(frames) < 4 {
+		t.Fatalf("expected several sections, got %d", len(frames))
+	}
+	// Swap the DIMS and MEAS sections (frames 1 and 2).
+	var swapped []byte
+	swapped = append(swapped, data[:frames[1].start]...)
+	swapped = append(swapped, data[frames[2].start:frames[2].end]...)
+	swapped = append(swapped, data[frames[1].start:frames[1].end]...)
+	swapped = append(swapped, data[frames[2].end:]...)
+	if _, err := Read(bytes.NewReader(swapped)); err == nil {
+		t.Fatalf("section swap accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Package snapshot persists a computed relationship state — the compiled
+// core.Space, the core.Result a relationship algorithm produced over it,
+// and (optionally) the cubeMasking lattice — as a versioned, self-
+// describing binary file.
+//
+// The paper computes S_F, S_P and S_C as a one-shot batch job; a serving
+// system pays that multi-minute cubeMasking pass once, writes a snapshot,
+// and every restart reloads it in milliseconds instead of recomputing
+// (§6's incremental maintenance then keeps it fresh as observations
+// arrive; see internal/serve and cmd/cubed).
+//
+// # Format
+//
+// A snapshot is a fixed header followed by length-prefixed, checksummed
+// sections:
+//
+//	header   magic "RDFCSNAP" (8 bytes) ++ uint32 LE version (currently 1)
+//	section  tag (4 bytes) ++ uint32 LE payload length ++ payload
+//	         ++ uint32 LE CRC-32 (IEEE) of the payload
+//
+// Sections appear in a fixed order and are all required except LATT:
+//
+//	TERM  term dictionary (every rdf.Term referenced elsewhere, by index;
+//	      index 0 is reserved for the zero Term)
+//	DIMS  the global dimension set P, as term refs
+//	MEAS  the global measure set M, as term refs
+//	CODE  one code list per dimension: root plus (code, parent) links
+//	DSET  dataset URIs and schemas (dimensions, measures, attributes)
+//	OBSV  observations in Space.Obs order (dataset index, URI, values) —
+//	      NOT grouped by dataset, so the observation indices that Result
+//	      pairs reference survive live inserts into any dataset
+//	RSLT  S_F, S_P (with degrees and Algorithm 2's map_P) and S_C
+//	LATT  the lattice cubes (presence-flagged; an absent lattice is
+//	      rebuilt on load by core.NewIncrementalFrom when needed)
+//	END\0 terminator (empty payload)
+//
+// Within payloads, integers are unsigned varints, strings are varint-
+// length-prefixed bytes, and float64s are 8 little-endian bytes of their
+// IEEE-754 bit pattern. Everything the encoder walks is in deterministic
+// order, so encoding the same state twice yields identical bytes (golden
+// files and checkpoint diffing rely on this).
+//
+// Read never panics on corrupt input: every length and index is bounds-
+// checked, every section CRC is verified, and truncation at any byte
+// offset yields an error.
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/lattice"
+)
+
+// Magic identifies a snapshot stream.
+const Magic = "RDFCSNAP"
+
+// Version is the current format version. Readers reject other versions.
+const Version = 1
+
+// Section tags, in the order sections must appear.
+var (
+	tagTerm = [4]byte{'T', 'E', 'R', 'M'}
+	tagDims = [4]byte{'D', 'I', 'M', 'S'}
+	tagMeas = [4]byte{'M', 'E', 'A', 'S'}
+	tagCode = [4]byte{'C', 'O', 'D', 'E'}
+	tagDset = [4]byte{'D', 'S', 'E', 'T'}
+	tagObsv = [4]byte{'O', 'B', 'S', 'V'}
+	tagRslt = [4]byte{'R', 'S', 'L', 'T'}
+	tagLatt = [4]byte{'L', 'A', 'T', 'T'}
+	tagEnd  = [4]byte{'E', 'N', 'D', 0}
+)
+
+// maxSection bounds a single section payload (1 GiB); larger lengths are
+// treated as corruption before any allocation happens.
+const maxSection = 1 << 30
+
+// Snapshot bundles the persisted state: a compiled space, the relationship
+// sets computed over it, and optionally the lattice that produced them.
+type Snapshot struct {
+	// Space is the compiled corpus (reconstructed on Read with the exact
+	// observation order the Result indices reference).
+	Space *core.Space
+	// Result holds S_F, S_P (degrees + map_P) and S_C.
+	Result *core.Result
+	// Lattice is the cube lattice, or nil (rebuilt on demand by
+	// core.NewIncrementalFrom).
+	Lattice *lattice.Lattice
+}
+
+// New bundles a snapshot. Any of res and l may be nil; a nil res is
+// persisted as empty relationship sets.
+func New(s *core.Space, res *core.Result, l *lattice.Lattice) *Snapshot {
+	if res == nil {
+		res = core.NewResult()
+	}
+	return &Snapshot{Space: s, Result: res, Lattice: l}
+}
+
+// Write serializes the snapshot to w in the documented format.
+func (sn *Snapshot) Write(w io.Writer) error {
+	if sn.Space == nil {
+		return fmt.Errorf("snapshot: nil Space")
+	}
+	return encode(w, sn)
+}
+
+// Read parses a snapshot from r, verifying the header, section order and
+// per-section checksums, and reconstructs the space, result and lattice.
+// Corrupt or truncated input yields an error, never a panic.
+func Read(r io.Reader) (*Snapshot, error) {
+	return decode(r)
+}
+
+// Encode serializes the snapshot to a byte slice. Long-running servers
+// use it to capture a consistent image under their lock and push the disk
+// I/O outside the critical section.
+func (sn *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := sn.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile writes the snapshot to path atomically: the bytes land in a
+// temporary file in the same directory which is fsynced and renamed over
+// path, so a crash mid-checkpoint never clobbers the previous snapshot.
+func (sn *Snapshot) WriteFile(path string) error {
+	data, err := sn.Encode()
+	if err != nil {
+		return err
+	}
+	return WriteFileBytes(path, data)
+}
+
+// WriteFileBytes atomically replaces path with an already-encoded
+// snapshot (temp file + fsync + rename).
+func WriteFileBytes(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

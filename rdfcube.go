@@ -22,6 +22,7 @@ package rdfcube
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"rdfcube/internal/align"
 	"rdfcube/internal/core"
@@ -32,6 +33,8 @@ import (
 	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/turtle"
 )
@@ -199,27 +202,46 @@ func StandardPrefixes() map[string]string {
 // qbr: vocabulary (the authors' QB extension): qbr:contains,
 // qbr:partiallyContains (with qbr:containmentDegree on a pair node) and
 // qbr:complements.
+//
+// The output is deterministic regardless of the order the algorithm (or
+// incremental maintenance) emitted the pairs in: the sets are sorted
+// locally before serialization, so the pcN blank-node labels — the one
+// piece of output the triple sorter cannot normalize — always follow the
+// canonical (A,B) pair order.
 func ExportRelationships(c *Computation) string {
 	g := rdf.NewGraph()
 	contains := rdf.NewIRI(qb.ContainsProp)
 	partial := rdf.NewIRI(qb.PartiallyContainsProp)
 	compl := rdf.NewIRI(qb.ComplementsProp)
 	degree := rdf.NewIRI(qb.ContainmentDegreeProp)
-	for _, p := range c.Result.FullSet {
+	for _, p := range sortedPairs(c.Result.FullSet) {
 		g.Add(c.Obs(p.A).URI, contains, c.Obs(p.B).URI)
 	}
-	for i, p := range c.Result.PartialSet {
+	for i, p := range sortedPairs(c.Result.PartialSet) {
 		g.Add(c.Obs(p.A).URI, partial, c.Obs(p.B).URI)
 		node := rdf.NewBlank(fmt.Sprintf("pc%d", i))
 		g.Add(node, rdf.NewIRI(qb.QBRNS+"source"), c.Obs(p.A).URI)
 		g.Add(node, rdf.NewIRI(qb.QBRNS+"target"), c.Obs(p.B).URI)
 		g.Add(node, degree, rdf.NewDecimal(c.Result.PartialDegree[p]))
 	}
-	for _, p := range c.Result.ComplSet {
+	for _, p := range sortedPairs(c.Result.ComplSet) {
 		g.Add(c.Obs(p.A).URI, compl, c.Obs(p.B).URI)
 		g.Add(c.Obs(p.B).URI, compl, c.Obs(p.A).URI)
 	}
 	return turtle.Write(g, StandardPrefixes())
+}
+
+// sortedPairs returns a sorted copy of one relationship set, leaving the
+// caller's slice untouched.
+func sortedPairs(set []Pair) []Pair {
+	out := append([]Pair(nil), set...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
 }
 
 // CSVOptions configure CSV-to-QB conversion.
@@ -333,6 +355,40 @@ func RollUp(s *Space, dsIndex int, dim Term, level int, agg Aggregation) (*Datas
 // compiled space (§6 future work).
 func NewIncremental(s *Space, tasks Tasks) *core.Incremental {
 	return core.NewIncremental(s, tasks)
+}
+
+// Snapshot is a persistable computation state: compiled space, computed
+// relationship sets and (optionally) the cubeMasking lattice, with a
+// versioned CRC-checked binary encoding (see internal/snapshot).
+type Snapshot = snapshot.Snapshot
+
+// Server answers relationship queries over a snapshot's state via
+// HTTP/JSON and accepts live inserts (see internal/serve for the
+// endpoint list).
+type Server = serve.Server
+
+// ServerConfig tunes a Server (tasks, recorder, timeout, concurrency
+// limit). The zero value is serviceable.
+type ServerConfig = serve.Config
+
+var (
+	// NewServer builds a query/insert server over a snapshot's state.
+	// The snapshot is adopted, not copied.
+	NewServer = serve.New
+	// StartServer listens on an address (port 0 for ephemeral) and
+	// serves a Server until the returned http.Server is shut down.
+	StartServer = serve.Start
+	// ReadSnapshot decodes a snapshot from a reader.
+	ReadSnapshot = snapshot.Read
+	// ReadSnapshotFile loads a snapshot from a file.
+	ReadSnapshotFile = snapshot.ReadFile
+)
+
+// NewSnapshot captures a computation as a persistable snapshot. The
+// lattice is rebuilt on load, so it is not retained here; use
+// snapshot.New directly to keep one.
+func NewSnapshot(c *Computation) *Snapshot {
+	return snapshot.New(c.Space, c.Result, nil)
 }
 
 // Compile compiles a corpus without computing relationships (for Skyline,

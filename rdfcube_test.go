@@ -1,6 +1,7 @@
 package rdfcube_test
 
 import (
+	"net/http"
 	"os"
 	"strings"
 	"testing"
@@ -233,5 +234,83 @@ func TestEurostatSampleFixture(t *testing.T) {
 	rows := rdfcube.MergeComplements(comp)
 	if len(rows) < 2 {
 		t.Errorf("merged rows = %d", len(rows))
+	}
+}
+
+// TestFacadeExportRelationshipsDeterministic pins the export's ordering
+// contract: the same computation serialized with its result sets in any
+// order must yield byte-identical Turtle (the pcN blank labels used to
+// leak the algorithm's emission order).
+func TestFacadeExportRelationshipsDeterministic(t *testing.T) {
+	comp, err := rdfcube.Compute(rdfcube.ExampleCorpus(), rdfcube.CubeMasking, rdfcube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rdfcube.ExportRelationships(comp)
+
+	// Scramble every set in place (reverse + a deterministic swap walk).
+	scramble := func(ps []rdfcube.Pair) {
+		for i, j := 0, len(ps)-1; i < j; i, j = i+1, j-1 {
+			ps[i], ps[j] = ps[j], ps[i]
+		}
+		for i := range ps {
+			j := (i*7 + 3) % len(ps)
+			ps[i], ps[j] = ps[j], ps[i]
+		}
+	}
+	scramble(comp.Result.FullSet)
+	scramble(comp.Result.PartialSet)
+	scramble(comp.Result.ComplSet)
+
+	if got := rdfcube.ExportRelationships(comp); got != want {
+		t.Fatalf("export depends on result-set order:\n--- sorted ---\n%s\n--- scrambled ---\n%s", want, got)
+	}
+
+	// The export must not mutate the caller's slices as a side effect of
+	// sorting: scrambled input stays scrambled.
+	f0 := comp.Result.FullSet[0]
+	if got := rdfcube.ExportRelationships(comp); got != want {
+		t.Fatal("second export differs")
+	}
+	if comp.Result.FullSet[0] != f0 {
+		t.Fatal("ExportRelationships mutated the result sets")
+	}
+}
+
+// TestFacadeSnapshotServer drives the persistence + serving surface
+// through the façade aliases only.
+func TestFacadeSnapshotServer(t *testing.T) {
+	comp, err := rdfcube.Compute(rdfcube.ExampleCorpus(), rdfcube.CubeMasking, rdfcube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := rdfcube.NewSnapshot(comp)
+	path := t.TempDir() + "/facade.snap"
+	if err := sn.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	sn2, err := rdfcube.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("ReadSnapshotFile: %v", err)
+	}
+	if sn2.Space.N() != comp.Space.N() {
+		t.Fatalf("round trip lost observations: %d != %d", sn2.Space.N(), comp.Space.N())
+	}
+	srv, err := rdfcube.NewServer(sn2, rdfcube.ServerConfig{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	httpSrv, addr, err := rdfcube.StartServer("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer httpSrv.Close()
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
 	}
 }
