@@ -10,11 +10,19 @@
 //	cubed -snapshot idx.bin -check                               # verify
 //	cubed -snapshot idx.bin -addr :8080 -checkpoint 2m
 //
-// Startup: when -snapshot names an existing file it is loaded (milliseconds)
-// and -load/-gen are ignored; otherwise the corpus is loaded, the algorithm
-// runs, and the snapshot is written before serving. While serving, the
-// state is checkpointed on the -checkpoint interval and once more during
-// graceful shutdown (SIGINT/SIGTERM), so restarts never recompute.
+// Startup: the snapshot is resolved through generation rotation — the
+// CURRENT pointer's generation, else older generations newest-first,
+// else a legacy plain file — quarantining (never deleting) any corrupt
+// candidate along the way. When nothing loads, the corpus is loaded or
+// generated, the algorithm runs, and the state is committed as the first
+// generation. The write-ahead log (-wal, defaulting to <snapshot>.wal)
+// is then replayed on top, so inserts acknowledged before a crash
+// survive the restart. While serving, every accepted insert is fsynced
+// to the WAL before its 201; the state is checkpointed on the
+// -checkpoint interval and once more during graceful shutdown
+// (SIGINT/SIGTERM) — each checkpoint commits a new generation atomically
+// and only then truncates the WAL. If the WAL fails mid-flight the
+// daemon degrades to read-only: queries keep working, inserts get 503.
 //
 // The main address serves the /v1 query API (see internal/serve) next to
 // the observability endpoints (/metrics, /metrics.json, /debug/vars,
@@ -24,9 +32,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -36,12 +46,14 @@ import (
 	"time"
 
 	"rdfcube/internal/core"
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/gen"
 	"rdfcube/internal/lattice"
 	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/serve"
 	"rdfcube/internal/snapshot"
+	"rdfcube/internal/wal"
 
 	rdfcube "rdfcube"
 )
@@ -62,7 +74,8 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "generator seed")
 		algStr   = fs.String("alg", "cubemasking", "initial computation algorithm: "+core.AlgorithmNames())
 		taskStr  = fs.String("tasks", "all", "relationship tasks: all, or a comma list of full,partial,compl")
-		snapPath = fs.String("snapshot", "", "snapshot file: loaded when present, written after computing and on checkpoints")
+		snapPath = fs.String("snapshot", "", "snapshot base path: generations <path>.NNNNNN rotate under a <path>.CURRENT pointer")
+		walPath  = fs.String("wal", "", "write-ahead log path for live inserts (default <snapshot>.wal; \"off\" disables durability)")
 		addr     = fs.String("addr", ":8080", "HTTP listen address (port 0 for ephemeral)")
 		interval = fs.Duration("checkpoint", 5*time.Minute, "checkpoint interval while serving (0 disables)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
@@ -82,16 +95,26 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	col := obsv.NewCollector()
+	disk := faultfs.OS{}
+
+	// The rotator owns all snapshot artifacts around the base path:
+	// generations, the CURRENT pointer, quarantined corpses, and the
+	// legacy plain file a pre-rotation daemon may have left behind.
+	var rot *snapshot.Rotator
+	if *snapPath != "" {
+		rot = snapshot.NewRotator(disk, *snapPath)
+		rot.Logf = logf
+	}
 
 	if *check {
-		if *snapPath == "" {
+		if rot == nil {
 			logf("-check requires -snapshot")
 			return 2
 		}
-		return runCheck(*snapPath, alg, tasks, stdout, logf)
+		return runCheck(rot, alg, tasks, stdout, logf)
 	}
 
-	sn, err := loadOrCompute(*snapPath, *load, *genK, *n, *seed, alg, tasks, col, logf)
+	sn, err := loadOrCompute(rot, *load, *genK, *n, *seed, alg, tasks, col, logf)
 	if err != nil {
 		logf("%v", err)
 		return 1
@@ -102,15 +125,57 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// Open the write-ahead log and recover whatever suffix survived the
+	// last run. A log whose header is unreadable is quarantined — the
+	// evidence survives — and a fresh log replaces it; replay failures
+	// (the log disagrees with the snapshot) stop the daemon instead of
+	// silently dropping acknowledged writes.
+	wpath := *walPath
+	if wpath == "" && *snapPath != "" {
+		wpath = *snapPath + ".wal"
+	}
+	var wlog *wal.Log
+	var recs []wal.Record
+	if wpath != "" && wpath != "off" {
+		wlog, recs, err = wal.Open(disk, wpath)
+		if errors.Is(err, wal.ErrCorrupt) {
+			q := wpath + ".corrupt"
+			if rerr := disk.Rename(wpath, q); rerr != nil {
+				logf("quarantining corrupt wal %s: %v", wpath, rerr)
+				return 1
+			}
+			logf("wal %s is corrupt (%v); quarantined to %s, starting a fresh log", wpath, err, q)
+			wlog, recs, err = wal.Open(disk, wpath)
+		}
+		if err != nil {
+			logf("opening wal %s: %v", wpath, err)
+			return 1
+		}
+		defer wlog.Close()
+		if wlog.RepairedBytes() > 0 {
+			logf("wal %s: truncated %d torn trailing bytes from an interrupted append", wpath, wlog.RepairedBytes())
+		}
+	}
+
 	srv, err := serve.New(sn, serve.Config{
 		Tasks:          tasks,
 		Recorder:       col,
 		RequestTimeout: *timeout,
 		MaxInFlight:    *inflight,
+		WAL:            wlog,
+		Logf:           logf,
 	})
 	if err != nil {
 		logf("%v", err)
 		return 1
+	}
+	if len(recs) > 0 {
+		applied, err := srv.Replay(recs)
+		if err != nil {
+			logf("replaying wal %s: %v", wpath, err)
+			return 1
+		}
+		logf("replayed %d WAL records from %s (%d already in the snapshot)", applied, wpath, len(recs)-applied)
 	}
 
 	// The query API and the PR-1 observability surface share the address.
@@ -133,12 +198,16 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// checkpoint commits a new snapshot generation. CheckpointWith holds
+	// the server's checkpoint mutex, so a SIGTERM arriving mid-way through
+	// a timer checkpoint queues the shutdown checkpoint behind it instead
+	// of racing it; the WAL is truncated only after the generation commits.
 	checkpoint := func(reason string) {
-		if *snapPath == "" {
+		if rot == nil {
 			return
 		}
 		start := time.Now()
-		if err := srv.Checkpoint(*snapPath); err != nil {
+		if err := srv.CheckpointWith(rot.Write); err != nil {
 			logf("checkpoint (%s): %v", reason, err)
 			return
 		}
@@ -210,19 +279,26 @@ func parseTasks(s string) (core.Tasks, error) {
 	return tasks, nil
 }
 
-// loadOrCompute resolves the startup state: an existing snapshot wins;
-// otherwise the corpus is loaded or generated, the algorithm runs, and
-// the result is persisted (when a snapshot path is configured).
-func loadOrCompute(snapPath, load, genK string, n int, seed int64, alg core.Algorithm, tasks core.Tasks, col *obsv.Collector, logf func(string, ...any)) (*snapshot.Snapshot, error) {
-	if snapPath != "" {
-		if _, err := os.Stat(snapPath); err == nil {
-			start := time.Now()
-			sn, err := snapshot.ReadFile(snapPath)
-			if err != nil {
-				return nil, fmt.Errorf("loading snapshot %s: %w", snapPath, err)
-			}
-			logf("loaded snapshot %s in %s (%d observations)", snapPath, time.Since(start).Round(time.Millisecond), sn.Space.N())
+// loadOrCompute resolves the startup state through the rotator: the
+// freshest readable generation wins (corrupt candidates are quarantined
+// and fallen past); when nothing exists yet the corpus is loaded or
+// generated, the algorithm runs, and the result is committed as the
+// first generation. When candidates exist but none decodes, startup
+// stops with a clean error rather than recomputing — a recompute from
+// the base corpus would silently drop every previously checkpointed
+// live insert, and the quarantined files deserve an operator's look.
+func loadOrCompute(rot *snapshot.Rotator, load, genK string, n int, seed int64, alg core.Algorithm, tasks core.Tasks, col *obsv.Collector, logf func(string, ...any)) (*snapshot.Snapshot, error) {
+	if rot != nil {
+		start := time.Now()
+		sn, from, err := rot.Load()
+		switch {
+		case err == nil:
+			logf("loaded snapshot %s in %s (%d observations)", from, time.Since(start).Round(time.Millisecond), sn.Space.N())
 			return sn, nil
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing on disk yet: compute from the corpus below.
+		default:
+			return nil, fmt.Errorf("loading snapshot %s: %w", rot.Path, err)
 		}
 	}
 
@@ -251,11 +327,15 @@ func loadOrCompute(snapPath, load, genK string, n int, seed int64, alg core.Algo
 	logf("computed %d/%d/%d full/partial/compl pairs over %d observations with %s in %s",
 		len(res.FullSet), len(res.PartialSet), len(res.ComplSet), s.N(), alg, time.Since(start).Round(time.Millisecond))
 	sn := snapshot.New(s, res, l)
-	if snapPath != "" {
-		if err := sn.WriteFile(snapPath); err != nil {
+	if rot != nil {
+		data, err := sn.Encode()
+		if err != nil {
 			return nil, err
 		}
-		logf("wrote snapshot %s", snapPath)
+		if err := rot.Write(data); err != nil {
+			return nil, err
+		}
+		logf("wrote snapshot %s", rot.Path)
 	}
 	return sn, nil
 }
@@ -283,12 +363,15 @@ func loadCorpus(load, genK string, n int, seed int64) (*qb.Corpus, error) {
 
 // runCheck verifies a snapshot round trip: the persisted relationship
 // sets must equal a fresh recomputation over the reconstructed space.
-func runCheck(snapPath string, alg core.Algorithm, tasks core.Tasks, stdout io.Writer, logf func(string, ...any)) int {
-	sn, err := snapshot.ReadFile(snapPath)
+// The snapshot is resolved through the same rotation fallback the
+// serving path uses, so -check exercises exactly what a restart loads.
+func runCheck(rot *snapshot.Rotator, alg core.Algorithm, tasks core.Tasks, stdout io.Writer, logf func(string, ...any)) int {
+	sn, from, err := rot.Load()
 	if err != nil {
 		logf("%v", err)
 		return 1
 	}
+	logf("checking snapshot %s", from)
 	fresh := core.NewResult()
 	switch alg {
 	case core.AlgorithmCubeMasking, core.AlgorithmCubeMaskingPrefetch:

@@ -45,8 +45,12 @@ func TestOnceBuildsSnapshotAndCheckPasses(t *testing.T) {
 	if code := run(context.Background(), []string{"-gen", "example", "-snapshot", snap, "-once"}, &out, &errOut); code != 0 {
 		t.Fatalf("build: exit %d\nstderr: %s", code, errOut.String())
 	}
-	if _, err := os.Stat(snap); err != nil {
-		t.Fatalf("snapshot not written: %v", err)
+	// Rotation artifacts: the first generation plus the CURRENT pointer.
+	if _, err := os.Stat(snap + ".000001"); err != nil {
+		t.Fatalf("snapshot generation not written: %v", err)
+	}
+	if cur, err := os.ReadFile(snap + ".CURRENT"); err != nil || strings.TrimSpace(string(cur)) != "idx.bin.000001" {
+		t.Fatalf("CURRENT pointer: %q, %v", cur, err)
 	}
 	if !strings.Contains(out.String(), "snapshot ready") {
 		t.Fatalf("unexpected stdout: %q", out.String())

@@ -7,13 +7,9 @@ import (
 	"rdfcube/internal/qb"
 )
 
-// AppendObservation extends the compiled space with one more observation.
-// The observation's dataset schema must use only dimensions and measures
-// already present in the space, and its values must belong to the existing
-// code lists (the batch corpus fixes the feature space; this mirrors the
-// paper's assumption that code lists are shared reference vocabularies).
-// It returns the new observation's index.
-func (s *Space) AppendObservation(o *qb.Observation) (int, error) {
+// compileObservation resolves o against the space's fixed feature space,
+// returning its code row and measure mask without mutating anything.
+func (s *Space) compileObservation(o *qb.Observation) ([]int32, uint64, error) {
 	row := make([]int32, len(s.Dims))
 	for d, dim := range s.Dims {
 		cl := s.Lists[d]
@@ -30,7 +26,7 @@ func (s *Space) AppendObservation(o *qb.Observation) (int, error) {
 			}
 		}
 		if found < 0 {
-			return 0, fmt.Errorf("core: observation %s: value %s not in code list of %s", o.URI, v, dim)
+			return nil, 0, fmt.Errorf("core: observation %s: value %s not in code list of %s", o.URI, v, dim)
 		}
 		row[d] = found
 	}
@@ -44,9 +40,34 @@ func (s *Space) AppendObservation(o *qb.Observation) (int, error) {
 			}
 		}
 		if bit < 0 {
-			return 0, fmt.Errorf("core: observation %s: measure %s not in the space", o.URI, m)
+			return nil, 0, fmt.Errorf("core: observation %s: measure %s not in the space", o.URI, m)
 		}
 		mask |= 1 << uint(bit)
+	}
+	return row, mask, nil
+}
+
+// ValidateObservation checks that o can join the space — its dataset
+// schema uses only known dimensions and measures, and its values belong
+// to the existing code lists — without mutating anything. Serving layers
+// call it before durably logging an insert, so a record that reaches the
+// write-ahead log is guaranteed to apply cleanly on replay.
+func (s *Space) ValidateObservation(o *qb.Observation) error {
+	_, _, err := s.compileObservation(o)
+	return err
+}
+
+// AppendObservation extends the compiled space with one more observation.
+// The observation's dataset schema must use only dimensions and measures
+// already present in the space, and its values must belong to the existing
+// code lists (the batch corpus fixes the feature space; this mirrors the
+// paper's assumption that code lists are shared reference vocabularies).
+// It returns the new observation's index. Validation happens before any
+// mutation: on error the space is unchanged.
+func (s *Space) AppendObservation(o *qb.Observation) (int, error) {
+	row, mask, err := s.compileObservation(o)
+	if err != nil {
+		return 0, err
 	}
 	s.Obs = append(s.Obs, o)
 	s.vals = append(s.vals, row)

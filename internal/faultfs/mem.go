@@ -1,0 +1,375 @@
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names one fault-injectable operation kind.
+type Op uint8
+
+// The injectable operation kinds.
+const (
+	// OpAny matches every operation.
+	OpAny Op = iota
+	// OpWrite is a File.Write (a fault may apply a short write: a prefix
+	// of the attempted bytes lands before the error).
+	OpWrite
+	// OpSync is a File.Sync.
+	OpSync
+	// OpRename is an FS.Rename.
+	OpRename
+	// OpOpen is an FS.OpenAppend or FS.Create.
+	OpOpen
+	// OpTruncate is a File.Truncate.
+	OpTruncate
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "any"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpOpen:
+		return "open"
+	case OpTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Fault schedules one injected failure: the N-th operation matching Op
+// (1-based, counted across the whole MemFS) fails. For OpWrite faults,
+// Keep bytes of the attempted write still land before the error (a short
+// write). When Persistent is set every later matching operation fails
+// too — a dead disk rather than a transient hiccup.
+type Fault struct {
+	Op         Op
+	N          int64
+	Keep       int
+	Persistent bool
+}
+
+// memFile is one stored file: data is what the page cache holds, synced
+// is the prefix guaranteed to survive a crash.
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// MemFS is the in-memory FS with power-cut durability semantics and
+// scheduled fault injection. The zero value is ready to use. All methods
+// are safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	fault   Fault
+	ops     int64
+	tripped bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: map[string]*memFile{}} }
+
+// Inject schedules f as the filesystem's fault. It resets the operation
+// counter, so sweeps re-Inject between scenarios.
+func (m *MemFS) Inject(f Fault) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fault = f
+	m.ops = 0
+	m.tripped = false
+}
+
+// Tripped reports whether the scheduled fault has fired. A sweep stops
+// raising the fault index once a full scenario runs without tripping.
+func (m *MemFS) Tripped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tripped
+}
+
+// Ops returns the number of fault-countable operations performed since
+// the last Inject.
+func (m *MemFS) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// step counts one operation and reports whether it must fail.
+// Callers hold m.mu.
+func (m *MemFS) step(op Op) bool {
+	if m.fault.N == 0 {
+		return false
+	}
+	if m.fault.Op != OpAny && m.fault.Op != op {
+		return false
+	}
+	m.ops++
+	if m.tripped && m.fault.Persistent {
+		return true
+	}
+	if m.ops == m.fault.N {
+		m.tripped = true
+		return true
+	}
+	return false
+}
+
+func (m *MemFS) file(path string) *memFile {
+	if m.files == nil {
+		m.files = map[string]*memFile{}
+	}
+	f := m.files[path]
+	if f == nil {
+		f = &memFile{}
+		m.files[path] = f
+	}
+	return f
+}
+
+// memHandle is an append-only handle onto one memFile.
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return 0, &fs.PathError{Op: "write", Path: h.name, Err: fs.ErrNotExist}
+	}
+	if h.fs.step(OpWrite) {
+		keep := h.fs.fault.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		f.data = append(f.data, p[:keep]...)
+		return keep, Injected(OpWrite, h.name)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return &fs.PathError{Op: "sync", Path: h.name, Err: fs.ErrNotExist}
+	}
+	if h.fs.step(OpSync) {
+		return Injected(OpSync, h.name)
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: h.name, Err: fs.ErrNotExist}
+	}
+	if h.fs.step(OpTruncate) {
+		return Injected(OpTruncate, h.name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return &fs.PathError{Op: "truncate", Path: h.name, Err: fs.ErrInvalid}
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step(OpOpen) {
+		return nil, Injected(OpOpen, p)
+	}
+	m.file(p)
+	return &memHandle{fs: m, name: p}, nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step(OpOpen) {
+		return nil, Injected(OpOpen, p)
+	}
+	f := m.file(p)
+	f.data = nil
+	f.synced = 0
+	return &memHandle{fs: m, name: p}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: p, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Rename implements FS. Renames are modeled as atomic and durable (the
+// rename-plus-directory-fsync a careful writer performs).
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	if m.step(OpRename) {
+		return Injected(OpRename, oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[p]; !ok {
+		return &fs.PathError{Op: "remove", Path: p, Err: fs.ErrNotExist}
+	}
+	delete(m.files, p)
+	return nil
+}
+
+// memInfo is the minimal fs.FileInfo Stat returns.
+type memInfo struct {
+	name string
+	size int64
+}
+
+func (i memInfo) Name() string       { return i.name }
+func (i memInfo) Size() int64        { return i.size }
+func (i memInfo) Mode() fs.FileMode  { return 0o644 }
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return false }
+func (i memInfo) Sys() any           { return nil }
+
+// Stat implements FS.
+func (m *MemFS) Stat(p string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return nil, &fs.PathError{Op: "stat", Path: p, Err: fs.ErrNotExist}
+	}
+	return memInfo{name: path.Base(p), size: int64(len(f.data))}, nil
+}
+
+// ReadDirNames implements FS: every stored path whose directory is dir.
+func (m *MemFS) ReadDirNames(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = strings.TrimSuffix(dir, "/")
+	var names []string
+	for p := range m.files {
+		if path.Dir(p) == dir || (dir == "." && !strings.Contains(p, "/")) {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash simulates a power cut: every file loses its unsynced suffix.
+// The filesystem remains usable afterwards (the "restarted machine").
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// CrashKeeping simulates a power cut that leaves path with exactly keep
+// bytes — the sweep's tool for cutting a file at every byte boundary
+// between its synced prefix and its full in-cache length. Other files
+// lose their unsynced suffix as in Crash. keep is clamped to
+// [synced, len(data)]: a crash can never lose synced bytes.
+func (m *MemFS) CrashKeeping(path string, keep int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p, f := range m.files {
+		if p == path {
+			if keep < f.synced {
+				keep = f.synced
+			}
+			if keep > len(f.data) {
+				keep = len(f.data)
+			}
+			f.data = f.data[:keep]
+			if f.synced > keep {
+				f.synced = keep
+			}
+			continue
+		}
+		f.data = f.data[:f.synced]
+	}
+}
+
+// SyncedLen reports the durable prefix length of path (0 when absent).
+func (m *MemFS) SyncedLen(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[path]; ok {
+		return f.synced
+	}
+	return 0
+}
+
+// Len reports the in-cache length of path (0 when absent).
+func (m *MemFS) Len(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[path]; ok {
+		return len(f.data)
+	}
+	return 0
+}
+
+// Clone deep-copies the filesystem state (without the fault schedule),
+// so a sweep can crash one copy per boundary from a single recorded run.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for p, f := range m.files {
+		c.files[p] = &memFile{data: append([]byte(nil), f.data...), synced: f.synced}
+	}
+	return c
+}
+
+var _ FS = (*MemFS)(nil)

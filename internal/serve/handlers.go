@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,6 +12,7 @@ import (
 	"rdfcube/internal/core"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
+	"rdfcube/internal/wal"
 )
 
 // maxInsertBody bounds a POST /v1/observations body.
@@ -38,6 +41,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// statusClientClosedRequest is nginx's convention for a request whose
+// client went away before the response was written.
+const statusClientClosedRequest = 499
+
+// cancelStatus maps a request context error to the abandonment status:
+// 504 when the handler overran the deadline, 499 when the client hung up.
+func cancelStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return statusClientClosedRequest
+}
+
+// ctxAbort checks the request context and, when it is already done,
+// counts and reports the abandonment. Handlers call it after any wait
+// (lock acquisition, per-observation fan-out batches) so work for a
+// vanished client stops early — in particular, an insert whose client
+// hung up before the durable log append never reaches the WAL.
+func (s *Server) ctxAbort(w http.ResponseWriter, r *http.Request) bool {
+	err := r.Context().Err()
+	if err == nil {
+		return false
+	}
+	s.count(CtrCanceled, 1)
+	writeError(w, cancelStatus(err), "request abandoned: %v", err)
+	return true
 }
 
 // resolveObs resolves the ?obs= parameter (index or full URI) to an
@@ -81,21 +112,45 @@ func (s *Server) partialRefs(from int, ids []int32, fromIsSource bool) []partial
 	return out
 }
 
+// state names the server's lifecycle phase for the health endpoints:
+// "loading" until the state is adopted, "degraded" while in read-only
+// mode (WAL failure), "ready" otherwise.
+func (s *Server) state() string {
+	switch {
+	case !s.ready.Load():
+		return "loading"
+	case s.Degraded():
+		return "degraded"
+	default:
+		return "ready"
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Liveness: the process is up. The state field lets an operator see
+	// the phase without a second probe.
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": s.state()})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		writeError(w, http.StatusServiceUnavailable, "state not loaded")
-		return
+	switch st := s.state(); st {
+	case "loading":
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": st, "error": "state not loaded"})
+	case "degraded":
+		// Reads still work, so the server stays in rotation — but the
+		// status tells operators writes are being refused with 503.
+		writeJSON(w, http.StatusOK, map[string]string{"status": st, "detail": "read-only: write-ahead log failed"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": st})
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.ctxAbort(w, r) {
+		return
+	}
 	i, err := s.resolveObs(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -112,6 +167,9 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleComplements(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.ctxAbort(w, r) {
+		return
+	}
 	i, err := s.resolveObs(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -127,20 +185,32 @@ func (s *Server) handleComplements(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.ctxAbort(w, r) {
+		return
+	}
 	i, err := s.resolveObs(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"obs":                  i,
-		"uri":                  s.inc.S.Obs[i].URI.Value,
-		"contains":             s.refs(s.adj.contains[i]),
-		"containedBy":          s.refs(s.adj.containedBy[i]),
-		"partiallyContains":    s.partialRefs(i, s.adj.partials[i], true),
-		"partiallyContainedBy": s.partialRefs(i, s.adj.partialBy[i], false),
-		"complements":          s.refs(s.adj.complements[i]),
-	})
+	// The fan-out materializes five neighbor lists; check the context
+	// between them so a hung-up client stops the work mid-way.
+	resp := map[string]any{
+		"obs": i,
+		"uri": s.inc.S.Obs[i].URI.Value,
+	}
+	resp["contains"] = s.refs(s.adj.contains[i])
+	resp["containedBy"] = s.refs(s.adj.containedBy[i])
+	if s.ctxAbort(w, r) {
+		return
+	}
+	resp["partiallyContains"] = s.partialRefs(i, s.adj.partials[i], true)
+	resp["partiallyContainedBy"] = s.partialRefs(i, s.adj.partialBy[i], false)
+	if s.ctxAbort(w, r) {
+		return
+	}
+	resp["complements"] = s.refs(s.adj.complements[i])
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
@@ -187,6 +257,10 @@ type insertRequest struct {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.Degraded() {
+		writeError(w, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
+		return
+	}
 	var req insertRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInsertBody))
 	dec.DisallowUnknownFields()
@@ -201,6 +275,20 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// The write-lock wait can be long; if the client hung up during it,
+	// stop before anything durable happens — an abandoned insert must
+	// never reach the WAL, or replay would resurrect a write the client
+	// never saw acknowledged.
+	if s.ctxAbort(w, r) {
+		return
+	}
+	// Re-check under the lock: another insert may have degraded us while
+	// we waited.
+	if s.Degraded() {
+		writeError(w, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
+		return
+	}
 
 	di, ok := s.dsIdx[req.Dataset]
 	if !ok {
@@ -239,18 +327,43 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		o.MeasureValues[k] = measureLiteral(val)
 	}
 
-	f0 := len(s.inc.Res.FullSet)
-	p0 := len(s.inc.Res.PartialSet)
-	c0 := len(s.inc.Res.ComplSet)
-	idx, err := s.inc.Insert(o)
-	if err != nil {
-		// Insert validates before mutating: the space is unchanged here.
+	// Validate BEFORE the durable log append, so every record that
+	// reaches the WAL is guaranteed to apply on replay.
+	if err := s.inc.S.ValidateObservation(o); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ds.Observations = append(ds.Observations, o)
-	s.uriIdx[req.URI] = idx
-	s.adj.applyDelta(s.inc.Res, idx, f0, p0, c0)
+
+	// Durability point: the record hits the fsynced log before the client
+	// sees 201. An append failure flips the server read-only — better to
+	// refuse writes than to acknowledge ones a crash would lose.
+	if s.wlog != nil {
+		rec := wal.Record{
+			Dataset:       di,
+			URI:           o.URI,
+			DimValues:     o.DimValues,
+			MeasureValues: o.MeasureValues,
+		}
+		if err := s.wlog.Append(rec); err != nil {
+			s.markDegraded(fmt.Sprintf("wal append for %s: %v", req.URI, err))
+			writeError(w, http.StatusServiceUnavailable, "durable log append failed; entering read-only mode")
+			return
+		}
+		s.count(CtrWALAppends, 1)
+	}
+
+	f0 := len(s.inc.Res.FullSet)
+	p0 := len(s.inc.Res.PartialSet)
+	c0 := len(s.inc.Res.ComplSet)
+	if err := s.applyInsertLocked(di, o); err != nil {
+		// Unreachable after ValidateObservation; if it ever fires the
+		// record is already durable, so surface it loudly rather than
+		// pretend the insert never happened.
+		s.log("insert %s: validated observation failed to apply: %v", req.URI, err)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	idx := s.uriIdx[req.URI]
 	s.inserts.Add(1)
 	s.count(CtrInserts, 1)
 
@@ -279,7 +392,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, p, c := s.inc.Res.Counts()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"observations":  s.inc.S.N(),
 		"dimensions":    s.inc.S.NumDims(),
 		"datasets":      len(s.inc.S.Corpus.Datasets),
@@ -288,6 +401,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"partial":       p,
 		"complementary": c,
 		"inserts":       s.inserts.Load(),
+		"replayed":      s.replayed.Load(),
+		"degraded":      s.Degraded(),
 		"uptimeSeconds": time.Since(s.started).Seconds(),
-	})
+	}
+	if s.wlog != nil {
+		resp["walBytes"] = s.wlog.Size()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

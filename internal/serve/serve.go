@@ -16,29 +16,47 @@
 //	POST /v1/observations       live insert via core.Incremental
 //	GET  /v1/stats              corpus, relationship and service counters
 //	GET  /healthz               liveness (always 200 once the process is up)
-//	GET  /readyz                readiness (503 until the state is loaded)
+//	GET  /readyz                readiness: 503 while loading, 200 with
+//	                            status "ready" or "degraded" (read-only)
 //
 // The ?obs= parameter accepts either an observation index or a full
 // observation URI.
 //
 // Operational behavior: every request runs under a request-scoped timeout
 // (Config.RequestTimeout); a semaphore bounds in-flight requests and
-// sheds the excess with 429 (Config.MaxInFlight); every handler reports
-// request counters and latency through the same obsv.Recorder the
-// algorithms use, so the PR-1 /metrics exposition shows serving and
-// computation side by side.
+// sheds the excess with 429 (Config.MaxInFlight); a panic in any handler
+// is recovered, logged with its stack and answered with 500; handlers
+// observe the request context, so abandoned requests stop early with 499
+// (client hung up) or 504 (deadline); every handler reports request
+// counters and latency through the same obsv.Recorder the algorithms
+// use, so the PR-1 /metrics exposition shows serving and computation
+// side by side.
+//
+// Durability: with Config.WAL set, every accepted insert is appended —
+// and fsynced — to the write-ahead log before the 201 acknowledgment,
+// so a crash never loses an acknowledged write. At startup the daemon
+// replays the WAL suffix through Replay (idempotent: records whose URI
+// already exists are skipped). CheckpointWith serializes snapshot
+// checkpoints and truncates the WAL only after the checkpoint commit
+// succeeds. When the log itself fails, the server degrades to read-only:
+// queries keep working, inserts return 503, /readyz reports "degraded".
 package serve
 
 import (
+	"fmt"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rdfcube/internal/core"
 	"rdfcube/internal/obsv"
+	"rdfcube/internal/qb"
+	"rdfcube/internal/rdf"
 	"rdfcube/internal/snapshot"
+	"rdfcube/internal/wal"
 )
 
 // Metric names reported through the Recorder.
@@ -47,9 +65,14 @@ const (
 	CtrShed         = "serve.shed"            // requests shed with 429
 	CtrErrors       = "serve.errors"          // 4xx/5xx responses
 	CtrInserts      = "serve.inserts"         // observations inserted
+	CtrPanics       = "serve.panics"          // handler panics recovered
+	CtrCanceled     = "serve.canceled"        // requests abandoned (499/504)
+	CtrWALAppends   = "serve.wal.appends"     // records durably logged
+	CtrWALReplayed  = "serve.wal.replayed"    // records replayed at startup
 	CtrLatencyMicro = "serve.latency.us"      // summed handler latency (µs)
 	GaugeInFlight   = "serve.inflight"        // requests currently executing
 	GaugeLastMicro  = "serve.latency.last.us" // last handler latency (µs)
+	GaugeDegraded   = "serve.degraded"        // 1 while in read-only mode
 )
 
 // Config tunes a Server. The zero value is serviceable.
@@ -65,6 +88,14 @@ type Config struct {
 	// MaxInFlight bounds concurrently executing requests; beyond it
 	// requests are shed with 429. Zero means 128.
 	MaxInFlight int
+	// WAL, when non-nil, receives every accepted insert — durably, via
+	// fsync — BEFORE the client sees the 201 ack, so a crash never loses
+	// an acknowledged write. An append failure flips the server into
+	// degraded read-only mode: queries keep working, inserts return 503.
+	WAL *wal.Log
+	// Logf receives operational log lines (recovered panics, degraded-
+	// mode transitions, replay summaries). Nil discards them.
+	Logf func(format string, a ...any)
 }
 
 func (c Config) timeout() time.Duration {
@@ -98,10 +129,19 @@ type Server struct {
 	rec     obsv.Recorder
 	timeout time.Duration
 	sem     chan struct{}
+	wlog    *wal.Log
+	logf    func(format string, a ...any)
 
-	ready   atomic.Bool
-	inserts atomic.Int64
-	started time.Time
+	// ckptMu serializes checkpoints: a SIGTERM arriving during a timer
+	// checkpoint must not start a second concurrent Checkpoint on the
+	// same path (and WAL truncation must pair with exactly one commit).
+	ckptMu sync.Mutex
+
+	ready    atomic.Bool
+	degraded atomic.Bool
+	inserts  atomic.Int64
+	replayed atomic.Int64
+	started  time.Time
 }
 
 // New builds a server over the snapshot's state. The snapshot's space,
@@ -120,6 +160,8 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 		rec:     cfg.Recorder,
 		timeout: cfg.timeout(),
 		sem:     make(chan struct{}, cfg.maxInFlight()),
+		wlog:    cfg.WAL,
+		logf:    cfg.Logf,
 		started: time.Now(),
 	}
 	for i, o := range sn.Space.Obs {
@@ -138,6 +180,86 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 // and for tests). Callers must not mutate it concurrently with requests.
 func (s *Server) Incremental() *core.Incremental { return s.inc }
 
+// WAL exposes the configured write-ahead log (nil when durability is
+// disabled).
+func (s *Server) WAL() *wal.Log { return s.wlog }
+
+// Degraded reports whether the server is in read-only mode (the write
+// log failed; reads keep working, writes return 503).
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// markDegraded transitions into read-only mode (idempotent).
+func (s *Server) markDegraded(reason string) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.gauge(GaugeDegraded, 1)
+		s.log("entering degraded read-only mode: %s", reason)
+	}
+}
+
+func (s *Server) log(format string, a ...any) {
+	if s.logf != nil {
+		s.logf(format, a...)
+	}
+}
+
+// Replay applies WAL records recovered at startup through the same
+// incremental maintenance path live inserts use. Records whose URI is
+// already present are skipped — that makes replay idempotent when a
+// crash landed between a committed checkpoint and the WAL truncation
+// that should have followed it. It returns the number of records
+// applied. A record that cannot apply (unknown dataset index, schema
+// arity mismatch, validation failure) aborts with an error: the log
+// disagrees with the snapshot and silently dropping acknowledged writes
+// is not an option.
+func (s *Server) Replay(recs []wal.Record) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := 0
+	for k, rec := range recs {
+		if _, dup := s.uriIdx[rec.URI.Value]; dup {
+			continue
+		}
+		if rec.Dataset < 0 || rec.Dataset >= len(s.inc.S.Corpus.Datasets) {
+			return applied, fmt.Errorf("serve: wal record %d: dataset index %d out of range [0, %d)",
+				k, rec.Dataset, len(s.inc.S.Corpus.Datasets))
+		}
+		ds := s.inc.S.Corpus.Datasets[rec.Dataset]
+		if len(rec.DimValues) != len(ds.Schema.Dimensions) || len(rec.MeasureValues) != len(ds.Schema.Measures) {
+			return applied, fmt.Errorf("serve: wal record %d: value arity (%d dims, %d measures) does not match schema of %s (%d, %d)",
+				k, len(rec.DimValues), len(rec.MeasureValues), ds.URI.Value, len(ds.Schema.Dimensions), len(ds.Schema.Measures))
+		}
+		o := &qb.Observation{
+			URI:           rec.URI,
+			Dataset:       ds,
+			DimValues:     append([]rdf.Term(nil), rec.DimValues...),
+			MeasureValues: append([]rdf.Term(nil), rec.MeasureValues...),
+		}
+		if err := s.applyInsertLocked(rec.Dataset, o); err != nil {
+			return applied, fmt.Errorf("serve: wal record %d (%s): %w", k, rec.URI.Value, err)
+		}
+		applied++
+	}
+	s.replayed.Add(int64(applied))
+	s.count(CtrWALReplayed, int64(applied))
+	return applied, nil
+}
+
+// applyInsertLocked inserts one validated-or-replayed observation into
+// the maintained state. Callers hold the write lock.
+func (s *Server) applyInsertLocked(dsIndex int, o *qb.Observation) error {
+	f0 := len(s.inc.Res.FullSet)
+	p0 := len(s.inc.Res.PartialSet)
+	c0 := len(s.inc.Res.ComplSet)
+	idx, err := s.inc.Insert(o)
+	if err != nil {
+		return err
+	}
+	s.inc.S.Corpus.Datasets[dsIndex].Observations = append(s.inc.S.Corpus.Datasets[dsIndex].Observations, o)
+	s.uriIdx[o.URI.Value] = idx
+	s.adj.applyDelta(s.inc.Res, idx, f0, p0, c0)
+	return nil
+}
+
 // EncodeSnapshot captures a consistent snapshot of the current state as
 // encoded bytes. It takes the write lock (the lattice's lazily sorted
 // cube order makes even encoding a logical write) but performs no I/O, so
@@ -148,14 +270,69 @@ func (s *Server) EncodeSnapshot() ([]byte, error) {
 	return snapshot.New(s.inc.S, s.inc.Res, s.inc.Lattice()).Encode()
 }
 
-// Checkpoint atomically persists the current state to path: encode under
-// the lock, write outside it.
-func (s *Server) Checkpoint(path string) error {
-	data, err := s.EncodeSnapshot()
+// CheckpointWith runs one full checkpoint cycle: encode the state under
+// the lock, hand the bytes to commit (which must make them durable —
+// e.g. a snapshot.Rotator's Write), and only after commit succeeds
+// truncate the WAL, because every record the log held is now covered by
+// the committed snapshot. ckptMu serializes whole cycles: the shutdown
+// checkpoint a SIGTERM triggers can race the periodic timer checkpoint,
+// and running both concurrently would interleave generation writes and
+// could truncate the WAL against the wrong snapshot.
+//
+// The truncation is guarded against a subtler race: an insert landing
+// between the encode and the commit is in the WAL but NOT in the
+// committed snapshot, so truncating would silently drop an acknowledged
+// write. The WAL size is therefore captured at encode time (under the
+// same lock inserts append under) and the log is truncated only when it
+// is still exactly that size; otherwise truncation is skipped — replay
+// is idempotent, so carrying already-checkpointed records to the next
+// startup costs duplicate-skips, never correctness.
+func (s *Server) CheckpointWith(commit func(data []byte) error) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	s.mu.Lock()
+	data, err := snapshot.New(s.inc.S, s.inc.Res, s.inc.Lattice()).Encode()
+	var mark int64 = -1
+	if err == nil && s.wlog != nil {
+		mark = s.wlog.Size()
+	}
+	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return snapshot.WriteFileBytes(path, data)
+
+	if err := commit(data); err != nil {
+		return err
+	}
+
+	if s.wlog != nil {
+		s.mu.Lock()
+		if s.wlog.Size() == mark {
+			if terr := s.wlog.Truncate(); terr != nil {
+				// The snapshot is committed; a stale WAL only costs
+				// idempotent replay work at next startup. Degrade writes,
+				// keep serving.
+				s.markDegraded(fmt.Sprintf("wal truncate after checkpoint: %v", terr))
+				s.log("checkpoint committed but wal truncate failed: %v", terr)
+			}
+		} else {
+			s.log("skipping wal truncation: %d bytes appended during the checkpoint (covered by the next one)",
+				s.wlog.Size()-mark)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Checkpoint atomically persists the current state to path: encode under
+// the lock, write outside it. It runs through CheckpointWith, so it is
+// serialized against concurrent checkpoints and truncates the WAL after
+// the commit.
+func (s *Server) Checkpoint(path string) error {
+	return s.CheckpointWith(func(data []byte) error {
+		return snapshot.WriteFileBytes(path, data)
+	})
 }
 
 // Handler returns the service's HTTP handler: the /v1 API plus health
@@ -191,7 +368,21 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request)) 
 		s.gauge(GaugeInFlight, float64(len(s.sem)))
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		func() {
+			// Panic recovery: one bad request must not take down the
+			// daemon. Log the stack, count it, and answer 500 if the
+			// handler had not yet written a response.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.count(CtrPanics, 1)
+					s.log("panic in %s handler: %v\n%s", route, rec, debug.Stack())
+					if !sw.wrote {
+						http.Error(sw, `{"error":"internal server error"}`, http.StatusInternalServerError)
+					}
+				}
+			}()
+			h(sw, r)
+		}()
 		us := time.Since(start).Microseconds()
 		s.count(CtrLatencyMicro, us)
 		s.gauge(GaugeLastMicro, float64(us))
@@ -201,15 +392,24 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request)) 
 	})
 }
 
-// statusWriter remembers the response status for error accounting.
+// statusWriter remembers the response status for error accounting and
+// whether anything was written (so panic recovery knows if a 500 can
+// still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 func (s *Server) count(name string, delta int64) {

@@ -3,8 +3,10 @@ package snapshot
 import (
 	"bytes"
 	"errors"
+	"io/fs"
 	"testing"
 
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/gen"
 )
 
@@ -90,6 +92,171 @@ func TestTrailingGarbage(t *testing.T) {
 	data := append(validBytes(t), 0xFF)
 	if _, err := Read(bytes.NewReader(data)); err == nil {
 		t.Fatalf("trailing garbage accepted")
+	}
+}
+
+// TestRotationArtifactCorpus extends the corruption corpus to the
+// generation-rotation artifacts: stale CURRENT pointers, missing
+// generation files, corrupt generations with and without readable
+// fallbacks. Every case must resolve without a panic, falling back in
+// head → previous-generation → legacy order, or yield a clean error.
+func TestRotationArtifactCorpus(t *testing.T) {
+	valid := validBytes(t)
+	bad := append([]byte(nil), valid...)
+	bad[len(bad)/3] ^= 0x5A
+
+	cases := []struct {
+		name     string
+		files    map[string][]byte
+		wantFrom string // "" means Load must fail
+		notExist bool   // Load failure must wrap fs.ErrNotExist
+	}{
+		{
+			name: "stale CURRENT pointing at missing generation",
+			files: map[string][]byte{
+				"idx.bin.000001":  valid,
+				"idx.bin.CURRENT": []byte("idx.bin.000007\n"),
+			},
+			wantFrom: "idx.bin.000001",
+		},
+		{
+			name: "garbage CURRENT falls back to newest generation",
+			files: map[string][]byte{
+				"idx.bin.000001":  valid,
+				"idx.bin.000002":  valid,
+				"idx.bin.CURRENT": []byte("../../etc/passwd"),
+			},
+			wantFrom: "idx.bin.000002",
+		},
+		{
+			name: "missing generation file entirely, legacy fallback",
+			files: map[string][]byte{
+				"idx.bin":         valid,
+				"idx.bin.CURRENT": []byte("idx.bin.000003\n"),
+			},
+			wantFrom: "idx.bin",
+		},
+		{
+			name: "corrupt head falls back to previous generation",
+			files: map[string][]byte{
+				"idx.bin.000001":  valid,
+				"idx.bin.000002":  bad,
+				"idx.bin.CURRENT": []byte("idx.bin.000002\n"),
+			},
+			wantFrom: "idx.bin.000001",
+		},
+		{
+			name: "both generations corrupt: clean error",
+			files: map[string][]byte{
+				"idx.bin.000001":  bad,
+				"idx.bin.000002":  bad,
+				"idx.bin.CURRENT": []byte("idx.bin.000002\n"),
+			},
+		},
+		{
+			name: "corrupt generations but readable legacy file",
+			files: map[string][]byte{
+				"idx.bin":         valid,
+				"idx.bin.000001":  bad,
+				"idx.bin.CURRENT": []byte("idx.bin.000001\n"),
+			},
+			wantFrom: "idx.bin",
+		},
+		{
+			name: "truncated generation (crash mid-write without rename)",
+			files: map[string][]byte{
+				"idx.bin.000001":     valid,
+				"idx.bin.000002.tmp": valid[:len(valid)/2],
+				"idx.bin.CURRENT":    []byte("idx.bin.000001\n"),
+			},
+			wantFrom: "idx.bin.000001",
+		},
+		{
+			name:     "nothing at all",
+			files:    map[string][]byte{},
+			notExist: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := faultfs.NewMemFS()
+			for name, content := range tc.files {
+				f, err := m.Create(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write(content); err != nil {
+					t.Fatal(err)
+				}
+				f.Sync()
+				f.Close()
+			}
+			r := NewRotator(m, "idx.bin")
+			var logged []string
+			r.Logf = func(format string, a ...any) {
+				logged = append(logged, format)
+			}
+			sn, from, err := r.Load()
+			if tc.wantFrom == "" {
+				if err == nil {
+					t.Fatalf("Load succeeded from %s, want failure", from)
+				}
+				if tc.notExist {
+					if !errors.Is(err, fs.ErrNotExist) {
+						t.Fatalf("err = %v, want fs.ErrNotExist", err)
+					}
+				} else if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("err = %v, want ErrCorrupt", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if from != tc.wantFrom {
+				t.Fatalf("loaded from %s, want %s", from, tc.wantFrom)
+			}
+			if sn.Space.N() != 10 {
+				t.Fatalf("snapshot has %d observations", sn.Space.N())
+			}
+			_ = logged
+		})
+	}
+}
+
+// TestRotationQuarantineKeepsEvidence: falling back quarantines the
+// corrupt candidates it skipped, with their bytes intact.
+func TestRotationQuarantineKeepsEvidence(t *testing.T) {
+	valid := validBytes(t)
+	bad := append([]byte(nil), valid...)
+	bad[40] ^= 0xFF
+	m := faultfs.NewMemFS()
+	for name, content := range map[string][]byte{
+		"idx.bin.000001":  valid,
+		"idx.bin.000002":  bad,
+		"idx.bin.CURRENT": []byte("idx.bin.000002\n"),
+	} {
+		f, _ := m.Create(name)
+		f.Write(content)
+		f.Sync()
+		f.Close()
+	}
+	r := NewRotator(m, "idx.bin")
+	if _, from, err := r.Load(); err != nil || from != "idx.bin.000001" {
+		t.Fatalf("from=%s err=%v", from, err)
+	}
+	q, err := m.ReadFile("idx.bin.000002.corrupt")
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if !bytes.Equal(q, bad) {
+		t.Fatal("quarantined bytes differ from the corrupt original")
+	}
+	names, _ := m.ReadDirNames(".")
+	for _, n := range names {
+		if n == "idx.bin.000002" {
+			t.Fatal("corrupt head still present under its original name")
+		}
 	}
 }
 

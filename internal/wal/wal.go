@@ -1,0 +1,424 @@
+// Package wal is the write-ahead log that makes live inserts durable:
+// every observation accepted by the serving layer is appended — length-
+// prefixed, CRC-32-checked, fsynced — before the client sees an ack, so
+// `snapshot + WAL suffix` always reconstructs the pre-crash state.
+//
+// # Format
+//
+//	header  magic "RDFCWAL\x01" (8 bytes: 7 magic + 1 version)
+//	record  uint32 LE payload length ++ payload ++ uint32 LE CRC-32
+//	        (IEEE) of the payload
+//
+// Record payloads reuse the snapshot's term-encoding conventions
+// (varints, varint-length-prefixed strings) but carry terms inline —
+// an append-only log cannot share a dictionary section:
+//
+//	byte    record kind (1 = insert)
+//	uvarint dataset index (position in the snapshot's DSET order)
+//	term    observation URI
+//	uvarint n, then n dimension value terms (dataset schema order)
+//	uvarint m, then m measure value terms  (dataset schema order)
+//	term    = kind byte ++ str value ++ str datatype ++ str lang
+//
+// # Crash semantics
+//
+// Append frames, writes and fsyncs one record; it returns nil only once
+// the record is durable, and the caller acknowledges the insert only
+// after that. On any write or sync error Append repairs the log by
+// truncating back to the last durable record, so a failed (never-acked)
+// append leaves no trace; if even the repair fails the log reports
+// itself Broken and the caller degrades to read-only.
+//
+// Open replays the log: it parses records until the first torn or
+// corrupt one, truncates the tail off (a torn tail is the signature of
+// a crash mid-append — that record was never acked), and returns the
+// surviving records. A log whose header is damaged yields a clean
+// error, never a panic.
+//
+// Truncate resets the log to just its header. The serving layer calls
+// it only after a snapshot checkpoint containing every logged record
+// has been durably committed.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+
+	"rdfcube/internal/faultfs"
+	"rdfcube/internal/rdf"
+)
+
+// magic identifies a WAL stream; the trailing byte is the format version.
+var magic = [8]byte{'R', 'D', 'F', 'C', 'W', 'A', 'L', 1}
+
+// maxRecord bounds one record payload (16 MiB); larger length prefixes
+// are treated as corruption before any allocation happens.
+const maxRecord = 1 << 24
+
+// recInsert is the only record kind so far.
+const recInsert = 1
+
+// ErrCorrupt wraps structural failures that are not a repairable torn
+// tail: a damaged header or an oversized length prefix at offset zero.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrBroken is returned by Append once the log device has failed in a
+// way repair could not undo; the caller must stop acknowledging writes.
+var ErrBroken = errors.New("wal: log broken, writes disabled")
+
+// Record is one logged insert, carrying everything needed to rebuild
+// the observation against the snapshot's corpus: the dataset's position
+// in the snapshot's DSET order and the full value rows in schema order.
+type Record struct {
+	// Dataset is the corpus index of the observation's dataset.
+	Dataset int
+	// URI is the observation URI.
+	URI rdf.Term
+	// DimValues are the dimension values in dataset schema order.
+	DimValues []rdf.Term
+	// MeasureValues are the measure values in dataset schema order.
+	MeasureValues []rdf.Term
+}
+
+// Log is an open write-ahead log positioned for appending.
+//
+// A Log is NOT goroutine-safe: callers must serialize Append, Truncate
+// and the accessors under their own lock (the serving layer uses its
+// state RWMutex — inserts append under the write lock, and checkpoint
+// truncation re-acquires it, so the log never changes between the size
+// check and the truncate).
+type Log struct {
+	fs     faultfs.FS
+	f      faultfs.File
+	path   string
+	size   int64 // bytes of header + committed records
+	broken bool
+
+	repaired int64 // torn-tail bytes discarded by Open
+}
+
+// Open opens (creating if needed) the WAL at path on fsys, replays the
+// existing records, repairs a torn tail, and returns the log positioned
+// for appending plus the replayed records. The returned log's header is
+// durable before Open returns.
+func Open(fsys faultfs.FS, path string) (*Log, []Record, error) {
+	data, err := fsys.ReadFile(path)
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist):
+		data = nil
+	default:
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+
+	var recs []Record
+	good := int64(0)
+	repaired := int64(0)
+	fresh := len(data) == 0
+
+	if !fresh {
+		if len(data) < len(magic) {
+			// A torn header can only come from a crash during creation,
+			// before Open ever returned — nothing was logged. Anything
+			// that is not a strict prefix of the magic is foreign data.
+			if !bytes.HasPrefix(magic[:], data) {
+				return nil, nil, fmt.Errorf("%w: %s: bad header %q", ErrCorrupt, path, data)
+			}
+			fresh = true
+		} else if [8]byte(data[:8]) != magic {
+			return nil, nil, fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, data[:8])
+		} else {
+			recs, good = replay(data)
+			repaired = int64(len(data)) - good
+		}
+	}
+
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	w := &Log{fs: fsys, f: f, path: path, repaired: repaired}
+	if fresh {
+		// (Re-)write the header and make it durable before any append.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: initializing %s: %w", path, err)
+		}
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: writing header of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: syncing header of %s: %w", path, err)
+		}
+		w.size = int64(len(magic))
+		return w, nil, nil
+	}
+	if repaired > 0 {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: repairing torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: syncing repaired %s: %w", path, err)
+		}
+	}
+	w.size = good
+	return w, recs, nil
+}
+
+// replay parses records from data (which starts with a valid header),
+// stopping at the first torn or corrupt record. It returns the decoded
+// records and the offset just past the last valid one.
+func replay(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := len(magic)
+	for {
+		rec, next, ok := parseRecord(data, off)
+		if !ok {
+			return recs, int64(off)
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+}
+
+// parseRecord decodes the record framed at off. ok is false when the
+// bytes at off do not form a complete, checksummed, decodable record.
+func parseRecord(data []byte, off int) (rec Record, next int, ok bool) {
+	if len(data)-off < 4 {
+		return rec, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	if n > maxRecord || len(data)-off < 4+n+4 {
+		return rec, 0, false
+	}
+	payload := data[off+4 : off+4+n]
+	crc := binary.LittleEndian.Uint32(data[off+4+n:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return rec, 0, false
+	}
+	r, err := decodeRecord(payload)
+	if err != nil {
+		return rec, 0, false
+	}
+	return r, off + 4 + n + 4, true
+}
+
+// Append durably logs one record: nil means the record is on stable
+// storage and the insert may be acknowledged. On failure the log
+// truncates back to its last durable record (so the unacknowledged
+// record cannot resurface after a restart); if that repair fails too,
+// the log is Broken and every later Append fails fast.
+func (w *Log) Append(rec Record) error {
+	if w.broken {
+		return ErrBroken
+	}
+	payload := encodeRecord(rec)
+	frame := make([]byte, 0, 4+len(payload)+4)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+
+	if _, err := w.f.Write(frame); err != nil {
+		return w.repairOr(fmt.Errorf("wal: append: %w", err))
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.repairOr(fmt.Errorf("wal: fsync: %w", err))
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// repairOr truncates the log back to the last durable record after a
+// failed append and returns err; if the truncate itself fails the log
+// is marked broken.
+func (w *Log) repairOr(err error) error {
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.broken = true
+		return fmt.Errorf("%w (repair failed: %v; original: %v)", ErrBroken, terr, err)
+	}
+	return err
+}
+
+// Truncate resets the log to just its header — every logged record is
+// discarded. Callers invoke it only after a checkpoint containing those
+// records has been durably committed.
+func (w *Log) Truncate() error {
+	if w.broken {
+		return ErrBroken
+	}
+	if err := w.f.Truncate(int64(len(magic))); err != nil {
+		w.broken = true
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = true
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	w.size = int64(len(magic))
+	return nil
+}
+
+// Size reports the durable log length in bytes (header included).
+func (w *Log) Size() int64 { return w.size }
+
+// Records reports how many record bytes the log holds (0 right after
+// Truncate).
+func (w *Log) RecordBytes() int64 { return w.size - int64(len(magic)) }
+
+// RepairedBytes reports how many torn-tail bytes Open discarded.
+func (w *Log) RepairedBytes() int64 { return w.repaired }
+
+// Broken reports whether the log device has failed beyond repair.
+func (w *Log) Broken() bool { return w.broken }
+
+// Path reports the log's file path.
+func (w *Log) Path() string { return w.path }
+
+// Close releases the file handle. It does not sync: every durable
+// record was synced by the Append that wrote it.
+func (w *Log) Close() error { return w.f.Close() }
+
+// --- record payload encoding (snapshot conventions, inline terms) ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendTerm(b []byte, t rdf.Term) []byte {
+	b = append(b, byte(t.Kind))
+	b = appendString(b, t.Value)
+	b = appendString(b, t.Datatype)
+	return appendString(b, t.Lang)
+}
+
+func encodeRecord(rec Record) []byte {
+	b := []byte{recInsert}
+	b = binary.AppendUvarint(b, uint64(rec.Dataset))
+	b = appendTerm(b, rec.URI)
+	b = binary.AppendUvarint(b, uint64(len(rec.DimValues)))
+	for _, t := range rec.DimValues {
+		b = appendTerm(b, t)
+	}
+	b = binary.AppendUvarint(b, uint64(len(rec.MeasureValues)))
+	for _, t := range rec.MeasureValues {
+		b = appendTerm(b, t)
+	}
+	return b
+}
+
+// rcur is a bounds-checked cursor over one record payload.
+type rcur struct {
+	b   []byte
+	off int
+}
+
+func (c *rcur) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint at %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *rcur) byte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, fmt.Errorf("truncated at %d", c.off)
+	}
+	b := c.b[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *rcur) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return "", fmt.Errorf("string length %d exceeds payload at %d", n, c.off)
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}
+
+func (c *rcur) term() (rdf.Term, error) {
+	kind, err := c.byte()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if kind > byte(rdf.LiteralKind) {
+		return rdf.Term{}, fmt.Errorf("unknown term kind %d", kind)
+	}
+	val, err := c.str()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	dt, err := c.str()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	lang, err := c.str()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return rdf.Term{Kind: rdf.Kind(kind), Value: val, Datatype: dt, Lang: lang}, nil
+}
+
+func (c *rcur) termList(maxLen int) ([]rdf.Term, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxLen) {
+		return nil, fmt.Errorf("list length %d exceeds payload", n)
+	}
+	out := make([]rdf.Term, n)
+	for i := range out {
+		if out[i], err = c.term(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	c := &rcur{b: payload}
+	kind, err := c.byte()
+	if err != nil {
+		return Record{}, err
+	}
+	if kind != recInsert {
+		return Record{}, fmt.Errorf("unknown record kind %d", kind)
+	}
+	var rec Record
+	ds, err := c.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Dataset = int(ds)
+	if rec.URI, err = c.term(); err != nil {
+		return Record{}, err
+	}
+	// Each term costs at least 4 bytes (kind + three length prefixes).
+	if rec.DimValues, err = c.termList(len(payload) / 4); err != nil {
+		return Record{}, err
+	}
+	if rec.MeasureValues, err = c.termList(len(payload) / 4); err != nil {
+		return Record{}, err
+	}
+	if c.off != len(payload) {
+		return Record{}, fmt.Errorf("%d trailing bytes", len(payload)-c.off)
+	}
+	return rec, nil
+}

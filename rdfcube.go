@@ -27,6 +27,7 @@ import (
 	"rdfcube/internal/align"
 	"rdfcube/internal/core"
 	"rdfcube/internal/csvqb"
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/gen"
 	"rdfcube/internal/hierarchy"
 	"rdfcube/internal/integrity"
@@ -37,6 +38,7 @@ import (
 	"rdfcube/internal/snapshot"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/turtle"
+	"rdfcube/internal/wal"
 )
 
 // Re-exported model types. They alias the implementation types, so values
@@ -368,8 +370,28 @@ type Snapshot = snapshot.Snapshot
 type Server = serve.Server
 
 // ServerConfig tunes a Server (tasks, recorder, timeout, concurrency
-// limit). The zero value is serviceable.
+// limit, write-ahead log). The zero value is serviceable.
 type ServerConfig = serve.Config
+
+// WAL is a crash-safe write-ahead log of live observation inserts:
+// length-prefixed, CRC-32-checked records, fsynced before each Append
+// returns (see internal/wal).
+type WAL = wal.Log
+
+// WALRecord is one logged insert: the observation's dataset index in the
+// snapshot's corpus plus its URI and values.
+type WALRecord = wal.Record
+
+// SnapshotRotator turns single-file checkpoints into crash-safe
+// generation rotation: atomic generation commits under a CURRENT
+// pointer, fallback newest-first on load, corrupt candidates quarantined
+// (renamed aside, never deleted). See internal/snapshot.
+type SnapshotRotator = snapshot.Rotator
+
+// FS is the filesystem seam the durability layers write through;
+// OSFilesystem is the production implementation, and faultfs.NewMemFS
+// (internal) provides the fault-injecting in-memory one tests use.
+type FS = faultfs.FS
 
 var (
 	// NewServer builds a query/insert server over a snapshot's state.
@@ -382,6 +404,16 @@ var (
 	ReadSnapshot = snapshot.Read
 	// ReadSnapshotFile loads a snapshot from a file.
 	ReadSnapshotFile = snapshot.ReadFile
+	// OpenWAL opens (creating if needed) a write-ahead log, replays its
+	// records and repairs a torn tail, returning the log positioned for
+	// appending plus the recovered records.
+	OpenWAL = wal.Open
+	// NewSnapshotRotator builds a generation rotator around a base
+	// snapshot path on the given filesystem.
+	NewSnapshotRotator = snapshot.NewRotator
+	// OSFilesystem is the production filesystem for OpenWAL and
+	// NewSnapshotRotator.
+	OSFilesystem = faultfs.OS{}
 )
 
 // NewSnapshot captures a computation as a persistable snapshot. The
