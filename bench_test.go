@@ -376,3 +376,103 @@ func BenchmarkAblationPackedOMBuild(b *testing.B) {
 	}
 	b.ReportMetric(float64(s.N()*((s.NumCols()+63)/64)*8), "rowBytes")
 }
+
+// ---- Parallel extension: worker-pool variants vs serial (§6) --------------
+//
+// These mirror the cubebench regression suite (`cubebench -baseline-out /
+// -compare BENCH_*.json`): same algorithms, same TaskAll workload, with
+// allocs/op reported so `go test -bench=Parallel -benchmem` shows the
+// steady-state allocation profile of the pooled tapes and scratch rows.
+
+func benchCoreWorkers(b *testing.B, alg core.Algorithm, size, workers int) {
+	s := realWorldSpace(b, size)
+	opts := core.Options{Tasks: core.TaskAll, Workers: workers}
+	opts.Clustering.Config.Seed = benchSeed
+	cnt := &core.Counter{}
+	if err := core.Compute(s, alg, opts, cnt); err != nil { // warm pools + OM cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		*cnt = core.Counter{}
+		if err := core.Compute(s, alg, opts, cnt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelBaselineSerial(b *testing.B) {
+	benchCoreWorkers(b, core.AlgorithmBaseline, benchSize, 0)
+}
+
+func BenchmarkParallelBaselineWorkers4(b *testing.B) {
+	benchCoreWorkers(b, core.AlgorithmBaseline, benchSize, 4)
+}
+
+func BenchmarkParallelClusteringSerial(b *testing.B) {
+	benchCoreWorkers(b, core.AlgorithmClustering, benchSize, 0)
+}
+
+func BenchmarkParallelClusteringWorkers4(b *testing.B) {
+	benchCoreWorkers(b, core.AlgorithmClustering, benchSize, 4)
+}
+
+func BenchmarkParallelCubeMaskingSerial(b *testing.B) {
+	benchCoreWorkers(b, core.AlgorithmCubeMasking, benchSize, 0)
+}
+
+func BenchmarkParallelCubeMaskingWorkers4(b *testing.B) {
+	benchCoreWorkers(b, core.AlgorithmParallel, benchSize, 4)
+}
+
+// BenchmarkSubsetTestLoop is the §3.1 inner loop in isolation: the
+// per-dimension CM_i bit-AND subset test over real occurrence-matrix
+// rows. It must run allocation-free (TestSubsetTestLoopZeroAlloc pins
+// that; the committed BENCH_0.json records it as subset-loop).
+func BenchmarkSubsetTestLoop(b *testing.B) {
+	s := realWorldSpace(b, benchSize)
+	om := core.BuildOccurrenceMatrix(s)
+	rows := om.Rows
+	if len(rows) > 256 {
+		rows = rows[:256]
+	}
+	width := om.NumCols()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		for x := range rows {
+			for y := range rows {
+				sink = rows[x].AndEqualsRange(rows[y], 0, width)
+			}
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(rows)*len(rows)), "tests/op")
+}
+
+// TestSubsetTestLoopZeroAlloc pins the hot-path invariant outside the
+// benchmark harness so plain `go test` enforces it on every run.
+func TestSubsetTestLoopZeroAlloc(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: benchSeed})
+	s, err := core.NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := core.BuildOccurrenceMatrix(s)
+	rows := om.Rows[:64]
+	width := om.NumCols()
+	sink := false
+	allocs := testing.AllocsPerRun(10, func() {
+		for x := range rows {
+			for y := range rows {
+				sink = rows[x].AndEqualsRange(rows[y], 0, width)
+			}
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("subset-test loop allocated %v times per run, must be 0", allocs)
+	}
+}

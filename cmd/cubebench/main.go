@@ -43,11 +43,22 @@ func main() {
 		jsonDir   = flag.String("json", "", "directory to write per-figure JSON files into (counters included in full)")
 		table4Obs = flag.Int("table4-obs", 246500, "total observations for the Table 4 manifest")
 
+		benchOut    = flag.String("baseline-out", "", "run the perf-regression suite and write its BENCH_*.json report to this path (skips the figure sweeps)")
+		benchCmp    = flag.String("compare", "", "run the perf-regression suite and compare against this committed BENCH_*.json; exit 1 on regression")
+		nsTolerance = flag.Float64("ns-tolerance", 0.15, "allowed fractional ns/op increase for -compare, after calibration normalization")
+		benchTime   = flag.Duration("bench-time", 500*time.Millisecond, "minimum measuring time per regression-suite entry")
+		benchNote   = flag.String("bench-note", "", "provenance note recorded in the -baseline-out report")
+
 		metrics   = flag.Bool("metrics", false, "print the suite-wide run report (phase tree + counter table) to stderr at the end")
 		progress  = flag.Bool("progress", false, "stream phase transitions and counter digests to stderr while running")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, /debug/vars and /debug/pprof/ on this address for the duration of the suite")
 	)
 	flag.Parse()
+
+	if *benchOut != "" || *benchCmp != "" {
+		runRegression(*benchOut, *benchCmp, *nsTolerance, *benchTime, *benchNote, *seed, *workers)
+		return
+	}
 
 	var col *obsv.Collector
 	if *metrics || *debugAddr != "" {
@@ -165,6 +176,42 @@ func main() {
 
 	if *metrics {
 		fmt.Fprint(os.Stderr, col.Report())
+	}
+}
+
+// runRegression drives the perf-regression harness: measure the suite,
+// then write a fresh baseline (-baseline-out), diff against a committed
+// one (-compare), or both. Regressions exit 1 with one line each.
+func runRegression(outPath, cmpPath string, nsTol float64, benchTime time.Duration, note string, seed int64, workers int) {
+	cfg := bench.RegressConfig{Seed: seed, Workers: workers, BenchTime: benchTime, Note: note}
+	rep, err := bench.RunRegression(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cubebench: regression suite: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Text())
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "cubebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if cmpPath != "" {
+		base, err := bench.ReadBenchReport(cmpPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubebench: %v\n", err)
+			os.Exit(1)
+		}
+		regs := bench.Compare(base, rep, bench.Tolerance{NsFrac: nsTol})
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "cubebench: %d regression(s) against %s:\n", len(regs), cmpPath)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions against %s (ns tolerance %.0f%%, allocs strict)\n", cmpPath, nsTol*100)
 	}
 }
 

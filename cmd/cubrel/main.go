@@ -31,6 +31,7 @@ func main() {
 		n       = flag.Int("n", 5000, "observation count for -gen real/synthetic")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		algStr  = flag.String("alg", "cubemasking", "algorithm: "+core.AlgorithmNames())
+		workers = flag.Int("workers", 0, "worker-pool size for baseline, clustering and parallel (0 = serial for baseline/clustering, GOMAXPROCS for parallel); output is identical to a serial run")
 		tasks   = flag.String("tasks", "all", "relationships: full, partial, compl, all (comma-separated)")
 		format  = flag.String("format", "summary", "output: summary, csv, ttl")
 		query   = flag.String("query", "", "run a SPARQL query against the corpus instead of computing relationships")
@@ -117,7 +118,7 @@ func main() {
 		return
 	}
 
-	opts := rdfcube.Options{Tasks: parseTasks(*tasks)}
+	opts := rdfcube.Options{Tasks: parseTasks(*tasks), Workers: *workers}
 	opts.Clustering.Config.Seed = *seed
 
 	var col *rdfcube.Collector

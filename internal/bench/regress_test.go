@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallCfg keeps the suite fast inside tests: tiny inputs, minimal
+// measuring time. Correctness of the plumbing does not depend on scale.
+func smallCfg() RegressConfig {
+	return RegressConfig{
+		SmallSize:  120,
+		MediumSize: 300,
+		Seed:       1,
+		Workers:    2,
+		BenchTime:  10 * time.Millisecond,
+	}
+}
+
+func TestRunRegressionSuiteShape(t *testing.T) {
+	rep, err := RunRegression(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"calibrate", "subset-loop",
+		"baseline/small", "baseline/medium",
+		"baseline-par2/small", "baseline-par2/medium",
+		"clustering/medium", "clustering-par2/medium",
+		"cubemasking/medium", "cubemasking-par2/medium",
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(rep.Results), len(want), rep.Results)
+	}
+	for i, name := range want {
+		if rep.Results[i].Name != name {
+			t.Errorf("entry %d: got %q, want %q", i, rep.Results[i].Name, name)
+		}
+	}
+	for _, e := range rep.Results {
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op %v", e.Name, e.NsPerOp)
+		}
+	}
+	if e, ok := rep.find("subset-loop"); !ok || e.AllocsPerOp != 0 {
+		t.Errorf("subset-loop must measure 0 allocs/op, got %+v", e)
+	}
+	if e, ok := rep.find("baseline/medium"); !ok || e.PairsPerSec <= 0 {
+		t.Errorf("baseline/medium must report pairs/sec, got %+v", e)
+	}
+	if e, ok := rep.find("clustering/medium"); !ok || e.Recall <= 0 || e.Recall > 1 {
+		t.Errorf("clustering/medium must report recall in (0,1], got %+v", e)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := &BenchReport{
+		Version: 1, GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 1, CreatedAt: "2026-01-01T00:00:00Z",
+		Results: []BenchResult{
+			{Name: "calibrate", NsPerOp: 1000},
+			{Name: "baseline/small", N: 120, NsPerOp: 5000, AllocsPerOp: 3, BytesPerOp: 64, PairsPerSec: 2.856e9},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[1] != rep.Results[1] {
+		t.Fatalf("round trip mismatch: %+v", got.Results)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &BenchReport{Version: 1, Results: []BenchResult{
+		{Name: "calibrate", NsPerOp: 1000},
+		{Name: "subset-loop", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "baseline/medium", NsPerOp: 10000, AllocsPerOp: 5},
+		{Name: "clustering/medium", NsPerOp: 8000, AllocsPerOp: 9, Recall: 0.90},
+		{Name: "baseline-par4/medium", NsPerOp: 9000, AllocsPerOp: 40},
+	}}
+	clone := func(mut func(r *BenchReport)) *BenchReport {
+		c := &BenchReport{Version: 1, Results: append([]BenchResult(nil), base.Results...)}
+		if mut != nil {
+			mut(c)
+		}
+		return c
+	}
+
+	if regs := Compare(base, clone(nil), Tolerance{}); len(regs) != 0 {
+		t.Fatalf("identical runs must pass, got %v", regs)
+	}
+
+	// Within ns tolerance: +10% passes; +20% fails.
+	ok := clone(func(r *BenchReport) { r.Results[2].NsPerOp = 11000 })
+	if regs := Compare(base, ok, Tolerance{}); len(regs) != 0 {
+		t.Errorf("+10%% ns must pass the 15%% gate, got %v", regs)
+	}
+	bad := clone(func(r *BenchReport) { r.Results[2].NsPerOp = 12000 })
+	if regs := Compare(base, bad, Tolerance{}); len(regs) != 1 {
+		t.Errorf("+20%% ns must fail the 15%% gate, got %v", regs)
+	}
+
+	// Calibration normalization: a uniformly 3x-slower machine passes.
+	slow := clone(func(r *BenchReport) {
+		for i := range r.Results {
+			r.Results[i].NsPerOp *= 3
+		}
+	})
+	if regs := Compare(base, slow, Tolerance{}); len(regs) != 0 {
+		t.Errorf("uniformly slower machine must pass via calibration, got %v", regs)
+	}
+
+	// Any allocs/op increase fails, even inside the ns tolerance.
+	alloc := clone(func(r *BenchReport) { r.Results[2].AllocsPerOp = 6 })
+	if regs := Compare(base, alloc, Tolerance{}); len(regs) != 1 {
+		t.Errorf("allocs increase must fail, got %v", regs)
+	}
+
+	// Parallel entries tolerate scheduling jitter (5% + 8) but no more.
+	parOK := clone(func(r *BenchReport) { r.Results[4].AllocsPerOp = 50 }) // 40 + 40/20 + 8
+	if regs := Compare(base, parOK, Tolerance{}); len(regs) != 0 {
+		t.Errorf("parallel allocs within jitter must pass, got %v", regs)
+	}
+	parBad := clone(func(r *BenchReport) { r.Results[4].AllocsPerOp = 51 })
+	if regs := Compare(base, parBad, Tolerance{}); len(regs) != 1 {
+		t.Errorf("parallel allocs beyond jitter must fail, got %v", regs)
+	}
+
+	// subset-loop must be zero in the current run.
+	hot := clone(func(r *BenchReport) { r.Results[1].AllocsPerOp = 2 })
+	if regs := Compare(base, hot, Tolerance{}); len(regs) != 2 { // allocs gate + hard invariant
+		t.Errorf("subset-loop allocs must double-fail, got %v", regs)
+	}
+
+	// Recall drop beyond the slack fails; within slack passes.
+	recOK := clone(func(r *BenchReport) { r.Results[3].Recall = 0.89 })
+	if regs := Compare(base, recOK, Tolerance{}); len(regs) != 0 {
+		t.Errorf("recall -0.01 must pass, got %v", regs)
+	}
+	recBad := clone(func(r *BenchReport) { r.Results[3].Recall = 0.85 })
+	if regs := Compare(base, recBad, Tolerance{}); len(regs) != 1 {
+		t.Errorf("recall -0.05 must fail, got %v", regs)
+	}
+
+	// Missing entries are regressions.
+	missing := clone(func(r *BenchReport) { r.Results = r.Results[:4] })
+	if regs := Compare(base, missing, Tolerance{}); len(regs) != 1 {
+		t.Errorf("missing entry must fail, got %v", regs)
+	}
+}

@@ -11,6 +11,7 @@ package bitvec
 import (
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 const wordBits = 64
@@ -60,6 +61,15 @@ func (v *Vector) Count() int {
 		c += bits.OnesCount64(w)
 	}
 	return c
+}
+
+// Reset zeroes every bit, keeping the width and backing storage. It is the
+// recycling primitive of Pool: a reset vector is indistinguishable from a
+// freshly allocated one.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
 }
 
 // Clone returns a deep copy of v.
@@ -174,6 +184,40 @@ func (v *Vector) Ones(fn func(i int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// Pool recycles fixed-width vectors through a sync.Pool, so hot loops that
+// need scratch rows (per-worker occurrence-matrix sweeps, incremental row
+// materialization) run allocation-free in steady state. Get always returns
+// an all-zero vector of the pool's width; Put accepts vectors of any
+// provenance but silently drops ones of the wrong width, so a resized
+// feature space can never poison the pool.
+type Pool struct {
+	n int
+	p sync.Pool
+}
+
+// NewPool returns a pool of n-bit vectors.
+func NewPool(n int) *Pool {
+	pl := &Pool{n: n}
+	pl.p.New = func() any { return New(n) }
+	return pl
+}
+
+// Width returns the bit width of the pool's vectors.
+func (p *Pool) Width() int { return p.n }
+
+// Get returns an all-zero vector of the pool's width.
+func (p *Pool) Get() *Vector { return p.p.Get().(*Vector) }
+
+// Put zeroes v and returns it to the pool. Vectors of the wrong width (or
+// nil) are dropped.
+func (p *Pool) Put(v *Vector) {
+	if v == nil || v.n != p.n {
+		return
+	}
+	v.Reset()
+	p.p.Put(v)
 }
 
 // String renders the vector as a 0/1 string, most significant bit last

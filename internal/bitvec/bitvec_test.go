@@ -237,3 +237,56 @@ func TestLenMismatch(t *testing.T) {
 		t.Errorf("length mismatch must be false")
 	}
 }
+
+func TestResetZeroesAllBits(t *testing.T) {
+	v := New(130)
+	for i := 0; i < 130; i += 7 {
+		v.Set(i)
+	}
+	v.Reset()
+	if v.Count() != 0 {
+		t.Errorf("Reset left %d bits set", v.Count())
+	}
+	if v.Len() != 130 {
+		t.Errorf("Reset changed width to %d", v.Len())
+	}
+}
+
+func TestPoolReturnsZeroedVectors(t *testing.T) {
+	p := NewPool(200)
+	if p.Width() != 200 {
+		t.Fatalf("Width = %d", p.Width())
+	}
+	v := p.Get()
+	if v.Len() != 200 || v.Count() != 0 {
+		t.Fatalf("Get: len=%d count=%d", v.Len(), v.Count())
+	}
+	v.Set(3)
+	v.Set(199)
+	p.Put(v)
+	// Whatever Get returns next — recycled or fresh — must be all-zero.
+	u := p.Get()
+	if u.Len() != 200 || u.Count() != 0 {
+		t.Errorf("recycled vector not zeroed: len=%d count=%d", u.Len(), u.Count())
+	}
+	// Wrong-width and nil Puts are dropped, not stored.
+	p.Put(New(64))
+	p.Put(nil)
+	w := p.Get()
+	if w.Len() != 200 {
+		t.Errorf("pool handed out a foreign-width vector (len=%d)", w.Len())
+	}
+}
+
+func TestPoolGetAllocFree(t *testing.T) {
+	p := NewPool(512)
+	// Prime the pool so steady state recycles.
+	p.Put(p.Get())
+	allocs := testing.AllocsPerRun(100, func() {
+		v := p.Get()
+		p.Put(v)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f objects/op, want 0", allocs)
+	}
+}

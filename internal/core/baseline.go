@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Tasks selects which relationship types an algorithm run computes. The
 // paper's Figure 5 times each relationship separately; the task mask lets
 // the harness reproduce that, and lets the algorithms apply the paper's
@@ -35,28 +37,106 @@ func Baseline(s *Space, tasks Tasks, sink Sink) {
 	endCompare()
 }
 
-// BaselineOver runs the baseline pair scan over a subset of observation
-// indices (nil means all). The clustering algorithm reuses it per cluster.
-// Comparison counters are batched locally and flushed per outer row.
-func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
-	s := om.Space
-	n := s.N()
-	if idx == nil {
-		idx = make([]int, n)
-		for i := range idx {
-			idx[i] = i
+// dimArena hands out small []int slices carved from large slabs, so
+// recording the partial-containment dimension lists (map_P) costs one
+// allocation per slab instead of one per partial pair. Handed-out slices
+// are owned by the receiving sink forever: the arena only ever appends —
+// len never rewinds within a slab — so recycled arenas can keep filling a
+// slab's tail without touching memory already given away.
+type dimArena struct{ buf []int }
+
+const dimArenaSlab = 1024
+
+// take copies src into the current slab and returns a capacity-capped view
+// that the caller may hand off permanently.
+func (a *dimArena) take(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < len(src) {
+		size := dimArenaSlab
+		if len(src) > size {
+			size = len(src)
+		}
+		a.buf = make([]int, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, src...)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// baselineScratch is the per-call working set of BaselineOver: the identity
+// index (when the caller scans everything), the per-direction dimension
+// buffers, and the map_P arena. Scratches are recycled through a sync.Pool
+// so repeated scans — per cluster in the clustering algorithm, per row
+// block in the parallel baseline — allocate nothing in steady state.
+type baselineScratch struct {
+	idx    []int
+	dimsIJ []int
+	dimsJI []int
+	arena  dimArena
+}
+
+var baselineScratchPool = sync.Pool{New: func() any { return new(baselineScratch) }}
+
+// identity returns [0, n) using (and growing) the scratch's index buffer.
+func (sc *baselineScratch) identity(n int) []int {
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		for i := range sc.idx {
+			sc.idx[i] = i
 		}
 	}
+	return sc.idx[:n]
+}
+
+// BaselineOver runs the baseline pair scan over a subset of observation
+// indices (nil means all). The clustering algorithm reuses it per cluster,
+// and the parallel baseline runs it per row block (see BaselineBlock).
+// Comparison counters are batched locally and flushed per outer row. The
+// scan itself is allocation-free: scratch state comes from a pool and the
+// map_P dimension lists are carved from a slab arena.
+func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
+	sc := baselineScratchPool.Get().(*baselineScratch)
+	defer baselineScratchPool.Put(sc)
+	if idx == nil {
+		idx = sc.identity(om.Space.N())
+	}
+	baselineScan(om, idx, 0, len(idx), tasks, sink, sc)
+}
+
+// BaselineBlock scans the outer rows idx[lo:hi] of the upper-triangle pair
+// loop against every later row of idx — the unit of work of the parallel
+// baseline's row-block sharding. Emission order within a block is exactly
+// the serial BaselineOver order restricted to those outer rows, which is
+// what makes the ordered block replay reproduce the serial emission stream
+// bit for bit.
+func BaselineBlock(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink) {
+	sc := baselineScratchPool.Get().(*baselineScratch)
+	defer baselineScratchPool.Put(sc)
+	if idx == nil {
+		idx = sc.identity(om.Space.N())
+	}
+	baselineScan(om, idx, lo, hi, tasks, sink, sc)
+}
+
+// baselineScan is the shared §3.1 inner loop: outer rows x in [lo, hi),
+// inner rows y in (x, len(idx)).
+func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink, sc *baselineScratch) {
+	s := om.Space
 	p := s.NumDims()
 	needPartial := tasks.Has(TaskPartial)
 	recorder, _ := sink.(DimsRecorder)
 	var dimsIJ, dimsJI []int
 	if recorder != nil {
-		dimsIJ = make([]int, 0, p)
-		dimsJI = make([]int, 0, p)
+		if cap(sc.dimsIJ) < p {
+			sc.dimsIJ = make([]int, 0, p)
+			sc.dimsJI = make([]int, 0, p)
+		}
+		dimsIJ, dimsJI = sc.dimsIJ[:0], sc.dimsJI[:0]
 	}
 
-	for x := 0; x < len(idx); x++ {
+	for x := lo; x < hi; x++ {
 		i := idx[x]
 		ri := om.Rows[i]
 		var ordered, bitTests int64 // batched, flushed per outer row
@@ -112,13 +192,13 @@ func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
 				if degIJ > 0 && degIJ < p {
 					sink.Partial(i, j, float64(degIJ)/float64(p))
 					if recorder != nil {
-						recorder.RecordPartialDims(i, j, append([]int{}, dimsIJ...))
+						recorder.RecordPartialDims(i, j, sc.arena.take(dimsIJ))
 					}
 				}
 				if degJI > 0 && degJI < p {
 					sink.Partial(j, i, float64(degJI)/float64(p))
 					if recorder != nil {
-						recorder.RecordPartialDims(j, i, append([]int{}, dimsJI...))
+						recorder.RecordPartialDims(j, i, sc.arena.take(dimsJI))
 					}
 				}
 			}

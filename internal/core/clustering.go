@@ -32,15 +32,7 @@ func Clustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions) (clust
 	}
 	members := cl.Members()
 	s.gauge(GaugeClusters, float64(len(members)))
-
-	// Ordered pairs skipped = all ordered pairs − intra-cluster ordered
-	// pairs: the work clustering avoids, and the source of its recall loss.
-	n := int64(s.N())
-	intra := int64(0)
-	for _, m := range members {
-		intra += int64(len(m)) * int64(len(m)-1)
-	}
-	s.count(CtrClusterPairsSkipped, n*(n-1)-intra)
+	countSkippedPairs(s, members)
 
 	endCompare := s.span(SpanCompare)
 	defer endCompare()

@@ -72,7 +72,12 @@ type Options struct {
 	CubeMask CubeMaskOptions
 	// Hybrid configures AlgorithmHybrid.
 	Hybrid HybridOptions
-	// Workers bounds AlgorithmParallel's pool; zero means GOMAXPROCS.
+	// Workers sets the worker-pool size of the parallelizable algorithms.
+	// For AlgorithmParallel, zero means GOMAXPROCS. For AlgorithmBaseline
+	// and AlgorithmClustering, zero (or one) keeps the paper-faithful
+	// serial scan, and any larger value runs the sharded parallel variant
+	// (ParallelBaseline / ParallelClustering) — output is bit-identical
+	// either way.
 	Workers int
 	// Obs, when non-nil, receives phase spans, counters and gauges from
 	// the run (see obs.go for the name glossary). All algorithms consult
@@ -116,7 +121,7 @@ func (o Options) Validate(alg Algorithm) error {
 	if o.Hybrid != (HybridOptions{}) && alg != AlgorithmHybrid {
 		ignored = append(ignored, "Hybrid")
 	}
-	if o.Workers != 0 && alg != AlgorithmParallel {
+	if o.Workers != 0 && alg != AlgorithmParallel && alg != AlgorithmBaseline && alg != AlgorithmClustering {
 		ignored = append(ignored, "Workers")
 	}
 	if len(ignored) > 0 {
@@ -141,10 +146,18 @@ func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
 	tasks := opts.tasks()
 	switch alg {
 	case AlgorithmBaseline:
-		Baseline(s, tasks, sink)
+		if opts.Workers > 1 {
+			ParallelBaseline(s, tasks, sink, opts.Workers)
+		} else {
+			Baseline(s, tasks, sink)
+		}
 	case AlgorithmBaselineSparse:
 		BaselineSparse(s, tasks, sink)
 	case AlgorithmClustering:
+		if opts.Workers > 1 {
+			_, err := ParallelClustering(s, tasks, sink, opts.Clustering, opts.Workers)
+			return err
+		}
 		_, err := Clustering(s, tasks, sink, opts.Clustering)
 		return err
 	case AlgorithmCubeMasking:

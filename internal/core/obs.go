@@ -32,6 +32,11 @@ import "rdfcube/internal/obsv"
 //   - CtrIncInserts: incremental insertions applied.
 //   - CtrParallelCubes: outer cubes processed by the worker pool; the
 //     per-worker split is reported as parallel.worker.<id>.cubes.
+//   - CtrParallelRows: outer occurrence-matrix rows processed by the
+//     parallel baseline's row-block shards; per-worker throughput is
+//     parallel.worker.<id>.rows.
+//   - CtrParallelClusters: clusters scanned by the parallel clustering
+//     pool; per-worker throughput is parallel.worker.<id>.clusters.
 const (
 	CtrObsPairsCompared     = "obs.pairs.compared"
 	CtrCubePairsConsidered  = "cubes.pairs.considered"
@@ -49,6 +54,8 @@ const (
 	CtrHybridCubesClustered = "hybrid.cubes.clustered"
 	CtrIncInserts           = "incremental.inserts"
 	CtrParallelCubes        = "parallel.cubes"
+	CtrParallelRows         = "parallel.rows"
+	CtrParallelClusters     = "parallel.clusters"
 )
 
 // Span (phase) names, forming the run's phase tree: compile (with om.build

@@ -197,13 +197,20 @@ func TestIncrementalCounters(t *testing.T) {
 func TestOptionsValidate(t *testing.T) {
 	var opts Options
 	opts.Workers = 4
-	if err := opts.Validate(AlgorithmBaseline); err == nil {
-		t.Errorf("baseline must reject Workers")
+	// Since the parallel-baseline PR, Workers is consumed (not "ignored")
+	// by baseline, clustering AND parallel.
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		if err := opts.Validate(alg); err != nil {
+			t.Errorf("%s consumes Workers: %v", alg, err)
+		}
+	}
+	if err := opts.Validate(AlgorithmBaselineSparse); err == nil {
+		t.Errorf("baseline-sparse must reject Workers")
 	} else if !strings.Contains(err.Error(), "Workers") {
 		t.Errorf("error must name the field: %v", err)
 	}
-	if err := opts.Validate(AlgorithmParallel); err != nil {
-		t.Errorf("parallel consumes Workers: %v", err)
+	if err := opts.Validate(AlgorithmCubeMasking); err == nil {
+		t.Errorf("cubemasking must reject Workers (use AlgorithmParallel)")
 	}
 
 	opts = Options{}
@@ -239,13 +246,22 @@ func TestOptionsValidate(t *testing.T) {
 
 	// Strict threads through Compute.
 	s := obsTestSpace(t, 100)
-	bad := Options{Workers: 2, Strict: true}
+	bad := Options{CubeMask: CubeMaskOptions{PrefetchChildren: true}, Strict: true}
 	if err := Compute(s, AlgorithmBaseline, bad, &Counter{}); err == nil {
-		t.Errorf("strict Compute must reject ignored Workers")
+		t.Errorf("strict Compute must reject ignored CubeMask")
 	}
 	bad.Strict = false
 	if err := Compute(s, AlgorithmBaseline, bad, &Counter{}); err != nil {
-		t.Errorf("lenient Compute must ignore Workers: %v", err)
+		t.Errorf("lenient Compute must ignore CubeMask: %v", err)
+	}
+	// Workers is consumed by the baseline now: Strict must accept it, and
+	// the parallel run must succeed.
+	ok := Options{Workers: 2, Strict: true}
+	if err := Compute(s, AlgorithmBaseline, ok, &Counter{}); err != nil {
+		t.Errorf("strict Compute must accept Workers for baseline: %v", err)
+	}
+	if err := Compute(s, AlgorithmClustering, ok, &Counter{}); err != nil {
+		t.Errorf("strict Compute must accept Workers for clustering: %v", err)
 	}
 }
 

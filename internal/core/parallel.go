@@ -9,17 +9,18 @@ import (
 // ParallelCubeMasking is cubeMasking with cube-pair comparison spread over
 // a worker pool (the paper's §6 "distributed and parallel contexts" item,
 // realized as shared-memory parallelism). Workers claim outer cubes and
-// collect emissions into private results, which are replayed into the sink
-// sequentially afterwards so Sink implementations need not be thread-safe.
-// The relationship sets are identical to CubeMasking's; only emission order
-// differs before Result.Sort.
+// record emissions onto private tapes — one per outer cube — which are
+// replayed into the sink sequentially in cube order afterwards, so Sink
+// implementations need not be thread-safe and the emission stream is
+// bit-identical to serial CubeMasking's (same relationships, same order,
+// same metadata), regardless of worker count or scheduling.
 //
 // Instrumentation: workers flush batched counters into the attached
 // recorder concurrently (recorders are goroutine-safe; the Collector uses
 // atomic counters), so cube-pair and observation-pair totals stay exact
 // under parallelism. Each worker additionally reports its outer-cube
 // throughput as parallel.worker.<id>.cubes, and the replay of private
-// results into the caller's sink is recorded under the replay span.
+// tapes into the caller's sink is recorded under the replay span.
 func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,20 +34,22 @@ func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 		return
 	}
 	s.gauge(GaugeWorkers, float64(workers))
+	_, wantDims := sink.(DimsRecorder)
 
 	endCompare := s.span(SpanCompare)
 	next := make(chan int)
-	results := make([]*Result, workers)
+	tapes := make([]*tape, len(cubes))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		results[w] = NewResult()
 		wg.Add(1)
-		go func(id int, local *Result) {
+		go func(id int) {
 			defer wg.Done()
 			cand := make([]int, 0, p)
 			var outer, considered, pruned, compared, candTests int64
 			for ai := range next {
 				outer++
+				var local Sink
+				tapes[ai], local = borrowTape(wantDims)
 				a := cubes[ai]
 				for _, b := range cubes {
 					considered++
@@ -78,7 +81,7 @@ func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 			}
 			s.count(CtrParallelCubes, outer)
 			s.count(fmt.Sprintf("parallel.worker.%02d.cubes", id), outer)
-		}(w, results[w])
+		}(w)
 	}
 	for ai := range cubes {
 		next <- ai
@@ -87,24 +90,40 @@ func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 	wg.Wait()
 	endCompare()
 
+	replayTapes(s, sink, tapes)
+}
+
+// replayTapes streams the workers' private tapes into the caller's sink in
+// shard-index order, under the replay span, returning each tape to the
+// pool once drained. The shard index follows the serial algorithm's outer
+// iteration (outer cube for the cube sweep, row block for the baseline,
+// cluster for clustering) and each tape preserves its shard's exact call
+// sequence, so the merged stream reproduces the serial emission stream bit
+// for bit. Sink implementations therefore need not be thread-safe, and
+// Sort-free consumers observe the same order a serial run would produce.
+func replayTapes(s *Space, sink Sink, tapes []*tape) {
 	endReplay := s.span(SpanReplay)
 	defer endReplay()
 	sink = instrumentSink(s, sink)
 	recorder, _ := sink.(DimsRecorder)
-	for _, r := range results {
-		for _, pr := range r.FullSet {
-			sink.Full(pr.A, pr.B)
+	for _, t := range tapes {
+		if t == nil {
+			continue
 		}
-		for _, pr := range r.PartialSet {
-			sink.Partial(pr.A, pr.B, r.PartialDegree[pr])
-			if recorder != nil {
-				if dims, ok := r.PartialDims[pr]; ok {
-					recorder.RecordPartialDims(pr.A, pr.B, dims)
+		for _, ev := range t.events {
+			switch ev.kind {
+			case 'F':
+				sink.Full(int(ev.a), int(ev.b))
+			case 'P':
+				sink.Partial(int(ev.a), int(ev.b), ev.degree)
+			case 'C':
+				sink.Compl(int(ev.a), int(ev.b))
+			case 'D':
+				if recorder != nil {
+					recorder.RecordPartialDims(int(ev.a), int(ev.b), ev.dims)
 				}
 			}
 		}
-		for _, pr := range r.ComplSet {
-			sink.Compl(pr.A, pr.B)
-		}
+		releaseTape(t)
 	}
 }

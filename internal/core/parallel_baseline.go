@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rdfcube/internal/cluster"
+)
+
+// This file extends the paper's §6 "distributed and parallel contexts"
+// future-work item beyond cubeMasking (parallel.go) to the other two
+// published algorithms:
+//
+//   - ParallelBaseline shards the §3.1 quadratic pair scan — the reference
+//     point of every experiment in Figs. 7–9 — over contiguous row blocks
+//     of the occurrence matrix. Each block runs the per-dimension CM_i
+//     bit-AND sweep for its outer rows against all later rows.
+//   - ParallelClustering runs the §3.2 intra-cluster baseline scans as
+//     independent work items (one cluster each), stolen from a shared
+//     channel.
+//
+// Both reuse the deterministic private-sink + ordered-replay merge of
+// parallel.go: workers record emissions onto pooled private tapes, and the
+// replay walks the tapes in shard-index order. Because a tape preserves
+// its shard's exact call sequence — the serial algorithm's emission order
+// restricted to that shard — and shards are replayed in serial iteration
+// order, the merged stream is bit-identical to a serial run, not merely
+// equal after Result.Sort. The parity tests assert exactly that.
+
+// minParallelRows is the input size below which the parallel baseline
+// falls back to the serial scan: goroutine + replay overhead dominates on
+// tiny inputs, and the serial path already satisfies the parity contract.
+const minParallelRows = 64
+
+// rowBlocks splits the outer-row index range [0, n) of an upper-triangle
+// pair scan into contiguous blocks with approximately equal pair counts.
+// Early rows pair with nearly n partners and late rows with few, so equal
+// row counts would starve the workers that drew late blocks; equal pair
+// counts keep them busy. The block list only depends on n and the target
+// count, so the shard layout — and with it the replay order — is
+// deterministic for a given input and worker count.
+func rowBlocks(n, targetBlocks int) [][2]int {
+	if targetBlocks < 1 {
+		targetBlocks = 1
+	}
+	if targetBlocks > n {
+		targetBlocks = n
+	}
+	totalPairs := float64(n) * float64(n-1) / 2
+	perBlock := totalPairs / float64(targetBlocks)
+	var blocks [][2]int
+	lo := 0
+	acc := 0.0
+	for x := 0; x < n; x++ {
+		acc += float64(n - 1 - x)
+		if acc >= perBlock || x == n-1 {
+			blocks = append(blocks, [2]int{lo, x + 1})
+			lo = x + 1
+			acc = 0
+		}
+	}
+	if lo < n {
+		blocks = append(blocks, [2]int{lo, n})
+	}
+	return blocks
+}
+
+// ParallelBaseline is the §3.1 baseline with the pair scan spread over a
+// worker pool: workers claim row blocks from a shared channel
+// (work-stealing), scan them with the same allocation-free inner loop as
+// the serial baseline, and the ordered replay merges the private results
+// into the caller's sink in block order. Output — including emission
+// order — is bit-identical to Baseline's; only wall-clock differs.
+// workers <= 0 means GOMAXPROCS.
+//
+// Instrumentation matches the serial baseline (obs.pairs.compared totals
+// exactly n·(n−1), bitand.tests counts every word-level subset test) plus
+// the pool's own counters: parallel.rows, and per-worker
+// parallel.worker.<id>.rows throughput.
+func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	om := BuildOccurrenceMatrix(s)
+	n := s.N()
+	if workers == 1 || n < minParallelRows {
+		sink = instrumentSink(s, sink)
+		endCompare := s.span(SpanCompare)
+		BaselineOver(om, nil, tasks, sink)
+		endCompare()
+		return
+	}
+	s.gauge(GaugeWorkers, float64(workers))
+	_, wantDims := sink.(DimsRecorder)
+
+	// Several blocks per worker so work-stealing can absorb skew from the
+	// pair-count balancing being approximate.
+	blocks := rowBlocks(n, workers*4)
+	tapes := make([]*tape, len(blocks))
+
+	endCompare := s.span(SpanCompare)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var rows int64
+			for bi := range next {
+				var local Sink
+				tapes[bi], local = borrowTape(wantDims)
+				b := blocks[bi]
+				BaselineBlock(om, nil, b[0], b[1], tasks, local)
+				rows += int64(b[1] - b[0])
+			}
+			s.count(CtrParallelRows, rows)
+			s.count(fmt.Sprintf("parallel.worker.%02d.rows", id), rows)
+		}(w)
+	}
+	for bi := range blocks {
+		next <- bi
+	}
+	close(next)
+	wg.Wait()
+	endCompare()
+
+	replayTapes(s, sink, tapes)
+}
+
+// ParallelClustering is the §3.2 clustering algorithm with the
+// intra-cluster baseline runs spread over a worker pool: the cluster
+// assignment itself is unchanged (and stays deterministic under a fixed
+// seed), then each cluster becomes one work item on a shared channel and
+// workers steal them. Private results are replayed in cluster order, so
+// output — including emission order — is bit-identical to Clustering's
+// for the same options. workers <= 0 means GOMAXPROCS.
+//
+// The method keeps its published recall trade-off: cross-cluster pairs
+// are still skipped and still counted under cluster.pairs.skipped. The
+// pool adds parallel.clusters and per-worker
+// parallel.worker.<id>.clusters counters.
+func ParallelClustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int) (cluster.Clustering, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	om := BuildOccurrenceMatrix(s)
+	endAssign := s.span(SpanCluster)
+	cl, err := cluster.Cluster(om.Rows, opts.Config)
+	endAssign()
+	if err != nil {
+		return cluster.Clustering{}, err
+	}
+	members := cl.Members()
+	s.gauge(GaugeClusters, float64(len(members)))
+	countSkippedPairs(s, members)
+
+	// Only clusters with at least one pair produce work.
+	var work []int
+	for ci, m := range members {
+		if len(m) >= 2 {
+			work = append(work, ci)
+		}
+	}
+
+	if workers == 1 || len(work) < 2 {
+		// Serial path: instrument here; the parallel path leaves the sink
+		// raw because replayTapes instruments it at replay time.
+		instrumented := instrumentSink(s, sink)
+		endCompare := s.span(SpanCompare)
+		defer endCompare()
+		for _, ci := range work {
+			BaselineOver(om, members[ci], tasks, instrumented)
+		}
+		return cl, nil
+	}
+	s.gauge(GaugeWorkers, float64(workers))
+	_, wantDims := sink.(DimsRecorder)
+
+	endCompare := s.span(SpanCompare)
+	tapes := make([]*tape, len(work))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var clusters int64
+			for wi := range next {
+				var local Sink
+				tapes[wi], local = borrowTape(wantDims)
+				BaselineOver(om, members[work[wi]], tasks, local)
+				clusters++
+			}
+			s.count(CtrParallelClusters, clusters)
+			s.count(fmt.Sprintf("parallel.worker.%02d.clusters", id), clusters)
+		}(w)
+	}
+	for wi := range work {
+		next <- wi
+	}
+	close(next)
+	wg.Wait()
+	endCompare()
+
+	replayTapes(s, sink, tapes)
+	return cl, nil
+}
+
+// countSkippedPairs reports the ordered pairs clustering will never
+// compare — all ordered pairs minus intra-cluster ordered pairs, the
+// source of the method's recall loss (Fig. 5(d)).
+func countSkippedPairs(s *Space, members [][]int) {
+	n := int64(s.N())
+	intra := int64(0)
+	for _, m := range members {
+		intra += int64(len(m)) * int64(len(m)-1)
+	}
+	s.count(CtrClusterPairsSkipped, n*(n-1)-intra)
+}

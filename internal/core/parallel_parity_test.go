@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"math"
 	"reflect"
 	"testing"
 
 	"rdfcube/internal/gen"
+	"rdfcube/internal/obsv"
 )
 
 // TestParallelReplayParity asserts ParallelCubeMasking's replay produces
@@ -43,6 +46,141 @@ func TestParallelReplayParity(t *testing.T) {
 		}
 		if len(want.PartialDims) == 0 {
 			t.Errorf("degenerate input: no partial dims recorded")
+		}
+	}
+}
+
+// eventSink serializes every emission — kind, pair, degree, recorded
+// dimensions — into one byte stream in arrival order. Two algorithm runs
+// whose streams compare byte-equal emitted the same relationships in the
+// same order with the same metadata: the strongest possible parity.
+type eventSink struct{ buf []byte }
+
+func (e *eventSink) rec(kind byte, a, b int, extra ...byte) {
+	e.buf = append(e.buf, kind,
+		byte(a), byte(a>>8), byte(a>>16),
+		byte(b), byte(b>>8), byte(b>>16))
+	e.buf = append(e.buf, extra...)
+}
+
+func (e *eventSink) Full(a, b int)  { e.rec('F', a, b) }
+func (e *eventSink) Compl(a, b int) { e.rec('C', a, b) }
+func (e *eventSink) Partial(a, b int, degree float64) {
+	bits := math.Float64bits(degree)
+	e.rec('P', a, b,
+		byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+		byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+}
+
+func (e *eventSink) RecordPartialDims(a, b int, dims []int) {
+	e.rec('D', a, b, byte(len(dims)))
+	for _, d := range dims {
+		e.buf = append(e.buf, byte(d))
+	}
+}
+
+// TestParityParallelBaselineBitIdentical: the parallel baseline's ordered
+// block replay must reproduce the serial baseline's emission stream bit
+// for bit — not merely the same sets after sorting — for every worker
+// count. Run under -race this also exercises the row-block pool.
+func TestParityParallelBaselineBitIdentical(t *testing.T) {
+	for _, n := range []int{63, 200, 800} { // below and above the serial-fallback floor
+		c := gen.RealWorld(gen.RealWorldConfig{TotalObs: n, Seed: 3})
+		s, err := NewSpace(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := &eventSink{}
+		Baseline(s, TaskAll, want)
+		if len(want.buf) == 0 {
+			t.Fatalf("n=%d: degenerate input: serial baseline emitted nothing", n)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got := &eventSink{}
+			ParallelBaseline(s, TaskAll, got, workers)
+			if !bytes.Equal(got.buf, want.buf) {
+				t.Errorf("n=%d workers=%d: emission stream differs from serial (%d vs %d bytes)",
+					n, workers, len(got.buf), len(want.buf))
+			}
+		}
+	}
+}
+
+// TestParityParallelClusteringBitIdentical: with a pinned seed the cluster
+// assignment is deterministic, so the parallel intra-cluster scans replayed
+// in cluster order must reproduce serial Clustering's emission stream
+// exactly.
+func TestParityParallelClusteringBitIdentical(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 800, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ClusteringOptions{}
+	opts.Config.Seed = 7
+	want := &eventSink{}
+	if _, err := Clustering(s, TaskAll, want, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.buf) == 0 {
+		t.Fatal("degenerate input: serial clustering emitted nothing")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := &eventSink{}
+		if _, err := ParallelClustering(s, TaskAll, got, opts, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.buf, want.buf) {
+			t.Errorf("workers=%d: emission stream differs from serial (%d vs %d bytes)",
+				workers, len(got.buf), len(want.buf))
+		}
+	}
+}
+
+// TestParityComputeHonorsWorkers guards the fixed bug where
+// Options.Workers was silently ignored for baseline and clustering: with
+// Workers > 1 the pool must actually engage (observable via the
+// parallel.workers gauge and the per-shard counters), and the result must
+// match the serial run.
+func TestParityComputeHonorsWorkers(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 600, Seed: 5})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering} {
+		serial := NewResult()
+		opts := Options{Tasks: TaskAll}
+		opts.Clustering.Config.Seed = 7
+		if err := Compute(s, alg, opts, serial); err != nil {
+			t.Fatal(err)
+		}
+		serial.Sort()
+
+		col := obsv.NewCollector()
+		opts.Workers = 4
+		opts.Obs = col
+		par := NewResult()
+		if err := Compute(s, alg, opts, par); err != nil {
+			t.Fatal(err)
+		}
+		s.SetRecorder(nil)
+		par.Sort()
+		if !reflect.DeepEqual(serial.FullSet, par.FullSet) ||
+			!reflect.DeepEqual(serial.PartialSet, par.PartialSet) ||
+			!reflect.DeepEqual(serial.ComplSet, par.ComplSet) {
+			t.Errorf("%s: Workers=4 changed the result", alg)
+		}
+		snap := col.Snapshot()
+		var shardCtr string
+		switch alg {
+		case AlgorithmBaseline:
+			shardCtr = CtrParallelRows
+		case AlgorithmClustering:
+			shardCtr = CtrParallelClusters
+		}
+		if snap[shardCtr] == 0 {
+			t.Errorf("%s: Workers=4 did not engage the pool (%s = 0)", alg, shardCtr)
 		}
 	}
 }

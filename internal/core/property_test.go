@@ -119,6 +119,88 @@ func samePairs(a, b []Pair) bool {
 	return true
 }
 
+// TestParityRandomSpacesAcrossWorkers is the differential oracle over
+// random corpora: for every seed × worker count, the parallel baseline and
+// parallel cubeMasking must reproduce the serial baseline's relationship
+// sets exactly, and clustering (serial or parallel — itself pairwise
+// identical) must emit a subset of the baseline's sets with its recall
+// measured and reported. Run it under -race to also exercise the tape pool
+// and counter flushes: go test -race ./internal/core -run Parity
+func TestParityRandomSpacesAcrossWorkers(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randomCorpus(seed)
+		s, err := NewSpace(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		truth := NewResult()
+		Baseline(s, TaskAll, truth)
+		truth.Sort()
+		tf, tp, tc := pairSet(truth.FullSet), pairSet(truth.PartialSet), pairSet(truth.ComplSet)
+
+		for _, workers := range []int{1, 2, 8} {
+			// Exact algorithms: identical sorted sets and degrees.
+			for name, run := range map[string]func(Sink){
+				"parallel-baseline":    func(sink Sink) { ParallelBaseline(s, TaskAll, sink, workers) },
+				"parallel-cubemasking": func(sink Sink) { ParallelCubeMasking(s, TaskAll, sink, workers) },
+			} {
+				res := NewResult()
+				run(res)
+				res.Sort()
+				if !samePairs(truth.FullSet, res.FullSet) ||
+					!samePairs(truth.PartialSet, res.PartialSet) ||
+					!samePairs(truth.ComplSet, res.ComplSet) {
+					t.Errorf("seed %d workers %d: %s diverged from baseline", seed, workers, name)
+				}
+				for p, d := range truth.PartialDegree {
+					if res.PartialDegree[p] != d {
+						t.Errorf("seed %d workers %d: %s degree(%v) = %v, want %v",
+							seed, workers, name, p, res.PartialDegree[p], d)
+					}
+				}
+			}
+
+			// Clustering: lossy, so assert subset + measure recall. The
+			// pinned seed keeps the assignment (and hence the recall)
+			// deterministic across worker counts.
+			opts := ClusteringOptions{}
+			opts.Config.Seed = 11
+			cres := NewResult()
+			if workers > 1 {
+				_, err = ParallelClustering(s, TaskAll, cres, opts, workers)
+			} else {
+				_, err = Clustering(s, TaskAll, cres, opts)
+			}
+			if err != nil {
+				t.Fatalf("seed %d workers %d: clustering: %v", seed, workers, err)
+			}
+			cres.Sort()
+			for _, p := range cres.FullSet {
+				if !tf[p] {
+					t.Errorf("seed %d workers %d: clustering invented full pair %v", seed, workers, p)
+				}
+			}
+			for _, p := range cres.PartialSet {
+				if !tp[p] {
+					t.Errorf("seed %d workers %d: clustering invented partial pair %v", seed, workers, p)
+				}
+			}
+			for _, p := range cres.ComplSet {
+				if !tc[p] {
+					t.Errorf("seed %d workers %d: clustering invented compl pair %v", seed, workers, p)
+				}
+			}
+			_, _, _, overall := Recall(truth, cres)
+			if overall < 0 || overall > 1 {
+				t.Errorf("seed %d workers %d: recall %v out of range", seed, workers, overall)
+			}
+			if workers == 1 {
+				t.Logf("seed %d: clustering recall %.3f (n=%d)", seed, overall, s.N())
+			}
+		}
+	}
+}
+
 // TestQuickEmissionsMatchDefinitions checks every emitted pair against the
 // definitional checkers, and that no definitional pair is missed — i.e.
 // the baseline is sound and complete w.r.t. the canonical semantics.

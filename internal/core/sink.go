@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Pair is an ordered observation pair (indices into Space.Obs). For
 // containment, A is the containing observation. For complementarity the
@@ -56,6 +59,87 @@ func NewResult() *Result {
 
 // RecordPartialDims implements DimsRecorder.
 func (r *Result) RecordPartialDims(a, b int, dims []int) { r.PartialDims[Pair{a, b}] = dims }
+
+// Reset empties the result for reuse while retaining the pair-set slice
+// capacity — the reusable pair buffer of the parallel workers' private
+// sinks. A reset result drops its references into previously recorded
+// dimension lists (their ownership moved downstream at replay time) but
+// keeps its maps allocated.
+func (r *Result) Reset() {
+	r.FullSet = r.FullSet[:0]
+	r.PartialSet = r.PartialSet[:0]
+	r.ComplSet = r.ComplSet[:0]
+	clear(r.PartialDegree)
+	clear(r.PartialDims)
+}
+
+// tapeEvent is one recorded sink call. kind is 'F' (Full), 'P' (Partial),
+// 'C' (Compl) or 'D' (RecordPartialDims).
+type tapeEvent struct {
+	kind   byte
+	a, b   int32
+	degree float64 // 'P' only
+	dims   []int   // 'D' only; ownership passes downstream at replay
+}
+
+// tape is the private sink of a parallel work item: it records every
+// emission as an event, preserving the exact call sequence, so the ordered
+// replay can reproduce the serial algorithm's emission stream bit for bit
+// (a sorted-set merge would lose the interleaving of Full/Partial/Compl
+// calls within a shard). Tapes are the workers' reusable pair buffers:
+// recycled through a pool, they make steady-state parallel runs allocate
+// nothing per work item beyond first-use event-slice growth.
+type tape struct{ events []tapeEvent }
+
+// Full implements Sink.
+func (t *tape) Full(a, b int) {
+	t.events = append(t.events, tapeEvent{kind: 'F', a: int32(a), b: int32(b)})
+}
+
+// Partial implements Sink.
+func (t *tape) Partial(a, b int, degree float64) {
+	t.events = append(t.events, tapeEvent{kind: 'P', a: int32(a), b: int32(b), degree: degree})
+}
+
+// Compl implements Sink.
+func (t *tape) Compl(a, b int) {
+	t.events = append(t.events, tapeEvent{kind: 'C', a: int32(a), b: int32(b)})
+}
+
+// dimsTape extends a tape with the DimsRecorder interface. Workers use it
+// only when the caller's sink wants dimension lists: a plain tape does not
+// satisfy DimsRecorder, so the algorithms skip the map_P bookkeeping
+// exactly when a serial run against the caller's sink would.
+type dimsTape struct{ *tape }
+
+// RecordPartialDims implements DimsRecorder.
+func (d dimsTape) RecordPartialDims(a, b int, dims []int) {
+	d.events = append(d.events, tapeEvent{kind: 'D', a: int32(a), b: int32(b), dims: dims})
+}
+
+// tapePool recycles tapes across work items and runs.
+var tapePool = sync.Pool{New: func() any { return new(tape) }}
+
+// borrowTape takes an empty tape from the pool and returns it both as the
+// concrete type (for replay indexing) and as the Sink the worker should
+// emit into — a dims-recording wrapper when wantDims is set.
+func borrowTape(wantDims bool) (*tape, Sink) {
+	t := tapePool.Get().(*tape)
+	if wantDims {
+		return t, dimsTape{t}
+	}
+	return t, t
+}
+
+// releaseTape drops the tape's event references (their payloads now belong
+// to the replayed-into sink) and returns it to the pool, keeping capacity.
+func releaseTape(t *tape) {
+	for i := range t.events {
+		t.events[i].dims = nil
+	}
+	t.events = t.events[:0]
+	tapePool.Put(t)
+}
 
 // Full implements Sink.
 func (r *Result) Full(a, b int) { r.FullSet = append(r.FullSet, Pair{a, b}) }

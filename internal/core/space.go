@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"rdfcube/internal/bitvec"
 	"rdfcube/internal/hierarchy"
@@ -62,6 +63,9 @@ type Space struct {
 
 	colStart []int // occurrence-matrix column offset per dimension
 	numCols  int
+
+	omMu sync.Mutex        // guards om
+	om   *OccurrenceMatrix // lazily built, extended on append (see om.go)
 
 	rec obsv.Recorder // optional instrumentation hook (see obs.go)
 }

@@ -138,9 +138,19 @@ func readSection(r io.Reader) (tag [4]byte, payload []byte, err error) {
 	if n > maxSection {
 		return tag, nil, corrupt("section %q length %d exceeds limit", tag[:], n)
 	}
-	payload = make([]byte, n)
-	if _, err = io.ReadFull(r, payload); err != nil {
-		return tag, nil, corrupt("section %q truncated: %v", tag[:], err)
+	// Read the payload in bounded chunks rather than allocating the full
+	// declared length up front: a corrupt header may claim anything up to
+	// maxSection (1 GiB), and fuzzing showed that trusting it turns a
+	// short truncated file into a gigabyte allocation. Chunking caps the
+	// cost of a lying length at one chunk past the data actually present.
+	const chunk = 1 << 20
+	payload = make([]byte, 0, min(int(n), chunk))
+	for len(payload) < int(n) {
+		prev := len(payload)
+		payload = append(payload, make([]byte, min(int(n)-prev, chunk))...)
+		if _, err = io.ReadFull(r, payload[prev:]); err != nil {
+			return tag, nil, corrupt("section %q truncated: %v", tag[:], err)
+		}
 	}
 	var crc [4]byte
 	if _, err = io.ReadFull(r, crc[:]); err != nil {
