@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +27,9 @@ import (
 	"time"
 
 	"rdfcube/internal/bench"
+	"rdfcube/internal/core"
 	"rdfcube/internal/obsv"
+	"rdfcube/internal/sigctx"
 )
 
 func main() {
@@ -81,6 +85,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cubebench: debug server listening at %s (metrics at %s/metrics, profiles at %s/debug/pprof/)\n", url, url, url)
 	}
 
+	// Two-stage interrupt: the first ^C cancels the sweep cooperatively
+	// (completed figures stay printed, the in-flight run aborts at its
+	// next pair-budget poll); a second ^C force-quits.
+	ctx, stopSig := sigctx.Install(context.Background(), func(second bool) {
+		if second {
+			fmt.Fprintln(os.Stderr, "cubebench: second interrupt, exiting now")
+			return
+		}
+		fmt.Fprintln(os.Stderr, "cubebench: interrupt: canceling the sweep after the current poll; interrupt again to force-quit")
+	}, nil)
+	defer stopSig()
+
 	cfg := bench.Config{
 		Sizes:          parseSizes(*sizes),
 		SyntheticSizes: parseSizes(*synSizes),
@@ -91,6 +107,7 @@ func main() {
 		BaselineCap:    *baseCap,
 		Workers:        *workers,
 		Obs:            rec,
+		Ctx:            ctx,
 	}
 
 	want := map[string]bool{}
@@ -127,6 +144,10 @@ func main() {
 		}
 		series, err := f.run(cfg)
 		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				fmt.Fprintf(os.Stderr, "cubebench: %s: canceled (%v); figures completed before the interrupt were printed above\n", f.id, err)
+				os.Exit(sigctx.ExitCodeInterrupted)
+			}
 			fmt.Fprintf(os.Stderr, "cubebench: %s: %v\n", f.id, err)
 			os.Exit(1)
 		}

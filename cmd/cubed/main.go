@@ -82,6 +82,9 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		inflight = fs.Int("max-inflight", 128, "max concurrently executing requests before 429 shedding")
 		once     = fs.Bool("once", false, "compute or load the snapshot, write it, and exit without serving")
 		check    = fs.Bool("check", false, "load the snapshot, recompute relationships from its space, verify they match, and exit")
+		workers  = fs.Int("workers", 0, "worker-pool size for POST /v1/recompute (0 keeps the serial scan)")
+		recompTO = fs.Duration("recompute-timeout", 60*time.Second, "deadline for one POST /v1/recompute batch pass")
+		shutTO   = fs.Duration("shutdown-timeout", 10*time.Second, "bound on the final shutdown checkpoint (0 waits forever; a hung disk then hangs shutdown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,6 +99,13 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	col := obsv.NewCollector()
 	disk := faultfs.OS{}
+
+	// The termination context is armed before the first compute: a SIGTERM
+	// during the startup batch pass (minutes on a large corpus) cancels it
+	// at the next pair-budget poll instead of being ignored until serving
+	// starts. Tests cancel parent in place of a signal.
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// The rotator owns all snapshot artifacts around the base path:
 	// generations, the CURRENT pointer, quarantined corpses, and the
@@ -114,8 +124,12 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		return runCheck(rot, alg, tasks, stdout, logf)
 	}
 
-	sn, err := loadOrCompute(rot, *load, *genK, *n, *seed, alg, tasks, col, logf)
+	sn, err := loadOrCompute(ctx, rot, *load, *genK, *n, *seed, alg, tasks, col, logf)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			logf("startup compute canceled by termination signal; nothing written")
+			return 130
+		}
 		logf("%v", err)
 		return 1
 	}
@@ -158,12 +172,15 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv, err := serve.New(sn, serve.Config{
-		Tasks:          tasks,
-		Recorder:       col,
-		RequestTimeout: *timeout,
-		MaxInFlight:    *inflight,
-		WAL:            wlog,
-		Logf:           logf,
+		Tasks:            tasks,
+		Recorder:         col,
+		RequestTimeout:   *timeout,
+		MaxInFlight:      *inflight,
+		WAL:              wlog,
+		Logf:             logf,
+		Algorithm:        alg,
+		Workers:          *workers,
+		RecomputeTimeout: *recompTO,
 	})
 	if err != nil {
 		logf("%v", err)
@@ -195,19 +212,20 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	go func() { _ = httpSrv.Serve(ln) }()
 	logf("serving on %s (%d observations, %d lattice cubes)", ln.Addr(), sn.Space.N(), srv.Incremental().Lattice().Len())
 
-	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	// checkpoint commits a new snapshot generation. CheckpointWith holds
-	// the server's checkpoint mutex, so a SIGTERM arriving mid-way through
-	// a timer checkpoint queues the shutdown checkpoint behind it instead
-	// of racing it; the WAL is truncated only after the generation commits.
-	checkpoint := func(reason string) {
+	// checkpoint commits a new snapshot generation, optionally bounded by
+	// a wall-clock deadline. CheckpointWith holds the server's checkpoint
+	// mutex, so a SIGTERM arriving mid-way through a timer checkpoint
+	// queues the shutdown checkpoint behind it instead of racing it; the
+	// WAL is truncated only after the generation commits. The shutdown
+	// call passes -shutdown-timeout: an fsync wedged against a dead disk
+	// is uninterruptible, and the daemon must exit anyway — the WAL covers
+	// every acknowledged write, so abandoning the checkpoint loses nothing.
+	checkpoint := func(reason string, bound time.Duration) {
 		if rot == nil {
 			return
 		}
 		start := time.Now()
-		if err := srv.CheckpointWith(rot.Write); err != nil {
+		if err := srv.CheckpointWithin(bound, rot.Write); err != nil {
 			logf("checkpoint (%s): %v", reason, err)
 			return
 		}
@@ -223,7 +241,7 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					checkpoint("timer")
+					checkpoint("timer", 0)
 				}
 			}
 		}()
@@ -232,12 +250,16 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	<-ctx.Done()
 	stop()
 	logf("shutting down, draining in-flight requests")
+	// Cancel in-flight recomputes FIRST: Shutdown waits for in-flight
+	// requests, and an Θ(n²) batch pass would otherwise hold it hostage.
+	// The canceled recompute discards its partial result and answers 503.
+	srv.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logf("shutdown: %v", err)
 	}
-	checkpoint("shutdown")
+	checkpoint("shutdown", *shutTO)
 	logf("bye")
 	return 0
 }
@@ -287,7 +309,7 @@ func parseTasks(s string) (core.Tasks, error) {
 // stops with a clean error rather than recomputing — a recompute from
 // the base corpus would silently drop every previously checkpointed
 // live insert, and the quarantined files deserve an operator's look.
-func loadOrCompute(rot *snapshot.Rotator, load, genK string, n int, seed int64, alg core.Algorithm, tasks core.Tasks, col *obsv.Collector, logf func(string, ...any)) (*snapshot.Snapshot, error) {
+func loadOrCompute(ctx context.Context, rot *snapshot.Rotator, load, genK string, n int, seed int64, alg core.Algorithm, tasks core.Tasks, col *obsv.Collector, logf func(string, ...any)) (*snapshot.Snapshot, error) {
 	if rot != nil {
 		start := time.Now()
 		sn, from, err := rot.Load()
@@ -315,13 +337,14 @@ func loadOrCompute(rot *snapshot.Rotator, load, genK string, n int, seed int64, 
 	var l *lattice.Lattice
 	switch alg {
 	case core.AlgorithmCubeMasking:
-		l = core.CubeMasking(s, tasks, res, core.CubeMaskOptions{})
+		l, err = core.CubeMaskingCtx(ctx, s, tasks, res, core.CubeMaskOptions{})
 	case core.AlgorithmCubeMaskingPrefetch:
-		l = core.CubeMasking(s, tasks, res, core.CubeMaskOptions{PrefetchChildren: true})
+		l, err = core.CubeMaskingCtx(ctx, s, tasks, res, core.CubeMaskOptions{PrefetchChildren: true})
 	default:
-		if err := core.Compute(s, alg, core.Options{Tasks: tasks, Obs: col}, res); err != nil {
-			return nil, err
-		}
+		err = core.ComputeCtx(ctx, s, alg, core.Options{Tasks: tasks, Obs: col}, res)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.Sort()
 	logf("computed %d/%d/%d full/partial/compl pairs over %d observations with %s in %s",

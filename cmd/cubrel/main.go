@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 
 	rdfcube "rdfcube"
 	"rdfcube/internal/core"
+	"rdfcube/internal/sigctx"
 )
 
 func main() {
@@ -143,13 +146,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cubrel: debug server listening at %s (metrics at %s/metrics, profiles at %s/debug/pprof/)\n", url, url, url)
 	}
 
+	// Two-stage interrupt: the first ^C cancels the compute cooperatively
+	// — the partial result (an exact serial-order prefix of the full run)
+	// is salvaged and printed below — and a second ^C force-quits.
+	ctx, stopSig := sigctx.Install(context.Background(), func(second bool) {
+		if second {
+			fmt.Fprintln(os.Stderr, "cubrel: second interrupt, exiting now")
+			return
+		}
+		fmt.Fprintln(os.Stderr, "cubrel: interrupt: canceling compute, will report the salvaged partial result; interrupt again to force-quit")
+	}, nil)
+
 	start := time.Now()
-	comp, err := rdfcube.Compute(corpus, rdfcube.Algorithm(*algStr), opts)
-	if err != nil {
+	comp, err := rdfcube.ComputeContext(ctx, corpus, rdfcube.Algorithm(*algStr), opts)
+	stopSig()
+	canceled := errors.Is(err, rdfcube.ErrCanceled)
+	if err != nil && !canceled {
 		fmt.Fprintf(os.Stderr, "cubrel: %v\n", err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if canceled {
+		f, p, c := comp.Result.Counts()
+		fmt.Fprintf(os.Stderr, "cubrel: canceled after %s: %v\n", elapsed.Round(time.Millisecond), err)
+		fmt.Fprintf(os.Stderr, "cubrel: salvaged %d full, %d partial, %d complementarity pairs (an exact prefix of the full run's output)\n", f, p, c)
+	}
 	if *metrics {
 		fmt.Fprint(os.Stderr, col.Report())
 	}
@@ -201,6 +222,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "cubrel: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	if canceled {
+		os.Exit(sigctx.ExitCodeInterrupted)
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,6 +48,12 @@ type Config struct {
 	// attaches its own per-run collector, so Measurement.Counters is
 	// populated regardless.
 	Obs obsv.Recorder
+	// Ctx, when non-nil, cancels the rest of the suite cooperatively:
+	// every core run starts under it, and once it is canceled the figure
+	// aborts at the next pair-budget poll with an error satisfying
+	// errors.Is(err, core.ErrCanceled). Nil means uncancellable (as
+	// before).
+	Ctx context.Context
 }
 
 // DefaultConfig returns the laptop-scale configuration.
@@ -106,7 +113,7 @@ func Fig5(fig string, rel rules.Relationship, cfg Config) (Series, error) {
 		for _, alg := range []core.Algorithm{core.AlgorithmBaseline, core.AlgorithmClustering, core.AlgorithmCubeMasking} {
 			opts := core.Options{Obs: cfg.Obs}
 			opts.Clustering.Config.Seed = cfg.Seed
-			m, err := RunCore(s, alg, rel, opts)
+			m, err := RunCoreCtx(cfg.Ctx, s, alg, rel, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -161,7 +168,9 @@ func Fig5d(cfg Config) (Series, error) {
 		s.SetRecorder(cfg.Obs)
 		truth := &core.Counter{}
 		start := time.Now()
-		core.Baseline(s, core.TaskAll, truth)
+		if err := core.BaselineCtx(cfg.Ctx, s, core.TaskAll, truth); err != nil {
+			return nil, err
+		}
 		baseDur := time.Since(start)
 		denom := truth.NFull + truth.NPartial + truth.NCompl
 		for _, method := range []cluster.Method{cluster.Canopy, cluster.Hierarchical, cluster.XMeans} {
@@ -170,7 +179,7 @@ func Fig5d(cfg Config) (Series, error) {
 			opts.Config.Method = method
 			opts.Config.Seed = cfg.Seed
 			start := time.Now()
-			if _, err := core.Clustering(s, core.TaskAll, cnt, opts); err != nil {
+			if _, err := core.ClusteringCtx(cfg.Ctx, s, core.TaskAll, cnt, opts); err != nil {
 				return nil, err
 			}
 			d := time.Since(start)
@@ -204,7 +213,7 @@ func Fig5e(cfg Config) (Series, error) {
 			return nil, err
 		}
 		if size <= cfg.BaselineCap {
-			m, err := RunCore(s, core.AlgorithmBaseline, rules.FullContainment, core.Options{Obs: cfg.Obs})
+			m, err := RunCoreCtx(cfg.Ctx, s, core.AlgorithmBaseline, rules.FullContainment, core.Options{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -222,7 +231,7 @@ func Fig5e(cfg Config) (Series, error) {
 		opts := core.Options{Obs: cfg.Obs}
 		opts.Clustering.Config.Seed = cfg.Seed
 		for _, alg := range []core.Algorithm{core.AlgorithmClustering, core.AlgorithmCubeMasking} {
-			m, err := RunCore(s, alg, rules.FullContainment, opts)
+			m, err := RunCoreCtx(cfg.Ctx, s, alg, rules.FullContainment, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -273,11 +282,11 @@ func Fig5g(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		normal, err := RunCore(s, core.AlgorithmCubeMasking, rules.FullContainment, core.Options{Obs: cfg.Obs})
+		normal, err := RunCoreCtx(cfg.Ctx, s, core.AlgorithmCubeMasking, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
-		pre, err := RunCore(s, core.AlgorithmCubeMaskingPrefetch, rules.FullContainment, core.Options{Obs: cfg.Obs})
+		pre, err := RunCoreCtx(cfg.Ctx, s, core.AlgorithmCubeMaskingPrefetch, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +315,7 @@ func Extensions(cfg Config) (Series, error) {
 		opts.Clustering.Config.Seed = cfg.Seed
 		opts.Hybrid.Clustering.Config.Seed = cfg.Seed
 		for _, alg := range []core.Algorithm{core.AlgorithmCubeMasking, core.AlgorithmHybrid, core.AlgorithmParallel} {
-			m, err := RunCore(s, alg, rules.FullContainment, opts)
+			m, err := RunCoreCtx(cfg.Ctx, s, alg, rules.FullContainment, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -329,7 +338,7 @@ func SparseAblation(cfg Config) (Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		packed, err := RunCore(s, core.AlgorithmBaseline, rules.FullContainment, core.Options{Obs: cfg.Obs})
+		packed, err := RunCoreCtx(cfg.Ctx, s, core.AlgorithmBaseline, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -337,7 +346,7 @@ func SparseAblation(cfg Config) (Series, error) {
 		packed.Extra = map[string]float64{
 			"rowBytes": float64(s.N() * ((s.NumCols() + 63) / 64) * 8),
 		}
-		sparse, err := RunCore(s, core.AlgorithmBaselineSparse, rules.FullContainment, core.Options{Obs: cfg.Obs})
+		sparse, err := RunCoreCtx(cfg.Ctx, s, core.AlgorithmBaselineSparse, rules.FullContainment, core.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

@@ -59,12 +59,20 @@ func taskFor(rel rules.Relationship) core.Tasks {
 // RunCore times one core algorithm computing one relationship over the
 // space, counting (not materializing) the result pairs.
 func RunCore(s *core.Space, alg core.Algorithm, rel rules.Relationship, opts core.Options) (Measurement, error) {
+	return RunCoreCtx(nil, s, alg, rel, opts)
+}
+
+// RunCoreCtx is RunCore under a context: a canceled ctx aborts the run
+// at the kernel's next pair-budget poll and returns the *CanceledError,
+// so a ^C during a long sweep does not have to ride out a Θ(n²) scan.
+// A nil ctx behaves like context.Background().
+func RunCoreCtx(ctx context.Context, s *core.Space, alg core.Algorithm, rel rules.Relationship, opts core.Options) (Measurement, error) {
 	opts.Tasks = taskFor(rel)
 	col := obsv.NewCollector()
 	opts.Obs = obsv.Multi(opts.Obs, col)
 	cnt := &core.Counter{}
 	start := time.Now()
-	err := core.Compute(s, alg, opts, cnt)
+	err := core.ComputeCtx(ctx, s, alg, opts, cnt)
 	d := time.Since(start)
 	s.SetRecorder(nil) // spaces are cached across runs: detach the per-run recorder
 	if err != nil {

@@ -57,6 +57,13 @@ type Config struct {
 	// MaxHierarchical caps the sample size fed to the O(m²)-memory
 	// hierarchical method. Zero means 2000.
 	MaxHierarchical int
+	// Poll, when non-nil, is called at cancellation-safe points (after
+	// sampling, after the method run, and periodically during the final
+	// nearest-centroid assignment). A non-nil return aborts Cluster with
+	// that error; callers use it to thread cooperative cancellation
+	// through the assignment phase, which does no pair work but can
+	// dominate on large inputs.
+	Poll func() error
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -132,6 +139,11 @@ func Cluster(points []*bitvec.Vector, cfg Config) (Clustering, error) {
 	for i := 0; i < sampleSize; i++ {
 		sample[i] = points[perm[i]]
 	}
+	if cfg.Poll != nil {
+		if err := cfg.Poll(); err != nil {
+			return Clustering{}, err
+		}
+	}
 
 	var centroids []*bitvec.Vector
 	var err error
@@ -155,7 +167,13 @@ func Cluster(points []*bitvec.Vector, cfg Config) (Clustering, error) {
 	}
 
 	assign := make([]int, n)
+	const assignPollStride = 1024
 	for i, p := range points {
+		if cfg.Poll != nil && i%assignPollStride == 0 {
+			if err := cfg.Poll(); err != nil {
+				return Clustering{}, err
+			}
+		}
 		assign[i] = nearest(p, centroids)
 	}
 	return Clustering{Assign: assign, K: len(centroids), Centroids: centroids}, nil

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Tasks selects which relationship types an algorithm run computes. The
 // paper's Figure 5 times each relationship separately; the task mask lets
@@ -30,11 +33,24 @@ func (t Tasks) Has(q Tasks) bool { return t&q == q }
 // vector conditional function, streaming relationships into sink. It is
 // Θ(n²) in pairs; both directions of a pair are resolved in one visit.
 func Baseline(s *Space, tasks Tasks, sink Sink) {
+	_ = baselineG(s, tasks, sink, nil)
+}
+
+// BaselineCtx is Baseline with cooperative cancellation: the scan polls
+// ctx every guardPairStride ordered pairs and, when canceled, returns a
+// *CanceledError (errors.Is(err, ErrCanceled)) having emitted an exact
+// prefix of the serial emission stream into sink. A background context
+// reproduces Baseline's unguarded fast path bit for bit.
+func BaselineCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink) error {
+	return baselineG(s, tasks, sink, newGuard(ctx, 0, 0))
+}
+
+func baselineG(s *Space, tasks Tasks, sink Sink, g *guard) error {
 	om := BuildOccurrenceMatrix(s)
 	sink = instrumentSink(s, sink)
 	endCompare := s.span(SpanCompare)
-	BaselineOver(om, nil, tasks, sink)
-	endCompare()
+	defer endCompare()
+	return baselineOverG(om, nil, tasks, sink, g)
 }
 
 // dimArena hands out small []int slices carved from large slabs, so
@@ -97,12 +113,18 @@ func (sc *baselineScratch) identity(n int) []int {
 // scan itself is allocation-free: scratch state comes from a pool and the
 // map_P dimension lists are carved from a slab arena.
 func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
+	_ = baselineOverG(om, idx, tasks, sink, nil)
+}
+
+// baselineOverG is BaselineOver with a guard; a nil guard keeps the
+// unguarded fast path (one nil check per pair batch).
+func baselineOverG(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink, g *guard) error {
 	sc := baselineScratchPool.Get().(*baselineScratch)
 	defer baselineScratchPool.Put(sc)
 	if idx == nil {
 		idx = sc.identity(om.Space.N())
 	}
-	baselineScan(om, idx, 0, len(idx), tasks, sink, sc)
+	return baselineScan(om, idx, 0, len(idx), tasks, sink, sc, g)
 }
 
 // BaselineBlock scans the outer rows idx[lo:hi] of the upper-triangle pair
@@ -112,17 +134,27 @@ func BaselineOver(om *OccurrenceMatrix, idx []int, tasks Tasks, sink Sink) {
 // what makes the ordered block replay reproduce the serial emission stream
 // bit for bit.
 func BaselineBlock(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink) {
+	_ = baselineBlockG(om, idx, lo, hi, tasks, sink, nil)
+}
+
+// baselineBlockG is BaselineBlock with a guard for cooperative
+// cancellation inside parallel workers.
+func baselineBlockG(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink, g *guard) error {
 	sc := baselineScratchPool.Get().(*baselineScratch)
 	defer baselineScratchPool.Put(sc)
 	if idx == nil {
 		idx = sc.identity(om.Space.N())
 	}
-	baselineScan(om, idx, lo, hi, tasks, sink, sc)
+	return baselineScan(om, idx, lo, hi, tasks, sink, sc, g)
 }
 
 // baselineScan is the shared §3.1 inner loop: outer rows x in [lo, hi),
-// inner rows y in (x, len(idx)).
-func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink, sc *baselineScratch) {
+// inner rows y in (x, len(idx)). When g is non-nil the scan charges the
+// guard every guardPairStride ordered pairs and aborts with the guard's
+// CanceledError; the sink then holds an exact prefix of the unguarded
+// emission stream (the abort point is between pair visits, never inside
+// one).
+func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink, sc *baselineScratch, g *guard) error {
 	s := om.Space
 	p := s.NumDims()
 	needPartial := tasks.Has(TaskPartial)
@@ -136,11 +168,24 @@ func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink
 		dimsIJ, dimsJI = sc.dimsIJ[:0], sc.dimsJI[:0]
 	}
 
+	guarded := g != nil
+	var sinceCheck int64
 	for x := lo; x < hi; x++ {
 		i := idx[x]
 		ri := om.Rows[i]
 		var ordered, bitTests int64 // batched, flushed per outer row
 		for y := x + 1; y < len(idx); y++ {
+			if guarded {
+				sinceCheck += 2
+				if sinceCheck >= guardPairStride {
+					if err := g.charge(sinceCheck); err != nil {
+						s.count(CtrObsPairsCompared, ordered)
+						s.count(CtrBitAndTests, bitTests)
+						return err
+					}
+					sinceCheck = 0
+				}
+			}
 			j := idx[y]
 			rj := om.Rows[j]
 
@@ -209,4 +254,8 @@ func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink
 		s.count(CtrObsPairsCompared, ordered)
 		s.count(CtrBitAndTests, bitTests)
 	}
+	if guarded {
+		return g.charge(sinceCheck)
+	}
+	return nil
 }

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfcube/internal/gen"
+	"rdfcube/internal/leakcheck"
+	"rdfcube/internal/obsv"
+)
+
+// cancelSink wraps an eventSink and fires cancel after the K-th emission
+// — the tool of the cancel-at-every-emission-index sweep. The kernel
+// keeps running until its next pair-budget poll, so the recorded stream
+// is a (generally longer) prefix of the full run, never a truncation
+// mid-emission.
+type cancelSink struct {
+	inner     *eventSink
+	remaining int
+	cancel    context.CancelFunc
+}
+
+func (c *cancelSink) hit() {
+	c.remaining--
+	if c.remaining == 0 {
+		c.cancel()
+	}
+}
+
+func (c *cancelSink) Full(a, b int)  { c.inner.Full(a, b); c.hit() }
+func (c *cancelSink) Compl(a, b int) { c.inner.Compl(a, b); c.hit() }
+func (c *cancelSink) Partial(a, b int, degree float64) {
+	c.inner.Partial(a, b, degree)
+	c.hit()
+}
+func (c *cancelSink) RecordPartialDims(a, b int, dims []int) {
+	c.inner.RecordPartialDims(a, b, dims)
+}
+
+// countEmissions counts the emissions in an eventSink stream by walking
+// its records.
+func countEmissions(buf []byte) int {
+	n := 0
+	for i := 0; i < len(buf); {
+		n++
+		switch buf[i] {
+		case 'F', 'C':
+			i += 7
+		case 'P':
+			i += 15
+		case 'D':
+			n-- // dims records ride along with their Partial
+			i += 8 + int(buf[i+7])
+		default:
+			return -1
+		}
+	}
+	return n
+}
+
+// serialAlgorithms lists every serial kernel with deterministic output.
+func serialAlgorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmBaseline, AlgorithmBaselineSparse, AlgorithmClustering,
+		AlgorithmCubeMasking, AlgorithmCubeMaskingPrefetch, AlgorithmHybrid,
+	}
+}
+
+func cancelTestOptions() Options {
+	opts := Options{Tasks: TaskAll}
+	opts.Clustering.Config.Seed = 7
+	return opts
+}
+
+// TestCancelSweepSerialPrefix is the acceptance sweep: for every serial
+// algorithm, cancel the run at EVERY emission index and assert that (a)
+// the error, when the cancellation was observed in time, is a
+// *CanceledError matching ErrCanceled, and (b) the emitted stream is an
+// exact byte prefix of the uncanceled run's emission stream — partial
+// results are salvageable serial-order prefixes, never garbage.
+func TestCancelSweepSerialPrefix(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 90, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range serialAlgorithms() {
+		want := &eventSink{}
+		if err := Compute(s, alg, cancelTestOptions(), want); err != nil {
+			t.Fatalf("%s: full run: %v", alg, err)
+		}
+		total := countEmissions(want.buf)
+		if total <= 0 {
+			t.Fatalf("%s: degenerate input: %d emissions", alg, total)
+		}
+		// Every emission index is covered up to sweepCap reruns; beyond
+		// that the sweep samples evenly so the test stays inside a CI
+		// budget while still hitting first, last and every stride bucket.
+		step := 1
+		const sweepCap = 300
+		if total > sweepCap {
+			step = total / sweepCap
+		}
+		canceledRuns := 0
+		for k := 1; k <= total; k += step {
+			ctx, cancel := context.WithCancel(context.Background())
+			sink := &cancelSink{inner: &eventSink{}, remaining: k, cancel: cancel}
+			err := ComputeCtx(ctx, s, alg, cancelTestOptions(), sink)
+			cancel()
+			if err != nil {
+				if !errors.Is(err, ErrCanceled) {
+					t.Fatalf("%s k=%d: error does not match ErrCanceled: %v", alg, k, err)
+				}
+				var ce *CanceledError
+				if !errors.As(err, &ce) || !errors.Is(ce.Cause, context.Canceled) {
+					t.Fatalf("%s k=%d: want *CanceledError with cause context.Canceled, got %v", alg, k, err)
+				}
+				canceledRuns++
+			}
+			if !bytes.HasPrefix(want.buf, sink.inner.buf) {
+				t.Fatalf("%s k=%d: canceled stream (%d bytes) is not a prefix of the full stream (%d bytes)",
+					alg, k, len(sink.inner.buf), len(want.buf))
+			}
+			if err == nil && !bytes.Equal(sink.inner.buf, want.buf) {
+				t.Fatalf("%s k=%d: uncanceled run diverged from the reference stream", alg, k)
+			}
+		}
+		if canceledRuns == 0 && total > 1 {
+			t.Errorf("%s: no run in the %d-index sweep was actually canceled (stride too coarse for the fixture?)", alg, total)
+		}
+	}
+}
+
+// TestMaxPairsDeterministic: a serial run canceled by the MaxPairs budget
+// is bit-for-bit reproducible (checks happen at fixed pair counts), and
+// its stream is a prefix of the full run.
+func TestMaxPairsDeterministic(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range serialAlgorithms() {
+		want := &eventSink{}
+		if err := Compute(s, alg, cancelTestOptions(), want); err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int64{1, guardPairStride / 2, guardPairStride, guardPairStride + 1, 3 * guardPairStride} {
+			var prev []byte
+			for rep := 0; rep < 2; rep++ {
+				opts := cancelTestOptions()
+				opts.MaxPairs = budget
+				got := &eventSink{}
+				err := Compute(s, alg, opts, got)
+				if err != nil {
+					if !errors.Is(err, ErrCanceled) {
+						t.Fatalf("%s budget=%d: %v", alg, budget, err)
+					}
+					var ce *CanceledError
+					if !errors.As(err, &ce) || !errors.Is(ce.Cause, ErrPairBudget) {
+						t.Fatalf("%s budget=%d: want cause ErrPairBudget, got %v", alg, budget, err)
+					}
+				}
+				if !bytes.HasPrefix(want.buf, got.buf) {
+					t.Fatalf("%s budget=%d: stream is not a prefix of the full run", alg, budget)
+				}
+				if rep == 1 && !bytes.Equal(prev, got.buf) {
+					t.Fatalf("%s budget=%d: two identical budgeted runs produced different streams (%d vs %d bytes)",
+						alg, budget, len(prev), len(got.buf))
+				}
+				prev = got.buf
+			}
+		}
+	}
+}
+
+// TestDeadlineCause: an expired Options.Deadline cancels with cause
+// context.DeadlineExceeded.
+func TestDeadlineCause(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 600, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sink slow enough that the deadline always expires mid-run.
+	slow := &slowSink{delay: 200 * time.Microsecond}
+	opts := cancelTestOptions()
+	opts.Deadline = 2 * time.Millisecond
+	err = Compute(s, AlgorithmBaseline, opts, slow)
+	if err == nil {
+		t.Skip("fixture completed inside the deadline; nothing to assert")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || !errors.Is(ce.Cause, context.DeadlineExceeded) {
+		t.Fatalf("want *CanceledError with cause DeadlineExceeded, got %v", err)
+	}
+	if ce.Pairs <= 0 {
+		t.Errorf("CanceledError.Pairs = %d, want > 0", ce.Pairs)
+	}
+}
+
+// slowSink delays every emission; it turns fast fixtures into runs long
+// enough for deadlines and watchdogs to observe.
+type slowSink struct {
+	delay time.Duration
+	once  bool
+	stall time.Duration
+}
+
+func (s *slowSink) emit() {
+	if s.stall > 0 && !s.once {
+		s.once = true
+		time.Sleep(s.stall)
+		return
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+}
+func (s *slowSink) Full(a, b int)                    { s.emit() }
+func (s *slowSink) Compl(a, b int)                   { s.emit() }
+func (s *slowSink) Partial(a, b int, degree float64) { s.emit() }
+
+// TestStallWatchdog: a run whose pair counter stops moving for
+// StallTimeout is tripped with cause ErrStalled by the watchdog.
+func TestStallWatchdog(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 600, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first emission sleeps far past the stall timeout while the pair
+	// counter sits still — the model of a wedged sink (a full pipe, a
+	// stuck downstream consumer).
+	sink := &slowSink{stall: 300 * time.Millisecond}
+	opts := cancelTestOptions()
+	opts.StallTimeout = 30 * time.Millisecond
+	err = Compute(s, AlgorithmBaseline, opts, sink)
+	if err == nil {
+		t.Fatal("want ErrStalled, got nil")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || !errors.Is(ce.Cause, ErrStalled) {
+		t.Fatalf("want *CanceledError with cause ErrStalled, got %v", err)
+	}
+}
+
+// TestParallelCancelPrefix: canceled parallel runs still deliver an exact
+// serial-order prefix — the tape replay drops incomplete shards, so the
+// sink never sees out-of-order or partial-shard output.
+func TestParallelCancelPrefix(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		want := &eventSink{}
+		if err := Compute(s, alg, cancelTestOptions(), want); err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int64{1, guardPairStride, 4 * guardPairStride, 16 * guardPairStride} {
+			opts := cancelTestOptions()
+			opts.Workers = 4
+			opts.MaxPairs = budget
+			got := &eventSink{}
+			err := Compute(s, alg, opts, got)
+			if err != nil && !errors.Is(err, ErrCanceled) {
+				t.Fatalf("%s budget=%d: %v", alg, budget, err)
+			}
+			if !bytes.HasPrefix(want.buf, got.buf) {
+				t.Fatalf("%s budget=%d: parallel canceled stream (%d bytes) is not a prefix of the serial stream (%d bytes)",
+					alg, budget, len(got.buf), len(want.buf))
+			}
+		}
+	}
+}
+
+// TestShardPanicRetry: a shard that panics once under a worker is retried
+// serially and the run completes with output identical to a clean run;
+// the retry is visible in the counters.
+func TestShardPanicRetry(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		want := &eventSink{}
+		if err := Compute(s, alg, cancelTestOptions(), want); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		panicked := false
+		col := obsv.NewCollector()
+		opts := cancelTestOptions()
+		opts.Workers = 4
+		opts.Obs = col
+		opts.ShardFault = func(shard int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if shard == 0 && !panicked {
+				panicked = true
+				panic(fmt.Sprintf("injected fault in shard %d", shard))
+			}
+		}
+		got := &eventSink{}
+		if err := Compute(s, alg, opts, got); err != nil {
+			t.Fatalf("%s: run with a once-panicking shard should recover, got %v", alg, err)
+		}
+		s.SetRecorder(nil)
+		if !bytes.Equal(got.buf, want.buf) {
+			t.Fatalf("%s: recovered run's stream differs from the clean serial stream (%d vs %d bytes)",
+				alg, len(got.buf), len(want.buf))
+		}
+		snap := col.Snapshot()
+		if snap[CtrShardPanics] == 0 || snap[CtrShardRetries] == 0 {
+			t.Errorf("%s: retry not visible in counters: panics=%v retries=%v",
+				alg, snap[CtrShardPanics], snap[CtrShardRetries])
+		}
+	}
+}
+
+// TestShardPanicTwice: a shard that panics under the worker AND during
+// the serial retry surfaces as a *ShardPanicError carrying a stable
+// input fingerprint — and the pool still drains without deadlock.
+func TestShardPanicTwice(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		opts := cancelTestOptions()
+		opts.Workers = 4
+		opts.ShardFault = func(shard int) {
+			if shard == 1 {
+				panic("persistent fault")
+			}
+		}
+		var fp1 string
+		for rep := 0; rep < 2; rep++ {
+			err := Compute(s, alg, opts, &eventSink{})
+			var spe *ShardPanicError
+			if !errors.As(err, &spe) {
+				t.Fatalf("%s: want *ShardPanicError, got %v", alg, err)
+			}
+			if errors.Is(err, ErrCanceled) {
+				t.Fatalf("%s: a shard panic is a hard failure, not a cancellation", alg)
+			}
+			if spe.Fingerprint == "" || spe.Value == nil {
+				t.Fatalf("%s: incomplete ShardPanicError: %+v", alg, spe)
+			}
+			if rep == 0 {
+				fp1 = spe.Fingerprint
+			} else if spe.Fingerprint != fp1 {
+				t.Errorf("%s: fingerprint not stable across runs: %q vs %q", alg, fp1, spe.Fingerprint)
+			}
+		}
+	}
+}
+
+// TestComputeCorpusCtxSalvage: the façade returns the sorted partial
+// result next to the CanceledError, and the partial sets are subsets of
+// the full run's.
+func TestComputeCorpusCtxSalvage(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 3})
+	_, full, err := ComputeCorpus(c, AlgorithmBaseline, Options{Tasks: TaskAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Tasks: TaskAll, MaxPairs: guardPairStride}
+	s, partial, cerr := ComputeCorpusCtx(nil, c, AlgorithmBaseline, opts)
+	if cerr == nil {
+		t.Skip("budget larger than the fixture; nothing to assert")
+	}
+	if !errors.Is(cerr, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", cerr)
+	}
+	if s == nil || partial == nil {
+		t.Fatal("canceled ComputeCorpusCtx must still return the space and the partial result")
+	}
+	if len(partial.FullSet) > len(full.FullSet) || len(partial.PartialSet) > len(full.PartialSet) ||
+		len(partial.ComplSet) > len(full.ComplSet) {
+		t.Fatal("partial result larger than the full result")
+	}
+	seen := map[Pair]bool{}
+	for _, p := range full.FullSet {
+		seen[p] = true
+	}
+	for _, p := range partial.FullSet {
+		if !seen[p] {
+			t.Fatalf("salvaged pair %v not in the full run's FullSet", p)
+		}
+	}
+}
+
+// TestCanceledRunCounter: canceled runs are visible as run.canceled in
+// the recorder.
+func TestCanceledRunCounter(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obsv.NewCollector()
+	opts := Options{Tasks: TaskAll, MaxPairs: 1, Obs: col}
+	if err := Compute(s, AlgorithmBaseline, opts, &eventSink{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	s.SetRecorder(nil)
+	if col.Snapshot()[CtrRunCanceled] == 0 {
+		t.Error("run.canceled counter not incremented")
+	}
+}
+
+// TestGuardNilFastPath: the unguarded serial baseline allocates nothing
+// per run beyond its pooled scratch — the BENCH_0.json invariant asserted
+// in-process so the bench harness is not the only guard.
+func TestGuardNilFastPath(t *testing.T) {
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 200, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A GC between the warm-up and the measurement can drain the scratch
+	// pool and charge its refill to the measured runs, so take the best
+	// of a few attempts, re-warming before each; the strict cross-run
+	// gate lives in the BENCH_0.json compare.
+	best := float64(1 << 30)
+	for attempt := 0; attempt < 5 && best > 1; attempt++ {
+		warm := &Counter{}
+		Baseline(s, TaskAll, warm) // warm the scratch pool
+		allocs := testing.AllocsPerRun(10, func() {
+			cnt := &Counter{}
+			Baseline(s, TaskAll, cnt)
+		})
+		if allocs < best {
+			best = allocs
+		}
+	}
+	// One allocation for the &Counter{} itself; the scan must add none.
+	if best > 1 {
+		t.Errorf("unguarded serial baseline allocates %.2f objects/run, want <= 1", best)
+	}
+}

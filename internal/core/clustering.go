@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"rdfcube/internal/cluster"
 )
 
@@ -10,6 +12,16 @@ import (
 type ClusteringOptions struct {
 	// Config is passed to the clustering substrate.
 	Config cluster.Config
+}
+
+// isZero reports whether the options are entirely unset. (cluster.Config
+// carries a Poll func, so the struct is not comparable to its zero value
+// directly.)
+func (o ClusteringOptions) isZero() bool {
+	c := o.Config
+	return c.Method == "" && c.K == 0 && c.SampleFrac == 0 && c.Seed == 0 &&
+		c.MaxIter == 0 && c.T1 == 0 && c.T2 == 0 && c.MaxHierarchical == 0 &&
+		c.Poll == nil
 }
 
 // Clustering runs the paper's §3.2 algorithm: cluster the occurrence-matrix
@@ -22,10 +34,26 @@ type ClusteringOptions struct {
 // cluster.pairs.skipped (ordered pairs), so the lossiness of a run is
 // observable next to its speedup.
 func Clustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions) (cluster.Clustering, error) {
+	return clusteringG(s, tasks, sink, opts, nil)
+}
+
+// ClusteringCtx is Clustering with cooperative cancellation: both the
+// cluster-assignment phase (which does no pair work but can dominate on
+// large samples) and the per-cluster pair scans poll ctx; see BaselineCtx
+// for the prefix contract of the canceled sink.
+func ClusteringCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, opts ClusteringOptions) (cluster.Clustering, error) {
+	return clusteringG(s, tasks, sink, opts, newGuard(ctx, 0, 0))
+}
+
+func clusteringG(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, g *guard) (cluster.Clustering, error) {
 	om := BuildOccurrenceMatrix(s)
 	sink = instrumentSink(s, sink)
+	cfg := opts.Config
+	if cfg.Poll == nil {
+		cfg.Poll = g.pollFunc()
+	}
 	endAssign := s.span(SpanCluster)
-	cl, err := cluster.Cluster(om.Rows, opts.Config)
+	cl, err := cluster.Cluster(om.Rows, cfg)
 	endAssign()
 	if err != nil {
 		return cluster.Clustering{}, err
@@ -40,7 +68,9 @@ func Clustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions) (clust
 		if len(members) < 2 {
 			continue
 		}
-		BaselineOver(om, members, tasks, sink)
+		if err := baselineOverG(om, members, tasks, sink, g); err != nil {
+			return cl, err
+		}
 	}
 	return cl, nil
 }

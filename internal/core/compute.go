@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
@@ -87,6 +90,28 @@ type Options struct {
 	// the selected algorithm is set to a non-zero value, instead of
 	// silently ignoring it.
 	Strict bool
+	// Deadline bounds the wall-clock duration of the run. Zero means no
+	// deadline. A run that exceeds it is cooperatively canceled and
+	// returns a *CanceledError whose cause is context.DeadlineExceeded;
+	// the sink then holds an exact serial-order prefix of the full
+	// emission stream. All algorithms consult it.
+	Deadline time.Duration
+	// MaxPairs bounds the number of ordered observation pairs the run may
+	// charge before it is canceled with cause ErrPairBudget. Zero means
+	// unlimited. Budget checks happen at fixed pair counts, so a serial
+	// run canceled by MaxPairs is bit-for-bit reproducible. All
+	// algorithms consult it.
+	MaxPairs int64
+	// StallTimeout arms a progress watchdog: when no pair progress is
+	// observed for this long, the run is canceled with cause ErrStalled.
+	// Zero disables the watchdog. All algorithms consult it.
+	StallTimeout time.Duration
+	// ShardFault, when non-nil, is invoked with the shard index at the
+	// start of every parallel shard scan (and again on its serial retry).
+	// It exists for fault-injection tests of the panic-isolation path —
+	// a ShardFault that panics simulates a crashing worker. Consumed only
+	// by the parallel execution paths; never set it in production code.
+	ShardFault func(shard int)
 }
 
 func (o Options) tasks() Tasks {
@@ -112,13 +137,13 @@ func (o Options) Validate(alg Algorithm) error {
 		return fmt.Errorf("core: unknown algorithm %q (supported: %s)", alg, AlgorithmNames())
 	}
 	var ignored []string
-	if o.Clustering != (ClusteringOptions{}) && alg != AlgorithmClustering {
+	if !o.Clustering.isZero() && alg != AlgorithmClustering {
 		ignored = append(ignored, "Clustering")
 	}
 	if o.CubeMask != (CubeMaskOptions{}) && alg != AlgorithmCubeMasking && alg != AlgorithmCubeMaskingPrefetch {
 		ignored = append(ignored, "CubeMask")
 	}
-	if o.Hybrid != (HybridOptions{}) && alg != AlgorithmHybrid {
+	if !(o.Hybrid.MaxCubeSize == 0 && o.Hybrid.Clustering.isZero()) && alg != AlgorithmHybrid {
 		ignored = append(ignored, "Hybrid")
 	}
 	if o.Workers != 0 && alg != AlgorithmParallel && alg != AlgorithmBaseline && alg != AlgorithmClustering {
@@ -134,7 +159,25 @@ func (o Options) Validate(alg Algorithm) error {
 // Compute runs the selected algorithm over the space, streaming
 // relationships into sink. When opts.Obs is non-nil it is attached to the
 // space for the duration of the run (and left attached afterwards).
+// Compute is ComputeCtx without a context: it cannot be canceled
+// externally, but still honors the Options budgets (Deadline, MaxPairs,
+// StallTimeout). With all budgets zero the kernels keep their unguarded
+// fast path — no atomics, no polls, zero allocations on the serial scans.
 func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
+	return ComputeCtx(nil, s, alg, opts, sink)
+}
+
+// ComputeCtx is Compute with cooperative cancellation. The run stops at
+// the next poll point (every guardPairStride ordered pairs) after ctx is
+// canceled, the Options.Deadline expires, the MaxPairs budget runs out,
+// or the stall watchdog fires — whichever comes first — and returns a
+// *CanceledError (errors.Is(err, ErrCanceled)) wrapping the specific
+// cause. The relationships already streamed into sink are an exact,
+// deterministic serial-order prefix of the full run's emission stream:
+// serial kernels stop in order, and the parallel kernels replay only the
+// complete serial-order prefix of their shard tapes. A nil ctx behaves
+// like context.Background().
+func ComputeCtx(ctx context.Context, s *Space, alg Algorithm, opts Options, sink Sink) error {
 	if opts.Strict {
 		if err := opts.Validate(alg); err != nil {
 			return err
@@ -143,37 +186,57 @@ func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
 	if opts.Obs != nil {
 		s.SetRecorder(opts.Obs)
 	}
+	if opts.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Deadline, context.DeadlineExceeded)
+		defer cancel()
+	}
+	g := newGuard(ctx, opts.MaxPairs, opts.StallTimeout)
+	g.startWatchdog()
+	defer g.stopWatchdog()
+	err := computeG(s, alg, opts, sink, g)
+	if err != nil && errors.Is(err, ErrCanceled) {
+		s.count(CtrRunCanceled, 1)
+	}
+	return err
+}
+
+// computeG dispatches to the guarded kernel implementations.
+func computeG(s *Space, alg Algorithm, opts Options, sink Sink, g *guard) error {
 	tasks := opts.tasks()
 	switch alg {
 	case AlgorithmBaseline:
 		if opts.Workers > 1 {
-			ParallelBaseline(s, tasks, sink, opts.Workers)
-		} else {
-			Baseline(s, tasks, sink)
+			return parallelBaselineG(s, tasks, sink, opts.Workers, g, opts.ShardFault)
 		}
+		return baselineG(s, tasks, sink, g)
 	case AlgorithmBaselineSparse:
-		BaselineSparse(s, tasks, sink)
+		return baselineSparseG(s, tasks, sink, g)
 	case AlgorithmClustering:
 		if opts.Workers > 1 {
-			_, err := ParallelClustering(s, tasks, sink, opts.Clustering, opts.Workers)
+			_, err := parallelClusteringG(s, tasks, sink, opts.Clustering, opts.Workers, g, opts.ShardFault)
 			return err
 		}
-		_, err := Clustering(s, tasks, sink, opts.Clustering)
+		_, err := clusteringG(s, tasks, sink, opts.Clustering, g)
 		return err
 	case AlgorithmCubeMasking:
-		CubeMasking(s, tasks, sink, opts.CubeMask)
+		_, err := cubeMaskingG(s, tasks, sink, opts.CubeMask, g)
+		return err
 	case AlgorithmCubeMaskingPrefetch:
 		cm := opts.CubeMask
 		cm.PrefetchChildren = true
-		CubeMasking(s, tasks, sink, cm)
+		_, err := cubeMaskingG(s, tasks, sink, cm, g)
+		return err
 	case AlgorithmHybrid:
-		return Hybrid(s, tasks, sink, opts.Hybrid)
+		return hybridG(s, tasks, sink, opts.Hybrid, g)
 	case AlgorithmParallel:
-		ParallelCubeMasking(s, tasks, sink, opts.Workers)
+		return parallelCubeMaskingG(s, tasks, sink, opts.Workers, g, opts.ShardFault)
 	default:
 		return fmt.Errorf("core: unknown algorithm %q (supported: %s)", alg, AlgorithmNames())
 	}
-	return nil
 }
 
 // ComputeCorpus compiles the corpus and runs Compute, collecting the
@@ -181,16 +244,27 @@ func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
 // entry point. With opts.Obs set, the full phase tree is recorded:
 // compile → (algorithm phases) → emit.
 func ComputeCorpus(c *qb.Corpus, alg Algorithm, opts Options) (*Space, *Result, error) {
+	return ComputeCorpusCtx(nil, c, alg, opts)
+}
+
+// ComputeCorpusCtx is ComputeCorpus with cooperative cancellation. On
+// cancellation it returns the compiled space, the SORTED PARTIAL result
+// (the salvageable serial-order prefix of the run, ready to query or
+// export), and the *CanceledError — so callers can both report the abort
+// and use what was computed. Any other error returns (nil, nil, err) as
+// before.
+func ComputeCorpusCtx(ctx context.Context, c *qb.Corpus, alg Algorithm, opts Options) (*Space, *Result, error) {
 	s, err := NewSpaceObs(c, opts.Obs)
 	if err != nil {
 		return nil, nil, err
 	}
 	res := NewResult()
-	if err := Compute(s, alg, opts, res); err != nil {
-		return nil, nil, err
+	cerr := ComputeCtx(ctx, s, alg, opts, res)
+	if cerr != nil && !errors.Is(cerr, ErrCanceled) {
+		return nil, nil, cerr
 	}
 	endEmit := s.span(SpanEmit)
 	res.Sort()
 	endEmit()
-	return s, res, nil
+	return s, res, cerr
 }

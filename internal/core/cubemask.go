@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"rdfcube/internal/lattice"
 )
 
@@ -44,6 +46,19 @@ func BuildLattice(s *Space) *lattice.Lattice {
 // considered (= #cubes²) in every mode — the pruned ratio is the paper's
 // Fig. 5 work-avoidance argument made measurable.
 func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattice.Lattice {
+	l, _ := cubeMaskingG(s, tasks, sink, opts, nil)
+	return l
+}
+
+// CubeMaskingCtx is CubeMasking with cooperative cancellation: the cube
+// sweep polls ctx at every outer cube and every guardPairStride ordered
+// observation pairs; see BaselineCtx for the prefix contract. The lattice
+// is returned even on cancellation (it is built before any pair work).
+func CubeMaskingCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) (*lattice.Lattice, error) {
+	return cubeMaskingG(s, tasks, sink, opts, newGuard(ctx, 0, 0))
+}
+
+func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *guard) (*lattice.Lattice, error) {
 	l := BuildLattice(s)
 	sink = instrumentSink(s, sink)
 	cubes := l.Cubes()
@@ -53,17 +68,20 @@ func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattic
 	endCompare := s.span(SpanCompare)
 	defer endCompare()
 
+	var pc pairCharge
 	if tasks&(TaskFull|TaskPartial) == 0 && tasks.Has(TaskCompl) {
 		// Complementarity requires identical dimension values, hence
 		// identical signatures: only same-cube pairs can qualify. Every
 		// cross-cube pair is pruned without even a signature test.
 		for _, c := range cubes {
-			comparePair(s, c, c, p, tasks, sink, nil)
+			if err := comparePair(s, c, c, p, tasks, sink, nil, g, &pc); err != nil {
+				return l, err
+			}
 		}
 		s.count(CtrCubePairsConsidered, nc*nc)
 		s.count(CtrCubePairsCompared, nc)
 		s.count(CtrCubePairsPruned, nc*nc-nc)
-		return l
+		return l, pc.flush(g)
 	}
 
 	if !tasks.Has(TaskPartial) && opts.PrefetchChildren {
@@ -78,19 +96,24 @@ func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattic
 			children := l.Children(ai)
 			compared += int64(len(children))
 			for _, b := range children {
-				comparePair(s, a, b, p, tasks, sink, nil)
+				if err := comparePair(s, a, b, p, tasks, sink, nil, g, &pc); err != nil {
+					return l, err
+				}
 			}
 		}
 		s.count(CtrCubePairsConsidered, nc*nc)
 		s.count(CtrCubePairsCompared, compared)
 		s.count(CtrCubePairsPruned, nc*nc-compared)
 		s.count(CtrPrefetchHits, compared)
-		return l
+		return l, pc.flush(g)
 	}
 
 	cand := make([]int, 0, p)
 	var considered, pruned, compared, candTests int64
 	for _, a := range cubes {
+		if err := g.poll(); err != nil {
+			return l, err
+		}
 		for _, b := range cubes {
 			considered++
 			candTests++
@@ -105,10 +128,21 @@ func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattic
 				continue
 			}
 			compared++
+			var err error
 			if allLE {
-				comparePair(s, a, b, p, tasks, sink, nil)
+				err = comparePair(s, a, b, p, tasks, sink, nil, g, &pc)
 			} else {
-				comparePair(s, a, b, p, tasks, sink, cand)
+				err = comparePair(s, a, b, p, tasks, sink, cand, g, &pc)
+			}
+			if err != nil {
+				// Flush the partial sweep counters before aborting so the
+				// observable pruning accounting stays consistent with the
+				// work actually done.
+				s.count(CtrCubePairsConsidered, considered)
+				s.count(CtrCubePairsPruned, pruned)
+				s.count(CtrCubePairsCompared, compared)
+				s.count(CtrCandidateDimTests, candTests)
+				return l, err
 			}
 		}
 		// Flush per outer cube so live progress sees the sweep advance.
@@ -118,7 +152,33 @@ func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattic
 		s.count(CtrCandidateDimTests, candTests)
 		considered, pruned, compared, candTests = 0, 0, 0, 0
 	}
-	return l
+	return l, pc.flush(g)
+}
+
+// pairCharge accumulates ordered-pair counts across comparePair calls so
+// guard charging keeps the fixed guardPairStride cadence even when cubes
+// are small (many calls, few pairs each). The zero value is ready to use.
+type pairCharge struct{ since int64 }
+
+// add charges the guard once the accumulated count crosses the stride.
+func (pc *pairCharge) add(g *guard, n int64) error {
+	pc.since += n
+	if pc.since < guardPairStride {
+		return nil
+	}
+	err := g.charge(pc.since)
+	pc.since = 0
+	return err
+}
+
+// flush charges any remainder (used once at sweep end).
+func (pc *pairCharge) flush(g *guard) error {
+	if g == nil || pc.since == 0 {
+		return nil
+	}
+	err := g.charge(pc.since)
+	pc.since = 0
+	return err
 }
 
 // comparePair compares every observation of cube a against every
@@ -126,11 +186,14 @@ func CubeMasking(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions) *lattic
 // (nil means all dimensions, implying a.Sig ≤ b.Sig level-wise).
 // Observation-pair and dimension-test counters are batched locally and
 // flushed once per cube pair; the flush is atomic-safe, so the parallel
-// worker pool calls this concurrently.
-func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, cand []int) {
+// worker pool calls this concurrently. A non-nil guard is charged through
+// pc (which carries the pair count across calls); on trip the local
+// counters are flushed and the guard's error returned.
+func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, cand []int, g *guard, pc *pairCharge) error {
 	sameCube := a == b
 	allLE := cand == nil
 	needPartial := tasks.Has(TaskPartial)
+	guarded := g != nil
 	recorder, _ := sink.(DimsRecorder)
 	var dims []int
 	if recorder != nil {
@@ -141,6 +204,13 @@ func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, ca
 		for _, j := range b.Obs {
 			if i == j {
 				continue
+			}
+			if guarded {
+				if err := pc.add(g, 1); err != nil {
+					s.count(CtrObsPairsCompared, ordered)
+					s.count(CtrDimTests, dimTests)
+					return err
+				}
 			}
 			ordered++
 			deg := 0
@@ -194,4 +264,5 @@ func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, ca
 	}
 	s.count(CtrObsPairsCompared, ordered)
 	s.count(CtrDimTests, dimTests)
+	return nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"rdfcube/internal/bitvec"
 	"rdfcube/internal/cluster"
 )
@@ -21,6 +23,16 @@ type HybridOptions struct {
 // clustered and compared only within clusters. Cross-cube comparisons stay
 // exact, so any recall loss is confined to oversized cubes.
 func Hybrid(s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
+	return hybridG(s, tasks, sink, opts, nil)
+}
+
+// HybridCtx is Hybrid with cooperative cancellation; see BaselineCtx for
+// the prefix contract of the canceled sink.
+func HybridCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
+	return hybridG(s, tasks, sink, opts, newGuard(ctx, 0, 0))
+}
+
+func hybridG(s *Space, tasks Tasks, sink Sink, opts HybridOptions, g *guard) error {
 	maxSize := opts.MaxCubeSize
 	if maxSize <= 0 {
 		maxSize = 512
@@ -33,14 +45,18 @@ func Hybrid(s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
 	endCompare := s.span(SpanCompare)
 	defer endCompare()
 	cand := make([]int, 0, p)
+	var pc pairCharge
 	var considered, pruned, compared, candTests, clustered int64
 	for _, a := range cubes {
+		if err := g.poll(); err != nil {
+			return err
+		}
 		for _, b := range cubes {
 			considered++
 			if a == b && len(a.Obs) > maxSize {
 				clustered++
 				compared++
-				if err := clusterWithin(s, a.Obs, tasks, sink, opts.Clustering); err != nil {
+				if err := clusterWithin(s, a.Obs, tasks, sink, opts.Clustering, g, &pc); err != nil {
 					return err
 				}
 				continue
@@ -57,10 +73,19 @@ func Hybrid(s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
 				continue
 			}
 			compared++
+			var err error
 			if allLE {
-				comparePair(s, a, b, p, tasks, sink, nil)
+				err = comparePair(s, a, b, p, tasks, sink, nil, g, &pc)
 			} else {
-				comparePair(s, a, b, p, tasks, sink, cand)
+				err = comparePair(s, a, b, p, tasks, sink, cand, g, &pc)
+			}
+			if err != nil {
+				s.count(CtrCubePairsConsidered, considered)
+				s.count(CtrCubePairsPruned, pruned)
+				s.count(CtrCubePairsCompared, compared)
+				s.count(CtrCandidateDimTests, candTests)
+				s.count(CtrHybridCubesClustered, clustered)
+				return err
 			}
 		}
 		s.count(CtrCubePairsConsidered, considered)
@@ -70,22 +95,27 @@ func Hybrid(s *Space, tasks Tasks, sink Sink, opts HybridOptions) error {
 		s.count(CtrHybridCubesClustered, clustered)
 		considered, pruned, compared, candTests, clustered = 0, 0, 0, 0, 0
 	}
-	return nil
+	return pc.flush(g)
 }
 
 // clusterWithin clusters one oversized cube's members on their occurrence
 // rows and compares observations only inside each cluster. Indices emitted
 // to the sink are global observation indices.
-func clusterWithin(s *Space, members []int, tasks Tasks, sink Sink, opts ClusteringOptions) error {
+func clusterWithin(s *Space, members []int, tasks Tasks, sink Sink, opts ClusteringOptions, g *guard, pc *pairCharge) error {
 	rows := make([]*bitvec.Vector, len(members))
 	for i, m := range members {
 		rows[i] = s.Row(m)
 	}
-	cl, err := cluster.Cluster(rows, opts.Config)
+	cfg := opts.Config
+	if cfg.Poll == nil {
+		cfg.Poll = g.pollFunc()
+	}
+	cl, err := cluster.Cluster(rows, cfg)
 	if err != nil {
 		return err
 	}
 	p := s.NumDims()
+	guarded := g != nil
 	var ordered, dimTests, intra int64
 	for _, local := range cl.Members() {
 		m := int64(len(local))
@@ -97,6 +127,13 @@ func clusterWithin(s *Space, members []int, tasks Tasks, sink Sink, opts Cluster
 		for x := 0; x < len(local); x++ {
 			i := members[local[x]]
 			for y := x + 1; y < len(local); y++ {
+				if guarded {
+					if err := pc.add(g, 2); err != nil {
+						s.count(CtrObsPairsCompared, ordered)
+						s.count(CtrDimTests, dimTests)
+						return err
+					}
+				}
 				j := members[local[y]]
 				pairwiseDirect(s, i, j, p, tasks, sink)
 			}

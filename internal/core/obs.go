@@ -37,6 +37,12 @@ import "rdfcube/internal/obsv"
 //     parallel.worker.<id>.rows.
 //   - CtrParallelClusters: clusters scanned by the parallel clustering
 //     pool; per-worker throughput is parallel.worker.<id>.clusters.
+//   - CtrRunCanceled: runs that ended in cooperative cancellation (context,
+//     deadline, pair budget or stall watchdog).
+//   - CtrShardPanics: parallel shards whose worker panicked (each is
+//     retried serially once).
+//   - CtrShardRetries: serial retries of panicked shards that were
+//     attempted (equal to CtrShardPanics; a second panic fails the run).
 const (
 	CtrObsPairsCompared     = "obs.pairs.compared"
 	CtrCubePairsConsidered  = "cubes.pairs.considered"
@@ -56,6 +62,9 @@ const (
 	CtrParallelCubes        = "parallel.cubes"
 	CtrParallelRows         = "parallel.rows"
 	CtrParallelClusters     = "parallel.clusters"
+	CtrRunCanceled          = "run.canceled"
+	CtrShardPanics          = "run.shard.panics"
+	CtrShardRetries         = "run.shard.retries"
 )
 
 // Span (phase) names, forming the run's phase tree: compile (with om.build

@@ -1,10 +1,208 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 )
+
+// Shared parallel shard engine. All three parallel algorithms follow one
+// shape: deterministic shards (row blocks, clusters, outer cubes) are fed
+// to a worker pool, each worker records its shard's emissions onto a
+// pooled private tape, and the tapes are replayed into the caller's sink
+// in serial shard order — making parallel output bit-identical to serial.
+// runShardPool adds the robustness contract on top:
+//
+//   - Cooperative cancellation: workers consult the shared guard before
+//     claiming a shard and inside the scan (the kernels charge the guard
+//     every guardPairStride pairs). Crucially, workers always DRAIN the
+//     feed channel even when tripped — they just stop doing work — so the
+//     feeder can never block on an unconsumed send and the merge can
+//     never deadlock, no matter when cancellation lands.
+//   - Prefix salvage: after the pool drains, the longest run of complete
+//     shards from index 0 is replayed; later tapes (partial or complete)
+//     are discarded. Each tape is the serial emission order restricted to
+//     its shard, so the replayed prefix is an exact prefix of the serial
+//     emission stream — a canceled parallel run yields exactly what a
+//     serial run would have produced up to a shard boundary.
+//   - Panic isolation: a shard whose scan panics under a worker is
+//     retried once, serially, on a fresh tape after the pool drains. A
+//     second panic fails the run with a ShardPanicError carrying the
+//     shard's deterministic input fingerprint. One crashing shard
+//     therefore costs a retry, not the process; two prove a reproducible
+//     bug and are reported as one.
+
+// shardStatus tracks one work item through scan, retry and replay.
+type shardStatus uint8
+
+const (
+	// shardPending marks a shard never claimed (the guard tripped first).
+	shardPending shardStatus = iota
+	// shardDone marks a complete private tape, eligible for replay.
+	shardDone
+	// shardAborted marks a scan stopped mid-shard by the guard.
+	shardAborted
+	// shardPanicked marks a scan that panicked under a worker.
+	shardPanicked
+)
+
+// shardPool describes one parallel run for runShardPool.
+type shardPool struct {
+	// kind is the per-worker counter suffix ("rows", "clusters", "cubes").
+	kind string
+	// totalCtr is the pool-wide claimed-work counter.
+	totalCtr string
+	// weight is the work units charged to totalCtr per claimed shard.
+	weight func(shard int) int64
+	// newWorker builds optional per-worker scratch state (may be nil).
+	newWorker func() any
+	// scan runs one shard onto its private sink; a non-nil error means
+	// the guard tripped and the tape holds a partial stream.
+	scan func(shard int, local Sink, ws any) error
+	// fingerprint identifies a shard's input deterministically for
+	// ShardPanicError reports.
+	fingerprint func(shard int) string
+}
+
+// runShardPool runs the pool and returns the replayable tape prefix.
+// Return contract: (tapes, nil) is a clean, complete run; (tapes, err)
+// with errors.Is(err, ErrCanceled) means tapes is the salvageable prefix
+// and should still be replayed; (nil, err) is a ShardPanicError — nothing
+// to replay, all tapes released.
+func runShardPool(s *Space, sp shardPool, nShards, workers int, wantDims bool, g *guard, fault func(int)) ([]*tape, error) {
+	tapes := make([]*tape, nShards)
+	status := make([]shardStatus, nShards)
+
+	// runOne scans shard si on a fresh private tape, converting a panic
+	// into shardPanicked instead of letting it unwind the worker. Each
+	// shard index is claimed by exactly one worker, so the per-index
+	// writes to tapes/status are race-free.
+	runOne := func(si int, ws any) {
+		var local Sink
+		tapes[si], local = borrowTape(wantDims)
+		defer func() {
+			if v := recover(); v != nil {
+				status[si] = shardPanicked
+			}
+		}()
+		if fault != nil {
+			fault(si)
+		}
+		if err := sp.scan(si, local, ws); err != nil {
+			status[si] = shardAborted
+			return
+		}
+		status[si] = shardDone
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var ws any
+			if sp.newWorker != nil {
+				ws = sp.newWorker()
+			}
+			var claimed int64
+			for si := range next {
+				// Always drain the feed: a tripped guard stops the work,
+				// never the channel — the no-deadlock invariant of the
+				// merge (the feeder below must not block forever on an
+				// unconsumed send).
+				if g.isTripped() {
+					continue
+				}
+				claimed += sp.weight(si)
+				runOne(si, ws)
+			}
+			s.count(sp.totalCtr, claimed)
+			s.count(fmt.Sprintf("parallel.worker.%02d.%s", id, sp.kind), claimed)
+		}(w)
+	}
+	for si := 0; si < nShards; si++ {
+		next <- si
+	}
+	close(next)
+	wg.Wait()
+
+	return finishShards(s, sp, tapes, status, wantDims, g, fault)
+}
+
+// finishShards retries panicked shards serially, determines the replayable
+// serial-order prefix, and releases everything beyond it.
+func finishShards(s *Space, sp shardPool, tapes []*tape, status []shardStatus, wantDims bool, g *guard, fault func(int)) ([]*tape, error) {
+	// Serial retry of panicked shards, in shard order, on fresh tapes: one
+	// panic is isolated (a crashing worker must not take down the run);
+	// a second, reproduced panic fails the run with the shard's input
+	// fingerprint so the bug report pins the failing work item.
+	for si := range status {
+		if status[si] != shardPanicked {
+			continue
+		}
+		s.count(CtrShardPanics, 1)
+		s.count(CtrShardRetries, 1)
+		if err := retryShard(sp, si, tapes, status, wantDims, fault); err != nil {
+			releaseTapes(tapes)
+			return nil, err
+		}
+	}
+
+	// The replayable prefix: every shard before the first non-done one
+	// holds a complete tape. On a tripped guard this is exactly the
+	// salvageable deterministic prefix; on a clean run it is everything.
+	prefix := len(tapes)
+	for si, st := range status {
+		if st != shardDone {
+			prefix = si
+			break
+		}
+	}
+	releaseTapes(tapes[prefix:])
+	return tapes[:prefix], g.err()
+}
+
+// retryShard re-scans one panicked shard serially on a fresh tape. A
+// second panic converts into a ShardPanicError; a guard trip during the
+// retry just marks the shard aborted (the prefix cut handles it).
+func retryShard(sp shardPool, si int, tapes []*tape, status []shardStatus, wantDims bool, fault func(int)) (err error) {
+	if tapes[si] != nil {
+		releaseTape(tapes[si])
+	}
+	var ws any
+	if sp.newWorker != nil {
+		ws = sp.newWorker()
+	}
+	var local Sink
+	tapes[si], local = borrowTape(wantDims)
+	defer func() {
+		if v := recover(); v != nil {
+			status[si] = shardPanicked
+			err = &ShardPanicError{Shard: si, Fingerprint: sp.fingerprint(si), Value: v}
+		}
+	}()
+	if fault != nil {
+		fault(si)
+	}
+	if serr := sp.scan(si, local, ws); serr != nil {
+		status[si] = shardAborted
+		return nil
+	}
+	status[si] = shardDone
+	return nil
+}
+
+// releaseTapes returns every non-nil tape to the pool and nils the slots.
+func releaseTapes(tapes []*tape) {
+	for i, t := range tapes {
+		if t != nil {
+			releaseTape(t)
+			tapes[i] = nil
+		}
+	}
+}
 
 // ParallelCubeMasking is cubeMasking with cube-pair comparison spread over
 // a worker pool (the paper's §6 "distributed and parallel contexts" item,
@@ -22,6 +220,27 @@ import (
 // throughput as parallel.worker.<id>.cubes, and the replay of private
 // tapes into the caller's sink is recorded under the replay span.
 func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
+	if err := parallelCubeMaskingG(s, tasks, sink, workers, nil, nil); err != nil {
+		// Without a guard the only possible error is a twice-panicked
+		// shard; preserve the historical crash semantics of the void API.
+		panic(err)
+	}
+}
+
+// ParallelCubeMaskingCtx is ParallelCubeMasking with cooperative
+// cancellation; see the runShardPool contract for the canceled sink's
+// prefix guarantee.
+func ParallelCubeMaskingCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, workers int) error {
+	return parallelCubeMaskingG(s, tasks, sink, workers, newGuard(ctx, 0, 0), nil)
+}
+
+// cubeScratch is the per-worker scratch of the parallel cube sweep.
+type cubeScratch struct {
+	cand []int
+	pc   pairCharge
+}
+
+func parallelCubeMaskingG(s *Space, tasks Tasks, sink Sink, workers int, g *guard, fault func(int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -30,67 +249,68 @@ func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 	p := s.NumDims()
 
 	if workers == 1 || len(cubes) < 2 {
-		CubeMasking(s, tasks, sink, CubeMaskOptions{})
-		return
+		_, err := cubeMaskingG(s, tasks, sink, CubeMaskOptions{}, g)
+		return err
 	}
 	s.gauge(GaugeWorkers, float64(workers))
 	_, wantDims := sink.(DimsRecorder)
 
 	endCompare := s.span(SpanCompare)
-	next := make(chan int)
-	tapes := make([]*tape, len(cubes))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			cand := make([]int, 0, p)
-			var outer, considered, pruned, compared, candTests int64
-			for ai := range next {
-				outer++
-				var local Sink
-				tapes[ai], local = borrowTape(wantDims)
-				a := cubes[ai]
-				for _, b := range cubes {
-					considered++
-					candTests++
-					cand = a.Sig.CandidateDims(b.Sig, cand)
-					if len(cand) == 0 {
-						pruned++
-						continue
-					}
-					allLE := len(cand) == p
-					if !tasks.Has(TaskPartial) && !allLE {
-						pruned++
-						continue
-					}
-					compared++
-					if allLE {
-						comparePair(s, a, b, p, tasks, local, nil)
-					} else {
-						comparePair(s, a, b, p, tasks, local, cand)
-					}
+	sp := shardPool{
+		kind:      "cubes",
+		totalCtr:  CtrParallelCubes,
+		weight:    func(int) int64 { return 1 },
+		newWorker: func() any { return &cubeScratch{cand: make([]int, 0, p)} },
+		scan: func(ai int, local Sink, ws any) error {
+			sc := ws.(*cubeScratch)
+			a := cubes[ai]
+			var considered, pruned, compared, candTests int64
+			for _, b := range cubes {
+				considered++
+				candTests++
+				sc.cand = a.Sig.CandidateDims(b.Sig, sc.cand)
+				if len(sc.cand) == 0 {
+					pruned++
+					continue
 				}
-				// Flush per outer cube: keeps live progress moving while
-				// bounding recorder traffic to one call set per cube.
-				s.count(CtrCubePairsConsidered, considered)
-				s.count(CtrCubePairsPruned, pruned)
-				s.count(CtrCubePairsCompared, compared)
-				s.count(CtrCandidateDimTests, candTests)
-				considered, pruned, compared, candTests = 0, 0, 0, 0
+				allLE := len(sc.cand) == p
+				if !tasks.Has(TaskPartial) && !allLE {
+					pruned++
+					continue
+				}
+				compared++
+				var err error
+				if allLE {
+					err = comparePair(s, a, b, p, tasks, local, nil, g, &sc.pc)
+				} else {
+					err = comparePair(s, a, b, p, tasks, local, sc.cand, g, &sc.pc)
+				}
+				if err != nil {
+					s.count(CtrCubePairsConsidered, considered)
+					s.count(CtrCubePairsPruned, pruned)
+					s.count(CtrCubePairsCompared, compared)
+					s.count(CtrCandidateDimTests, candTests)
+					return err
+				}
 			}
-			s.count(CtrParallelCubes, outer)
-			s.count(fmt.Sprintf("parallel.worker.%02d.cubes", id), outer)
-		}(w)
+			// Flush per outer cube: keeps live progress moving while
+			// bounding recorder traffic to one call set per cube.
+			s.count(CtrCubePairsConsidered, considered)
+			s.count(CtrCubePairsPruned, pruned)
+			s.count(CtrCubePairsCompared, compared)
+			s.count(CtrCandidateDimTests, candTests)
+			return nil
+		},
+		fingerprint: func(ai int) string {
+			return shardFingerprint("cubemask", ai, 0, 0, cubes[ai].Obs)
+		},
 	}
-	for ai := range cubes {
-		next <- ai
-	}
-	close(next)
-	wg.Wait()
+	tapes, err := runShardPool(s, sp, len(cubes), workers, wantDims, g, fault)
 	endCompare()
-
-	replayTapes(s, sink, tapes)
+	if tapes != nil {
+		replayTapes(s, sink, tapes)
+	}
+	return err
 }
 
 // replayTapes streams the workers' private tapes into the caller's sink in

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"runtime"
-	"sync"
 
 	"rdfcube/internal/cluster"
 )
@@ -79,6 +78,20 @@ func rowBlocks(n, targetBlocks int) [][2]int {
 // the pool's own counters: parallel.rows, and per-worker
 // parallel.worker.<id>.rows throughput.
 func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
+	if err := parallelBaselineG(s, tasks, sink, workers, nil, nil); err != nil {
+		// Without a guard the only possible error is a twice-panicked
+		// shard; preserve the historical crash semantics of the void API.
+		panic(err)
+	}
+}
+
+// ParallelBaselineCtx is ParallelBaseline with cooperative cancellation;
+// see the runShardPool contract for the canceled sink's prefix guarantee.
+func ParallelBaselineCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, workers int) error {
+	return parallelBaselineG(s, tasks, sink, workers, newGuard(ctx, 0, 0), nil)
+}
+
+func parallelBaselineG(s *Space, tasks Tasks, sink Sink, workers int, g *guard, fault func(int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -87,9 +100,9 @@ func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
 	if workers == 1 || n < minParallelRows {
 		sink = instrumentSink(s, sink)
 		endCompare := s.span(SpanCompare)
-		BaselineOver(om, nil, tasks, sink)
+		err := baselineOverG(om, nil, tasks, sink, g)
 		endCompare()
-		return
+		return err
 	}
 	s.gauge(GaugeWorkers, float64(workers))
 	_, wantDims := sink.(DimsRecorder)
@@ -97,35 +110,27 @@ func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
 	// Several blocks per worker so work-stealing can absorb skew from the
 	// pair-count balancing being approximate.
 	blocks := rowBlocks(n, workers*4)
-	tapes := make([]*tape, len(blocks))
 
 	endCompare := s.span(SpanCompare)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			var rows int64
-			for bi := range next {
-				var local Sink
-				tapes[bi], local = borrowTape(wantDims)
-				b := blocks[bi]
-				BaselineBlock(om, nil, b[0], b[1], tasks, local)
-				rows += int64(b[1] - b[0])
-			}
-			s.count(CtrParallelRows, rows)
-			s.count(fmt.Sprintf("parallel.worker.%02d.rows", id), rows)
-		}(w)
+	sp := shardPool{
+		kind:     "rows",
+		totalCtr: CtrParallelRows,
+		weight:   func(bi int) int64 { return int64(blocks[bi][1] - blocks[bi][0]) },
+		scan: func(bi int, local Sink, _ any) error {
+			b := blocks[bi]
+			return baselineBlockG(om, nil, b[0], b[1], tasks, local, g)
+		},
+		fingerprint: func(bi int) string {
+			b := blocks[bi]
+			return shardFingerprint("baseline", bi, b[0], b[1], nil)
+		},
 	}
-	for bi := range blocks {
-		next <- bi
-	}
-	close(next)
-	wg.Wait()
+	tapes, err := runShardPool(s, sp, len(blocks), workers, wantDims, g, fault)
 	endCompare()
-
-	replayTapes(s, sink, tapes)
+	if tapes != nil {
+		replayTapes(s, sink, tapes)
+	}
+	return err
 }
 
 // ParallelClustering is the §3.2 clustering algorithm with the
@@ -141,12 +146,27 @@ func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
 // pool adds parallel.clusters and per-worker
 // parallel.worker.<id>.clusters counters.
 func ParallelClustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int) (cluster.Clustering, error) {
+	return parallelClusteringG(s, tasks, sink, opts, workers, nil, nil)
+}
+
+// ParallelClusteringCtx is ParallelClustering with cooperative
+// cancellation; see the runShardPool contract for the canceled sink's
+// prefix guarantee. The cluster-assignment phase polls ctx as well.
+func ParallelClusteringCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int) (cluster.Clustering, error) {
+	return parallelClusteringG(s, tasks, sink, opts, workers, newGuard(ctx, 0, 0), nil)
+}
+
+func parallelClusteringG(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int, g *guard, fault func(int)) (cluster.Clustering, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	om := BuildOccurrenceMatrix(s)
+	cfg := opts.Config
+	if cfg.Poll == nil {
+		cfg.Poll = g.pollFunc()
+	}
 	endAssign := s.span(SpanCluster)
-	cl, err := cluster.Cluster(om.Rows, opts.Config)
+	cl, err := cluster.Cluster(om.Rows, cfg)
 	endAssign()
 	if err != nil {
 		return cluster.Clustering{}, err
@@ -170,7 +190,9 @@ func ParallelClustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions
 		endCompare := s.span(SpanCompare)
 		defer endCompare()
 		for _, ci := range work {
-			BaselineOver(om, members[ci], tasks, instrumented)
+			if err := baselineOverG(om, members[ci], tasks, instrumented, g); err != nil {
+				return cl, err
+			}
 		}
 		return cl, nil
 	}
@@ -178,33 +200,23 @@ func ParallelClustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions
 	_, wantDims := sink.(DimsRecorder)
 
 	endCompare := s.span(SpanCompare)
-	tapes := make([]*tape, len(work))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			var clusters int64
-			for wi := range next {
-				var local Sink
-				tapes[wi], local = borrowTape(wantDims)
-				BaselineOver(om, members[work[wi]], tasks, local)
-				clusters++
-			}
-			s.count(CtrParallelClusters, clusters)
-			s.count(fmt.Sprintf("parallel.worker.%02d.clusters", id), clusters)
-		}(w)
+	sp := shardPool{
+		kind:     "clusters",
+		totalCtr: CtrParallelClusters,
+		weight:   func(int) int64 { return 1 },
+		scan: func(wi int, local Sink, _ any) error {
+			return baselineOverG(om, members[work[wi]], tasks, local, g)
+		},
+		fingerprint: func(wi int) string {
+			return shardFingerprint("clustering", wi, 0, 0, members[work[wi]])
+		},
 	}
-	for wi := range work {
-		next <- wi
-	}
-	close(next)
-	wg.Wait()
+	tapes, perr := runShardPool(s, sp, len(work), workers, wantDims, g, fault)
 	endCompare()
-
-	replayTapes(s, sink, tapes)
-	return cl, nil
+	if tapes != nil {
+		replayTapes(s, sink, tapes)
+	}
+	return cl, perr
 }
 
 // countSkippedPairs reports the ordered pairs clustering will never

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rdfcube/internal/gen"
+	"rdfcube/internal/leakcheck"
 	"rdfcube/internal/obsv"
 )
 
@@ -15,6 +16,7 @@ import (
 // AND the RecordPartialDims map — across worker counts. Run under -race
 // this also exercises the worker pool's concurrent counter flushes.
 func TestParallelReplayParity(t *testing.T) {
+	leakcheck.Check(t)
 	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 800, Seed: 3})
 	s, err := NewSpace(c)
 	if err != nil {
@@ -84,6 +86,7 @@ func (e *eventSink) RecordPartialDims(a, b int, dims []int) {
 // for bit — not merely the same sets after sorting — for every worker
 // count. Run under -race this also exercises the row-block pool.
 func TestParityParallelBaselineBitIdentical(t *testing.T) {
+	leakcheck.Check(t)
 	for _, n := range []int{63, 200, 800} { // below and above the serial-fallback floor
 		c := gen.RealWorld(gen.RealWorldConfig{TotalObs: n, Seed: 3})
 		s, err := NewSpace(c)
@@ -111,6 +114,7 @@ func TestParityParallelBaselineBitIdentical(t *testing.T) {
 // in cluster order must reproduce serial Clustering's emission stream
 // exactly.
 func TestParityParallelClusteringBitIdentical(t *testing.T) {
+	leakcheck.Check(t)
 	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 800, Seed: 3})
 	s, err := NewSpace(c)
 	if err != nil {
@@ -143,6 +147,7 @@ func TestParityParallelClusteringBitIdentical(t *testing.T) {
 // parallel.workers gauge and the per-shard counters), and the result must
 // match the serial run.
 func TestParityComputeHonorsWorkers(t *testing.T) {
+	leakcheck.Check(t)
 	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 600, Seed: 5})
 	s, err := NewSpace(c)
 	if err != nil {

@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Sparse occurrence matrix. The paper's §3.1 analysis notes that "for
 // large k the matrix tends to become sparse, therefore a sparse matrix
 // implementation would yield a significant decrease in the required
@@ -100,6 +102,16 @@ func lowerBound(r SparseRow, x int32) int {
 // BaselineSparse is the baseline pair scan over the sparse occurrence
 // matrix: identical semantics to Baseline, Θ(Σ depth) memory per row.
 func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
+	_ = baselineSparseG(s, tasks, sink, nil)
+}
+
+// BaselineSparseCtx is BaselineSparse with cooperative cancellation; see
+// BaselineCtx for the contract.
+func BaselineSparseCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink) error {
+	return baselineSparseG(s, tasks, sink, newGuard(ctx, 0, 0))
+}
+
+func baselineSparseG(s *Space, tasks Tasks, sink Sink, g *guard) error {
 	om := BuildSparseOM(s)
 	sink = instrumentSink(s, sink)
 	defer s.span(SpanCompare)()
@@ -113,10 +125,23 @@ func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
 		dimsJI = make([]int, 0, p)
 	}
 
+	guarded := g != nil
+	var sinceCheck int64
 	for i := 0; i < n; i++ {
 		ri := om.Rows[i]
 		var ordered, subsetTests int64 // batched, flushed per outer row
 		for j := i + 1; j < n; j++ {
+			if guarded {
+				sinceCheck += 2
+				if sinceCheck >= guardPairStride {
+					if err := g.charge(sinceCheck); err != nil {
+						s.count(CtrObsPairsCompared, ordered)
+						s.count(CtrSparseSubsetTests, subsetTests)
+						return err
+					}
+					sinceCheck = 0
+				}
+			}
 			rj := om.Rows[j]
 			ordered += 2
 			degIJ, degJI := 0, 0
@@ -177,4 +202,8 @@ func BaselineSparse(s *Space, tasks Tasks, sink Sink) {
 		s.count(CtrObsPairsCompared, ordered)
 		s.count(CtrSparseSubsetTests, subsetTests)
 	}
+	if guarded {
+		return g.charge(sinceCheck)
+	}
+	return nil
 }

@@ -52,12 +52,18 @@ func (o Op) String() string {
 // (1-based, counted across the whole MemFS) fails. For OpWrite faults,
 // Keep bytes of the attempted write still land before the error (a short
 // write). When Persistent is set every later matching operation fails
-// too — a dead disk rather than a transient hiccup.
+// too — a dead disk rather than a transient hiccup. When Block is
+// non-nil, a tripped operation HANGS — it parks (outside the filesystem
+// lock, so other operations proceed) until the channel is closed, then
+// returns the injected error: the model of a hung NFS mount or a device
+// stuck in an uninterruptible fsync, used to prove shutdown paths stay
+// deadline-bounded.
 type Fault struct {
 	Op         Op
 	N          int64
 	Keep       int
 	Persistent bool
+	Block      <-chan struct{}
 }
 
 // memFile is one stored file: data is what the page cache holds, synced
@@ -149,9 +155,9 @@ func (h *memHandle) Name() string { return h.name }
 
 func (h *memHandle) Write(p []byte) (int, error) {
 	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
 	f, ok := h.fs.files[h.name]
 	if !ok {
+		h.fs.mu.Unlock()
 		return 0, &fs.PathError{Op: "write", Path: h.name, Err: fs.ErrNotExist}
 	}
 	if h.fs.step(OpWrite) {
@@ -160,23 +166,38 @@ func (h *memHandle) Write(p []byte) (int, error) {
 			keep = len(p)
 		}
 		f.data = append(f.data, p[:keep]...)
+		block := h.fs.fault.Block
+		h.fs.mu.Unlock()
+		if block != nil {
+			<-block
+		}
 		return keep, Injected(OpWrite, h.name)
 	}
 	f.data = append(f.data, p...)
+	h.fs.mu.Unlock()
 	return len(p), nil
 }
 
 func (h *memHandle) Sync() error {
 	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
 	f, ok := h.fs.files[h.name]
 	if !ok {
+		h.fs.mu.Unlock()
 		return &fs.PathError{Op: "sync", Path: h.name, Err: fs.ErrNotExist}
 	}
 	if h.fs.step(OpSync) {
+		// A hang fault parks outside the lock so the rest of the
+		// filesystem keeps working — only this operation is stuck, as
+		// with a real device wedged in fsync.
+		block := h.fs.fault.Block
+		h.fs.mu.Unlock()
+		if block != nil {
+			<-block
+		}
 		return Injected(OpSync, h.name)
 	}
 	f.synced = len(f.data)
+	h.fs.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,120 @@
+// Package leakcheck fails tests that leave goroutines behind. The
+// cancellation machinery of this repo is exactly the kind of code that
+// leaks quietly — a worker blocked on an unread channel after its pool
+// was abandoned, a watchdog whose stop was skipped on an error path, an
+// http server goroutine outliving its test — so tests that exercise
+// canceled parallel runs and server shutdowns register Check(t) and get
+// a hard failure listing the stuck stacks instead of a slow pile-up
+// that only -race or CI timeouts would surface.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored returns true for goroutines that are part of the runtime or
+// the testing harness rather than the code under test.
+func ignored(stack string) bool {
+	for _, s := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*M).",
+		"testing.runFuzzing(",
+		"testing.runFuzzTests(",
+		"runtime.goexit",
+		"created by runtime.gc",
+		"runtime.MHeap_Scavenger",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ensureSigM",
+		"interestingGoroutines",
+		"signal.Notify",
+	} {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize strips the volatile parts of one goroutine's stack — the
+// header's id and wait state, hex addresses, argument values — so the
+// same logical goroutine compares equal across two dumps even though
+// its wait time and pointers changed.
+func normalize(g string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "goroutine ") {
+			continue // header: "goroutine 12 [select, 2 minutes]:"
+		}
+		if i := strings.IndexByte(line, '('); i >= 0 && !strings.HasPrefix(line, "\t") {
+			line = line[:i] // drop argument values from function lines
+		}
+		if i := strings.Index(line, " +0x"); i >= 0 {
+			line = line[:i] // drop code offsets from file:line lines
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// interestingGoroutines returns the stacks of all goroutines that are
+// neither runtime/testing machinery nor this function itself.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		sl := strings.SplitN(g, "\n", 2)
+		if len(sl) != 2 {
+			continue
+		}
+		stack := strings.TrimSpace(sl[1])
+		if stack == "" || ignored(stack) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Check registers a cleanup that fails t when goroutines created during
+// the test are still running shortly after it ends. Goroutines present
+// BEFORE the test (a previous test's http keep-alive, the collector of
+// a shared fixture) are grandfathered: only new stacks count. The check
+// retries for up to two seconds, because legitimate teardown (an http
+// server draining, a worker observing its canceled context) needs a
+// moment to finish — only goroutines that never exit are reported.
+func Check(t testing.TB) {
+	t.Helper()
+	before := map[string]bool{}
+	for _, g := range interestingGoroutines() {
+		before[normalize(g)] = true
+	}
+	t.Cleanup(func() {
+		var leaked []string
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked = leaked[:0]
+			for _, g := range interestingGoroutines() {
+				if !before[normalize(g)] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g)
+		}
+	})
+}

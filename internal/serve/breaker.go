@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker for the recompute
+// endpoint. The kernel behind POST /v1/recompute is expensive; when it
+// fails repeatedly (panicking shards, chronic deadline overruns) the
+// breaker trips the endpoint into a degraded read-only posture — queries
+// keep answering from the last good state while recompute requests are
+// refused immediately with 503 and a jittered Retry-After — instead of
+// burning CPU re-failing. After a backoff the breaker half-opens: exactly
+// one probe request is admitted; success closes the circuit, failure
+// re-opens it with doubled (capped, jittered) backoff.
+//
+// All methods are safe for concurrent use.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the circuit
+	base      time.Duration // initial open interval
+	max       time.Duration // backoff cap
+
+	consecutive int
+	state       breakerState
+	openUntil   time.Time
+	backoff     time.Duration
+	probing     bool
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// newBreaker builds a breaker; threshold<=0 means 3, base<=0 means 5s.
+// The cap is 16× the base.
+func newBreaker(threshold int, base time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if base <= 0 {
+		base = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, base: base, max: 16 * base}
+}
+
+// jittered spreads d over [d/2, d) so clients that tripped the breaker
+// together do not all retry together (the synchronized-retry stampede).
+func jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)))
+}
+
+// allow reports whether a recompute may proceed now. When the circuit is
+// open it returns false and how long the caller should tell the client to
+// wait. In half-open state exactly one caller is admitted as the probe;
+// the rest are refused until the probe reports.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false, b.openUntil.Sub(now)
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, jittered(b.backoff)
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// success reports a completed recompute: the circuit closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+	b.backoff = 0
+}
+
+// failure reports a failed recompute. It returns true when this failure
+// tripped (or re-tripped) the circuit open — the caller logs exactly one
+// transition line per trip.
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: re-open with doubled, capped backoff.
+		b.backoff *= 2
+		if b.backoff > b.max {
+			b.backoff = b.max
+		}
+		b.state = breakerOpen
+		b.probing = false
+		b.openUntil = now.Add(jittered(b.backoff))
+		return true
+	case breakerClosed:
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.backoff = b.base
+			b.openUntil = now.Add(jittered(b.backoff))
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the state for /v1/stats.
+func (b *breaker) snapshot() (state string, consecutive int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.consecutive
+}

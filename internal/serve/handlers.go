@@ -408,5 +408,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wlog != nil {
 		resp["walBytes"] = s.wlog.Size()
 	}
+	state, fails := s.breaker.snapshot()
+	resp["recomputeBreaker"] = state
+	resp["recomputeFailures"] = fails
 	writeJSON(w, http.StatusOK, resp)
 }

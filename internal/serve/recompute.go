@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"rdfcube/internal/core"
+)
+
+// handleRecompute runs a full batch recompute of the relationship sets
+// over the current space with the configured algorithm, replacing the
+// maintained result and adjacency on success. The endpoint is the
+// service-level fix for incremental drift (clustering-maintained states
+// are lossy; a batch cubeMasking pass restores recall 1) and the natural
+// stress case for graceful degradation:
+//
+//   - The kernel runs under a context merged from the request context,
+//     the server's shutdown context and RecomputeTimeout, so a vanished
+//     client, a SIGTERM or an overrun deadline all cancel the scan at the
+//     next pair-budget poll — no more uncancellable Θ(n²) work.
+//   - A canceled or failed recompute DISCARDS the partial result and
+//     keeps serving the previous state: degraded but consistent beats
+//     fresh but half-built.
+//   - Kernel failures feed the circuit breaker; after BreakerThreshold
+//     consecutive failures the endpoint trips open and refuses further
+//     recomputes with 503 + jittered Retry-After until a half-open probe
+//     succeeds. Client hang-ups (499) are not kernel failures and do not
+//     charge the breaker.
+//
+// The route is registered OUTSIDE the http.TimeoutHandler wrapping the
+// query API: a recompute legitimately outlives the per-request timeout
+// and is bounded by RecomputeTimeout instead.
+func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
+	if ok, wait := s.breaker.allow(time.Now()); !ok {
+		s.count(CtrBreakerOpen, 1)
+		state, fails := s.breaker.snapshot()
+		s.setRetryAfter(w, wait)
+		writeError(w, http.StatusServiceUnavailable,
+			"recompute circuit %s after %d consecutive kernel failures; serving last good state, retry later", state, fails)
+		return
+	}
+	if !s.recomputing.CompareAndSwap(false, true) {
+		// One recompute at a time: the second request sheds instead of
+		// queueing behind a write lock for minutes.
+		s.breaker.success() // the admitted slot was never used; don't leak a half-open probe
+		s.setRetryAfter(w, 2*time.Second)
+		writeError(w, http.StatusTooManyRequests, "a recompute is already running")
+		return
+	}
+	defer s.recomputing.Store(false)
+
+	// Merge the cancellation sources: request context (client hang-up),
+	// RecomputeTimeout (bounded latency), server shutdown (SIGTERM must
+	// stop in-flight computes).
+	ctx, cancel := context.WithTimeout(r.Context(), s.recomputeTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.runCtx, cancel)
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctxAbort(w, r) {
+		return
+	}
+
+	res := core.NewResult()
+	opts := core.Options{Tasks: s.tasks, Workers: s.workers, Obs: s.rec}
+	start := time.Now()
+	err := core.ComputeCtx(ctx, s.inc.S, s.alg, opts, res)
+	if err != nil {
+		s.recomputeError(w, r, err)
+		return
+	}
+	s.breaker.success()
+	res.Sort()
+	// Swap in the fresh state. The lattice depends only on the space,
+	// which a recompute does not change, so it carries over.
+	s.inc = core.NewIncrementalFrom(s.inc.S, s.tasks, res, s.inc.Lattice())
+	s.adj = newAdjacency(s.inc.S.N(), res)
+	s.count(CtrRecomputes, 1)
+	f, p, c := res.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm":      string(s.alg),
+		"full":           f,
+		"partial":        p,
+		"complementary":  c,
+		"elapsedSeconds": time.Since(start).Seconds(),
+	})
+}
+
+// recomputeError classifies a failed recompute: who canceled it decides
+// the status code and whether the breaker is charged.
+func (s *Server) recomputeError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, core.ErrCanceled) {
+		s.count(CtrCanceled, 1)
+		switch {
+		case s.runCtx.Err() != nil:
+			// Shutdown canceled the compute: not a kernel failure.
+			writeError(w, http.StatusServiceUnavailable, "server shutting down; recompute canceled")
+		case r.Context().Err() != nil && !errors.Is(r.Context().Err(), context.DeadlineExceeded):
+			// The client hung up: their problem, not the kernel's.
+			writeError(w, statusClientClosedRequest, "client closed request; recompute canceled, previous state kept")
+		default:
+			// RecomputeTimeout overrun: the kernel is too slow for the
+			// budget — that IS a service failure; charge the breaker.
+			if s.breaker.failure(time.Now()) {
+				state, fails := s.breaker.snapshot()
+				s.log("recompute breaker %s after %d consecutive failures (last: %v)", state, fails, err)
+			}
+			writeError(w, http.StatusGatewayTimeout, "recompute exceeded its deadline; partial result discarded, previous state kept")
+		}
+		return
+	}
+	// Hard kernel failure (e.g. a twice-panicked shard).
+	if s.breaker.failure(time.Now()) {
+		state, fails := s.breaker.snapshot()
+		s.log("recompute breaker %s after %d consecutive failures (last: %v)", state, fails, err)
+	}
+	writeError(w, http.StatusInternalServerError, "recompute failed: %v; previous state kept", err)
+}

@@ -43,6 +43,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -69,6 +71,9 @@ const (
 	CtrCanceled     = "serve.canceled"        // requests abandoned (499/504)
 	CtrWALAppends   = "serve.wal.appends"     // records durably logged
 	CtrWALReplayed  = "serve.wal.replayed"    // records replayed at startup
+	CtrRetryAfter   = "serve.retry_after"     // responses that told the client when to retry
+	CtrRecomputes   = "serve.recomputes"      // successful batch recomputes
+	CtrBreakerOpen  = "serve.breaker.open"    // recomputes refused by the open circuit
 	CtrLatencyMicro = "serve.latency.us"      // summed handler latency (µs)
 	GaugeInFlight   = "serve.inflight"        // requests currently executing
 	GaugeLastMicro  = "serve.latency.last.us" // last handler latency (µs)
@@ -96,6 +101,22 @@ type Config struct {
 	// Logf receives operational log lines (recovered panics, degraded-
 	// mode transitions, replay summaries). Nil discards them.
 	Logf func(format string, a ...any)
+	// Algorithm selects the kernel POST /v1/recompute runs; zero means
+	// cubemasking (the exact lattice-pruned method).
+	Algorithm core.Algorithm
+	// Workers sets the recompute kernel's worker-pool size; zero keeps
+	// the serial scan.
+	Workers int
+	// RecomputeTimeout bounds one batch recompute; zero means 60s. The
+	// recompute endpoint is exempt from RequestTimeout and bounded by
+	// this instead.
+	RecomputeTimeout time.Duration
+	// BreakerThreshold is the number of consecutive kernel failures that
+	// trip the recompute circuit breaker open; zero means 3.
+	BreakerThreshold int
+	// BreakerBackoff is the breaker's initial open interval (doubled per
+	// failed half-open probe, capped at 16×); zero means 5s.
+	BreakerBackoff time.Duration
 }
 
 func (c Config) timeout() time.Duration {
@@ -110,6 +131,20 @@ func (c Config) maxInFlight() int {
 		return 128
 	}
 	return c.MaxInFlight
+}
+
+func (c Config) algorithm() core.Algorithm {
+	if c.Algorithm == "" {
+		return core.AlgorithmCubeMasking
+	}
+	return c.Algorithm
+}
+
+func (c Config) recomputeTimeout() time.Duration {
+	if c.RecomputeTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.RecomputeTimeout
 }
 
 // Server answers relationship queries over one snapshot's state and
@@ -131,6 +166,20 @@ type Server struct {
 	sem     chan struct{}
 	wlog    *wal.Log
 	logf    func(format string, a ...any)
+
+	// Recompute machinery: the algorithm and worker count the endpoint
+	// runs with, its deadline, the circuit breaker that degrades the
+	// endpoint after repeated kernel failures, the one-at-a-time guard,
+	// and the server-lifetime context whose cancellation (BeginShutdown)
+	// stops in-flight computes.
+	tasks            core.Tasks
+	alg              core.Algorithm
+	workers          int
+	recomputeTimeout time.Duration
+	breaker          *breaker
+	recomputing      atomic.Bool
+	runCtx           context.Context
+	stopRuns         context.CancelFunc
 
 	// ckptMu serializes checkpoints: a SIGTERM arriving during a timer
 	// checkpoint must not start a second concurrent Checkpoint on the
@@ -163,7 +212,14 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 		wlog:    cfg.WAL,
 		logf:    cfg.Logf,
 		started: time.Now(),
+
+		tasks:            cfg.Tasks,
+		alg:              cfg.algorithm(),
+		workers:          cfg.Workers,
+		recomputeTimeout: cfg.recomputeTimeout(),
+		breaker:          newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff),
 	}
+	s.runCtx, s.stopRuns = context.WithCancel(context.Background())
 	for i, o := range sn.Space.Obs {
 		if _, dup := s.uriIdx[o.URI.Value]; !dup {
 			s.uriIdx[o.URI.Value] = i
@@ -201,6 +257,13 @@ func (s *Server) log(format string, a ...any) {
 		s.logf(format, a...)
 	}
 }
+
+// BeginShutdown cancels the server-lifetime run context, cooperatively
+// stopping any in-flight recompute at its next pair-budget poll. Call it
+// BEFORE http.Server.Shutdown: Shutdown waits for in-flight requests to
+// finish, and a recompute legitimately runs for minutes — without this,
+// a SIGTERM would hang behind an Θ(n²) scan. Idempotent.
+func (s *Server) BeginShutdown() { s.stopRuns() }
 
 // Replay applies WAL records recovered at startup through the same
 // incremental maintenance path live inserts use. Records whose URI is
@@ -335,8 +398,42 @@ func (s *Server) Checkpoint(path string) error {
 	})
 }
 
+// ErrCheckpointTimeout reports that a bounded checkpoint overran its
+// deadline and was abandoned.
+var ErrCheckpointTimeout = errors.New("serve: checkpoint deadline exceeded")
+
+// CheckpointWithin is CheckpointWith bounded by a wall-clock deadline:
+// when the cycle has not completed within d, it returns an error wrapping
+// ErrCheckpointTimeout instead of blocking forever. The shutdown path
+// needs this because commit funcs end in fsync, and fsync against a hung
+// device (a dead NFS mount, a wedged controller) is uninterruptible — no
+// context can unstick it. The overrunning cycle is abandoned, not
+// canceled: its goroutine keeps holding ckptMu until the device revives,
+// which is exactly right — a later checkpoint must not interleave with a
+// half-written one. The caller (cubed's shutdown) logs the timeout and
+// exits; the WAL still covers every acknowledged write, so nothing is
+// lost. d <= 0 means unbounded (plain CheckpointWith).
+func (s *Server) CheckpointWithin(d time.Duration, commit func(data []byte) error) error {
+	if d <= 0 {
+		return s.CheckpointWith(commit)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.CheckpointWith(commit) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("%w after %v (checkpoint abandoned; wal still covers acknowledged writes)",
+			ErrCheckpointTimeout, d)
+	}
+}
+
 // Handler returns the service's HTTP handler: the /v1 API plus health
-// endpoints, instrumented, concurrency-limited and timeout-bounded.
+// endpoints, instrumented, concurrency-limited and timeout-bounded. The
+// recompute route is registered on the outer mux, OUTSIDE the
+// http.TimeoutHandler wrapping everything else: a batch recompute
+// legitimately outlives the per-request timeout and is bounded by
+// RecomputeTimeout inside its handler instead.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
@@ -347,7 +444,23 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/obs/{i}", s.wrap("obs", s.handleObs))
 	mux.Handle("POST /v1/observations", s.wrap("insert", s.handleInsert))
 	mux.Handle("GET /v1/stats", s.wrap("stats", s.handleStats))
-	return http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
+	inner := http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
+	outer := http.NewServeMux()
+	outer.Handle("POST /v1/recompute", s.wrap("recompute", s.handleRecompute))
+	outer.Handle("/", inner)
+	return outer
+}
+
+// setRetryAfter writes a jittered integer-seconds Retry-After header
+// (minimum 1s) and counts it, so clients that were refused together do
+// not all come back together.
+func (s *Server) setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(jittered(d).Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	s.count(CtrRetryAfter, 1)
 }
 
 // wrap applies the semaphore, instrumentation and error counting to one
@@ -358,7 +471,9 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request)) 
 		case s.sem <- struct{}{}:
 		default:
 			s.count(CtrShed, 1)
-			w.Header().Set("Retry-After", "1")
+			// Jitter the retry hint over [1.5s, 3s): a shed burst must not
+			// synchronize its retries into the next burst.
+			s.setRetryAfter(w, 3*time.Second)
 			http.Error(w, `{"error":"too many in-flight requests"}`, http.StatusTooManyRequests)
 			return
 		}

@@ -20,6 +20,7 @@
 package rdfcube
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -167,6 +168,20 @@ func Compute(corpus *Corpus, alg Algorithm, opts Options) (*Computation, error) 
 		return nil, err
 	}
 	return &Computation{Space: s, Result: res}, nil
+}
+
+// ComputeContext is Compute with cooperative cancellation: the run stops
+// shortly after ctx is canceled (or an Options budget — Deadline,
+// MaxPairs, StallTimeout — runs out) and returns an error matching
+// errors.Is(err, ErrCanceled). On cancellation the returned Computation is
+// NOT nil: it carries the sorted partial result — an exact serial-order
+// prefix of the full run — so callers can report what was salvaged.
+func ComputeContext(ctx context.Context, corpus *Corpus, alg Algorithm, opts Options) (*Computation, error) {
+	s, res, err := core.ComputeCorpusCtx(ctx, corpus, alg, opts)
+	if s == nil {
+		return nil, err
+	}
+	return &Computation{Space: s, Result: res}, err
 }
 
 // LoadTurtle parses a Turtle document containing QB datasets and SKOS code
@@ -392,6 +407,27 @@ type SnapshotRotator = snapshot.Rotator
 // OSFilesystem is the production implementation, and faultfs.NewMemFS
 // (internal) provides the fault-injecting in-memory one tests use.
 type FS = faultfs.FS
+
+// CanceledError reports a cooperatively canceled run (context, deadline,
+// pair budget or stall watchdog). It matches errors.Is(err, ErrCanceled);
+// its Cause field carries the specific trigger and Pairs the budget
+// position of the abort. The caller's sink / partial Computation holds an
+// exact serial-order prefix of the full emission stream.
+type CanceledError = core.CanceledError
+
+// ShardPanicError reports a parallel shard that panicked twice (once
+// under a worker, once more on its serial retry), with a deterministic
+// fingerprint of the shard's input.
+type ShardPanicError = core.ShardPanicError
+
+// Cancellation sentinels: every cooperative abort matches ErrCanceled via
+// errors.Is; ErrPairBudget and ErrStalled are the specific causes for an
+// exhausted Options.MaxPairs budget and a fired stall watchdog.
+var (
+	ErrCanceled   = core.ErrCanceled
+	ErrPairBudget = core.ErrPairBudget
+	ErrStalled    = core.ErrStalled
+)
 
 var (
 	// NewServer builds a query/insert server over a snapshot's state.
