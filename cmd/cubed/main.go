@@ -85,6 +85,9 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 0, "worker-pool size for POST /v1/recompute (0 keeps the serial scan)")
 		recompTO = fs.Duration("recompute-timeout", 60*time.Second, "deadline for one POST /v1/recompute batch pass")
 		shutTO   = fs.Duration("shutdown-timeout", 10*time.Second, "bound on the final shutdown checkpoint (0 waits forever; a hung disk then hangs shutdown)")
+		traceN   = fs.Int("trace-ring", 128, "recent request traces retained for GET /debug/traces")
+		slowTh   = fs.Duration("slow-threshold", 0, "write requests at least this slow to the slow-query log as JSON lines (0 disables)")
+		slowPath = fs.String("slow-log", "", "slow-query log file (default stderr when -slow-threshold is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -171,6 +174,22 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Slow-query log destination: an explicit file, else stderr whenever a
+	// threshold is set.
+	var slowLog io.Writer
+	if *slowTh > 0 {
+		slowLog = stderr
+		if *slowPath != "" {
+			f, err := os.OpenFile(*slowPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				logf("opening slow-query log %s: %v", *slowPath, err)
+				return 1
+			}
+			defer f.Close()
+			slowLog = f
+		}
+	}
+
 	srv, err := serve.New(sn, serve.Config{
 		Tasks:            tasks,
 		Recorder:         col,
@@ -181,6 +200,9 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		Algorithm:        alg,
 		Workers:          *workers,
 		RecomputeTimeout: *recompTO,
+		TraceRing:        *traceN,
+		SlowThreshold:    *slowTh,
+		SlowLog:          slowLog,
 	})
 	if err != nil {
 		logf("%v", err)
@@ -202,6 +224,9 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	mux.Handle("/metrics", obsHandler)
 	mux.Handle("/metrics.json", obsHandler)
 	mux.Handle("/debug/", obsHandler)
+	// The trace ring lives on the serve.Server, not the collector, so it
+	// needs an explicit mount in front of the /debug/ catch-all.
+	mux.Handle("/debug/traces", srv.Handler())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

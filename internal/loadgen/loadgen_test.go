@@ -1,0 +1,197 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/gen"
+	"rdfcube/internal/obsv"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
+)
+
+// newServer computes a small realworld state and wraps it in a Server.
+func newServer(t *testing.T, n int, seed int64) *serve.Server {
+	t.Helper()
+	corpus := gen.RealWorld(gen.RealWorldConfig{TotalObs: n, Seed: seed})
+	s, err := core.NewSpace(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewResult()
+	l := core.CubeMasking(s, core.TaskAll, res, core.CubeMaskOptions{})
+	res.Sort()
+	srv, err := serve.New(snapshot.New(s, res, l), serve.Config{Recorder: obsv.NewCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestPlanDeterministic: same config, same corpus → byte-identical plan;
+// a different seed changes it.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Gen: "realworld", N: 300, Seed: 7, Mix: "mixed", Requests: 400}
+	corpus := gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 7})
+	a, err := BuildPlan(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg, gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same config produced different digests: %s vs %s", a.Digest, b.Digest)
+	}
+	if len(a.Ops) != 400 {
+		t.Fatalf("plan length %d, want 400", len(a.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Path != b.Ops[i].Path || string(a.Ops[i].Body) != string(b.Ops[i].Body) {
+			t.Fatalf("op %d differs between identically-configured plans", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := BuildPlan(cfg2, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Fatal("different seeds produced the same plan digest")
+	}
+	// Every mix must expand without error.
+	for _, mix := range Mixes() {
+		m := cfg
+		m.Mix = mix
+		m.Requests = 50
+		if _, err := BuildPlan(m, corpus); err != nil {
+			t.Errorf("mix %s: %v", mix, err)
+		}
+	}
+	if _, err := BuildPlan(PlanConfig{Mix: "nope"}, corpus); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+// TestRunAndCompareSelf: an in-process run succeeds on every request,
+// and its report passes comparison against itself.
+func TestRunAndCompareSelf(t *testing.T) {
+	srv := newServer(t, 300, 7)
+	cfg := PlanConfig{Gen: "realworld", N: 300, Seed: 7, Mix: "mixed", Requests: 300}
+	plan, err := BuildPlan(cfg, gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Transport: HandlerTransport{H: srv.Handler()}, Concurrency: 4}
+	stats, err := Run(context.Background(), plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent != 300 || stats.Good != 300 || stats.Errors != 0 {
+		t.Fatalf("sent=%d good=%d errors=%d, want 300/300/0", stats.Sent, stats.Good, stats.Errors)
+	}
+	if got := stats.Hist.Snapshot().Count; got != 300 {
+		t.Fatalf("latency histogram holds %d samples, want 300", got)
+	}
+	rep := NewReport(plan, opts, stats, "test")
+	if regs := Compare(rep, rep, Tolerance{}); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+	if rep.GoodputRPS <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("implausible report: %+v", rep.Latency)
+	}
+
+	// Round-trip through the file format.
+	path := t.TempDir() + "/load.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Compare(back, rep, Tolerance{}); len(regs) != 0 {
+		t.Fatalf("file round-trip regressed: %v", regs)
+	}
+}
+
+// TestCompareCatchesSlowdownAndMismatch: an injected uniform delay trips
+// the p50 gate; a different workload refuses to compare at all.
+func TestCompareCatchesSlowdownAndMismatch(t *testing.T) {
+	srv := newServer(t, 300, 7)
+	cfg := PlanConfig{Gen: "realworld", N: 300, Seed: 7, Mix: "explorer", Requests: 200}
+	plan, err := BuildPlan(cfg, gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Transport: HandlerTransport{H: srv.Handler()}, Concurrency: 4}
+	fast, err := Run(context.Background(), plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewReport(plan, opts, fast, "")
+
+	slowOpts := opts
+	slowOpts.InjectDelay = 5 * time.Millisecond
+	slow, err := Run(context.Background(), plan, slowOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewReport(plan, slowOpts, slow, "")
+	if regs := Compare(base, cur, Tolerance{}); len(regs) == 0 {
+		t.Fatalf("5ms injected slowdown passed the gate: base p50=%.0f cur p50=%.0f",
+			base.Latency.P50, cur.Latency.P50)
+	}
+
+	other := *base
+	other.PlanDigest = "0000000000000000"
+	if regs := Compare(&other, base, Tolerance{}); len(regs) == 0 {
+		t.Fatal("plan digest mismatch passed the gate")
+	}
+	diffCfg := *base
+	diffCfg.Config.Requests++
+	if regs := Compare(&diffCfg, base, Tolerance{}); len(regs) == 0 {
+		t.Fatal("config mismatch passed the gate")
+	}
+}
+
+// TestOpenLoopSheds: open-loop pacing far above what one blocked worker
+// can absorb must count drops instead of slowing down the schedule.
+func TestOpenLoopSheds(t *testing.T) {
+	block := make(chan struct{})
+	var h http.HandlerFunc = func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusOK)
+	}
+	cfg := PlanConfig{Gen: "realworld", N: 300, Seed: 7, Mix: "explorer", Requests: 50}
+	plan, err := BuildPlan(cfg, gen.RealWorld(gen.RealWorldConfig{TotalObs: 300, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *RunStats, 1)
+	go func() {
+		stats, err := Run(context.Background(), plan, Options{
+			Transport:   HandlerTransport{H: h},
+			Concurrency: 2,
+			RPS:         5000,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- stats
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(block)
+	stats := <-done
+	if stats.Dropped == 0 {
+		t.Fatal("open-loop run with saturated workers dropped nothing")
+	}
+	if stats.Sent+stats.Dropped != 50 {
+		t.Fatalf("sent %d + dropped %d != plan length 50", stats.Sent, stats.Dropped)
+	}
+}

@@ -1,0 +1,276 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"rdfcube/internal/bitvec"
+	"rdfcube/internal/obsv"
+)
+
+// LoadReport is the serialized outcome of one load run — the LOAD_*.json
+// schema. It embeds the full PlanConfig so a -compare run rebuilds the
+// exact workload from the baseline file instead of trusting flags, and a
+// calibration measurement so wall-clock latency gates transfer across
+// machines the same way BENCH_*.json's do.
+type LoadReport struct {
+	Version int `json:"version"`
+	// Environment provenance — informational.
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CreatedAt  string `json:"createdAt"`
+	Note       string `json:"note,omitempty"`
+
+	// Config is the workload; PlanDigest proves two runs issued the same
+	// request sequence.
+	Config     PlanConfig `json:"config"`
+	PlanDigest string     `json:"planDigest"`
+	// Concurrency and RPS are execution parameters (not part of the plan
+	// but part of what a comparison must hold fixed).
+	Concurrency int     `json:"concurrency"`
+	RPS         float64 `json:"rps,omitempty"`
+
+	// CalibrateNs anchors cross-machine latency comparison: the ns/op of
+	// a fixed pure-CPU loop on the measuring machine.
+	CalibrateNs float64 `json:"calibrateNs"`
+
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	Sent           int64   `json:"sent"`
+	Dropped        int64   `json:"dropped,omitempty"`
+	Good           int64   `json:"good"`
+	Shed           int64   `json:"shed"`
+	Errors         int64   `json:"errors"`
+	// GoodputRPS is successful responses per wall-clock second.
+	GoodputRPS float64 `json:"goodputRps"`
+
+	// Latency is the overall distribution (µs); PerOp splits it by kind.
+	Latency obsv.QuantileSummary            `json:"latency"`
+	PerOp   map[string]obsv.QuantileSummary `json:"perOp"`
+}
+
+// NewReport packages a run into the serializable report.
+func NewReport(p *Plan, opts Options, stats *RunStats, note string) *LoadReport {
+	rep := &LoadReport{
+		Version:        1,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		CreatedAt:      time.Now().UTC().Format(time.RFC3339),
+		Note:           note,
+		Config:         p.Config,
+		PlanDigest:     p.Digest,
+		Concurrency:    opts.concurrency(),
+		RPS:            opts.RPS,
+		CalibrateNs:    Calibrate(),
+		ElapsedSeconds: stats.Elapsed.Seconds(),
+		Sent:           stats.Sent,
+		Dropped:        stats.Dropped,
+		Good:           stats.Good,
+		Shed:           stats.Shed,
+		Errors:         stats.Errors,
+		Latency:        stats.Hist.Snapshot().Summary(),
+		PerOp:          map[string]obsv.QuantileSummary{},
+	}
+	if stats.Elapsed > 0 {
+		rep.GoodputRPS = float64(stats.Good) / stats.Elapsed.Seconds()
+	}
+	for kind, h := range stats.PerOp {
+		rep.PerOp[kind] = h.Snapshot().Summary()
+	}
+	return rep
+}
+
+// Calibrate measures the fixed pure-CPU anchor loop (1024 width-4096
+// bit-AND sweeps) and returns its minimum ns/op over a short window —
+// the same technique (and instruction mix) as the bench calibration, so
+// latency baselines recorded on other machines still gate meaningfully.
+func Calibrate() float64 {
+	v := bitvec.New(4096)
+	u := bitvec.New(4096)
+	for i := 0; i < 4096; i += 3 {
+		v.Set(i)
+		u.Set(i)
+	}
+	sink := false
+	var best time.Duration
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for iters := 0; iters < 3 || time.Now().Before(deadline); iters++ {
+		t0 := time.Now()
+		for k := 0; k < 1024; k++ {
+			sink = v.AndEqualsRange(u, 0, 4096)
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	_ = sink
+	return float64(best.Nanoseconds())
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *LoadReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteFile.
+func ReadReport(path string) (*LoadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	if r.Version != 1 {
+		return nil, fmt.Errorf("loadgen: %s: unsupported report version %d", path, r.Version)
+	}
+	return &r, nil
+}
+
+// Tolerance bounds how much a fresh run may degrade before Compare calls
+// it a regression. Zero values select defaults.
+//
+// Only the OVERALL latency distribution gates: per-op quantiles sit on a
+// few dozen samples each, where p99 is just the sample maximum and trips
+// on scheduler noise (they stay in the report for humans). Two latency
+// gates complement each other: the p50 gate is tight — the median over
+// thousands of requests is stable, so it reliably catches a uniform
+// per-request slowdown of a millisecond or two — while the p99 gate is
+// loose (tails under concurrency are noisy) and catches outright tail
+// explosions like lock stampedes.
+type Tolerance struct {
+	// P50Frac / P50AbsUs bound the calibration-scaled median increase
+	// (defaults 0.5 and 1000µs).
+	P50Frac  float64
+	P50AbsUs float64
+	// P99Frac / P99AbsUs bound the calibration-scaled p99 increase
+	// (defaults 1.0 and 5000µs).
+	P99Frac  float64
+	P99AbsUs float64
+	// GoodputDrop is the allowed decrease of the goodput FRACTION
+	// (good/sent, default 0.02): under a deterministic plan the share of
+	// successful responses is stable, so a drop means shedding or errors.
+	GoodputDrop float64
+	// ShedRise is the allowed increase of the shed fraction (default 0.05).
+	ShedRise float64
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.P50Frac == 0 {
+		t.P50Frac = 0.5
+	}
+	if t.P50AbsUs == 0 {
+		t.P50AbsUs = 1000
+	}
+	if t.P99Frac == 0 {
+		t.P99Frac = 1.0
+	}
+	if t.P99AbsUs == 0 {
+		t.P99AbsUs = 5000
+	}
+	if t.GoodputDrop == 0 {
+		t.GoodputDrop = 0.02
+	}
+	if t.ShedRise == 0 {
+		t.ShedRise = 0.05
+	}
+	return t
+}
+
+// Compare diffs a fresh run against a committed baseline and returns one
+// human-readable line per regression (empty means pass):
+//
+//   - the workload must be identical: config, concurrency/RPS and plan
+//     digest all match, or the comparison is meaningless;
+//   - the overall p50 and p99 may not exceed the calibration-scaled
+//     baseline by more than their tolerances;
+//   - the goodput fraction may not drop, and the shed fraction may not
+//     rise, beyond their tolerances;
+//   - errors may not appear in a run whose baseline had none.
+func Compare(base, cur *LoadReport, tol Tolerance) []string {
+	tol = tol.withDefaults()
+	var regs []string
+	if base.Config != cur.Config {
+		return []string{fmt.Sprintf("workload config mismatch: baseline %+v vs current %+v", base.Config, cur.Config)}
+	}
+	if base.Concurrency != cur.Concurrency || base.RPS != cur.RPS {
+		return []string{fmt.Sprintf("execution mismatch: baseline %d workers @ %.0f rps vs current %d @ %.0f",
+			base.Concurrency, base.RPS, cur.Concurrency, cur.RPS)}
+	}
+	if base.PlanDigest != cur.PlanDigest {
+		return []string{fmt.Sprintf("plan digest mismatch: baseline %s vs current %s (the generator is no longer deterministic, or the plan changed)",
+			base.PlanDigest, cur.PlanDigest)}
+	}
+
+	scale := 1.0
+	if base.CalibrateNs > 0 && cur.CalibrateNs > 0 {
+		scale = cur.CalibrateNs / base.CalibrateNs
+	}
+	gate := func(quantile string, baseQ, curQ, frac, absUs float64) {
+		limit := baseQ*scale*(1+frac) + absUs
+		if curQ > limit {
+			regs = append(regs, fmt.Sprintf("latency: %s %.0fµs exceeds %.0fµs (baseline %.0f × calibration %.2f %+.0f%% + %.0fµs)",
+				quantile, curQ, limit, baseQ, scale, frac*100, absUs))
+		}
+	}
+	gate("p50", base.Latency.P50, cur.Latency.P50, tol.P50Frac, tol.P50AbsUs)
+	gate("p99", base.Latency.P99, cur.Latency.P99, tol.P99Frac, tol.P99AbsUs)
+
+	frac := func(part, whole int64) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return float64(part) / float64(whole)
+	}
+	if bg, cg := frac(base.Good, base.Sent), frac(cur.Good, cur.Sent); cg < bg-tol.GoodputDrop {
+		regs = append(regs, fmt.Sprintf("goodput: %.1f%% of requests succeeded, baseline %.1f%% (tolerance -%.0fpp)",
+			cg*100, bg*100, tol.GoodputDrop*100))
+	}
+	if bs, cs := frac(base.Shed, base.Sent), frac(cur.Shed, cur.Sent); cs > bs+tol.ShedRise {
+		regs = append(regs, fmt.Sprintf("shed: %.1f%% of requests shed, baseline %.1f%% (tolerance +%.0fpp)",
+			cs*100, bs*100, tol.ShedRise*100))
+	}
+	if base.Errors == 0 && cur.Errors > 0 {
+		regs = append(regs, fmt.Sprintf("errors: %d error responses, baseline had none", cur.Errors))
+	}
+	return regs
+}
+
+// Text renders the report for terminal output.
+func (r *LoadReport) Text() string {
+	out := fmt.Sprintf("workload %s/%s n=%d seed=%d: %d requests, %d workers",
+		r.Config.Gen, r.Config.Mix, r.Config.N, r.Config.Seed, r.Config.Requests, r.Concurrency)
+	if r.RPS > 0 {
+		out += fmt.Sprintf(" @ %.0f rps open-loop", r.RPS)
+	}
+	out += fmt.Sprintf("  (plan %s)\n", r.PlanDigest)
+	out += fmt.Sprintf("sent %d  good %d  shed %d  errors %d  dropped %d  in %.2fs  → %.0f good/s\n",
+		r.Sent, r.Good, r.Shed, r.Errors, r.Dropped, r.ElapsedSeconds, r.GoodputRPS)
+	out += fmt.Sprintf("%-12s %8s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50", "p90", "p99", "p999")
+	row := func(name string, q obsv.QuantileSummary) string {
+		return fmt.Sprintf("%-12s %8d %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+			name, q.Count, q.Mean, q.P50, q.P90, q.P99, q.P999)
+	}
+	out += row("all", r.Latency)
+	kinds := make([]string, 0, len(r.PerOp))
+	for kind := range r.PerOp {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		out += row(kind, r.PerOp[kind])
+	}
+	return out
+}

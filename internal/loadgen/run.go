@@ -1,0 +1,206 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfcube/internal/obsv"
+)
+
+// HandlerTransport is an http.RoundTripper that dispatches requests to
+// an in-process handler — no sockets, no network stack, so an in-process
+// load run measures the serving path itself.
+type HandlerTransport struct {
+	H http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.H.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// Options tunes one load run.
+type Options struct {
+	// Transport executes the requests: a HandlerTransport for in-process
+	// runs, http.DefaultTransport (or similar) for network runs.
+	Transport http.RoundTripper
+	// BaseURL prefixes every op path, e.g. "http://127.0.0.1:8080". For
+	// in-process runs any syntactically valid URL works.
+	BaseURL string
+	// Concurrency is the number of closed-loop workers (or the in-flight
+	// cap in open-loop mode). Zero means 8.
+	Concurrency int
+	// RPS, when positive, switches to open-loop pacing: ops are released
+	// on a fixed schedule regardless of completions, and an op whose
+	// release finds no free worker slot is dropped (counted, not sent) —
+	// the load does NOT slow down to match a struggling server, which is
+	// what makes open-loop numbers honest under overload.
+	RPS float64
+	// InjectDelay adds a fixed server-side-style delay inside every
+	// request's measured window. It exists to validate the regression
+	// gate: a run with 5ms injected must fail a healthy baseline.
+	InjectDelay time.Duration
+}
+
+func (o Options) concurrency() int {
+	if o.Concurrency <= 0 {
+		return 8
+	}
+	return o.Concurrency
+}
+
+// RunStats is the raw outcome of one run, before packaging into a
+// LoadReport.
+type RunStats struct {
+	Elapsed time.Duration
+	// Sent is the number of requests actually issued; Dropped counts
+	// open-loop releases that found no free slot. Sent+Dropped equals the
+	// plan length.
+	Sent    int64
+	Dropped int64
+	// Good counts 2xx responses, Shed 429s, Errors every other non-2xx.
+	Good   int64
+	Shed   int64
+	Errors int64
+	// Hist is the overall latency distribution (µs); PerOp splits it by
+	// op kind.
+	Hist  *obsv.Histogram
+	PerOp map[string]*obsv.Histogram
+}
+
+// Run executes the plan and collects latency and outcome statistics.
+// Request latencies obviously vary run to run; the SEQUENCE of requests
+// each worker pool consumes is fixed by the plan.
+func Run(ctx context.Context, p *Plan, opts Options) (*RunStats, error) {
+	if opts.Transport == nil {
+		return nil, fmt.Errorf("loadgen: Options.Transport is required")
+	}
+	if opts.BaseURL == "" {
+		opts.BaseURL = "http://cubeload.invalid"
+	}
+	stats := &RunStats{
+		Hist:  &obsv.Histogram{},
+		PerOp: map[string]*obsv.Histogram{},
+	}
+	// Pre-create the per-op histograms so workers never write to the map.
+	for _, op := range p.Ops {
+		if stats.PerOp[op.Kind] == nil {
+			stats.PerOp[op.Kind] = &obsv.Histogram{}
+		}
+	}
+
+	execute := func(i int, op Op) {
+		var body io.Reader
+		if op.Body != nil {
+			body = bytes.NewReader(op.Body)
+		}
+		req, err := http.NewRequestWithContext(ctx, op.Method, opts.BaseURL+op.Path, body)
+		if err != nil {
+			atomic.AddInt64(&stats.Errors, 1)
+			return
+		}
+		if op.Body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set("X-Request-Id", fmt.Sprintf("load-%d", i))
+		start := time.Now()
+		if opts.InjectDelay > 0 {
+			time.Sleep(opts.InjectDelay)
+		}
+		resp, err := opts.Transport.RoundTrip(req)
+		if err != nil {
+			atomic.AddInt64(&stats.Errors, 1)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		us := time.Since(start).Microseconds()
+		stats.Hist.Observe(us)
+		stats.PerOp[op.Kind].Observe(us)
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			atomic.AddInt64(&stats.Good, 1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			atomic.AddInt64(&stats.Shed, 1)
+		default:
+			atomic.AddInt64(&stats.Errors, 1)
+		}
+	}
+
+	start := time.Now()
+	if opts.RPS > 0 {
+		runOpen(ctx, p, opts, stats, execute)
+	} else {
+		runClosed(ctx, p, opts, stats, execute)
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// runClosed drives the plan with a fixed worker pool: each worker claims
+// the next op from a shared atomic cursor, so the request ORDER is the
+// plan order even though completions interleave.
+func runClosed(ctx context.Context, p *Plan, opts Options, stats *RunStats, execute func(int, Op)) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.concurrency(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(p.Ops) || ctx.Err() != nil {
+					return
+				}
+				atomic.AddInt64(&stats.Sent, 1)
+				execute(i, p.Ops[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen releases ops on the RPS schedule. A release that finds all
+// Concurrency slots busy drops the op: open-loop load measures what the
+// server sheds, not what a polite client would retry.
+func runOpen(ctx context.Context, p *Plan, opts Options, stats *RunStats, execute func(int, Op)) {
+	interval := time.Duration(float64(time.Second) / opts.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	slots := make(chan struct{}, opts.concurrency())
+	var wg sync.WaitGroup
+	next := time.Now()
+	for i, op := range p.Ops {
+		if ctx.Err() != nil {
+			atomic.AddInt64(&stats.Dropped, int64(len(p.Ops)-i))
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		select {
+		case slots <- struct{}{}:
+			atomic.AddInt64(&stats.Sent, 1)
+			wg.Add(1)
+			go func(i int, op Op) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				execute(i, op)
+			}(i, op)
+		default:
+			atomic.AddInt64(&stats.Dropped, 1)
+		}
+	}
+	wg.Wait()
+}

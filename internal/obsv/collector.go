@@ -21,6 +21,9 @@ type Collector struct {
 	gmu    sync.Mutex
 	gauges map[string]float64
 
+	hmu   sync.RWMutex
+	hists map[string]*Histogram
+
 	smu   sync.Mutex
 	roots []*Span
 	stack []*Span
@@ -31,6 +34,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		counters: map[string]*Counter{},
 		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -69,6 +73,54 @@ func (c *Collector) Gauge(name string, value float64) {
 	c.gmu.Unlock()
 }
 
+// Histogram returns the named histogram, creating it at zero on first
+// use. Like Counter, the returned *Histogram may be retained and
+// Observe-d directly, bypassing the map lookup.
+func (c *Collector) Histogram(name string) *Histogram {
+	c.hmu.RLock()
+	h, ok := c.hists[name]
+	c.hmu.RUnlock()
+	if ok {
+		return h
+	}
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	if h, ok = c.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	c.hists[name] = h
+	return h
+}
+
+// Observe implements Observer: it records value into the named histogram.
+func (c *Collector) Observe(name string, value int64) {
+	c.Histogram(name).Observe(value)
+}
+
+// HistSnapshot returns a snapshot of the named histogram, or (nil, false)
+// when nothing was ever observed under that name.
+func (c *Collector) HistSnapshot(name string) (*HistSnapshot, bool) {
+	c.hmu.RLock()
+	h, ok := c.hists[name]
+	c.hmu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return h.Snapshot(), true
+}
+
+// Histograms snapshots every histogram.
+func (c *Collector) Histograms() map[string]*HistSnapshot {
+	c.hmu.RLock()
+	defer c.hmu.RUnlock()
+	out := make(map[string]*HistSnapshot, len(c.hists))
+	for name, h := range c.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
 // Start implements Recorder: it opens a span as a child of the innermost
 // open span (or as a root) and returns the closer.
 func (c *Collector) Start(name string) func() {
@@ -87,7 +139,6 @@ func (c *Collector) Start(name string) func() {
 	return func() {
 		once.Do(func() {
 			c.smu.Lock()
-			defer c.smu.Unlock()
 			sp.Seconds = time.Since(sp.start).Seconds()
 			sp.open = false
 			// Pop the stack down to (and including) this span. Spans left
@@ -103,6 +154,12 @@ func (c *Collector) Start(name string) func() {
 					top.open = false
 				}
 			}
+			c.smu.Unlock()
+			// Every phase close feeds the per-phase duration histogram, so
+			// long-running servers get kernel-phase latency distributions
+			// (phase.compare.us, phase.replay.us, …) for free — one Observe
+			// per phase, nowhere near the per-pair hot path.
+			c.Observe("phase."+sp.Name+".us", int64(sp.Seconds*1e6))
 		})
 	}
 }
@@ -146,6 +203,12 @@ func copySpan(sp *Span) *Span {
 	if sp.open {
 		cp.Seconds = time.Since(sp.start).Seconds()
 	}
+	if len(sp.Counters) > 0 {
+		cp.Counters = make(map[string]int64, len(sp.Counters))
+		for k, v := range sp.Counters {
+			cp.Counters[k] = v
+		}
+	}
 	cp.Children = make([]*Span, len(sp.Children))
 	for i, ch := range sp.Children {
 		cp.Children[i] = copySpan(ch)
@@ -158,18 +221,27 @@ func copySpan(sp *Span) *Span {
 
 // snapshotJSON is the exported JSON shape of a Collector.
 type snapshotJSON struct {
-	Phases   []*Span            `json:"phases,omitempty"`
-	Counters map[string]int64   `json:"counters,omitempty"`
-	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Phases     []*Span                    `json:"phases,omitempty"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+	Gauges     map[string]float64         `json:"gauges,omitempty"`
+	Histograms map[string]QuantileSummary `json:"histograms,omitempty"`
 }
 
 // MarshalJSON renders the collector expvar-style: a single JSON object
-// with phases, counters and gauges.
+// with phases, counters, gauges and histogram quantile summaries.
 func (c *Collector) MarshalJSON() ([]byte, error) {
+	var summaries map[string]QuantileSummary
+	if hists := c.Histograms(); len(hists) > 0 {
+		summaries = make(map[string]QuantileSummary, len(hists))
+		for name, s := range hists {
+			summaries[name] = s.Summary()
+		}
+	}
 	return json.Marshal(snapshotJSON{
-		Phases:   c.Spans(),
-		Counters: c.Snapshot(),
-		Gauges:   c.Gauges(),
+		Phases:     c.Spans(),
+		Counters:   c.Snapshot(),
+		Gauges:     c.Gauges(),
+		Histograms: summaries,
 	})
 }
 
@@ -245,6 +317,31 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 	for _, n := range gnames {
 		fmt.Fprintf(&b, "rdfcube_gauge{name=%q} %g\n", n, gauges[n])
 	}
+	// Histograms follow the Prometheus histogram convention — cumulative
+	// _bucket samples with `le` upper bounds, then _sum and _count. Only
+	// occupied buckets are emitted (sparse expositions are valid and keep
+	// the page small); the dotted metric name carries the unit (.us).
+	hists := c.Histograms()
+	if len(hists) > 0 {
+		b.WriteString("# TYPE rdfcube_hist histogram\n")
+		hnames := make([]string, 0, len(hists))
+		for n := range hists {
+			hnames = append(hnames, n)
+		}
+		sort.Strings(hnames)
+		for _, n := range hnames {
+			s := hists[n]
+			var total uint64
+			s.Buckets(func(upper int64, cumulative uint64) bool {
+				fmt.Fprintf(&b, "rdfcube_hist_bucket{name=%q,le=%q} %d\n", n, formatLe(upper), cumulative)
+				total = cumulative
+				return true
+			})
+			fmt.Fprintf(&b, "rdfcube_hist_bucket{name=%q,le=\"+Inf\"} %d\n", n, total)
+			fmt.Fprintf(&b, "rdfcube_hist_sum{name=%q} %d\n", n, s.Sum)
+			fmt.Fprintf(&b, "rdfcube_hist_count{name=%q} %d\n", n, total)
+		}
+	}
 	b.WriteString("# TYPE rdfcube_phase_seconds gauge\n")
 	var walk func(prefix string, sp *Span)
 	walk = func(prefix string, sp *Span) {
@@ -262,6 +359,12 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// formatLe renders a bucket upper bound the way Prometheus clients
+// expect (no exponent for small integers, %g beyond).
+func formatLe(v int64) string {
+	return fmt.Sprintf("%g", float64(v))
 }
 
 func sortedKeys(m map[string]int64) []string {

@@ -36,6 +36,24 @@ type Recorder interface {
 	Gauge(name string, value float64)
 }
 
+// Observer is the optional Recorder extension for distribution metrics:
+// implementations record value into the named histogram. It is separate
+// from Recorder so existing Recorder implementations (and third-party
+// ones) keep compiling; call sites use the Observe helper, which degrades
+// to a no-op for recorders without distribution support.
+type Observer interface {
+	Observe(name string, value int64)
+}
+
+// Observe records value into r's named histogram when r supports
+// distributions (implements Observer); otherwise it does nothing. A nil
+// r is also fine.
+func Observe(r Recorder, name string, value int64) {
+	if o, ok := r.(Observer); ok {
+		o.Observe(name, value)
+	}
+}
+
 // Nop is the no-op Recorder: every method does nothing. Algorithms treat
 // a nil Recorder the same way (they skip the call entirely), so Nop exists
 // for call sites that want a non-nil Recorder unconditionally.
@@ -49,6 +67,9 @@ func (Nop) Count(string, int64) {}
 
 // Gauge implements Recorder.
 func (Nop) Gauge(string, float64) {}
+
+// Observe implements Observer.
+func (Nop) Observe(string, int64) {}
 
 var nopEnd = func() {}
 
@@ -101,6 +122,14 @@ func (m multi) Gauge(name string, value float64) {
 	}
 }
 
+// Observe implements Observer, forwarding to the members that support
+// distributions.
+func (m multi) Observe(name string, value int64) {
+	for _, r := range m {
+		Observe(r, name, value)
+	}
+}
+
 // Span is one node of the recorded phase tree.
 type Span struct {
 	// Name is the phase name passed to Start.
@@ -109,6 +138,11 @@ type Span struct {
 	Seconds float64 `json:"seconds"`
 	// Children are spans opened while this one was open.
 	Children []*Span `json:"children,omitempty"`
+	// Counters are the counter deltas attributed to this span (set by
+	// TraceCollector, which charges each Count call to the innermost open
+	// span; the global Collector leaves it nil — its counters are
+	// process-wide, not per-span).
+	Counters map[string]int64 `json:"counters,omitempty"`
 
 	start time.Time
 	open  bool

@@ -1,0 +1,101 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strings"
+)
+
+// Runtime health exposition. Tail latency under load correlates with the
+// runtime's own behavior — a cubeload run whose p999 spikes wants to know
+// whether a GC pause or a goroutine pile-up was underneath it — so the
+// debug server exports the relevant runtime/metrics samples next to the
+// application metrics, in the same Prometheus text format.
+
+// runtimeSamples are the runtime/metrics series exported, paired with
+// their exposition names.
+var runtimeSamples = []struct {
+	source string // runtime/metrics name
+	expo   string // exposition metric name
+	kind   string // "gauge" or "histogram"
+}{
+	{"/sched/goroutines:goroutines", "rdfcube_go_goroutines", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "rdfcube_go_heap_objects_bytes", "gauge"},
+	{"/memory/classes/total:bytes", "rdfcube_go_memory_total_bytes", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "rdfcube_go_gc_cycles_total", "gauge"},
+	{"/gc/pauses:seconds", "rdfcube_go_gc_pause_seconds", "histogram"},
+	{"/sched/latencies:seconds", "rdfcube_go_sched_latency_seconds", "histogram"},
+}
+
+// WriteRuntimeMetrics writes the Go runtime health metrics: goroutine
+// count, heap in-use, total runtime-managed memory, GC cycle count, and
+// the runtime-maintained GC-pause and scheduler-latency histograms
+// (sparse buckets, Prometheus histogram convention).
+func WriteRuntimeMetrics(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.source
+	}
+	metrics.Read(samples)
+
+	var b strings.Builder
+	for i, rs := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			if rs.kind != "gauge" {
+				continue
+			}
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", rs.expo, rs.expo, samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			if rs.kind != "gauge" {
+				continue
+			}
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", rs.expo, rs.expo, samples[i].Value.Float64())
+		case metrics.KindFloat64Histogram:
+			if rs.kind != "histogram" {
+				continue
+			}
+			writeRuntimeHistogram(&b, rs.expo, samples[i].Value.Float64Histogram())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeRuntimeHistogram renders a runtime/metrics Float64Histogram as
+// cumulative Prometheus buckets, skipping empty ones.
+func writeRuntimeHistogram(b *strings.Builder, name string, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		// Counts[i] covers (Buckets[i], Buckets[i+1]]; the upper edge is
+		// the Prometheus `le` bound. The first/last edges can be ±Inf.
+		upper := h.Buckets[i+1]
+		if math.IsInf(upper, +1) {
+			continue // folded into the +Inf sample below
+		}
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", upper), cum)
+		lower := h.Buckets[i]
+		if !math.IsInf(lower, -1) {
+			sum += float64(c) * (lower + upper) / 2
+		}
+	}
+	// Re-add any +Inf-bucket counts to the cumulative total.
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
+}

@@ -18,6 +18,9 @@ func Handler(c *Collector) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = c.WriteMetrics(w)
+		// Runtime health (goroutines, heap, GC pauses) rides along so a
+		// scrape correlates tail latency with the runtime's behavior.
+		_ = WriteRuntimeMetrics(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rdfcube/internal/core"
+	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/wal"
@@ -43,6 +44,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// error writes a JSON error body carrying the request's trace ID, so a
+// 4xx/5xx response is correlatable with the /debug/traces ring, the
+// slow-query log and the panic log line. Handlers use this instead of
+// bare writeError whenever a request is in scope.
+func (s *Server) error(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	payload := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if id := TraceID(r.Context()); id != "" {
+		payload["traceId"] = id
+	}
+	writeJSON(w, status, payload)
+}
+
 // statusClientClosedRequest is nginx's convention for a request whose
 // client went away before the response was written.
 const statusClientClosedRequest = 499
@@ -67,7 +80,7 @@ func (s *Server) ctxAbort(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	s.count(CtrCanceled, 1)
-	writeError(w, cancelStatus(err), "request abandoned: %v", err)
+	s.error(w, r, cancelStatus(err), "request abandoned: %v", err)
 	return true
 }
 
@@ -153,7 +166,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := s.resolveObs(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.error(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -172,7 +185,7 @@ func (s *Server) handleComplements(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := s.resolveObs(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.error(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -183,33 +196,46 @@ func (s *Server) handleComplements(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	tr := traceFrom(r.Context())
+	endLock := tr.span("lock.rwait")
 	s.mu.RLock()
+	endLock()
 	defer s.mu.RUnlock()
 	if s.ctxAbort(w, r) {
 		return
 	}
+	endResolve := tr.span("resolve")
 	i, err := s.resolveObs(r)
+	endResolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.error(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// The fan-out materializes five neighbor lists; check the context
-	// between them so a hung-up client stops the work mid-way.
+	// between them so a hung-up client stops the work mid-way. Each batch
+	// gets its own span so a slow /v1/related trace names the list that
+	// ate the budget.
 	resp := map[string]any{
 		"obs": i,
 		"uri": s.inc.S.Obs[i].URI.Value,
 	}
+	endFull := tr.span("fanout.full")
 	resp["contains"] = s.refs(s.adj.contains[i])
 	resp["containedBy"] = s.refs(s.adj.containedBy[i])
+	endFull()
 	if s.ctxAbort(w, r) {
 		return
 	}
+	endPartial := tr.span("fanout.partial")
 	resp["partiallyContains"] = s.partialRefs(i, s.adj.partials[i], true)
 	resp["partiallyContainedBy"] = s.partialRefs(i, s.adj.partialBy[i], false)
+	endPartial()
 	if s.ctxAbort(w, r) {
 		return
 	}
+	endCompl := tr.span("fanout.complements")
 	resp["complements"] = s.refs(s.adj.complements[i])
+	endCompl()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -218,7 +244,7 @@ func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	i, err := strconv.Atoi(r.PathValue("i"))
 	if err != nil || i < 0 || i >= s.inc.S.N() {
-		writeError(w, http.StatusNotFound, "no observation %q", r.PathValue("i"))
+		s.error(w, r, http.StatusNotFound, "no observation %q", r.PathValue("i"))
 		return
 	}
 	o := s.inc.S.Obs[i]
@@ -258,22 +284,25 @@ type insertRequest struct {
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if s.Degraded() {
-		writeError(w, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
+		s.error(w, r, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
 		return
 	}
 	var req insertRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInsertBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad insert body: %v", err)
+		s.error(w, r, http.StatusBadRequest, "bad insert body: %v", err)
 		return
 	}
 	if req.URI == "" {
-		writeError(w, http.StatusBadRequest, "missing observation uri")
+		s.error(w, r, http.StatusBadRequest, "missing observation uri")
 		return
 	}
 
+	tr := traceFrom(r.Context())
+	endLock := tr.span("lock.wait")
 	s.mu.Lock()
+	endLock()
 	defer s.mu.Unlock()
 
 	// The write-lock wait can be long; if the client hung up during it,
@@ -286,18 +315,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// Re-check under the lock: another insert may have degraded us while
 	// we waited.
 	if s.Degraded() {
-		writeError(w, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
+		s.error(w, r, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
 		return
 	}
 
 	di, ok := s.dsIdx[req.Dataset]
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown dataset %q", req.Dataset)
+		s.error(w, r, http.StatusBadRequest, "unknown dataset %q", req.Dataset)
 		return
 	}
 	ds := s.inc.S.Corpus.Datasets[di]
 	if _, dup := s.uriIdx[req.URI]; dup {
-		writeError(w, http.StatusConflict, "observation %q already exists", req.URI)
+		s.error(w, r, http.StatusConflict, "observation %q already exists", req.URI)
 		return
 	}
 
@@ -308,7 +337,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		MeasureValues: make([]rdf.Term, len(ds.Schema.Measures)),
 	}
 	unknown := func(kind, key string) {
-		writeError(w, http.StatusBadRequest, "%s %q is not in the schema of %s", kind, key, req.Dataset)
+		s.error(w, r, http.StatusBadRequest, "%s %q is not in the schema of %s", kind, key, req.Dataset)
 	}
 	for key, val := range req.Dimensions {
 		k := ds.Schema.DimIndex(rdf.NewIRI(key))
@@ -329,8 +358,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 
 	// Validate BEFORE the durable log append, so every record that
 	// reaches the WAL is guaranteed to apply on replay.
-	if err := s.inc.S.ValidateObservation(o); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	endValidate := tr.span("validate")
+	err := s.inc.S.ValidateObservation(o)
+	endValidate()
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -344,9 +376,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			DimValues:     o.DimValues,
 			MeasureValues: o.MeasureValues,
 		}
-		if err := s.wlog.Append(rec); err != nil {
+		endWAL := tr.span("wal.append")
+		walStart := time.Now()
+		err := s.wlog.Append(rec)
+		s.observe(HistWALAppend, time.Since(walStart).Microseconds())
+		endWAL()
+		if err != nil {
 			s.markDegraded(fmt.Sprintf("wal append for %s: %v", req.URI, err))
-			writeError(w, http.StatusServiceUnavailable, "durable log append failed; entering read-only mode")
+			s.error(w, r, http.StatusServiceUnavailable, "durable log append failed; entering read-only mode")
 			return
 		}
 		s.count(CtrWALAppends, 1)
@@ -355,12 +392,24 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	f0 := len(s.inc.Res.FullSet)
 	p0 := len(s.inc.Res.PartialSet)
 	c0 := len(s.inc.Res.ComplSet)
-	if err := s.applyInsertLocked(di, o); err != nil {
+	// Route the incremental kernel's counters (candidate sizes, emits)
+	// into the request's span tree as well as the global recorder. Safe
+	// only because the write lock excludes every other kernel user; the
+	// deferred restore runs before the lock is released.
+	if tr != nil {
+		old := s.inc.S.Recorder()
+		s.inc.S.SetRecorder(obsv.Multi(old, tr.tc))
+		defer s.inc.S.SetRecorder(old)
+	}
+	endApply := tr.span("apply")
+	err = s.applyInsertLocked(di, o)
+	endApply()
+	if err != nil {
 		// Unreachable after ValidateObservation; if it ever fires the
 		// record is already durable, so surface it loudly rather than
 		// pretend the insert never happened.
 		s.log("insert %s: validated observation failed to apply: %v", req.URI, err)
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.error(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	idx := s.uriIdx[req.URI]
@@ -407,6 +456,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.wlog != nil {
 		resp["walBytes"] = s.wlog.Size()
+	}
+	// Latency distribution, when the recorder keeps histograms. The old
+	// serve.latency.us sum counter and .last.us gauge stay in /metrics for
+	// compatibility; this is the quantile view (values in µs).
+	if h, ok := s.rec.(interface {
+		HistSnapshot(string) (*obsv.HistSnapshot, bool)
+	}); ok {
+		if snap, found := h.HistSnapshot(HistLatency); found {
+			resp["latency"] = snap.Summary()
+		}
 	}
 	state, fails := s.breaker.snapshot()
 	resp["recomputeBreaker"] = state

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rdfcube/internal/core"
+	"rdfcube/internal/obsv"
 )
 
 // handleRecompute runs a full batch recompute of the relationship sets
@@ -37,7 +38,7 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		s.count(CtrBreakerOpen, 1)
 		state, fails := s.breaker.snapshot()
 		s.setRetryAfter(w, wait)
-		writeError(w, http.StatusServiceUnavailable,
+		s.error(w, r, http.StatusServiceUnavailable,
 			"recompute circuit %s after %d consecutive kernel failures; serving last good state, retry later", state, fails)
 		return
 	}
@@ -46,7 +47,7 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		// queueing behind a write lock for minutes.
 		s.breaker.success() // the admitted slot was never used; don't leak a half-open probe
 		s.setRetryAfter(w, 2*time.Second)
-		writeError(w, http.StatusTooManyRequests, "a recompute is already running")
+		s.error(w, r, http.StatusTooManyRequests, "a recompute is already running")
 		return
 	}
 	defer s.recomputing.Store(false)
@@ -66,7 +67,18 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := core.NewResult()
-	opts := core.Options{Tasks: s.tasks, Workers: s.workers, Obs: s.rec}
+	// The kernel's phase spans and pruning counters go to the global
+	// recorder AND the request's trace, so /debug/traces shows the
+	// recompute's compare/cluster phases nested under the route span.
+	// ComputeCtx attaches opts.Obs to the Space and leaves it attached;
+	// restore the server's recorder so later inserts don't keep feeding
+	// a dead request's trace.
+	obs := s.rec
+	if tr := traceFrom(r.Context()); tr != nil {
+		obs = obsv.Multi(s.rec, tr.tc)
+	}
+	defer s.inc.S.SetRecorder(s.rec)
+	opts := core.Options{Tasks: s.tasks, Workers: s.workers, Obs: obs}
 	start := time.Now()
 	err := core.ComputeCtx(ctx, s.inc.S, s.alg, opts, res)
 	if err != nil {
@@ -98,10 +110,10 @@ func (s *Server) recomputeError(w http.ResponseWriter, r *http.Request, err erro
 		switch {
 		case s.runCtx.Err() != nil:
 			// Shutdown canceled the compute: not a kernel failure.
-			writeError(w, http.StatusServiceUnavailable, "server shutting down; recompute canceled")
+			s.error(w, r, http.StatusServiceUnavailable, "server shutting down; recompute canceled")
 		case r.Context().Err() != nil && !errors.Is(r.Context().Err(), context.DeadlineExceeded):
 			// The client hung up: their problem, not the kernel's.
-			writeError(w, statusClientClosedRequest, "client closed request; recompute canceled, previous state kept")
+			s.error(w, r, statusClientClosedRequest, "client closed request; recompute canceled, previous state kept")
 		default:
 			// RecomputeTimeout overrun: the kernel is too slow for the
 			// budget — that IS a service failure; charge the breaker.
@@ -109,7 +121,7 @@ func (s *Server) recomputeError(w http.ResponseWriter, r *http.Request, err erro
 				state, fails := s.breaker.snapshot()
 				s.log("recompute breaker %s after %d consecutive failures (last: %v)", state, fails, err)
 			}
-			writeError(w, http.StatusGatewayTimeout, "recompute exceeded its deadline; partial result discarded, previous state kept")
+			s.error(w, r, http.StatusGatewayTimeout, "recompute exceeded its deadline; partial result discarded, previous state kept")
 		}
 		return
 	}
@@ -118,5 +130,5 @@ func (s *Server) recomputeError(w http.ResponseWriter, r *http.Request, err erro
 		state, fails := s.breaker.snapshot()
 		s.log("recompute breaker %s after %d consecutive failures (last: %v)", state, fails, err)
 	}
-	writeError(w, http.StatusInternalServerError, "recompute failed: %v; previous state kept", err)
+	s.error(w, r, http.StatusInternalServerError, "recompute failed: %v; previous state kept", err)
 }

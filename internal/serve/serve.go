@@ -46,6 +46,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime/debug"
@@ -79,6 +80,26 @@ const (
 	GaugeLastMicro  = "serve.latency.last.us" // last handler latency (µs)
 	GaugeDegraded   = "serve.degraded"        // 1 while in read-only mode
 )
+
+// Histogram names reported through the Recorder's Observer extension
+// (recorded only when the Recorder supports distributions, e.g.
+// obsv.Collector). The sum counter and last-value gauge above stay for
+// compatibility; the histograms are what answers "what is p99?".
+const (
+	// HistLatency is the all-routes handler latency distribution (µs);
+	// each route additionally gets "serve.latency.<route>.us".
+	HistLatency = "serve.latency.us"
+	// HistWALAppend is the WAL append-to-ack latency (µs): the fsync cost
+	// every durable insert pays before its 201.
+	HistWALAppend = "serve.wal.append.us"
+	// HistCheckpointEncode / HistCheckpointWrite split a checkpoint into
+	// its encode-under-lock and commit-outside-lock halves (µs).
+	HistCheckpointEncode = "serve.checkpoint.encode.us"
+	HistCheckpointWrite  = "serve.checkpoint.write.us"
+)
+
+// routeHistName returns the per-route latency histogram name.
+func routeHistName(route string) string { return "serve.latency." + route + ".us" }
 
 // Config tunes a Server. The zero value is serviceable.
 type Config struct {
@@ -117,6 +138,18 @@ type Config struct {
 	// BreakerBackoff is the breaker's initial open interval (doubled per
 	// failed half-open probe, capped at 16×); zero means 5s.
 	BreakerBackoff time.Duration
+	// TraceRing bounds the in-memory ring of recent request traces served
+	// at /debug/traces; zero means 128. Every request is traced — the
+	// per-request cost is one small span-tree allocation, far below the
+	// JSON encoding the request pays anyway.
+	TraceRing int
+	// SlowThreshold gates the structured slow-query log: a request at
+	// least this slow is written to SlowLog as one JSON line (trace ID,
+	// route, status, span tree). Zero disables the log.
+	SlowThreshold time.Duration
+	// SlowLog receives the slow-query log lines. Nil disables the log
+	// even with SlowThreshold set.
+	SlowLog io.Writer
 }
 
 func (c Config) timeout() time.Duration {
@@ -167,6 +200,13 @@ type Server struct {
 	wlog    *wal.Log
 	logf    func(format string, a ...any)
 
+	// Request tracing: the bounded recent-trace ring behind /debug/traces
+	// and the threshold-gated slow-query log.
+	traces     *traceRing
+	slowThresh time.Duration
+	slowMu     sync.Mutex
+	slowLog    io.Writer
+
 	// Recompute machinery: the algorithm and worker count the endpoint
 	// runs with, its deadline, the circuit breaker that degrades the
 	// endpoint after repeated kernel failures, the one-at-a-time guard,
@@ -212,6 +252,10 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 		wlog:    cfg.WAL,
 		logf:    cfg.Logf,
 		started: time.Now(),
+
+		traces:     newTraceRing(cfg.TraceRing),
+		slowThresh: cfg.SlowThreshold,
+		slowLog:    cfg.SlowLog,
 
 		tasks:            cfg.Tasks,
 		alg:              cfg.algorithm(),
@@ -355,7 +399,9 @@ func (s *Server) CheckpointWith(commit func(data []byte) error) error {
 	defer s.ckptMu.Unlock()
 
 	s.mu.Lock()
+	encStart := time.Now()
 	data, err := snapshot.New(s.inc.S, s.inc.Res, s.inc.Lattice()).Encode()
+	s.observe(HistCheckpointEncode, time.Since(encStart).Microseconds())
 	var mark int64 = -1
 	if err == nil && s.wlog != nil {
 		mark = s.wlog.Size()
@@ -365,9 +411,11 @@ func (s *Server) CheckpointWith(commit func(data []byte) error) error {
 		return err
 	}
 
+	writeStart := time.Now()
 	if err := commit(data); err != nil {
 		return err
 	}
+	s.observe(HistCheckpointWrite, time.Since(writeStart).Microseconds())
 
 	if s.wlog != nil {
 		s.mu.Lock()
@@ -447,6 +495,10 @@ func (s *Server) Handler() http.Handler {
 	inner := http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
 	outer := http.NewServeMux()
 	outer.Handle("POST /v1/recompute", s.wrap("recompute", s.handleRecompute))
+	// The trace ring is served unwrapped: reading traces must not charge
+	// the semaphore, appear in the ring it is reading, or be shed under
+	// the very overload it is diagnosing.
+	outer.HandleFunc("GET /debug/traces", s.handleTraces)
 	outer.Handle("/", inner)
 	return outer
 }
@@ -463,8 +515,12 @@ func (s *Server) setRetryAfter(w http.ResponseWriter, d time.Duration) {
 	s.count(CtrRetryAfter, 1)
 }
 
-// wrap applies the semaphore, instrumentation and error counting to one
-// route's handler.
+// wrap applies the semaphore, tracing, instrumentation and error
+// counting to one route's handler. Every admitted request gets a trace
+// ID (the client's X-Request-Id, or a generated one), echoed on the
+// response and carried on the request context so handlers, error bodies
+// and the panic log can correlate; the request's span tree lands in the
+// /debug/traces ring when it completes.
 func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -481,28 +537,57 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request)) 
 		s.count(CtrRequests, 1)
 		s.count(CtrRequests+"."+route, 1)
 		s.gauge(GaugeInFlight, float64(len(s.sem)))
+
+		tid := r.Header.Get(TraceIDHeader)
+		if tid == "" || len(tid) > maxTraceIDLen {
+			tid = newTraceID()
+		}
+		w.Header().Set(TraceIDHeader, tid)
+		tr := &reqTrace{id: tid, tc: obsv.NewTraceCollector()}
+		r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr))
+
 		start := time.Now()
+		endSpan := tr.tc.Start(route)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		func() {
 			// Panic recovery: one bad request must not take down the
-			// daemon. Log the stack, count it, and answer 500 if the
-			// handler had not yet written a response.
+			// daemon. Log the stack with the trace ID, count it, and
+			// answer 500 if the handler had not yet written a response.
 			defer func() {
 				if rec := recover(); rec != nil {
 					s.count(CtrPanics, 1)
-					s.log("panic in %s handler: %v\n%s", route, rec, debug.Stack())
+					s.log("panic in %s handler (trace %s): %v\n%s", route, tid, rec, debug.Stack())
 					if !sw.wrote {
-						http.Error(sw, `{"error":"internal server error"}`, http.StatusInternalServerError)
+						writeJSON(sw, http.StatusInternalServerError,
+							map[string]string{"error": "internal server error", "traceId": tid})
 					}
 				}
 			}()
 			h(sw, r)
 		}()
+		endSpan()
 		us := time.Since(start).Microseconds()
 		s.count(CtrLatencyMicro, us)
 		s.gauge(GaugeLastMicro, float64(us))
+		s.observe(HistLatency, us)
+		s.observe(routeHistName(route), us)
 		if sw.status >= 400 {
 			s.count(CtrErrors, 1)
+		}
+
+		trace := &Trace{
+			ID:         tid,
+			Route:      route,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     sw.status,
+			Start:      start,
+			DurationUs: us,
+			Spans:      tr.tc.Spans(),
+		}
+		s.traces.add(trace)
+		if s.slowThresh > 0 && s.slowLog != nil && time.Duration(us)*time.Microsecond >= s.slowThresh {
+			s.logSlow(trace)
 		}
 	})
 }
@@ -536,6 +621,14 @@ func (s *Server) count(name string, delta int64) {
 func (s *Server) gauge(name string, v float64) {
 	if s.rec != nil {
 		s.rec.Gauge(name, v)
+	}
+}
+
+// observe records a histogram sample when the recorder supports
+// distributions (no-op otherwise).
+func (s *Server) observe(name string, v int64) {
+	if s.rec != nil {
+		obsv.Observe(s.rec, name, v)
 	}
 }
 

@@ -89,6 +89,18 @@ type (
 	Progress = obsv.Progress
 	// Span is one recorded phase of a Collector's span tree.
 	Span = obsv.Span
+	// Histogram is a fixed-memory log-bucketed latency histogram with
+	// lock-free recording and bounded-relative-error quantiles. The zero
+	// value is ready to use.
+	Histogram = obsv.Histogram
+	// HistSnapshot is a consistent point-in-time copy of a Histogram.
+	HistSnapshot = obsv.HistSnapshot
+	// QuantileSummary is the serializable quantile digest of a snapshot
+	// (count, mean, p50/p90/p99/p999).
+	QuantileSummary = obsv.QuantileSummary
+	// TraceCollector is a per-request Recorder that builds a span tree
+	// with counters attributed to the innermost open span.
+	TraceCollector = obsv.TraceCollector
 )
 
 // Algorithm and task constants.
@@ -139,6 +151,8 @@ var (
 
 	// NewCollector builds an empty in-memory metrics collector.
 	NewCollector = obsv.NewCollector
+	// NewTraceCollector builds an empty per-request trace recorder.
+	NewTraceCollector = obsv.NewTraceCollector
 	// NewProgress builds a streaming progress recorder over a writer.
 	NewProgress = obsv.NewProgress
 	// MultiRecorder fans one recording out to several recorders (nils are
