@@ -51,6 +51,7 @@ import (
 	"rdfcube/internal/lattice"
 	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
+	"rdfcube/internal/replica"
 	"rdfcube/internal/serve"
 	"rdfcube/internal/snapshot"
 	"rdfcube/internal/wal"
@@ -88,6 +89,9 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		traceN   = fs.Int("trace-ring", 128, "recent request traces retained for GET /debug/traces")
 		slowTh   = fs.Duration("slow-threshold", 0, "write requests at least this slow to the slow-query log as JSON lines (0 disables)")
 		slowPath = fs.String("slow-log", "", "slow-query log file (default stderr when -slow-threshold is set)")
+		follow   = fs.String("follow", "", "run as a read replica of this primary base URL (e.g. http://leader:8080)")
+		maxStale = fs.Duration("max-staleness", 0, "follower readiness bound: /readyz answers 503 once replication staleness exceeds this (0 never trips)")
+		pollWait = fs.Duration("poll-wait", 5*time.Second, "follower long-poll budget per WAL tail request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,6 +113,20 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	// starts. Tests cancel parent in place of a signal.
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *follow != "" {
+		return runFollower(ctx, stop, followerFlags{
+			primary:  strings.TrimRight(*follow, "/"),
+			snapPath: *snapPath,
+			walPath:  *walPath,
+			addr:     *addr,
+			maxStale: *maxStale,
+			pollWait: *pollWait,
+			timeout:  *timeout,
+			inflight: *inflight,
+			tasks:    tasks,
+		}, disk, col, logf)
+	}
 
 	// The rotator owns all snapshot artifacts around the base path:
 	// generations, the CURRENT pointer, quarantined corpses, and the
@@ -190,12 +208,17 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var snapGen func() uint64
+	if rot != nil {
+		snapGen = func() uint64 { g, _ := rot.CurrentGen(); return g }
+	}
 	srv, err := serve.New(sn, serve.Config{
 		Tasks:            tasks,
 		Recorder:         col,
 		RequestTimeout:   *timeout,
 		MaxInFlight:      *inflight,
 		WAL:              wlog,
+		SnapshotGen:      snapGen,
 		Logf:             logf,
 		Algorithm:        alg,
 		Workers:          *workers,
@@ -285,6 +308,87 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		logf("shutdown: %v", err)
 	}
 	checkpoint("shutdown", *shutTO)
+	logf("bye")
+	return 0
+}
+
+// followerFlags carries the subset of flags a read replica uses.
+type followerFlags struct {
+	primary  string
+	snapPath string
+	walPath  string
+	addr     string
+	maxStale time.Duration
+	pollWait time.Duration
+	timeout  time.Duration
+	inflight int
+	tasks    core.Tasks
+}
+
+// runFollower runs cubed as a read replica: bootstrap from the primary's
+// snapshot, tail its WAL, serve the read API locally, refuse writes with
+// a Leader hint. The follower persists its own snapshot/WAL chain under
+// -snapshot/-wal so a restart resumes from the last applied offset
+// instead of re-transferring the whole image; `-wal off` disables the
+// chain (every restart then re-bootstraps).
+func runFollower(ctx context.Context, stop func(), ff followerFlags, disk faultfs.FS, col *obsv.Collector, logf func(string, ...any)) int {
+	snapPath, walPath := ff.snapPath, ff.walPath
+	if walPath == "off" {
+		snapPath, walPath = "", ""
+		logf("follower: -wal off disables the local chain; every restart re-bootstraps")
+	}
+	fol, err := replica.New(replica.Config{
+		Primary:        ff.primary,
+		FS:             disk,
+		SnapshotPath:   snapPath,
+		WALPath:        walPath,
+		Tasks:          ff.tasks,
+		Recorder:       col,
+		MaxStaleness:   ff.maxStale,
+		PollWait:       ff.pollWait,
+		RequestTimeout: ff.timeout,
+		MaxInFlight:    ff.inflight,
+		Logf:           logf,
+	})
+	if err != nil {
+		logf("%v", err)
+		return 2
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", fol.Handler())
+	obsHandler := obsv.Handler(col)
+	mux.Handle("/metrics", obsHandler)
+	mux.Handle("/metrics.json", obsHandler)
+	mux.Handle("/debug/", obsHandler)
+
+	ln, err := net.Listen("tcp", ff.addr)
+	if err != nil {
+		logf("listen: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() { _ = httpSrv.Serve(ln) }()
+	if ff.maxStale > 0 {
+		logf("following %s on %s (readiness flips after %s of staleness)", ff.primary, ln.Addr(), ff.maxStale)
+	} else {
+		logf("following %s on %s (no staleness bound)", ff.primary, ln.Addr())
+	}
+
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = fol.Run(ctx) }()
+
+	<-ctx.Done()
+	stop()
+	logf("follower shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logf("shutdown: %v", err)
+	}
+	// Run's exit path checkpoints the local chain so the next start
+	// resumes instead of re-bootstrapping.
+	<-runDone
 	logf("bye")
 	return 0
 }

@@ -276,3 +276,120 @@ func TestTasksSubsetCheck(t *testing.T) {
 		t.Fatal("check with mismatched tasks unexpectedly passed")
 	}
 }
+
+var followAddrRe = regexp.MustCompile(`following \S+ on (\S+) `)
+
+// TestFollowerEndToEnd drives replication through the daemon flags: a
+// primary and a -follow replica, live insert convergence, write
+// rejection with the Leader hint, and the follower surviving the
+// primary's shutdown.
+func TestFollowerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+	var pOut, pErr syncBuffer
+	pDone := make(chan int, 1)
+	go func() {
+		pDone <- run(pctx, []string{"-gen", "example", "-snapshot", filepath.Join(dir, "primary.bin"),
+			"-addr", "127.0.0.1:0", "-checkpoint", "0"}, &pOut, &pErr)
+	}()
+	primary := waitForAddr(t, &pErr, pDone)
+	waitForOK(t, primary+"/readyz")
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	var fOut, fErr syncBuffer
+	fDone := make(chan int, 1)
+	go func() {
+		fDone <- run(fctx, []string{"-follow", primary, "-snapshot", filepath.Join(dir, "replica.bin"),
+			"-addr", "127.0.0.1:0", "-max-staleness", "1m", "-poll-wait", "200ms"}, &fOut, &fErr)
+	}()
+	follower := func() string {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if m := followAddrRe.FindStringSubmatch(fErr.String()); m != nil {
+				return "http://" + m[1]
+			}
+			select {
+			case code := <-fDone:
+				t.Fatalf("follower exited early with %d: %s", code, fErr.String())
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		t.Fatalf("follower never reported its address: %s", fErr.String())
+		return ""
+	}()
+	waitForOK(t, follower+"/readyz")
+
+	// An insert acked by the primary must become visible on the follower.
+	body := `{"dataset":"http://example.org/dataset/D3","uri":"http://example.org/obs/repl1",` +
+		`"dimensions":{"http://example.org/dim/refArea":"http://example.org/code/area/Rome",` +
+		`"http://example.org/dim/refPeriod":"http://example.org/code/time/Feb2011"},` +
+		`"measures":{"http://example.org/measure/unemployment":"0.07"}}`
+	resp, err := http.Post(primary+"/v1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert: status %d", resp.StatusCode)
+	}
+	waitForOK(t, follower+"/v1/contains?obs=http://example.org/obs/repl1")
+
+	// Writes on the follower are refused toward the leader.
+	resp, err = http.Post(follower+"/v1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("follower insert: %v", err)
+	}
+	leader := resp.Header.Get("Leader")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower insert: status %d, want 503", resp.StatusCode)
+	}
+	if leader != primary {
+		t.Fatalf("Leader hint %q, want %q", leader, primary)
+	}
+
+	// The follower's stats carry its replication posture.
+	resp, err = http.Get(follower + "/v1/stats")
+	if err != nil {
+		t.Fatalf("follower stats: %v", err)
+	}
+	var stats struct {
+		Replication struct {
+			Role   string `json:"role"`
+			Leader string `json:"leader"`
+		} `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("follower stats: %v", err)
+	}
+	resp.Body.Close()
+	if stats.Replication.Role != "follower" || stats.Replication.Leader != primary {
+		t.Fatalf("follower stats replication: %+v", stats.Replication)
+	}
+
+	// Kill the primary; the generous staleness bound keeps the follower
+	// serving ready reads.
+	pcancel()
+	select {
+	case code := <-pDone:
+		if code != 0 {
+			t.Fatalf("primary exit %d\nstderr: %s", code, pErr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("primary did not exit")
+	}
+	waitForOK(t, follower+"/readyz")
+	waitForOK(t, follower+"/v1/contains?obs=http://example.org/obs/repl1")
+
+	fcancel()
+	select {
+	case code := <-fDone:
+		if code != 0 {
+			t.Fatalf("follower exit %d\nstderr: %s", code, fErr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("follower did not exit")
+	}
+}

@@ -47,7 +47,7 @@ func main() {
 		requests    = flag.Int("requests", 4000, "plan length")
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers / open-loop in-flight cap")
 		rps         = flag.Float64("rps", 0, "open-loop request rate (0 = closed loop)")
-		url         = flag.String("url", "", "drive a running server at this base URL instead of in-process")
+		url         = flag.String("url", "", "drive a running server instead of in-process; a comma-separated list round-robins reads across all targets and sends writes to the first (the leader)")
 		baselineOut = flag.String("baseline-out", "", "write the run's LOAD_*.json report to this path")
 		compare     = flag.String("compare", "", "compare against this committed LOAD_*.json (workload is taken from the file); exit 1 on regression")
 		jsonOut     = flag.String("json", "", "also write the report JSON to this path")
@@ -84,7 +84,19 @@ func main() {
 
 	if *url != "" {
 		opts.Transport = http.DefaultTransport
-		opts.BaseURL = strings.TrimRight(*url, "/")
+		var targets []string
+		for _, t := range strings.Split(*url, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			fatal("-url has no usable targets: %q", *url)
+		}
+		opts.BaseURL = targets[0]
+		if len(targets) > 1 {
+			opts.BaseURLs = targets
+		}
 	} else {
 		srv := buildServer(corpus, cfg)
 		opts.Transport = loadgen.HandlerTransport{H: srv.Handler()}

@@ -3,6 +3,9 @@ package loadgen
 import (
 	"context"
 	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -193,5 +196,60 @@ func TestOpenLoopSheds(t *testing.T) {
 	}
 	if stats.Sent+stats.Dropped != 50 {
 		t.Fatalf("sent %d + dropped %d != plan length 50", stats.Sent, stats.Dropped)
+	}
+}
+
+// hostCountingTransport tallies requests per target host and method.
+type hostCountingTransport struct {
+	mu     sync.Mutex
+	counts map[string]int // "host method" -> count
+}
+
+func (t *hostCountingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.counts[req.URL.Host+" "+req.Method]++
+	t.mu.Unlock()
+	rec := httptest.NewRecorder()
+	rec.WriteHeader(http.StatusOK)
+	return rec.Result(), nil
+}
+
+// TestBaseURLsRoundRobinReadsPinWrites: with a target list, GETs spread
+// evenly across every target while POSTs all land on the first (the
+// leader).
+func TestBaseURLsRoundRobinReadsPinWrites(t *testing.T) {
+	var ops []Op
+	for i := 0; i < 90; i++ {
+		ops = append(ops, Op{Kind: OpStats, Method: http.MethodGet, Path: "/v1/stats"})
+	}
+	for i := 0; i < 10; i++ {
+		ops = append(ops, Op{Kind: OpInsert, Method: http.MethodPost, Path: "/v1/observations", Body: []byte("{}")})
+	}
+	tr := &hostCountingTransport{counts: map[string]int{}}
+	stats, err := Run(context.Background(), &Plan{Ops: ops}, Options{
+		Transport:   tr,
+		BaseURLs:    []string{"http://leader:1", "http://replica-a:1", "http://replica-b:1"},
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Good != 100 {
+		t.Fatalf("good %d, want 100", stats.Good)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if got := tr.counts["leader:1 POST"]; got != 10 {
+		t.Fatalf("leader got %d writes, want all 10 (counts: %v)", got, tr.counts)
+	}
+	for _, host := range []string{"leader:1", "replica-a:1", "replica-b:1"} {
+		if got := tr.counts[host+" GET"]; got != 30 {
+			t.Fatalf("%s got %d reads, want an even 30 (counts: %v)", host, got, tr.counts)
+		}
+	}
+	for host := range tr.counts {
+		if strings.HasSuffix(host, "POST") && host != "leader:1 POST" {
+			t.Fatalf("a write escaped to %s (counts: %v)", host, tr.counts)
+		}
 	}
 }

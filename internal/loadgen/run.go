@@ -36,6 +36,11 @@ type Options struct {
 	// BaseURL prefixes every op path, e.g. "http://127.0.0.1:8080". For
 	// in-process runs any syntactically valid URL works.
 	BaseURL string
+	// BaseURLs, when non-empty, overrides BaseURL with a target list for a
+	// replicated topology: GET ops round-robin across every target, while
+	// writes (and every other method) always go to the FIRST target — by
+	// convention the leader, since read replicas refuse writes with 503.
+	BaseURLs []string
 	// Concurrency is the number of closed-loop workers (or the in-flight
 	// cap in open-loop mode). Zero means 8.
 	Concurrency int
@@ -84,8 +89,20 @@ func Run(ctx context.Context, p *Plan, opts Options) (*RunStats, error) {
 	if opts.Transport == nil {
 		return nil, fmt.Errorf("loadgen: Options.Transport is required")
 	}
-	if opts.BaseURL == "" {
-		opts.BaseURL = "http://cubeload.invalid"
+	targets := opts.BaseURLs
+	if len(targets) == 0 {
+		if opts.BaseURL == "" {
+			opts.BaseURL = "http://cubeload.invalid"
+		}
+		targets = []string{opts.BaseURL}
+	}
+	// Read round-robin cursor; writes pin to targets[0] (the leader).
+	var rr atomic.Int64
+	baseFor := func(method string) string {
+		if len(targets) == 1 || method != http.MethodGet {
+			return targets[0]
+		}
+		return targets[int(rr.Add(1)-1)%len(targets)]
 	}
 	stats := &RunStats{
 		Hist:  &obsv.Histogram{},
@@ -103,7 +120,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*RunStats, error) {
 		if op.Body != nil {
 			body = bytes.NewReader(op.Body)
 		}
-		req, err := http.NewRequestWithContext(ctx, op.Method, opts.BaseURL+op.Path, body)
+		req, err := http.NewRequestWithContext(ctx, op.Method, baseFor(op.Method)+op.Path, body)
 		if err != nil {
 			atomic.AddInt64(&stats.Errors, 1)
 			return

@@ -31,8 +31,8 @@ type Histogram struct {
 // Bucket layout: 8 sub-buckets per octave after 16 exact unit buckets.
 const (
 	histSubBits    = 3
-	histSubBuckets = 1 << histSubBits        // 8 buckets per power of two
-	histExact      = 1 << (histSubBits + 1)  // values in [0,16) get exact buckets
+	histSubBuckets = 1 << histSubBits       // 8 buckets per power of two
+	histExact      = 1 << (histSubBits + 1) // values in [0,16) get exact buckets
 	// NumHistBuckets covers the full non-negative int64 range:
 	// 16 exact buckets + 8 per octave for octaves 4..63.
 	NumHistBuckets = histExact + (64-(histSubBits+1))*histSubBuckets

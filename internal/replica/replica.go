@@ -1,0 +1,717 @@
+// Package replica implements read replicas: a follower bootstraps its
+// state from a primary cubed's GET /v1/snapshot, then tails the
+// primary's write-ahead log over GET /v1/wal — the CRC-framed WAL record
+// format is the replication wire format — applying each record through
+// the same incremental-maintenance path live inserts use. The follower
+// serves every read route of the /v1 API from its own copy; writes are
+// refused with 503 plus a Leader header pointing at the primary.
+//
+// # Positions and re-bootstrap
+//
+// A replication position is a (stream, logical offset) pair minted by
+// the primary: the stream identifies one primary incarnation, and the
+// logical offset keeps advancing across the primary's checkpoint
+// truncations. The primary answers 410 Gone for a position it no longer
+// holds (it restarted, or the offset fell behind the retained WAL); the
+// follower then pulls a fresh snapshot and re-tails from the position
+// the snapshot names. Because record application is idempotent (frames
+// are dup-skipped by observation URI), overlap between a snapshot and
+// the tailed records is harmless — correctness never depends on exactly-
+// once delivery, only on at-least-once.
+//
+// # Durability and resume
+//
+// With a snapshot path configured the follower persists its own chain:
+// every applied batch is appended to a local WAL (one fsync per batch),
+// the state is periodically checkpointed to a local snapshot generation,
+// and a small position file records the primary position the local chain
+// corresponds to. A restart rebuilds state from the local chain and
+// resumes tailing at the recorded position — no re-bootstrap, no data
+// transfer — unless the primary's stream changed, which degenerates to a
+// fresh bootstrap.
+//
+// # Staleness
+//
+// The follower reports lag in records (primary frames minus applied
+// frames) and wall-clock staleness (time since it was last level with
+// the primary's durable end) through its /readyz and /v1/stats. With
+// MaxStaleness set, readiness flips to 503 once the bound is exceeded —
+// a dead primary takes its followers out of the read rotation only when
+// their answers actually grow too stale, not the moment it dies.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/faultfs"
+	"rdfcube/internal/obsv"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
+	"rdfcube/internal/wal"
+)
+
+// Metric names the follower reports through its Recorder.
+const (
+	CtrPolls      = "repl.polls"       // tail requests answered by the primary
+	CtrRecords    = "repl.records"     // record frames applied
+	CtrBootstraps = "repl.bootstraps"  // full snapshot bootstraps
+	CtrReconnects = "repl.reconnects"  // link failures that triggered backoff
+	CtrResumes    = "repl.resumes"     // restarts that resumed from the local chain
+	GaugeLag      = "repl.lag.records" // current record lag behind the primary
+	GaugeOffset   = "repl.offset"      // applied logical WAL offset
+	GaugeStaleUS  = "repl.staleness.us"
+	HistPollUS    = "repl.poll.us"  // one tail request, network included
+	HistApplyUS   = "repl.apply.us" // applying one pulled batch
+	HistBootUS    = "repl.bootstrap.us"
+)
+
+// maxSnapshotBody bounds a bootstrap transfer (1 GiB, the snapshot
+// section limit).
+const maxSnapshotBody = 1 << 30
+
+// errRebootstrap is the internal signal that the primary answered 410:
+// the position is gone and a fresh snapshot is the only way forward.
+var errRebootstrap = errors.New("replica: position gone; re-bootstrap required")
+
+// Config tunes a Follower. Primary is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Primary is the primary's base URL (no trailing slash needed).
+	Primary string
+	// Client issues the replication requests; nil builds a default.
+	// Long-poll requests are bounded per-request with contexts, so a
+	// client-wide Timeout must be 0 or comfortably above PollWait.
+	Client *http.Client
+	// FS is the local filesystem for the follower's own WAL/snapshot
+	// chain; nil means the real disk.
+	FS faultfs.FS
+	// SnapshotPath is the local snapshot rotator base. Empty disables
+	// persistence: the follower re-bootstraps on every start.
+	SnapshotPath string
+	// WALPath is the local WAL; empty means SnapshotPath+".wal" (or no
+	// local WAL when SnapshotPath is empty too).
+	WALPath string
+	// StatePath is the replication position file; empty means
+	// WALPath+".pos".
+	StatePath string
+	// Tasks selects the relationship types maintained on apply; zero
+	// means all three.
+	Tasks core.Tasks
+	// Recorder receives the follower's counters, gauges and histograms
+	// (and the serving layer's, via the embedded server). Nil disables.
+	Recorder obsv.Recorder
+	// MaxStaleness flips the follower's /readyz to 503 once it has not
+	// been level with the primary for this long. Zero never trips.
+	MaxStaleness time.Duration
+	// PollWait is the long-poll budget the follower asks the primary for;
+	// zero means 5s.
+	PollWait time.Duration
+	// ReconnectBase/ReconnectMax tune the jittered, capped, doubling
+	// reconnect backoff (serve.Backoff); zero means 200ms / 10s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// CheckpointBytes is the local WAL size that triggers a local
+	// snapshot checkpoint; zero means 8 MiB.
+	CheckpointBytes int64
+	// RequestTimeout and MaxInFlight pass through to the embedded
+	// serve.Server.
+	RequestTimeout time.Duration
+	MaxInFlight    int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, a ...any)
+}
+
+func (c Config) pollWait() time.Duration {
+	if c.PollWait <= 0 {
+		return 5 * time.Second
+	}
+	return c.PollWait
+}
+
+func (c Config) checkpointBytes() int64 {
+	if c.CheckpointBytes <= 0 {
+		return 8 << 20
+	}
+	return c.CheckpointBytes
+}
+
+func (c Config) walPath() string {
+	if c.WALPath != "" {
+		return c.WALPath
+	}
+	if c.SnapshotPath != "" {
+		return c.SnapshotPath + ".wal"
+	}
+	return ""
+}
+
+func (c Config) statePath() string {
+	if c.StatePath != "" {
+		return c.StatePath
+	}
+	if p := c.walPath(); p != "" {
+		return p + ".pos"
+	}
+	return ""
+}
+
+// position is the persisted replication position: the primary stream the
+// local chain belongs to and the logical offset / frame count the chain
+// reaches. A torn or garbage file is treated as absent (re-bootstrap).
+type position struct {
+	Stream string `json:"stream"`
+	Offset int64  `json:"offset"`
+	Seq    int64  `json:"seq"`
+}
+
+// served pairs a server with its prebuilt handler so the hot path swaps
+// both atomically and never rebuilds a mux per request.
+type served struct {
+	srv *serve.Server
+	h   http.Handler
+}
+
+// Follower mirrors one primary. Build with New, drive with Run (usually
+// in its own goroutine), serve Handler(), stop by canceling Run's
+// context and calling Close.
+type Follower struct {
+	cfg    Config
+	client *http.Client
+	fs     faultfs.FS
+	rot    *snapshot.Rotator // nil without persistence
+	wlog   *wal.Log          // nil without persistence
+	state  *serve.FollowerState
+
+	cur atomic.Pointer[served]
+
+	// Replication position; touched only by the Run goroutine.
+	stream string
+	offset int64
+	seq    int64
+
+	// pendingReplay carries local WAL records from openLocal to
+	// resumeLocal (Run goroutine only).
+	pendingReplay []wal.Record
+}
+
+// New builds a follower. It performs no I/O; Run does the bootstrap.
+func New(cfg Config) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("replica: Config.Primary is required")
+	}
+	f := &Follower{
+		cfg:    cfg,
+		client: cfg.Client,
+		fs:     cfg.FS,
+		state:  &serve.FollowerState{Leader: cfg.Primary, MaxStaleness: cfg.MaxStaleness},
+	}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	if f.fs == nil {
+		f.fs = faultfs.OS{}
+	}
+	if cfg.SnapshotPath != "" {
+		f.rot = snapshot.NewRotator(f.fs, cfg.SnapshotPath)
+		f.rot.Logf = cfg.Logf
+	}
+	return f, nil
+}
+
+// State exposes the live replication posture (lag, staleness, offsets).
+func (f *Follower) State() *serve.FollowerState { return f.state }
+
+// Server returns the current embedded server (nil before the first
+// bootstrap or resume).
+func (f *Follower) Server() *serve.Server {
+	if s := f.cur.Load(); s != nil {
+		return s.srv
+	}
+	return nil
+}
+
+// Handler serves the follower's read API. Before the first state exists
+// it answers /healthz with "loading" and everything else 503, so a
+// follower can bind its port before its first bootstrap completes.
+func (f *Follower) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s := f.cur.Load(); s != nil {
+			s.h.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintf(w, `{"status":"ok","state":"loading","role":"follower"}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":"follower has no state yet (bootstrapping from %s)"}`, f.cfg.Primary)
+	})
+}
+
+func (f *Follower) logf(format string, a ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, a...)
+	}
+}
+
+func (f *Follower) count(name string, d int64) {
+	if f.cfg.Recorder != nil {
+		f.cfg.Recorder.Count(name, d)
+	}
+}
+
+func (f *Follower) gauge(name string, v float64) {
+	if f.cfg.Recorder != nil {
+		f.cfg.Recorder.Gauge(name, v)
+	}
+}
+
+func (f *Follower) observe(name string, v int64) {
+	if f.cfg.Recorder != nil {
+		obsv.Observe(f.cfg.Recorder, name, v)
+	}
+}
+
+// Run drives replication until ctx is canceled: resume from the local
+// chain if one exists, then bootstrap-or-tail forever, reconnecting with
+// jittered capped backoff (the breaker's backoff helper) after link
+// failures. On exit it checkpoints the local chain so the next start
+// resumes instead of re-bootstrapping.
+func (f *Follower) Run(ctx context.Context) error {
+	if err := f.openLocal(); err != nil {
+		return err
+	}
+	if err := f.resumeLocal(); err != nil {
+		// A broken local chain is not fatal: log it and bootstrap fresh.
+		f.logf("replica: local resume failed (%v); bootstrapping from %s", err, f.cfg.Primary)
+	}
+
+	bo := serve.Backoff{Base: f.cfg.ReconnectBase, Max: f.cfg.ReconnectMax}
+	if bo.Base <= 0 {
+		bo.Base = 200 * time.Millisecond
+	}
+	if bo.Max <= 0 {
+		bo.Max = 10 * time.Second
+	}
+	for ctx.Err() == nil {
+		progressed, err := f.session(ctx)
+		if ctx.Err() != nil {
+			break
+		}
+		if progressed {
+			bo.Reset()
+		}
+		if err != nil {
+			f.state.SetConnected(false)
+			d := bo.Next()
+			f.count(CtrReconnects, 1)
+			f.logf("replica: link to %s: %v; reconnecting in %s", f.cfg.Primary, err, d.Round(time.Millisecond))
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+	}
+	f.shutdown()
+	return ctx.Err()
+}
+
+// shutdown checkpoints the local chain and closes the local WAL.
+func (f *Follower) shutdown() {
+	f.state.SetConnected(false)
+	if srv := f.Server(); srv != nil && f.rot != nil {
+		if err := f.checkpointLocal(srv); err != nil {
+			f.logf("replica: final local checkpoint failed (WAL still covers the chain): %v", err)
+		}
+	}
+	if f.wlog != nil {
+		f.wlog.Close()
+		f.wlog = nil
+	}
+}
+
+// openLocal opens (or creates) the follower's local WAL.
+func (f *Follower) openLocal() error {
+	path := f.cfg.walPath()
+	if path == "" {
+		return nil
+	}
+	wlog, recs, err := wal.Open(f.fs, path)
+	if errors.Is(err, wal.ErrCorrupt) {
+		q := path + ".corrupt"
+		if rerr := f.fs.Rename(path, q); rerr != nil {
+			return fmt.Errorf("replica: quarantining corrupt local wal %s: %v (original: %w)", path, rerr, err)
+		}
+		f.logf("replica: local wal %s corrupt (%v); quarantined to %s", path, err, q)
+		wlog, recs, err = wal.Open(f.fs, path)
+	}
+	if err != nil {
+		return fmt.Errorf("replica: opening local wal %s: %w", path, err)
+	}
+	f.wlog = wlog
+	f.pendingReplay = recs
+	return nil
+}
+
+// resumeLocal rebuilds state from the local snapshot chain + WAL and
+// restores the persisted replication position. Absence of any of the
+// pieces is not an error — it just means the next session bootstraps.
+func (f *Follower) resumeLocal() error {
+	if f.rot == nil {
+		return nil
+	}
+	sn, from, err := f.rot.Load()
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist):
+		return nil
+	default:
+		return err
+	}
+	srv, err := f.buildServer(sn)
+	if err != nil {
+		return err
+	}
+	if len(f.pendingReplay) > 0 {
+		if _, err := srv.Replay(f.pendingReplay); err != nil {
+			return fmt.Errorf("replaying local wal: %w", err)
+		}
+	}
+	var pos position
+	if data, err := f.fs.ReadFile(f.cfg.statePath()); err == nil {
+		if jerr := json.Unmarshal(data, &pos); jerr != nil {
+			pos = position{} // torn position file: bootstrap decides
+		}
+	}
+	f.stream, f.offset, f.seq = pos.Stream, pos.Offset, pos.Seq
+	f.install(srv)
+	f.state.SetOffset(f.offset)
+	f.count(CtrResumes, 1)
+	f.logf("replica: resumed %d observations from %s (+%d local wal records), position %s@%d",
+		sn.Space.N(), from, len(f.pendingReplay), f.stream, f.offset)
+	f.pendingReplay = nil
+	return nil
+}
+
+// install swaps in a new embedded server and prebuilt handler, shutting
+// the previous incarnation's run context down.
+func (f *Follower) install(srv *serve.Server) {
+	old := f.cur.Swap(&served{srv: srv, h: srv.Handler()})
+	if old != nil {
+		old.srv.BeginShutdown()
+	}
+}
+
+// buildServer wraps a decoded snapshot in a read-only replica server.
+func (f *Follower) buildServer(sn *snapshot.Snapshot) (*serve.Server, error) {
+	cfg := serve.Config{
+		Tasks:          f.cfg.Tasks,
+		Recorder:       f.cfg.Recorder,
+		RequestTimeout: f.cfg.RequestTimeout,
+		MaxInFlight:    f.cfg.MaxInFlight,
+		Logf:           f.cfg.Logf,
+		Follower:       f.state,
+	}
+	if f.rot != nil {
+		rot := f.rot
+		cfg.SnapshotGen = func() uint64 { g, _ := rot.CurrentGen(); return g }
+	}
+	return serve.New(sn, cfg)
+}
+
+// session runs one connected stretch: bootstrap when there is no usable
+// position, then tail until an error. It reports whether any request
+// succeeded (so the caller resets its backoff) and the error that ended
+// the session (nil only on ctx cancellation).
+func (f *Follower) session(ctx context.Context) (progressed bool, err error) {
+	if f.Server() == nil || f.stream == "" {
+		if err := f.bootstrap(ctx); err != nil {
+			return false, err
+		}
+		progressed = true
+	}
+	for ctx.Err() == nil {
+		switch err := f.pollOnce(ctx); {
+		case err == nil:
+			progressed = true
+		case errors.Is(err, errRebootstrap):
+			f.logf("replica: %v", err)
+			if err := f.bootstrap(ctx); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		default:
+			return progressed, err
+		}
+	}
+	return progressed, nil
+}
+
+// bootstrap pulls the primary's full snapshot, verifies and decodes it,
+// commits it to the local chain, and swaps in a fresh server at the
+// position the snapshot names.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+"/v1/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("bootstrap: primary answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBody+1))
+	if err != nil {
+		return fmt.Errorf("bootstrap: reading snapshot: %w", err)
+	}
+	if len(data) > maxSnapshotBody {
+		return fmt.Errorf("bootstrap: snapshot exceeds %d bytes", maxSnapshotBody)
+	}
+	if want := resp.Header.Get(serve.SnapshotCRCHeader); want != "" {
+		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)); got != want {
+			return fmt.Errorf("bootstrap: snapshot CRC mismatch: got %s want %s (torn transfer?)", got, want)
+		}
+	}
+	stream := resp.Header.Get(serve.WALStreamHeader)
+	if stream == "" {
+		return fmt.Errorf("bootstrap: primary %s does not replicate (no %s header — is it running with a WAL?)",
+			f.cfg.Primary, serve.WALStreamHeader)
+	}
+	pos, err := strconv.ParseInt(resp.Header.Get(serve.WALPositionHeader), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bootstrap: bad %s header %q", serve.WALPositionHeader, resp.Header.Get(serve.WALPositionHeader))
+	}
+	seq, _ := strconv.ParseInt(resp.Header.Get(serve.WALSeqHeader), 10, 64)
+
+	sn, err := snapshot.Read(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("bootstrap: decoding snapshot: %w", err)
+	}
+	srv, err := f.buildServer(sn)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+
+	// Persist the new chain before serving it: local generation first,
+	// then a truncated local WAL (the image covers everything), then the
+	// position file. A crash between the steps re-bootstraps — never
+	// serves a chain that disagrees with its position.
+	f.stream, f.offset, f.seq = stream, pos, seq
+	if f.rot != nil {
+		if err := f.rot.Write(data); err != nil {
+			return fmt.Errorf("bootstrap: committing local generation: %w", err)
+		}
+	}
+	if f.wlog != nil {
+		if err := f.wlog.Truncate(); err != nil {
+			return fmt.Errorf("bootstrap: resetting local wal: %w", err)
+		}
+	}
+	if err := f.writePosition(); err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+
+	f.install(srv)
+	f.state.SetOffset(pos)
+	f.state.MarkBootstrap()
+	f.state.SetConnected(true)
+	f.count(CtrBootstraps, 1)
+	f.observe(HistBootUS, time.Since(start).Microseconds())
+	if gen := resp.Header.Get(serve.SnapshotGenHeader); gen != "" {
+		f.logf("replica: bootstrapped %d observations from %s (generation %s, stream %s, position %d) in %s",
+			sn.Space.N(), f.cfg.Primary, gen, stream, pos, time.Since(start).Round(time.Millisecond))
+	} else {
+		f.logf("replica: bootstrapped %d observations from %s (stream %s, position %d) in %s",
+			sn.Space.N(), f.cfg.Primary, stream, pos, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// pollOnce issues one tail request and applies whatever it returns.
+func (f *Follower) pollOnce(ctx context.Context) error {
+	wait := f.cfg.pollWait()
+	reqCtx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/wal?from=%d&stream=%s&wait=%s", f.cfg.Primary, f.offset, f.stream, wait)
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("tail: %w", err)
+	}
+	defer resp.Body.Close()
+	f.observe(HistPollUS, time.Since(start).Microseconds())
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%w (primary stream %s, ours %s@%d)",
+			errRebootstrap, resp.Header.Get(serve.WALStreamHeader), f.stream, f.offset)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("tail: primary answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWALBody))
+	if err != nil {
+		// The stream was cut mid-response. Whatever complete frames arrived
+		// are still usable: apply them and resume at the last good offset.
+		f.logf("replica: tail response cut (%v); applying the complete prefix", err)
+	}
+	f.state.SetConnected(true)
+	f.count(CtrPolls, 1)
+
+	// Re-validate every frame — the same CRC check WAL recovery uses. A
+	// torn tail parses as a shorter prefix; a corrupt COMPLETE frame is an
+	// error (retrying won't fix bad bytes; re-bootstrap will).
+	recs, good, perr := wal.ParseFrames(data)
+	if perr != nil && good == 0 {
+		return fmt.Errorf("%w (frames at %d corrupt: %v)", errRebootstrap, f.offset, perr)
+	}
+	if len(recs) > 0 {
+		if err := f.apply(recs, good); err != nil {
+			return err
+		}
+	}
+	f.updateLag(resp.Header)
+	return nil
+}
+
+// maxWALBody bounds one tail response (the primary chunks at 4 MiB; the
+// slack tolerates growth).
+const maxWALBody = 8 << 20
+
+// apply makes one pulled batch durable on the local chain, applies it to
+// the embedded server, and advances the position.
+func (f *Follower) apply(recs []wal.Record, good int64) error {
+	start := time.Now()
+	if f.wlog != nil {
+		if err := f.wlog.AppendBatch(recs); err != nil {
+			// The local disk failed; state in memory is still correct, so
+			// keep serving — but the chain no longer covers the position, so
+			// drop it: the next restart re-bootstraps instead of resuming a
+			// hole.
+			f.logf("replica: local wal append failed (%v); next restart will re-bootstrap", err)
+			f.removePosition()
+		}
+	}
+	srv := f.Server()
+	applied, err := srv.ApplyReplicated(recs)
+	if err != nil {
+		return fmt.Errorf("%w (apply at %d: %v)", errRebootstrap, f.offset, err)
+	}
+	f.offset += good
+	f.seq += int64(len(recs))
+	f.state.SetOffset(f.offset)
+	if err := f.writePosition(); err != nil {
+		f.logf("replica: persisting position: %v", err)
+	}
+	f.count(CtrRecords, int64(len(recs)))
+	f.gauge(GaugeOffset, float64(f.offset))
+	f.observe(HistApplyUS, time.Since(start).Microseconds())
+	_ = applied // dup-skips are expected after re-pulls; counted by serve.wal.replayed
+	if f.wlog != nil && f.wlog.RecordBytes() >= f.cfg.checkpointBytes() {
+		if err := f.checkpointLocal(srv); err != nil {
+			f.logf("replica: local checkpoint failed (chain keeps growing): %v", err)
+		}
+	}
+	return nil
+}
+
+// updateLag derives record lag from the tail response headers and marks
+// the follower caught up when it is level with the durable end.
+func (f *Follower) updateLag(h http.Header) {
+	end, err1 := strconv.ParseInt(h.Get(serve.WALEndHeader), 10, 64)
+	seqEnd, err2 := strconv.ParseInt(h.Get(serve.WALSeqHeader), 10, 64)
+	if err2 == nil {
+		lag := seqEnd - f.seq
+		if lag < 0 {
+			lag = 0
+		}
+		f.state.SetLagRecords(lag)
+		f.gauge(GaugeLag, float64(lag))
+	}
+	if err1 == nil && f.offset >= end {
+		f.state.MarkCaughtUp()
+	}
+	f.gauge(GaugeStaleUS, float64(f.state.Staleness().Microseconds()))
+}
+
+// checkpointLocal commits the follower's current state as a local
+// snapshot generation and truncates the local WAL. Called only from the
+// Run goroutine, so no records land between the encode and the truncate.
+func (f *Follower) checkpointLocal(srv *serve.Server) error {
+	if f.rot == nil {
+		return nil
+	}
+	data, err := srv.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := f.rot.Write(data); err != nil {
+		return err
+	}
+	if f.wlog != nil {
+		if err := f.wlog.Truncate(); err != nil {
+			return err
+		}
+	}
+	return f.writePosition()
+}
+
+// writePosition persists the replication position (create + write +
+// fsync). The file is a hint: a torn write just means re-bootstrap.
+func (f *Follower) writePosition() error {
+	path := f.cfg.statePath()
+	if path == "" {
+		return nil
+	}
+	data, err := json.Marshal(position{Stream: f.stream, Offset: f.offset, Seq: f.seq})
+	if err != nil {
+		return err
+	}
+	file, err := f.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// removePosition drops the persisted position so the next start cannot
+// resume a chain with a hole in it.
+func (f *Follower) removePosition() {
+	if path := f.cfg.statePath(); path != "" {
+		_ = f.fs.Remove(path)
+	}
+}

@@ -1,0 +1,256 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/faultfs"
+	"rdfcube/internal/gen"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
+	"rdfcube/internal/wal"
+)
+
+// primaryWorld is a WAL-backed primary for replica tests.
+type primaryWorld struct {
+	mem  *faultfs.MemFS
+	srv  *serve.Server
+	wlog *wal.Log
+	ts   *httptest.Server
+	n    int
+}
+
+func newPrimary(t *testing.T) *primaryWorld {
+	t.Helper()
+	p := &primaryWorld{mem: faultfs.NewMemFS()}
+	s, err := core.NewSpace(gen.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewResult()
+	l := core.CubeMasking(s, core.TaskAll, res, core.CubeMaskOptions{})
+	res.Sort()
+	p.wlog, _, err = wal.Open(p.mem, "cube.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.srv, err = serve.New(snapshot.New(s, res, l), serve.Config{
+		WAL:         p.wlog,
+		WALPollWait: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ts = httptest.NewServer(p.srv.Handler())
+	t.Cleanup(func() {
+		p.ts.Close()
+		p.wlog.Close()
+	})
+	return p
+}
+
+// insert lands one observation on the primary and returns its URI.
+func (p *primaryWorld) insert(t *testing.T) string {
+	t.Helper()
+	p.n++
+	uri := fmt.Sprintf("%sobs/repl-%d", gen.ExNS, p.n)
+	body, _ := json.Marshal(map[string]any{
+		"dataset": gen.ExNS + "dataset/D3",
+		"uri":     uri,
+		"dimensions": map[string]string{
+			gen.DimRefArea.Value:   gen.GeoAthens.Value,
+			gen.DimRefPeriod.Value: gen.TimeJan.Value,
+		},
+		"measures": map[string]string{gen.MeasUnemployment.Value: "0.42"},
+	})
+	resp, err := http.Post(p.ts.URL+"/v1/observations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert %s: status %d", uri, resp.StatusCode)
+	}
+	return uri
+}
+
+// runFollower starts f.Run in a goroutine and returns a stopper that
+// cancels it and waits for the exit-path checkpoint to finish.
+func runFollower(t *testing.T, f *Follower) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.Run(ctx)
+	}()
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("follower Run did not exit")
+		}
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// waitHas polls the follower's read API until uri answers 200.
+func waitHas(t *testing.T, f *Follower, uri string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if srv := f.Server(); srv != nil {
+			req := httptest.NewRequest("GET", "/v1/contains?obs="+uri, nil)
+			rec := httptest.NewRecorder()
+			f.Handler().ServeHTTP(rec, req)
+			if rec.Code == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never served %s", uri)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerResumesFromLocalChain is the restart contract: a follower
+// that replicated, stopped, and restarted over the same local disk must
+// resume tailing from its persisted position — no snapshot re-transfer —
+// and still converge on records that landed while it was down.
+func TestFollowerResumesFromLocalChain(t *testing.T) {
+	p := newPrimary(t)
+	uriBefore := p.insert(t)
+
+	disk := faultfs.NewMemFS()
+	cfg := Config{
+		Primary:       p.ts.URL,
+		FS:            disk,
+		SnapshotPath:  "replica.bin",
+		PollWait:      50 * time.Millisecond,
+		ReconnectBase: 10 * time.Millisecond,
+		ReconnectMax:  100 * time.Millisecond,
+		Logf:          t.Logf,
+	}
+	f1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1 := runFollower(t, f1)
+	waitHas(t, f1, uriBefore)
+	if got := f1.State().Bootstraps(); got != 1 {
+		t.Fatalf("first incarnation bootstrapped %d times, want 1", got)
+	}
+	uriWhileUp := p.insert(t)
+	waitHas(t, f1, uriWhileUp)
+	stop1() // graceful: checkpoints the local chain
+
+	// Records landing while the follower is down must arrive via the WAL
+	// tail after resume, not via a fresh snapshot.
+	uriWhileDown := p.insert(t)
+
+	f2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFollower(t, f2)
+	waitHas(t, f2, uriBefore)
+	waitHas(t, f2, uriWhileUp)
+	waitHas(t, f2, uriWhileDown)
+	if got := f2.State().Bootstraps(); got != 0 {
+		t.Fatalf("restart bootstrapped %d times; want 0 (resume from the local chain)", got)
+	}
+}
+
+// TestFollowerLocalCheckpointBoundsChain: with a tiny CheckpointBytes
+// the local WAL must be repeatedly truncated into snapshot generations,
+// and a restart over the checkpointed chain still resumes cleanly.
+func TestFollowerLocalCheckpointBoundsChain(t *testing.T) {
+	p := newPrimary(t)
+
+	disk := faultfs.NewMemFS()
+	cfg := Config{
+		Primary:         p.ts.URL,
+		FS:              disk,
+		SnapshotPath:    "replica.bin",
+		CheckpointBytes: 1, // every applied batch triggers a local checkpoint
+		PollWait:        50 * time.Millisecond,
+		ReconnectBase:   10 * time.Millisecond,
+		Logf:            t.Logf,
+	}
+	f1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1 := runFollower(t, f1)
+	var last string
+	for i := 0; i < 5; i++ {
+		last = p.insert(t)
+	}
+	waitHas(t, f1, last)
+	stop1()
+
+	// The local WAL was truncated by checkpoints: it must hold far less
+	// than the full record stream.
+	w, recs, err := wal.Open(disk, "replica.bin.wal")
+	if err != nil {
+		t.Fatalf("inspecting local wal: %v", err)
+	}
+	w.Close()
+	if len(recs) >= 5 {
+		t.Fatalf("local wal still holds %d records; checkpoints never truncated it", len(recs))
+	}
+
+	uriAfter := p.insert(t)
+	f2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFollower(t, f2)
+	waitHas(t, f2, last)
+	waitHas(t, f2, uriAfter)
+	if got := f2.State().Bootstraps(); got != 0 {
+		t.Fatalf("restart over a checkpointed chain bootstrapped %d times, want 0", got)
+	}
+}
+
+// TestFollowerWithoutPersistenceBootstrapsEveryStart: no SnapshotPath
+// means no local chain — every incarnation pulls a fresh snapshot.
+func TestFollowerWithoutPersistenceBootstrapsEveryStart(t *testing.T) {
+	p := newPrimary(t)
+	uri := p.insert(t)
+	cfg := Config{
+		Primary:       p.ts.URL,
+		PollWait:      50 * time.Millisecond,
+		ReconnectBase: 10 * time.Millisecond,
+		Logf:          t.Logf,
+	}
+	for i := 0; i < 2; i++ {
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := runFollower(t, f)
+		waitHas(t, f, uri)
+		if got := f.State().Bootstraps(); got != 1 {
+			t.Fatalf("incarnation %d: %d bootstraps, want 1", i, got)
+		}
+		stop()
+	}
+}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -19,14 +18,12 @@ import (
 // All methods are safe for concurrent use.
 type breaker struct {
 	mu        sync.Mutex
-	threshold int           // consecutive failures that trip the circuit
-	base      time.Duration // initial open interval
-	max       time.Duration // backoff cap
+	threshold int     // consecutive failures that trip the circuit
+	bo        Backoff // doubling, capped, jittered open-interval schedule
 
 	consecutive int
 	state       breakerState
 	openUntil   time.Time
-	backoff     time.Duration
 	probing     bool
 }
 
@@ -51,7 +48,7 @@ func (st breakerState) String() string {
 }
 
 // newBreaker builds a breaker; threshold<=0 means 3, base<=0 means 5s.
-// The cap is 16× the base.
+// The cap is 16× the base (the Backoff default).
 func newBreaker(threshold int, base time.Duration) *breaker {
 	if threshold <= 0 {
 		threshold = 3
@@ -59,17 +56,7 @@ func newBreaker(threshold int, base time.Duration) *breaker {
 	if base <= 0 {
 		base = 5 * time.Second
 	}
-	return &breaker{threshold: threshold, base: base, max: 16 * base}
-}
-
-// jittered spreads d over [d/2, d) so clients that tripped the breaker
-// together do not all retry together (the synchronized-retry stampede).
-func jittered(d time.Duration) time.Duration {
-	if d <= 1 {
-		return d
-	}
-	half := d / 2
-	return half + time.Duration(rand.Int64N(int64(half)))
+	return &breaker{threshold: threshold, bo: Backoff{Base: base}}
 }
 
 // allow reports whether a recompute may proceed now. When the circuit is
@@ -91,7 +78,7 @@ func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
 		return true, 0
 	default: // half-open
 		if b.probing {
-			return false, jittered(b.backoff)
+			return false, Jittered(b.bo.Current())
 		}
 		b.probing = true
 		return true, 0
@@ -106,7 +93,7 @@ func (b *breaker) success() {
 	b.state = breakerClosed
 	b.consecutive = 0
 	b.probing = false
-	b.backoff = 0
+	b.bo.Reset()
 }
 
 // failure reports a failed recompute. It returns true when this failure
@@ -119,19 +106,14 @@ func (b *breaker) failure(now time.Time) bool {
 	switch b.state {
 	case breakerHalfOpen:
 		// The probe failed: re-open with doubled, capped backoff.
-		b.backoff *= 2
-		if b.backoff > b.max {
-			b.backoff = b.max
-		}
 		b.state = breakerOpen
 		b.probing = false
-		b.openUntil = now.Add(jittered(b.backoff))
+		b.openUntil = now.Add(b.bo.Next())
 		return true
 	case breakerClosed:
 		if b.consecutive >= b.threshold {
 			b.state = breakerOpen
-			b.backoff = b.base
-			b.openUntil = now.Add(jittered(b.backoff))
+			b.openUntil = now.Add(b.bo.Next())
 			return true
 		}
 	}

@@ -127,16 +127,39 @@ func (s *Server) partialRefs(from int, ids []int32, fromIsSource bool) []partial
 
 // state names the server's lifecycle phase for the health endpoints:
 // "loading" until the state is adopted, "degraded" while in read-only
-// mode (WAL failure), "ready" otherwise.
+// mode (WAL failure), "stale" on a follower whose replication lag
+// exceeded its staleness bound, "ready" otherwise.
 func (s *Server) state() string {
 	switch {
 	case !s.ready.Load():
 		return "loading"
 	case s.Degraded():
 		return "degraded"
+	case s.follower != nil && s.follower.Stale():
+		return "stale"
 	default:
 		return "ready"
 	}
+}
+
+// replicationFields describes the follower's replication posture for
+// /readyz and /v1/stats.
+func (s *Server) replicationFields() map[string]any {
+	f := s.follower
+	stale := f.Staleness()
+	fields := map[string]any{
+		"role":             "follower",
+		"leader":           f.Leader,
+		"connected":        f.Connected(),
+		"walOffset":        f.Offset(),
+		"lagRecords":       f.LagRecords(),
+		"stalenessSeconds": stale.Seconds(),
+		"bootstraps":       f.Bootstraps(),
+	}
+	if f.MaxStaleness > 0 {
+		fields["maxStalenessSeconds"] = f.MaxStaleness.Seconds()
+	}
+	return fields
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -146,7 +169,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	switch st := s.state(); st {
+	st := s.state()
+	if s.follower != nil {
+		// A follower's readiness carries its replication posture: load
+		// balancers route on the status code, operators read the lag.
+		resp := s.replicationFields()
+		resp["status"] = st
+		switch st {
+		case "loading":
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+		case "stale":
+			// Out of the read rotation: answers would exceed the staleness
+			// contract. The replica keeps serving /v1 reads for clients that
+			// accept stale data; only readiness flips.
+			resp["detail"] = "replication lag exceeds -max-staleness"
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+		default:
+			writeJSON(w, http.StatusOK, resp)
+		}
+		return
+	}
+	switch st {
 	case "loading":
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": st, "error": "state not loaded"})
 	case "degraded":
@@ -283,6 +326,10 @@ type insertRequest struct {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		s.rejectWrite(w, r)
+		return
+	}
 	if s.Degraded() {
 		s.error(w, r, http.StatusServiceUnavailable, "degraded read-only mode: write-ahead log failed; inserts refused")
 		return
@@ -387,6 +434,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.count(CtrWALAppends, 1)
+		s.walSeq++
+		s.notifyAppend()
 	}
 
 	f0 := len(s.inc.Res.FullSet)
@@ -455,7 +504,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	}
 	if s.wlog != nil {
+		// The replication position triple: followers negotiate a bootstrap
+		// from the WAL size + stream + logical window, operators read lag
+		// off walEnd vs a follower's walOffset.
 		resp["walBytes"] = s.wlog.Size()
+		resp["walStream"] = s.streamID
+		resp["walStart"] = s.walBase
+		resp["walEnd"] = s.walEndLocked()
+		resp["walSeq"] = s.walSeq
+	}
+	if s.snapGen != nil {
+		resp["snapshotGeneration"] = s.snapGen()
+	}
+	if s.follower != nil {
+		resp["replication"] = s.replicationFields()
+	} else {
+		resp["role"] = "primary"
 	}
 	// Latency distribution, when the recorder keeps histograms. The old
 	// serve.latency.us sum counter and .last.us gauge stay in /metrics for

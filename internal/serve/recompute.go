@@ -34,6 +34,12 @@ import (
 // query API: a recompute legitimately outlives the per-request timeout
 // and is bounded by RecomputeTimeout instead.
 func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		// A recompute swaps the maintained state — a logical write, so a
+		// replica refuses it the same way it refuses inserts.
+		s.rejectWrite(w, r)
+		return
+	}
 	if ok, wait := s.breaker.allow(time.Now()); !ok {
 		s.count(CtrBreakerOpen, 1)
 		state, fails := s.breaker.snapshot()

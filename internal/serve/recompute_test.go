@@ -79,8 +79,8 @@ func TestBreakerStateMachine(t *testing.T) {
 	if st, _ := b.snapshot(); st != "open" {
 		t.Fatalf("failed probe must re-open, got %s", st)
 	}
-	if b.backoff != 200*time.Millisecond {
-		t.Fatalf("failed probe must double the backoff, got %v", b.backoff)
+	if b.bo.Current() != 200*time.Millisecond {
+		t.Fatalf("failed probe must double the backoff, got %v", b.bo.Current())
 	}
 
 	// Next probe succeeds: closed, streak reset.
@@ -98,7 +98,7 @@ func TestBreakerStateMachine(t *testing.T) {
 func TestJitteredRange(t *testing.T) {
 	d := 8 * time.Second
 	for i := 0; i < 100; i++ {
-		j := jittered(d)
+		j := Jittered(d)
 		if j < d/2 || j >= d {
 			t.Fatalf("jittered(%v) = %v outside [%v, %v)", d, j, d/2, d)
 		}

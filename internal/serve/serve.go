@@ -150,6 +150,18 @@ type Config struct {
 	// SlowLog receives the slow-query log lines. Nil disables the log
 	// even with SlowThreshold set.
 	SlowLog io.Writer
+	// SnapshotGen, when set, reports the snapshot generation id backing
+	// this server (the daemon wires it to its rotator). Followers read it
+	// from /v1/stats and bootstrap responses to see what they negotiated.
+	SnapshotGen func() uint64
+	// Follower, when non-nil, puts the server in read-only replica mode:
+	// writes (inserts, recomputes) are refused with 503 plus a Leader
+	// header, and /readyz + /v1/stats report the replication lag and
+	// staleness recorded on it (see internal/replica, which maintains it).
+	Follower *FollowerState
+	// WALPollWait is the default long-poll budget for a /v1/wal request
+	// whose offset is at the durable end; zero means 10s, capped at 30s.
+	WALPollWait time.Duration
 }
 
 func (c Config) timeout() time.Duration {
@@ -178,6 +190,16 @@ func (c Config) recomputeTimeout() time.Duration {
 		return 60 * time.Second
 	}
 	return c.RecomputeTimeout
+}
+
+func (c Config) walPollWait() time.Duration {
+	if c.WALPollWait <= 0 {
+		return 10 * time.Second
+	}
+	if c.WALPollWait > maxWALWait {
+		return maxWALWait
+	}
+	return c.WALPollWait
 }
 
 // Server answers relationship queries over one snapshot's state and
@@ -226,6 +248,23 @@ type Server struct {
 	// same path (and WAL truncation must pair with exactly one commit).
 	ckptMu sync.Mutex
 
+	// Replication (primary side): the per-incarnation stream ID, the
+	// logical offset of the physical WAL start (advanced when checkpoints
+	// truncate the log), the count of record frames the stream has carried,
+	// and the broadcast channel appends close to wake /v1/wal long-pollers.
+	// streamID and snapGen are immutable after New; walBase and walSeq are
+	// guarded by mu (written under the write lock, read under either).
+	streamID  string
+	walBase   int64
+	walSeq    int64
+	notifyMu  sync.Mutex
+	walNotify chan struct{}
+	snapGen   func() uint64
+	pollWait  time.Duration
+
+	// follower is non-nil in read-only replica mode.
+	follower *FollowerState
+
 	ready    atomic.Bool
 	degraded atomic.Bool
 	inserts  atomic.Int64
@@ -262,6 +301,12 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 		workers:          cfg.Workers,
 		recomputeTimeout: cfg.recomputeTimeout(),
 		breaker:          newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff),
+
+		streamID:  newStreamID(),
+		walNotify: make(chan struct{}),
+		snapGen:   cfg.SnapshotGen,
+		pollWait:  cfg.walPollWait(),
+		follower:  cfg.Follower,
 	}
 	s.runCtx, s.stopRuns = context.WithCancel(context.Background())
 	for i, o := range sn.Space.Obs {
@@ -348,7 +393,17 @@ func (s *Server) Replay(recs []wal.Record) (int, error) {
 	}
 	s.replayed.Add(int64(applied))
 	s.count(CtrWALReplayed, int64(applied))
+	// Every replayed frame is part of the logical WAL stream whether or not
+	// it applied (dup-skips included): followers count frames, not inserts.
+	s.walSeq += int64(len(recs))
 	return applied, nil
+}
+
+// ApplyReplicated applies record frames a follower pulled from its
+// primary: exactly Replay (idempotent, under the write lock), named
+// separately so the replication path reads as what it is.
+func (s *Server) ApplyReplicated(recs []wal.Record) (int, error) {
+	return s.Replay(recs)
 }
 
 // applyInsertLocked inserts one validated-or-replayed observation into
@@ -374,6 +429,13 @@ func (s *Server) applyInsertLocked(dsIndex int, o *qb.Observation) error {
 func (s *Server) EncodeSnapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.encodeSnapshotLocked()
+}
+
+// encodeSnapshotLocked encodes the current state; callers hold the write
+// lock (the lattice's lazily sorted cube order makes encoding a logical
+// write).
+func (s *Server) encodeSnapshotLocked() ([]byte, error) {
 	return snapshot.New(s.inc.S, s.inc.Res, s.inc.Lattice()).Encode()
 }
 
@@ -400,7 +462,7 @@ func (s *Server) CheckpointWith(commit func(data []byte) error) error {
 
 	s.mu.Lock()
 	encStart := time.Now()
-	data, err := snapshot.New(s.inc.S, s.inc.Res, s.inc.Lattice()).Encode()
+	data, err := s.encodeSnapshotLocked()
 	s.observe(HistCheckpointEncode, time.Since(encStart).Microseconds())
 	var mark int64 = -1
 	if err == nil && s.wlog != nil {
@@ -426,6 +488,12 @@ func (s *Server) CheckpointWith(commit func(data []byte) error) error {
 				// keep serving.
 				s.markDegraded(fmt.Sprintf("wal truncate after checkpoint: %v", terr))
 				s.log("checkpoint committed but wal truncate failed: %v", terr)
+			} else {
+				// Every truncated record byte is covered by the committed
+				// snapshot: the logical stream start advances so follower
+				// offsets survive the truncation, and anything older answers
+				// 410 (the follower re-bootstraps from the snapshot).
+				s.walBase += mark - wal.HeaderLen
 			}
 		} else {
 			s.log("skipping wal truncation: %d bytes appended during the checkpoint (covered by the next one)",
@@ -495,6 +563,11 @@ func (s *Server) Handler() http.Handler {
 	inner := http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
 	outer := http.NewServeMux()
 	outer.Handle("POST /v1/recompute", s.wrap("recompute", s.handleRecompute))
+	// Replication endpoints live outside the TimeoutHandler: a snapshot
+	// bootstrap legitimately streams for longer than one query's budget,
+	// and /v1/wal long-polls at the tail by design.
+	outer.Handle("GET /v1/snapshot", s.wrap("snapshot", s.handleSnapshot))
+	outer.Handle("GET /v1/wal", s.wrap("waltail", s.handleWALTail))
 	// The trace ring is served unwrapped: reading traces must not charge
 	// the semaphore, appear in the ring it is reading, or be shed under
 	// the very overload it is diagnosing.
@@ -507,7 +580,7 @@ func (s *Server) Handler() http.Handler {
 // (minimum 1s) and counts it, so clients that were refused together do
 // not all come back together.
 func (s *Server) setRetryAfter(w http.ResponseWriter, d time.Duration) {
-	secs := int64(jittered(d).Round(time.Second) / time.Second)
+	secs := int64(Jittered(d).Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

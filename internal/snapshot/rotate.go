@@ -119,6 +119,25 @@ func (r *Rotator) genNumber(name string) (uint64, bool) {
 	return n, true
 }
 
+// CurrentGen reports the generation number the CURRENT pointer names,
+// falling back to the newest generation on disk when the pointer is
+// missing or malformed. ok is false when no generation exists at all
+// (fresh directory, or legacy single-file layout). It reads the pointer
+// file on every call — cheap, and always consistent with what Load
+// would pick.
+func (r *Rotator) CurrentGen() (gen uint64, ok bool) {
+	if path, found, err := r.readCurrent(); err == nil && found {
+		if n, okNum := r.genNumber(filepath.Base(path)); okNum {
+			return n, true
+		}
+	}
+	gens, err := r.generations()
+	if err != nil || len(gens) == 0 {
+		return 0, false
+	}
+	return gens[len(gens)-1], true
+}
+
 // generations lists the existing generation numbers, ascending.
 func (r *Rotator) generations() ([]uint64, error) {
 	dir := filepath.Dir(r.Path)

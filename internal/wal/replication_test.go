@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rdfcube/internal/faultfs"
+)
+
+// appendN opens a log at path and appends n distinguishable records.
+func appendN(t *testing.T, mem *faultfs.MemFS, path string, n int) *Log {
+	t.Helper()
+	w, recs, err := Open(mem, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func TestReadRangeRoundTrip(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	w := appendN(t, mem, "wal.bin", 5)
+	defer w.Close()
+
+	// The whole record region parses back to the appended records.
+	data, err := w.ReadRange(HeaderLen, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good, err := ParseFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good != int64(len(data)) {
+		t.Fatalf("good %d of %d bytes", good, len(data))
+	}
+	if len(recs) != 5 {
+		t.Fatalf("parsed %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if !equalRecords(r, rec(i)) {
+			t.Fatalf("record %d differs after ReadRange round trip", i)
+		}
+	}
+
+	// Reading from a frame boundary in the middle yields the suffix. The
+	// first frame's boundary is found by growing a prefix until exactly
+	// one record parses.
+	var bound int64
+	for cut := int64(1); cut <= int64(len(data)); cut++ {
+		rs, g, _ := ParseFrames(data[:cut])
+		if len(rs) == 1 {
+			bound = g
+			break
+		}
+	}
+	if bound == 0 {
+		t.Fatal("could not locate first frame boundary")
+	}
+	suffix, err := w.ReadRange(HeaderLen+bound, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srecs, _, err := ParseFrames(suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srecs) != 4 || !equalRecords(srecs[0], rec(1)) {
+		t.Fatalf("suffix read from mid-log boundary: got %d records, first wrong", len(srecs))
+	}
+}
+
+func TestReadRangeMidRecordOffset(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	w := appendN(t, mem, "wal.bin", 3)
+	defer w.Close()
+
+	// One byte past a boundary is inside frame 0's length prefix: not a
+	// record boundary.
+	if _, err := w.ReadRange(HeaderLen+1, 1<<20); !errors.Is(err, ErrNotBoundary) {
+		t.Fatalf("mid-record offset: err %v, want ErrNotBoundary", err)
+	}
+}
+
+func TestReadRangeWidensTinyWindow(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	w := appendN(t, mem, "wal.bin", 2)
+	defer w.Close()
+
+	// A max smaller than one frame must still return at least one whole
+	// frame (otherwise a tailing follower with a small chunk budget would
+	// spin forever).
+	data, err := w.ReadRange(HeaderLen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ParseFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("tiny window returned %d records, want exactly 1", len(recs))
+	}
+}
+
+func TestReadRangeServesOnlyDurableBytes(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	w := appendN(t, mem, "wal.bin", 2)
+	defer w.Close()
+
+	end := w.Size()
+	// Reading at the durable end returns empty, not an error.
+	data, err := w.ReadRange(end, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("read at end returned %d bytes", len(data))
+	}
+	// Past the end is the caller's bug.
+	if _, err := w.ReadRange(end+1, 1<<20); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+	// Before the header is never valid.
+	if _, err := w.ReadRange(0, 1<<20); err == nil {
+		t.Fatal("read inside the header succeeded")
+	}
+}
+
+func TestParseFramesTornTail(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	w := appendN(t, mem, "wal.bin", 3)
+	data, err := w.ReadRange(HeaderLen, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Chop the last frame anywhere: the parse returns the intact prefix
+	// and NO error — a torn tail is normal during streaming.
+	for cut := int64(len(data)) - 1; cut > int64(len(data))-8; cut-- {
+		recs, good, err := ParseFrames(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: torn tail reported error %v", cut, err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("cut %d: got %d records, want the 2 intact ones", cut, len(recs))
+		}
+		if !bytes.Equal(data[:good], data[:good]) || good > cut {
+			t.Fatalf("cut %d: good %d exceeds available %d", cut, good, cut)
+		}
+	}
+
+	// A corrupt COMPLETE frame is an error, with the prefix still usable.
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-5] ^= 0xff // inside the last frame's payload or CRC
+	recs, good, err := ParseFrames(mut)
+	if err == nil {
+		t.Fatal("corrupt complete frame parsed cleanly")
+	}
+	if len(recs) != 2 || good <= 0 {
+		t.Fatalf("corrupt tail: %d records, good %d; want 2 intact", len(recs), good)
+	}
+}
+
+func TestAppendBatchDurableAndReplayable(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	w, _, err := Open(mem, "wal.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Record{rec(0), rec(1), rec(2)}
+	if err := w.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	w.Close()
+
+	// A power cut after AppendBatch returned must keep every record: the
+	// batch is fsynced before it returns.
+	crashed := mem.Clone()
+	crashed.Crash()
+	w2, recs, err := Open(crashed, "wal.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != len(batch) {
+		t.Fatalf("replayed %d records after power cut, want %d", len(recs), len(batch))
+	}
+	for i := range batch {
+		if !equalRecords(recs[i], batch[i]) {
+			t.Fatalf("record %d differs after crash replay", i)
+		}
+	}
+}
+
+func TestAppendBatchMatchesAppendBytes(t *testing.T) {
+	// Frames written by AppendBatch must be byte-identical to the same
+	// records written one Append at a time: a follower's local WAL (batch
+	// writes) stays interchangeable with a primary's (single writes), and
+	// logical offsets mean the same thing on both.
+	memA, memB := faultfs.NewMemFS(), faultfs.NewMemFS()
+	wa, _, err := Open(memA, "a.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _, err := Open(memB, "b.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{rec(0), rec(1), rec(2), rec(3)}
+	if err := wa.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := wb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, err := wa.ReadRange(HeaderLen, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := wb.ReadRange(HeaderLen, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa.Close()
+	wb.Close()
+	if !bytes.Equal(da, db) {
+		t.Fatalf("batch and single appends produced different bytes: %d vs %d", len(da), len(db))
+	}
+}

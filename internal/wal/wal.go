@@ -55,6 +55,11 @@ import (
 // magic identifies a WAL stream; the trailing byte is the format version.
 var magic = [8]byte{'R', 'D', 'F', 'C', 'W', 'A', 'L', 1}
 
+// HeaderLen is the byte length of the log header. Record frames start at
+// this offset; the replication layer's logical offsets count record bytes
+// from here.
+const HeaderLen = int64(len(magic))
+
 // maxRecord bounds one record payload (16 MiB); larger length prefixes
 // are treated as corruption before any allocation happens.
 const maxRecord = 1 << 24
@@ -264,6 +269,140 @@ func (w *Log) Truncate() error {
 	}
 	w.size = int64(len(magic))
 	return nil
+}
+
+// AppendBatch durably logs several records with a single fsync: every
+// frame is written, then one Sync covers them all. nil means ALL records
+// are on stable storage. Followers use it to persist a replicated batch
+// without paying one fsync per record; the primary's insert path keeps
+// the per-record Append (each ack needs its own durability point). The
+// failure semantics match Append: a failed batch is truncated back to
+// the last durable record as a unit, and an unrepairable failure marks
+// the log Broken.
+func (w *Log) AppendBatch(recs []Record) error {
+	if w.broken {
+		return ErrBroken
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	var frame []byte
+	for _, rec := range recs {
+		payload := encodeRecord(rec)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+		frame = append(frame, payload...)
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return w.repairOr(fmt.Errorf("wal: batch append: %w", err))
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.repairOr(fmt.Errorf("wal: batch fsync: %w", err))
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// ReadRange returns up to max bytes of durable record frames starting at
+// byte offset from (header included in the offset arithmetic, so the
+// first record frame lives at HeaderLen). It reads only committed bytes —
+// never a torn tail being appended — and trims the window back to the
+// last complete frame boundary, so the returned bytes always parse with
+// ParseFrames. A from that is inside the durable range but not on a
+// frame boundary is reported by ErrNotBoundary (the caller turns it into
+// a client error); from beyond the durable size is an error too.
+//
+// The read goes through the filesystem, not the append handle, and costs
+// O(log size); callers serialize it with Append/Truncate under the same
+// lock they already hold for those.
+func (w *Log) ReadRange(from int64, max int) ([]byte, error) {
+	if w.broken {
+		return nil, ErrBroken
+	}
+	if from < HeaderLen || from > w.size {
+		return nil, fmt.Errorf("wal: read offset %d outside durable range [%d, %d]", from, HeaderLen, w.size)
+	}
+	if from == w.size || max <= 0 {
+		return nil, nil
+	}
+	data, err := w.fs.ReadFile(w.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", w.path, err)
+	}
+	end := w.size // never serve past the durable mark, whatever the file holds
+	if int64(len(data)) < end {
+		return nil, fmt.Errorf("wal: %s shrank under us: %d bytes on disk, %d durable", w.path, len(data), end)
+	}
+	if hi := from + int64(max); hi < end {
+		end = hi
+	}
+	window := data[from:end]
+	_, good, err := ParseFrames(window)
+	if err != nil && good == 0 {
+		return nil, fmt.Errorf("%w: offset %d", ErrNotBoundary, from)
+	}
+	if good == 0 && end < w.size {
+		// The window cut the first frame short of the durable end: widen to
+		// that one whole frame so a tiny max can never wedge a reader.
+		if len(data)-int(from) < 4 {
+			return nil, fmt.Errorf("%w: offset %d", ErrNotBoundary, from)
+		}
+		n := int64(binary.LittleEndian.Uint32(data[from:]))
+		if n > maxRecord || from+4+n+4 > w.size {
+			return nil, fmt.Errorf("%w: offset %d", ErrNotBoundary, from)
+		}
+		window = data[from : from+4+n+4]
+		_, good, err = ParseFrames(window)
+		if err != nil {
+			return nil, fmt.Errorf("%w: offset %d", ErrNotBoundary, from)
+		}
+	}
+	if good == 0 {
+		// Frames never straddle the durable mark, so a true boundary with
+		// durable bytes ahead always parses at least one complete frame.
+		// Zero frames means the offset landed inside a record — typically a
+		// misread length prefix that made the "frame" look cut short.
+		return nil, fmt.Errorf("%w: offset %d", ErrNotBoundary, from)
+	}
+	return window[:good], nil
+}
+
+// ErrNotBoundary reports a ReadRange offset that falls inside the durable
+// range but not on a record-frame boundary.
+var ErrNotBoundary = errors.New("wal: offset is not a record boundary")
+
+// ParseFrames decodes consecutive record frames from the start of data,
+// re-validating each frame's length and CRC. It returns the decoded
+// records and the number of bytes they occupied. A trailing incomplete
+// frame (the stream was cut mid-frame) simply stops the parse — the
+// caller resumes at the returned boundary. err is non-nil only when a
+// COMPLETE frame in data is corrupt (bad CRC or undecodable payload):
+// that is data corruption, not truncation, and must not be skipped over.
+func ParseFrames(data []byte) (recs []Record, good int64, err error) {
+	off := 0
+	for {
+		if len(data)-off < 4 {
+			return recs, int64(off), nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n > maxRecord {
+			return recs, int64(off), fmt.Errorf("wal: frame at %d: length %d exceeds limit", off, n)
+		}
+		if len(data)-off < 4+n+4 {
+			return recs, int64(off), nil // cut mid-frame
+		}
+		payload := data[off+4 : off+4+n]
+		crc := binary.LittleEndian.Uint32(data[off+4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, int64(off), fmt.Errorf("wal: frame at %d: CRC mismatch", off)
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return recs, int64(off), fmt.Errorf("wal: frame at %d: %w", off, derr)
+		}
+		recs = append(recs, rec)
+		off += 4 + n + 4
+	}
 }
 
 // Size reports the durable log length in bytes (header included).

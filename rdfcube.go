@@ -35,6 +35,7 @@ import (
 	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
+	"rdfcube/internal/replica"
 	"rdfcube/internal/serve"
 	"rdfcube/internal/snapshot"
 	"rdfcube/internal/sparql"
@@ -422,6 +423,24 @@ type SnapshotRotator = snapshot.Rotator
 // (internal) provides the fault-injecting in-memory one tests use.
 type FS = faultfs.FS
 
+// Replica is a read replica: it bootstraps from a primary's snapshot,
+// tails the primary's WAL, serves every read route, rejects writes with
+// a leader hint, and (optionally) persists its own snapshot/WAL chain so
+// restarts resume from the last applied offset (see internal/replica).
+type Replica = replica.Follower
+
+// ReplicaConfig configures a Replica; only Primary is required.
+type ReplicaConfig = replica.Config
+
+// FollowerState carries a follower's replication telemetry — lag in
+// records, applied offset, staleness clock, bootstrap count — and is
+// what flips a stale follower's /readyz to 503.
+type FollowerState = serve.FollowerState
+
+// Backoff is the shared jittered, doubling, capped retry-delay policy
+// used by the circuit breaker and the replica's reconnect loop.
+type Backoff = serve.Backoff
+
 // CanceledError reports a cooperatively canceled run (context, deadline,
 // pair budget or stall watchdog). It matches errors.Is(err, ErrCanceled);
 // its Cause field carries the specific trigger and Pairs the budget
@@ -464,6 +483,9 @@ var (
 	// OSFilesystem is the production filesystem for OpenWAL and
 	// NewSnapshotRotator.
 	OSFilesystem = faultfs.OS{}
+	// NewReplica builds a read replica of a primary; call Run to
+	// bootstrap and start tailing the primary's WAL.
+	NewReplica = replica.New
 )
 
 // NewSnapshot captures a computation as a persistable snapshot. The
