@@ -1,0 +1,177 @@
+// Command cubegate is the stateless scatter/gather router in front of a
+// fleet of cubed shards. Each shard owns a disjoint set of datasets;
+// the gate routes writes to the owning shard's primary, fans reads out
+// to every shard, merges the answers deterministically, and degrades to
+// explicit partial results ("partial": true plus the missing shard
+// list) when part of the fleet is unreachable. See internal/gate for
+// the routing, hedging and breaker machinery.
+//
+// Usage:
+//
+//	cubegate -shard-map shards.json -addr :8081
+//	cubegate -shard-map shards.json -validate        # check the map and exit
+//
+// The shard map is a JSON file, either a bare array of shard entries or
+// an object with a "shards" key:
+//
+//	{
+//	  "shards": [
+//	    {
+//	      "name": "g0",
+//	      "primary": "http://10.0.0.1:8080",
+//	      "replica": "http://10.0.0.2:8080",
+//	      "datasets": ["http://example.org/dataset/shard/g0/D0", "..."]
+//	    }
+//	  ]
+//	}
+//
+// The gate address serves the merged /v1 query API next to the usual
+// observability endpoints (/metrics, /metrics.json, /debug/vars,
+// /debug/pprof/) plus the gate-specific /v1/stats fleet-health view.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rdfcube/internal/gate"
+	"rdfcube/internal/obsv"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon body; ctx cancellation is treated like a
+// termination signal (tests use it in place of SIGTERM).
+func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cubegate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mapPath   = fs.String("shard-map", "", "JSON shard map file (required)")
+		addr      = fs.String("addr", ":8081", "HTTP listen address (port 0 for ephemeral)")
+		validate  = fs.Bool("validate", false, "load and validate the shard map, print a summary, and exit")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-request budget")
+		shardTO   = fs.Duration("shard-timeout", 2*time.Second, "per-upstream-call budget")
+		reserve   = fs.Duration("merge-reserve", 100*time.Millisecond, "budget held back for merging and rendering")
+		probe     = fs.Duration("probe-interval", 2*time.Second, "shard /readyz probe interval (0 default, negative disables)")
+		brkN      = fs.Int("breaker-threshold", 3, "consecutive failures before a target's breaker opens")
+		brkWait   = fs.Duration("breaker-backoff", 5*time.Second, "base backoff of an open breaker")
+		hedgeQ    = fs.Float64("hedge-quantile", 0.9, "primary latency quantile after which the replica is hedged")
+		hedgeMin  = fs.Duration("hedge-min", 5*time.Millisecond, "hedge delay floor")
+		hedgeMax  = fs.Duration("hedge-max", 250*time.Millisecond, "hedge delay ceiling (and cold-start delay)")
+		retries   = fs.Int("write-retries", 3, "max write re-sends after a retryable refusal")
+		retryBase = fs.Duration("retry-base", 100*time.Millisecond, "write retry backoff base")
+		retryMax  = fs.Duration("max-retry-wait", 2*time.Second, "cap on one honored Retry-After hint")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "cubegate: "+format+"\n", a...) }
+
+	if *mapPath == "" {
+		logf("-shard-map is required")
+		return 2
+	}
+	shards, err := loadShardMap(*mapPath)
+	if err != nil {
+		logf("%v", err)
+		return 2
+	}
+
+	col := obsv.NewCollector()
+	cfg := gate.Config{
+		Shards:           shards,
+		Recorder:         col,
+		RequestTimeout:   *timeout,
+		ShardTimeout:     *shardTO,
+		MergeReserve:     *reserve,
+		ProbeInterval:    *probe,
+		BreakerThreshold: *brkN,
+		BreakerBackoff:   *brkWait,
+		HedgeQuantile:    *hedgeQ,
+		HedgeMin:         *hedgeMin,
+		HedgeMax:         *hedgeMax,
+		WriteRetries:     *retries,
+		WriteRetryBase:   *retryBase,
+		MaxRetryWait:     *retryMax,
+		Logf:             logf,
+	}
+	if *validate {
+		cfg.ProbeInterval = -1 // a validation run must not probe live hosts
+	}
+	g, err := gate.New(cfg)
+	if err != nil {
+		logf("%v", err)
+		return 2
+	}
+	defer g.Close()
+
+	if *validate {
+		datasets := 0
+		for _, sc := range shards {
+			datasets += len(sc.Datasets)
+		}
+		fmt.Fprintf(stdout, "shard map ok: %d shards, %d datasets\n", len(shards), datasets)
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", g.Handler())
+	obsHandler := obsv.Handler(col)
+	mux.Handle("/metrics", obsHandler)
+	mux.Handle("/metrics.json", obsHandler)
+	mux.Handle("/debug/", obsHandler)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("listen: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() { _ = httpSrv.Serve(ln) }()
+	logf("gate serving on %s (%d shards)", ln.Addr(), len(shards))
+
+	<-ctx.Done()
+	stop()
+	logf("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logf("shutdown: %v", err)
+	}
+	logf("bye")
+	return 0
+}
+
+// loadShardMap reads a shard-map file: either a bare JSON array of
+// shard entries or an object wrapping them under "shards".
+func loadShardMap(path string) ([]gate.ShardConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading shard map: %w", err)
+	}
+	var wrapped struct {
+		Shards []gate.ShardConfig `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && len(wrapped.Shards) > 0 {
+		return wrapped.Shards, nil
+	}
+	var bare []gate.ShardConfig
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("shard map %s: want a JSON array of shards or {\"shards\": [...]}: %w", path, err)
+	}
+	return bare, nil
+}

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfcube/internal/core"
+	"rdfcube/internal/gen"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the daemon goroutine
+// writes log lines while the test polls String.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func startShard(t *testing.T, w *gen.ShardWorld) string {
+	t.Helper()
+	s, err := core.NewSpace(w.Corpus)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	res := core.NewResult()
+	l := core.CubeMasking(s, core.TaskAll, res, core.CubeMaskOptions{})
+	res.Sort()
+	srv, err := serve.New(snapshot.New(s, res, l), serve.Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	httpSrv, addr, err := serve.Start("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatalf("serve.Start: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.BeginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	})
+	return "http://" + addr
+}
+
+func writeShardMap(t *testing.T, worlds []*gen.ShardWorld, urls []string) string {
+	t.Helper()
+	type entry struct {
+		Name     string   `json:"name"`
+		Primary  string   `json:"primary"`
+		Datasets []string `json:"datasets"`
+	}
+	var m struct {
+		Shards []entry `json:"shards"`
+	}
+	for i, w := range worlds {
+		m.Shards = append(m.Shards, entry{Name: w.Name, Primary: urls[i], Datasets: w.Datasets})
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shards.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateEndToEnd boots three real shard daemons over a relationship-
+// closed corpus, points cubegate at them via a shard-map file, and
+// drives reads, a write, and the observability surface over real TCP.
+func TestGateEndToEnd(t *testing.T) {
+	worlds, _ := gen.ShardWorlds(gen.ShardWorldsConfig{Seed: 3, ObsPerDataset: 20})
+	var urls []string
+	for _, w := range worlds {
+		urls = append(urls, startShard(t, w))
+	}
+	mapPath := writeShardMap(t, worlds, urls)
+
+	// -validate path first: summary and clean exit, no serving.
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-shard-map", mapPath, "-validate"}, &out, &errOut); code != 0 {
+		t.Fatalf("validate: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "shard map ok: 3 shards") {
+		t.Fatalf("validate stdout: %q", out.String())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logs := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-shard-map", mapPath,
+			"-addr", "127.0.0.1:0",
+			"-probe-interval", "50ms",
+		}, io.Discard, logs)
+	}()
+
+	addrRe := regexp.MustCompile(`gate serving on ([0-9.:]+)`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never started:\n%s", logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if into != nil {
+			if err := json.Unmarshal(body, into); err != nil {
+				t.Fatalf("GET %s: undecodable body %s: %v", path, body, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var ready struct {
+		Status string `json:"status"`
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON("/readyz", &ready); code == http.StatusOK && ready.Status == "ready" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never became ready: %+v\n%s", ready, logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	uri := worlds[0].Corpus.Datasets[0].Observations[0].URI.Value
+	var rel struct {
+		URI     string `json:"uri"`
+		Partial bool   `json:"partial"`
+	}
+	if code := getJSON("/v1/related?obs="+uri, &rel); code != http.StatusOK {
+		t.Fatalf("related: status %d", code)
+	}
+	if rel.URI != uri || rel.Partial {
+		t.Fatalf("related: %+v", rel)
+	}
+
+	// A write routes to the owning shard: insert a twin of an existing
+	// observation into its own dataset.
+	src := worlds[1].Corpus.Datasets[0]
+	o := src.Observations[0]
+	dims := map[string]string{}
+	for k, d := range src.Schema.Dimensions {
+		dims[d.Value] = o.DimValues[k].Value
+	}
+	ins, _ := json.Marshal(map[string]any{
+		"dataset":    src.URI.Value,
+		"uri":        "http://example.org/cubegate-e2e/obs/1",
+		"dimensions": dims,
+		"measures":   map[string]string{src.Schema.Measures[0].Value: "99"},
+	})
+	resp, err := client.Post(base+"/v1/observations", "application/json", bytes.NewReader(ins))
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	insBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert: status %d body %s", resp.StatusCode, insBody)
+	}
+
+	var stats struct {
+		Role            string `json:"role"`
+		AvailableShards int    `json:"availableShards"`
+	}
+	if code := getJSON("/v1/stats", &stats); code != http.StatusOK || stats.Role != "gate" || stats.AvailableShards != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if code := getJSON("/metrics.json", nil); code != http.StatusOK {
+		t.Fatalf("metrics.json: status %d", code)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("gate exit %d\n%s", code, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("gate never exited\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "bye") {
+		t.Fatalf("no clean shutdown line:\n%s", logs.String())
+	}
+}
+
+// TestBadFlags pins the usage-error exits.
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-nope"},
+		{},
+		{"-shard-map", filepath.Join(t.TempDir(), "missing.json")},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2\nstderr: %s", args, code, errOut.String())
+		}
+	}
+
+	// A syntactically valid map that fails gate validation (dup name).
+	path := filepath.Join(t.TempDir(), "dup.json")
+	os.WriteFile(path, []byte(`[{"name":"a","primary":"http://x"},{"name":"a","primary":"http://y"}]`), 0o644)
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-shard-map", path, "-validate"}, &out, &errOut); code != 2 {
+		t.Fatalf("dup map: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "duplicate shard name") {
+		t.Fatalf("dup map stderr: %q", errOut.String())
+	}
+}
+
+// TestLoadShardMapShapes accepts both the wrapped and bare JSON shapes.
+func TestLoadShardMapShapes(t *testing.T) {
+	dir := t.TempDir()
+	bare := filepath.Join(dir, "bare.json")
+	os.WriteFile(bare, []byte(`[{"name":"a","primary":"http://x","datasets":["d1"]}]`), 0o644)
+	wrapped := filepath.Join(dir, "wrapped.json")
+	os.WriteFile(wrapped, []byte(`{"shards":[{"name":"a","primary":"http://x","datasets":["d1"]}]}`), 0o644)
+	for _, p := range []string{bare, wrapped} {
+		shards, err := loadShardMap(p)
+		if err != nil || len(shards) != 1 || shards[0].Name != "a" {
+			t.Fatalf("%s: %v %+v", p, err, shards)
+		}
+	}
+	junk := filepath.Join(dir, "junk.json")
+	os.WriteFile(junk, []byte(`"not a map"`), 0o644)
+	if _, err := loadShardMap(junk); err == nil {
+		t.Fatalf("junk map accepted")
+	}
+}

@@ -54,6 +54,7 @@ func main() {
 		note        = flag.String("note", "", "provenance note recorded in the report")
 		p99Frac     = flag.Float64("p99-tolerance", 0.75, "allowed fractional p99 increase for -compare, after calibration normalization")
 		injectDelay = flag.Duration("inject-delay", 0, "artificial added delay per request (validates that the gate catches a slowdown)")
+		retry       = flag.Bool("retry", false, "polite-client mode: retry 429/503 with backoff, honoring Retry-After; latency then covers the whole exchange")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 	defer stop()
 
 	cfg := loadgen.PlanConfig{Gen: *genName, N: *n, Seed: *seed, Mix: *mix, Requests: *requests}
-	opts := loadgen.Options{Concurrency: *concurrency, RPS: *rps, InjectDelay: *injectDelay}
+	opts := loadgen.Options{Concurrency: *concurrency, RPS: *rps, InjectDelay: *injectDelay, Retry: *retry}
 
 	var base *loadgen.LoadReport
 	if *compare != "" {

@@ -1,0 +1,292 @@
+package gate
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The gate's merged read responses. Field order is fixed by the struct,
+// neighbor lists are sorted by URI, and shard-local observation indices
+// are discarded entirely — three choices that together make the merged
+// bytes independent of shard reply order, of which target won a hedge,
+// and of how datasets are distributed over shards (given relationship-
+// closed sharding). The explicit "partial" field is the degradation
+// contract: a client can always tell a complete answer from one missing
+// shards' contributions.
+
+// partialNeighbor is a partial-containment neighbor with its degree.
+type partialNeighbor struct {
+	URI    string  `json:"uri"`
+	Degree float64 `json:"degree"`
+}
+
+// relatedResponse is the merged GET /v1/related answer.
+type relatedResponse struct {
+	URI                  string            `json:"uri"`
+	Contains             []string          `json:"contains"`
+	ContainedBy          []string          `json:"containedBy"`
+	PartiallyContains    []partialNeighbor `json:"partiallyContains"`
+	PartiallyContainedBy []partialNeighbor `json:"partiallyContainedBy"`
+	Complements          []string          `json:"complements"`
+	Partial              bool              `json:"partial"`
+	MissingShards        []string          `json:"missingShards,omitempty"`
+}
+
+// containsResponse is the merged GET /v1/contains answer.
+type containsResponse struct {
+	URI           string   `json:"uri"`
+	Contains      []string `json:"contains"`
+	ContainedBy   []string `json:"containedBy"`
+	Partial       bool     `json:"partial"`
+	MissingShards []string `json:"missingShards,omitempty"`
+}
+
+// complementsResponse is the merged GET /v1/complements answer.
+type complementsResponse struct {
+	URI           string   `json:"uri"`
+	Complements   []string `json:"complements"`
+	Partial       bool     `json:"partial"`
+	MissingShards []string `json:"missingShards,omitempty"`
+}
+
+// errorResponse is the gate's JSON error body. Partial/MissingShards
+// qualify a 404: "not found, but n shards could not be asked".
+type errorResponse struct {
+	Error         string   `json:"error"`
+	Partial       bool     `json:"partial,omitempty"`
+	MissingShards []string `json:"missingShards,omitempty"`
+}
+
+// shardRef mirrors the shard-side obsRef / partialRef wire shape; the
+// gate keeps the URI and degree and drops the shard-local index.
+type shardRef struct {
+	URI    string  `json:"uri"`
+	Degree float64 `json:"degree"`
+}
+
+// shardRelated decodes a shard's /v1/related (superset of /v1/contains
+// and /v1/complements) response.
+type shardRelated struct {
+	URI                  string     `json:"uri"`
+	Contains             []shardRef `json:"contains"`
+	ContainedBy          []shardRef `json:"containedBy"`
+	PartiallyContains    []shardRef `json:"partiallyContains"`
+	PartiallyContainedBy []shardRef `json:"partiallyContainedBy"`
+	Complements          []shardRef `json:"complements"`
+}
+
+// gathered is the outcome of one fan-out: the per-shard answers plus
+// the missing-shard accounting.
+type gathered struct {
+	answers []shardAnswer
+	missing []string // shard names that produced no usable answer, sorted
+}
+
+func (gt *gathered) partial() bool { return len(gt.missing) > 0 }
+
+// scatter fans one GET out to every shard concurrently and gathers the
+// answers. The answers slice is in shard-map order — NOT arrival order —
+// which, with the sorted merge below, is what detaches the response
+// bytes from scheduling.
+func (g *Gate) scatter(r *http.Request, path string) *gathered {
+	gt := &gathered{answers: make([]shardAnswer, len(g.shards))}
+	var wg sync.WaitGroup
+	for i, sh := range g.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			gt.answers[i] = g.fetchShard(r.Context(), sh, path)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, a := range gt.answers {
+		if !a.ok {
+			gt.missing = append(gt.missing, a.shard.name)
+			if a.err != nil {
+				g.log("shard %s unavailable: %v", a.shard.name, a.err)
+			}
+		}
+	}
+	sort.Strings(gt.missing)
+	return gt
+}
+
+// obsParam extracts and re-encodes the ?obs= parameter. The gate
+// requires a full observation URI: shard-local indices mean nothing
+// across a fleet.
+func obsParam(r *http.Request) (string, bool) {
+	obs := r.URL.Query().Get("obs")
+	if obs == "" {
+		return "", false
+	}
+	return url.QueryEscape(obs), true
+}
+
+// gatherRelated runs the fan-out for one observation and merges every
+// decoded answer. found is false when no reachable shard knows the
+// observation.
+func (g *Gate) gatherRelated(w http.ResponseWriter, r *http.Request) (resp relatedResponse, gt *gathered, found, handled bool) {
+	obs, ok := obsParam(r)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing ?obs= parameter (observation URI)"})
+		return resp, nil, false, true
+	}
+	gt = g.scatter(r, "/v1/related?obs="+obs)
+	if len(gt.missing) == len(g.shards) {
+		g.count(CtrNoShards, 1)
+		setRetryAfter(w, 3*time.Second)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "no shards reachable", Partial: true, MissingShards: gt.missing,
+		})
+		return resp, gt, false, true
+	}
+
+	contains := map[string]bool{}
+	containedBy := map[string]bool{}
+	complements := map[string]bool{}
+	pContains := map[string]float64{}
+	pContainedBy := map[string]float64{}
+	for _, a := range gt.answers {
+		if !a.ok || a.notFound {
+			continue
+		}
+		if a.status != http.StatusOK {
+			continue // unexpected 4xx: contributes nothing
+		}
+		var sr shardRelated
+		if err := json.Unmarshal(a.body, &sr); err != nil {
+			g.log("shard %s: undecodable related body: %v", a.shard.name, err)
+			continue
+		}
+		found = true
+		resp.URI = sr.URI
+		for _, ref := range sr.Contains {
+			contains[ref.URI] = true
+		}
+		for _, ref := range sr.ContainedBy {
+			containedBy[ref.URI] = true
+		}
+		for _, ref := range sr.Complements {
+			complements[ref.URI] = true
+		}
+		mergeDegrees(pContains, sr.PartiallyContains)
+		mergeDegrees(pContainedBy, sr.PartiallyContainedBy)
+	}
+	resp.Contains = sortedKeys(contains)
+	resp.ContainedBy = sortedKeys(containedBy)
+	resp.Complements = sortedKeys(complements)
+	resp.PartiallyContains = sortedDegrees(pContains)
+	resp.PartiallyContainedBy = sortedDegrees(pContainedBy)
+	resp.Partial = gt.partial()
+	resp.MissingShards = gt.missing
+	return resp, gt, found, false
+}
+
+// mergeDegrees folds a shard's partial neighbors in, keeping the max
+// degree on a duplicate URI (shards over relationship-closed maps never
+// actually collide; the max rule just keeps merge total).
+func mergeDegrees(into map[string]float64, refs []shardRef) {
+	for _, ref := range refs {
+		if d, dup := into[ref.URI]; !dup || ref.Degree > d {
+			into[ref.URI] = ref.Degree
+		}
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedDegrees(m map[string]float64) []partialNeighbor {
+	out := make([]partialNeighbor, 0, len(m))
+	for uri, deg := range m {
+		out = append(out, partialNeighbor{URI: uri, Degree: deg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// notFoundResponse answers a fan-out in which no reachable shard knew
+// the observation: a plain 404 when every shard was asked, a partial-
+// qualified 404 when some could not be (the observation might live on a
+// missing shard).
+func (g *Gate) notFound(w http.ResponseWriter, r *http.Request, gt *gathered) {
+	obs := r.URL.Query().Get("obs")
+	resp := errorResponse{Error: "unknown observation \"" + obs + "\""}
+	if gt.partial() {
+		resp.Partial = true
+		resp.MissingShards = gt.missing
+		g.countPartial()
+	}
+	writeJSON(w, http.StatusNotFound, resp)
+}
+
+func (g *Gate) countPartial() {
+	g.partials.Add(1)
+	g.count(CtrPartial, 1)
+}
+
+func (g *Gate) handleRelated(w http.ResponseWriter, r *http.Request) {
+	resp, gt, found, handled := g.gatherRelated(w, r)
+	if handled {
+		return
+	}
+	if !found {
+		g.notFound(w, r, gt)
+		return
+	}
+	if resp.Partial {
+		g.countPartial()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gate) handleContains(w http.ResponseWriter, r *http.Request) {
+	resp, gt, found, handled := g.gatherRelated(w, r)
+	if handled {
+		return
+	}
+	if !found {
+		g.notFound(w, r, gt)
+		return
+	}
+	if resp.Partial {
+		g.countPartial()
+	}
+	writeJSON(w, http.StatusOK, containsResponse{
+		URI:           resp.URI,
+		Contains:      resp.Contains,
+		ContainedBy:   resp.ContainedBy,
+		Partial:       resp.Partial,
+		MissingShards: resp.MissingShards,
+	})
+}
+
+func (g *Gate) handleComplements(w http.ResponseWriter, r *http.Request) {
+	resp, gt, found, handled := g.gatherRelated(w, r)
+	if handled {
+		return
+	}
+	if !found {
+		g.notFound(w, r, gt)
+		return
+	}
+	if resp.Partial {
+		g.countPartial()
+	}
+	writeJSON(w, http.StatusOK, complementsResponse{
+		URI:           resp.URI,
+		Complements:   resp.Complements,
+		Partial:       resp.Partial,
+		MissingShards: resp.MissingShards,
+	})
+}

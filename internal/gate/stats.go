@@ -1,0 +1,83 @@
+package gate
+
+import (
+	"net/http"
+	"time"
+
+	"rdfcube/internal/obsv"
+)
+
+// targetStats is one upstream endpoint's health picture in /v1/stats.
+type targetStats struct {
+	Role     string `json:"role"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker"`
+	Failures int    `json:"failures"`
+	// Latency is the target's upstream latency quantile summary (µs),
+	// present when the recorder keeps histograms and traffic has flowed.
+	Latency *obsv.QuantileSummary `json:"latency,omitempty"`
+}
+
+// shardStats is one shard-map entry's health picture.
+type shardStats struct {
+	Name      string        `json:"name"`
+	Datasets  []string      `json:"datasets"`
+	Available bool          `json:"available"`
+	Targets   []targetStats `json:"targets"`
+}
+
+// statsResponse is GET /v1/stats on the gate: the fleet's health as the
+// router sees it, plus the hedging and degradation counters the chaos
+// harness and operators read.
+type statsResponse struct {
+	Role            string       `json:"role"`
+	Shards          []shardStats `json:"shards"`
+	AvailableShards int          `json:"availableShards"`
+	HedgeFired      int64        `json:"hedgeFired"`
+	HedgeWon        int64        `json:"hedgeWon"`
+	PartialReads    int64        `json:"partialReads"`
+	UptimeSeconds   float64      `json:"uptimeSeconds"`
+}
+
+func (g *Gate) handleStats(w http.ResponseWriter, r *http.Request) {
+	hists, _ := g.rec.(interface {
+		HistSnapshot(string) (*obsv.HistSnapshot, bool)
+	})
+	resp := statsResponse{
+		Role:          "gate",
+		HedgeFired:    g.hedgeFired.Load(),
+		HedgeWon:      g.hedgeWon.Load(),
+		PartialReads:  g.partials.Load(),
+		UptimeSeconds: time.Since(g.started).Seconds(),
+	}
+	for _, sh := range g.shards {
+		ss := shardStats{
+			Name:      sh.name,
+			Datasets:  sh.datasets,
+			Available: sh.available(),
+		}
+		for _, t := range sh.targets() {
+			state, fails := t.breaker.Snapshot()
+			ts := targetStats{
+				Role:     t.role,
+				URL:      t.url,
+				Healthy:  t.healthy.Load(),
+				Breaker:  state,
+				Failures: fails,
+			}
+			if hists != nil {
+				if snap, found := hists.HistSnapshot(targetHistName(sh.name, t.role)); found {
+					sum := snap.Summary()
+					ts.Latency = &sum
+				}
+			}
+			ss.Targets = append(ss.Targets, ts)
+		}
+		if ss.Available {
+			resp.AvailableShards++
+		}
+		resp.Shards = append(resp.Shards, ss)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -253,3 +253,149 @@ func TestBaseURLsRoundRobinReadsPinWrites(t *testing.T) {
 		}
 	}
 }
+
+// scriptedTransport answers each request from a per-path script of
+// canned responses, consuming one entry per attempt (the last entry
+// repeats). It lets the retry tests control exactly what a polite
+// client sees on each re-send.
+type scriptedTransport struct {
+	mu     sync.Mutex
+	script map[string][]scriptedResp // keyed by METHOD PATH
+	calls  map[string]int
+}
+
+type scriptedResp struct {
+	status     int
+	retryAfter string
+	body       string
+}
+
+func (s *scriptedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := req.Method + " " + req.URL.Path
+	if s.calls == nil {
+		s.calls = map[string]int{}
+	}
+	seq := s.script[key]
+	if len(seq) == 0 {
+		panic("scriptedTransport: no script for " + key)
+	}
+	i := s.calls[key]
+	if i >= len(seq) {
+		i = len(seq) - 1
+	}
+	s.calls[key]++
+	r := seq[i]
+	rec := httptest.NewRecorder()
+	if r.retryAfter != "" {
+		rec.Header().Set("Retry-After", r.retryAfter)
+	}
+	rec.WriteHeader(r.status)
+	rec.Body.WriteString(r.body)
+	return rec.Result(), nil
+}
+
+// TestPoliteRetrySucceedsAfterShed: in Retry mode a 429 with a
+// Retry-After hint is re-sent (the hint capped by RetryWaitCap so the
+// test does not sleep a literal second) and the op ends Good with the
+// re-sends counted; without Retry the same script just counts a Shed.
+func TestPoliteRetrySucceedsAfterShed(t *testing.T) {
+	script := func() *scriptedTransport {
+		return &scriptedTransport{script: map[string][]scriptedResp{
+			"GET /v1/related": {
+				{status: http.StatusTooManyRequests, retryAfter: "1"},
+				{status: http.StatusServiceUnavailable},
+				{status: http.StatusOK, body: `{"uri":"x"}`},
+			},
+		}}
+	}
+	plan := &Plan{Ops: []Op{{Kind: OpRelated, Method: http.MethodGet, Path: "/v1/related"}}}
+
+	tr := script()
+	start := time.Now()
+	stats, err := Run(context.Background(), plan, Options{
+		Transport:    tr,
+		Retry:        true,
+		RetryWaitCap: 20 * time.Millisecond,
+		Concurrency:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Good != 1 || stats.Shed != 0 || stats.Errors != 0 {
+		t.Fatalf("polite run: good=%d shed=%d errors=%d, want 1/0/0", stats.Good, stats.Shed, stats.Errors)
+	}
+	if stats.Retried != 2 {
+		t.Fatalf("retried %d, want 2 (one per shed response)", stats.Retried)
+	}
+	if tr.calls["GET /v1/related"] != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", tr.calls["GET /v1/related"])
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("polite run took %v; the 1s Retry-After hint was not capped", elapsed)
+	}
+
+	// The same script without Retry stops at the first answer: a shed.
+	stats, err = Run(context.Background(), plan, Options{Transport: script(), Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed != 1 || stats.Good != 0 || stats.Retried != 0 {
+		t.Fatalf("impolite run: good=%d shed=%d retried=%d, want 0/1/0", stats.Good, stats.Shed, stats.Retried)
+	}
+}
+
+// TestPoliteRetryBounded: a server that sheds forever consumes exactly
+// RetryMax re-sends and the op still lands in Shed.
+func TestPoliteRetryBounded(t *testing.T) {
+	tr := &scriptedTransport{script: map[string][]scriptedResp{
+		"GET /v1/related": {{status: http.StatusTooManyRequests}},
+	}}
+	stats, err := Run(context.Background(),
+		&Plan{Ops: []Op{{Kind: OpRelated, Method: http.MethodGet, Path: "/v1/related"}}},
+		Options{Transport: tr, Retry: true, RetryMax: 2, RetryWaitCap: 5 * time.Millisecond, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed != 1 || stats.Retried != 2 {
+		t.Fatalf("shed=%d retried=%d, want 1 shed after exactly 2 re-sends", stats.Shed, stats.Retried)
+	}
+	if tr.calls["GET /v1/related"] != 3 {
+		t.Fatalf("transport saw %d attempts, want 3 (original + RetryMax)", tr.calls["GET /v1/related"])
+	}
+}
+
+// TestPartialResponsesCounted: answers flagged "partial": true by a
+// degraded gate count as Good AND as Partial — the report separates
+// complete from incomplete successes.
+func TestPartialResponsesCounted(t *testing.T) {
+	tr := &scriptedTransport{script: map[string][]scriptedResp{
+		"GET /v1/related":  {{status: http.StatusOK, body: `{"uri":"x","contains":[],"partial":true,"missingShards":["g1"]}`}},
+		"GET /v1/contains": {{status: http.StatusOK, body: `{"uri":"x","contains":[]}`}},
+	}}
+	stats, err := Run(context.Background(), &Plan{Ops: []Op{
+		{Kind: OpRelated, Method: http.MethodGet, Path: "/v1/related"},
+		{Kind: OpContains, Method: http.MethodGet, Path: "/v1/contains"},
+	}}, Options{Transport: tr, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Good != 2 {
+		t.Fatalf("good %d, want 2 (partial answers still succeeded)", stats.Good)
+	}
+	if stats.Partial != 1 {
+		t.Fatalf("partial %d, want 1", stats.Partial)
+	}
+
+	// The counts survive into the report and its rendering.
+	plan := &Plan{Config: PlanConfig{Gen: "realworld", Mix: "mixed"}, Ops: nil, Digest: "d"}
+	stats.Retried = 3
+	rep := NewReport(plan, Options{}, stats, "")
+	if rep.Partial != 1 || rep.Retried != 3 {
+		t.Fatalf("report partial=%d retried=%d, want 1/3", rep.Partial, rep.Retried)
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "partial answers 1") || !strings.Contains(txt, "polite retries 3") {
+		t.Fatalf("report text missing partial/retry line:\n%s", txt)
+	}
+}

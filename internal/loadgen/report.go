@@ -46,6 +46,11 @@ type LoadReport struct {
 	Good           int64   `json:"good"`
 	Shed           int64   `json:"shed"`
 	Errors         int64   `json:"errors"`
+	// Partial counts answers flagged "partial": true by a degraded
+	// sharded gate; Retried counts polite-mode (-retry) re-sends. Both
+	// omit when zero so pre-gate baselines stay byte-compatible.
+	Partial int64 `json:"partial,omitempty"`
+	Retried int64 `json:"retried,omitempty"`
 	// GoodputRPS is successful responses per wall-clock second.
 	GoodputRPS float64 `json:"goodputRps"`
 
@@ -75,6 +80,8 @@ func NewReport(p *Plan, opts Options, stats *RunStats, note string) *LoadReport 
 		Good:           stats.Good,
 		Shed:           stats.Shed,
 		Errors:         stats.Errors,
+		Partial:        stats.Partial,
+		Retried:        stats.Retried,
 		Latency:        stats.Hist.Snapshot().Summary(),
 		PerOp:          map[string]obsv.QuantileSummary{},
 	}
@@ -258,6 +265,9 @@ func (r *LoadReport) Text() string {
 	out += fmt.Sprintf("  (plan %s)\n", r.PlanDigest)
 	out += fmt.Sprintf("sent %d  good %d  shed %d  errors %d  dropped %d  in %.2fs  → %.0f good/s\n",
 		r.Sent, r.Good, r.Shed, r.Errors, r.Dropped, r.ElapsedSeconds, r.GoodputRPS)
+	if r.Partial > 0 || r.Retried > 0 {
+		out += fmt.Sprintf("partial answers %d  polite retries %d\n", r.Partial, r.Retried)
+	}
 	out += fmt.Sprintf("%-12s %8s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50", "p90", "p99", "p999")
 	row := func(name string, q obsv.QuantileSummary) string {
 		return fmt.Sprintf("%-12s %8d %10.0f %10.0f %10.0f %10.0f %10.0f\n",

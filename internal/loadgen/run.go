@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,18 @@ type Options struct {
 	// request's measured window. It exists to validate the regression
 	// gate: a run with 5ms injected must fail a healthy baseline.
 	InjectDelay time.Duration
+	// Retry switches to polite-client mode: a 429 or 503 is retried (up
+	// to RetryMax times) after the response's Retry-After hint, or a
+	// doubling backoff when the server gave none. The measured latency
+	// then covers the whole polite exchange, waits included — that IS
+	// the latency a well-behaved client sees. Off by default: open-loop
+	// honesty (measure what the server sheds) is the baseline's point.
+	Retry bool
+	// RetryMax bounds the re-sends per op in Retry mode; zero means 3.
+	RetryMax int
+	// RetryWaitCap caps one honored Retry-After hint (or backoff step);
+	// zero means 2s — a load run must not sleep out a long hint.
+	RetryWaitCap time.Duration
 }
 
 func (o Options) concurrency() int {
@@ -61,6 +74,20 @@ func (o Options) concurrency() int {
 		return 8
 	}
 	return o.Concurrency
+}
+
+func (o Options) retryMax() int {
+	if o.RetryMax <= 0 {
+		return 3
+	}
+	return o.RetryMax
+}
+
+func (o Options) retryWaitCap() time.Duration {
+	if o.RetryWaitCap <= 0 {
+		return 2 * time.Second
+	}
+	return o.RetryWaitCap
 }
 
 // RunStats is the raw outcome of one run, before packaging into a
@@ -76,6 +103,13 @@ type RunStats struct {
 	Good   int64
 	Shed   int64
 	Errors int64
+	// Partial counts responses flagged "partial": true — a sharded
+	// gate's degraded-but-answering mode. They also count as Good (the
+	// request succeeded); this tracks how many answers were incomplete.
+	Partial int64
+	// Retried counts polite-mode re-sends (attempts beyond each op's
+	// first); zero unless Options.Retry is set.
+	Retried int64
 	// Hist is the overall latency distribution (µs); PerOp splits it by
 	// op kind.
 	Hist  *obsv.Histogram
@@ -115,38 +149,80 @@ func Run(ctx context.Context, p *Plan, opts Options) (*RunStats, error) {
 		}
 	}
 
-	execute := func(i int, op Op) {
+	// attempt issues op once and returns the response status, whether the
+	// body was flagged partial, and the Retry-After hint (0 when absent).
+	attempt := func(i int, op Op) (status int, partial bool, retryAfter time.Duration, err error) {
 		var body io.Reader
 		if op.Body != nil {
 			body = bytes.NewReader(op.Body)
 		}
-		req, err := http.NewRequestWithContext(ctx, op.Method, baseFor(op.Method)+op.Path, body)
-		if err != nil {
-			atomic.AddInt64(&stats.Errors, 1)
-			return
+		req, rerr := http.NewRequestWithContext(ctx, op.Method, baseFor(op.Method)+op.Path, body)
+		if rerr != nil {
+			return 0, false, 0, rerr
 		}
 		if op.Body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		req.Header.Set("X-Request-Id", fmt.Sprintf("load-%d", i))
+		resp, rerr := opts.Transport.RoundTrip(req)
+		if rerr != nil {
+			return 0, false, 0, rerr
+		}
+		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return resp.StatusCode, bytes.Contains(respBody, []byte(`"partial":true`)), retryAfter, nil
+	}
+
+	retryable := func(status int) bool {
+		return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+	}
+
+	execute := func(i int, op Op) {
 		start := time.Now()
 		if opts.InjectDelay > 0 {
 			time.Sleep(opts.InjectDelay)
 		}
-		resp, err := opts.Transport.RoundTrip(req)
+		status, partial, retryAfter, err := attempt(i, op)
+		if opts.Retry && err == nil && retryable(status) {
+			bo := backoff{base: 50 * time.Millisecond}
+			for r := 0; r < opts.retryMax() && retryable(status); r++ {
+				wait := retryAfter
+				if wait <= 0 {
+					wait = bo.next()
+				}
+				if limit := opts.retryWaitCap(); wait > limit {
+					wait = limit
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+				atomic.AddInt64(&stats.Retried, 1)
+				status, partial, retryAfter, err = attempt(i, op)
+				if err != nil {
+					break
+				}
+			}
+		}
 		if err != nil {
 			atomic.AddInt64(&stats.Errors, 1)
 			return
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
 		us := time.Since(start).Microseconds()
 		stats.Hist.Observe(us)
 		stats.PerOp[op.Kind].Observe(us)
+		if partial {
+			atomic.AddInt64(&stats.Partial, 1)
+		}
 		switch {
-		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		case status >= 200 && status < 300:
 			atomic.AddInt64(&stats.Good, 1)
-		case resp.StatusCode == http.StatusTooManyRequests:
+		case status == http.StatusTooManyRequests:
 			atomic.AddInt64(&stats.Shed, 1)
 		default:
 			atomic.AddInt64(&stats.Errors, 1)
@@ -161,6 +237,20 @@ func Run(ctx context.Context, p *Plan, opts Options) (*RunStats, error) {
 	}
 	stats.Elapsed = time.Since(start)
 	return stats, nil
+}
+
+// backoff is the polite client's fallback pacing when the server sent
+// no Retry-After hint: doubling from base, no jitter (plan determinism
+// beats thundering-herd protection inside a load generator).
+type backoff struct{ base, cur time.Duration }
+
+func (b *backoff) next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.base
+	} else {
+		b.cur *= 2
+	}
+	return b.cur
 }
 
 // runClosed drives the plan with a fixed worker pool: each worker claims

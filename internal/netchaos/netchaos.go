@@ -1,0 +1,369 @@
+// Package netchaos is a deterministic in-process TCP fault proxy: it
+// listens on a loopback port, forwards byte streams to a fixed target,
+// and injects network pathologies — added latency, dropped connections,
+// slow-loris trickled responses, truncated response bodies, connection
+// refusal and full partitions — under the control of a seeded PRNG.
+//
+// Determinism is per connection in ACCEPT ORDER: the n-th accepted
+// connection always draws the same fault decision for a given seed, so
+// a chaos run that drives a known request sequence through the proxy
+// sees a reproducible fault schedule. (Wall-clock interleaving still
+// varies; what is pinned is which connection gets which fault, not when
+// the faults land relative to each other.)
+//
+// Partition is a runtime switch, not a probability: while on, new
+// connections are blackholed (accepted, never serviced — the far end of
+// a cable cut, where SYNs vanish and the dialer waits out its own
+// timeout) and every established stream is severed. The cubegate chaos
+// harness flips it mid-load to cut one shard off the gate, then heals
+// and asserts convergence with an unsharded oracle.
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault identifies the pathology assigned to one proxied connection.
+type Fault uint8
+
+// Fault kinds, in the order faultFor rolls for them.
+const (
+	// FaultNone forwards bytes untouched.
+	FaultNone Fault = iota
+	// FaultRefuse closes the accepted connection immediately — the
+	// classic connection-refused experience, one RTT in.
+	FaultRefuse
+	// FaultDrop forwards normally, then severs the connection after a
+	// deterministic number of response bytes.
+	FaultDrop
+	// FaultLatency delays the connection's first forwarded bytes in each
+	// direction by the configured latency.
+	FaultLatency
+	// FaultSlowLoris trickles the response a few bytes at a time with a
+	// pause between writes — the connection works, agonizingly.
+	FaultSlowLoris
+	// FaultTruncate forwards a deterministic prefix of the response and
+	// then closes, yielding short bodies and unexpected EOFs.
+	FaultTruncate
+	// FaultBlackhole accepts and never forwards nor answers; the client
+	// is left to its own deadline.
+	FaultBlackhole
+)
+
+// String names the fault for logs and test output.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultRefuse:
+		return "refuse"
+	case FaultDrop:
+		return "drop"
+	case FaultLatency:
+		return "latency"
+	case FaultSlowLoris:
+		return "slowloris"
+	case FaultTruncate:
+		return "truncate"
+	case FaultBlackhole:
+		return "blackhole"
+	}
+	return "?"
+}
+
+// Config sets the fault mix. Probabilities are independent rolls made in
+// the order the Fault constants are declared; the first success wins, so
+// with every probability at 0.2 a connection is refused 20% of the time,
+// dropped 0.8*20% of the time, and so on. All-zero probabilities make a
+// transparent proxy (Partition still works).
+type Config struct {
+	// Seed drives the per-connection PRNG; two proxies with equal seeds
+	// and configs assign identical fault sequences.
+	Seed uint64
+
+	// RefuseProb closes new connections immediately.
+	RefuseProb float64
+	// DropProb severs the connection mid-response.
+	DropProb float64
+	// LatencyProb delays first bytes by Latency.
+	LatencyProb float64
+	// SlowLorisProb trickles responses (LorisChunk bytes per LorisPause).
+	SlowLorisProb float64
+	// TruncateProb cuts the response short.
+	TruncateProb float64
+	// BlackholeProb accepts and never responds.
+	BlackholeProb float64
+
+	// Latency is the FaultLatency delay; zero means 50ms.
+	Latency time.Duration
+	// LorisChunk is bytes per slow-loris write; zero means 64.
+	LorisChunk int
+	// LorisPause is the slow-loris inter-write pause; zero means 20ms.
+	LorisPause time.Duration
+}
+
+func (c Config) latency() time.Duration {
+	if c.Latency <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.Latency
+}
+
+func (c Config) lorisChunk() int {
+	if c.LorisChunk <= 0 {
+		return 64
+	}
+	return c.LorisChunk
+}
+
+func (c Config) lorisPause() time.Duration {
+	if c.LorisPause <= 0 {
+		return 20 * time.Millisecond
+	}
+	return c.LorisPause
+}
+
+// Proxy is one gate→shard fault injector. Create with New, point
+// clients at Addr(), stop with Close.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned bool
+	conns       map[net.Conn]struct{} // client-side conns, for severing
+	accepted    int
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target
+// (a host:port). Close must be called to release the port and reap the
+// forwarding goroutines.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		target: target,
+		ln:     ln,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0x6e65746368616f73)), // "netchaos"
+		conns:  map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port) for clients.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition flips the cable-cut switch: on severs every live connection
+// and blackholes new ones; off restores normal (still fault-rolled)
+// forwarding.
+func (p *Proxy) Partition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	var sever []net.Conn
+	if on {
+		for c := range p.conns {
+			sever = append(sever, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// Partitioned reports the current partition state.
+func (p *Proxy) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+// Accepted returns how many connections the proxy has accepted, faulted
+// or not — the chaos harness's evidence that traffic actually flowed
+// through the fault path.
+func (p *Proxy) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// Close stops accepting, severs every connection, and waits for the
+// forwarding goroutines to exit. Safe to call more than once.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	var sever []net.Conn
+	for c := range p.conns {
+		sever = append(sever, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range sever {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// acceptLoop rolls a fault per accepted connection and spawns its
+// handler. Fault decisions draw from the shared PRNG under the mutex in
+// accept order — the determinism contract.
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		p.accepted++
+		fault := p.faultFor()
+		if p.partitioned {
+			fault = FaultBlackhole
+		}
+		cut := 0
+		if fault == FaultDrop || fault == FaultTruncate {
+			cut = 1 + p.rng.IntN(4096)
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.forget(conn)
+			p.serve(conn, fault, cut)
+		}()
+	}
+}
+
+// faultFor rolls the independent fault probabilities in declaration
+// order; first hit wins. Caller holds p.mu.
+func (p *Proxy) faultFor() Fault {
+	for _, roll := range []struct {
+		prob  float64
+		fault Fault
+	}{
+		{p.cfg.RefuseProb, FaultRefuse},
+		{p.cfg.DropProb, FaultDrop},
+		{p.cfg.LatencyProb, FaultLatency},
+		{p.cfg.SlowLorisProb, FaultSlowLoris},
+		{p.cfg.TruncateProb, FaultTruncate},
+		{p.cfg.BlackholeProb, FaultBlackhole},
+	} {
+		if roll.prob > 0 && p.rng.Float64() < roll.prob {
+			return roll.fault
+		}
+	}
+	return FaultNone
+}
+
+func (p *Proxy) forget(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// serve applies the fault to one client connection.
+func (p *Proxy) serve(client net.Conn, fault Fault, cut int) {
+	switch fault {
+	case FaultRefuse:
+		return // deferred Close slams the door
+	case FaultBlackhole:
+		// Hold the conn open, never answer; read-and-discard so the
+		// client's writes succeed (bytes vanish into the cable cut).
+		io.Copy(io.Discard, client)
+		return
+	}
+
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	p.track(upstream)
+	defer p.forget(upstream)
+
+	if fault == FaultLatency {
+		// Sleep before forwarding anything; a partition severing the
+		// conn meanwhile just makes the copies below fail instantly.
+		time.Sleep(p.cfg.latency())
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Request direction: always transparent (faults target responses so
+	// the shard still RECEIVES writes the gate believes may have failed
+	// — the interesting ambiguity for reconciliation).
+	go func() {
+		defer wg.Done()
+		io.Copy(upstream, client)
+		// EOF from the client: half-close toward the shard if possible.
+		if cw, ok := upstream.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer client.Close()
+		defer upstream.Close()
+		switch fault {
+		case FaultDrop, FaultTruncate:
+			io.CopyN(client, upstream, int64(cut))
+			// Sever abruptly; for truncate the prefix already flushed.
+		case FaultSlowLoris:
+			p.trickle(client, upstream)
+		default:
+			io.Copy(client, upstream)
+		}
+	}()
+	wg.Wait()
+}
+
+// track registers an upstream conn for partition severing.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+// trickle copies upstream→client in small chunks with pauses.
+func (p *Proxy) trickle(client, upstream net.Conn) {
+	chunk := make([]byte, p.cfg.lorisChunk())
+	pause := p.cfg.lorisPause()
+	for {
+		n, err := upstream.Read(chunk)
+		if n > 0 {
+			if _, werr := client.Write(chunk[:n]); werr != nil {
+				return
+			}
+			time.Sleep(pause)
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package netchaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfcube/internal/leakcheck"
+)
+
+// backend starts a trivial HTTP server answering a fixed body and
+// returns its host:port.
+func backend(t *testing.T, body string) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// client builds an HTTP client with tight timeouts suited to faults.
+func client(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: timeout}).DialContext,
+			ResponseHeaderTimeout: timeout,
+			DisableKeepAlives:     true,
+		},
+	}
+}
+
+func TestTransparentProxy(t *testing.T) {
+	leakcheck.Check(t)
+	p, err := New(backend(t, "hello"), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := client(2 * time.Second)
+	for i := 0; i < 5; i++ {
+		resp, err := c.Get("http://" + p.Addr() + "/")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) != "hello" {
+			t.Fatalf("get %d: body %q", i, b)
+		}
+	}
+	if p.Accepted() != 5 {
+		t.Fatalf("accepted %d, want 5", p.Accepted())
+	}
+}
+
+func TestPartitionSeversAndHeals(t *testing.T) {
+	leakcheck.Check(t)
+	p, err := New(backend(t, "ok"), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := client(300 * time.Millisecond)
+	url := "http://" + p.Addr() + "/"
+
+	if resp, err := c.Get(url); err != nil {
+		t.Fatalf("pre-partition get: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	p.Partition(true)
+	if _, err := c.Get(url); err == nil {
+		t.Fatal("partitioned get succeeded")
+	} else {
+		// Blackhole: the client should hit its own deadline, not see an
+		// immediate refusal.
+		var ne net.Error
+		if !errors.As(err, &ne) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("partitioned get failed oddly: %v", err)
+		}
+	}
+
+	p.Partition(false)
+	if resp, err := c.Get(url); err != nil {
+		t.Fatalf("post-heal get: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func TestDeterministicFaultSchedule(t *testing.T) {
+	leakcheck.Check(t)
+	cfg := Config{Seed: 7, RefuseProb: 0.3, TruncateProb: 0.3}
+	run := func() []bool {
+		p, err := New(backend(t, strings.Repeat("x", 64<<10)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c := client(2 * time.Second)
+		var outcomes []bool
+		for i := 0; i < 20; i++ {
+			ok := false
+			if resp, err := c.Get("http://" + p.Addr() + "/"); err == nil {
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				ok = rerr == nil && len(b) == 64<<10
+			}
+			outcomes = append(outcomes, ok)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	sawFault, sawOK := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run disagreement at conn %d: %v vs %v", i, a, b)
+		}
+		if a[i] {
+			sawOK = true
+		} else {
+			sawFault = true
+		}
+	}
+	if !sawFault || !sawOK {
+		t.Fatalf("degenerate schedule (fault=%v ok=%v): %v", sawFault, sawOK, a)
+	}
+}
+
+func TestTruncateCutsBody(t *testing.T) {
+	leakcheck.Check(t)
+	// Probability 1: every response truncated at 1..4096 bytes, far short
+	// of the 1 MiB body.
+	p, err := New(backend(t, strings.Repeat("y", 1<<20)), Config{Seed: 3, TruncateProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := client(2 * time.Second)
+	resp, err := c.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(b) == 1<<20 {
+			t.Fatal("truncated response arrived whole")
+		}
+	}
+}
+
+func TestSlowLorisIsSlowButWhole(t *testing.T) {
+	leakcheck.Check(t)
+	p, err := New(backend(t, strings.Repeat("z", 512)), Config{
+		Seed: 4, SlowLorisProb: 1, LorisChunk: 128, LorisPause: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := client(5 * time.Second)
+	start := time.Now()
+	resp, err := c.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || len(b) != 512 {
+		t.Fatalf("slow-loris body arrived broken: %d bytes, err %v", len(b), rerr)
+	}
+	// Headers + 512 body bytes ≥ 5 chunks ⇒ ≥ 4 pauses ⇒ ≥ 120ms.
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("slow-loris finished suspiciously fast: %v", d)
+	}
+}

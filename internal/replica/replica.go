@@ -49,6 +49,7 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
+	"net"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -118,6 +119,13 @@ type Config struct {
 	// PollWait is the long-poll budget the follower asks the primary for;
 	// zero means 5s.
 	PollWait time.Duration
+	// HeaderTimeout bounds how long the default client waits for a
+	// primary to START answering a request (http.Transport's
+	// ResponseHeaderTimeout). It must comfortably exceed PollWait — the
+	// primary legitimately sits on a tail request for the whole poll
+	// budget before sending headers. Zero means 45s (or PollWait+15s if
+	// larger). Ignored when Client is set.
+	HeaderTimeout time.Duration
 	// ReconnectBase/ReconnectMax tune the jittered, capped, doubling
 	// reconnect backoff (serve.Backoff); zero means 200ms / 10s.
 	ReconnectBase time.Duration
@@ -138,6 +146,29 @@ func (c Config) pollWait() time.Duration {
 		return 5 * time.Second
 	}
 	return c.PollWait
+}
+
+// defaultClient builds the follower's HTTP client. A bare &http.Client{}
+// has no dial, TLS-handshake or response-header timeout at all: a
+// primary whose listener accepts the connection but whose process never
+// answers (half-open link after a partition, a wedged peer) would hang
+// the replication goroutine forever, with no reconnect and no staleness
+// progress. The response-header timeout bounds silence, not slow
+// streaming — it must exceed the WAL long-poll budget, during which the
+// primary legitimately says nothing before sending headers.
+func defaultClient(pollWait, headerTimeout time.Duration) *http.Client {
+	if headerTimeout <= 0 {
+		headerTimeout = 45 * time.Second
+		if min := pollWait + 15*time.Second; headerTimeout < min {
+			headerTimeout = min
+		}
+	}
+	return &http.Client{Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 10 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: headerTimeout,
+		MaxIdleConnsPerHost:   4,
+	}}
 }
 
 func (c Config) checkpointBytes() int64 {
@@ -218,7 +249,7 @@ func New(cfg Config) (*Follower, error) {
 		state:  &serve.FollowerState{Leader: cfg.Primary, MaxStaleness: cfg.MaxStaleness},
 	}
 	if f.client == nil {
-		f.client = &http.Client{}
+		f.client = defaultClient(cfg.pollWait(), cfg.HeaderTimeout)
 	}
 	if f.fs == nil {
 		f.fs = faultfs.OS{}

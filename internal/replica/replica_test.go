@@ -6,14 +6,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"rdfcube/internal/core"
 	"rdfcube/internal/faultfs"
 	"rdfcube/internal/gen"
+	"rdfcube/internal/leakcheck"
 	"rdfcube/internal/serve"
 	"rdfcube/internal/snapshot"
 	"rdfcube/internal/wal"
@@ -252,5 +255,115 @@ func TestFollowerWithoutPersistenceBootstrapsEveryStart(t *testing.T) {
 			t.Fatalf("incarnation %d: %d bootstraps, want 1", i, got)
 		}
 		stop()
+	}
+}
+
+// TestSilentPrimaryDoesNotHangFollower is the regression test for the
+// untimed replication client: a primary whose listener accepts the TCP
+// connection but never sends a byte (a wedged process behind a live
+// listener, a half-open link) must bound the attempt via the
+// transport's response-header timeout and keep reconnecting — not hang
+// the replication goroutine forever.
+func TestSilentPrimaryDoesNotHangFollower(t *testing.T) {
+	leakcheck.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		var conns []net.Conn
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns = append(conns, c) // accept, never respond
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	logs := make(chan string, 64)
+	f, err := New(Config{
+		Primary:       "http://" + ln.Addr().String(),
+		HeaderTimeout: 150 * time.Millisecond,
+		ReconnectBase: 10 * time.Millisecond,
+		Logf: func(format string, a ...any) {
+			select {
+			case logs <- fmt.Sprintf(format, a...):
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- f.Run(ctx) }()
+
+	// The attempt must fail and trigger a reconnect within a couple of
+	// header timeouts — a bare http.Client{} here blocks forever.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line := <-logs:
+			if strings.Contains(line, "reconnecting in") {
+				goto reconnected
+			}
+		case <-deadline:
+			t.Fatal("follower never gave up on the silent primary (no reconnect within 5s)")
+		}
+	}
+reconnected:
+	cancel()
+	select {
+	case <-runDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// TestDefaultClientTimeouts pins the transport shape of the default
+// replication client.
+func TestDefaultClientTimeouts(t *testing.T) {
+	tr, ok := defaultClient(5*time.Second, 0).Transport.(*http.Transport)
+	if !ok {
+		t.Fatal("default client has no *http.Transport")
+	}
+	if tr.ResponseHeaderTimeout != 45*time.Second {
+		t.Fatalf("default header timeout: %v", tr.ResponseHeaderTimeout)
+	}
+	if tr.TLSHandshakeTimeout != 10*time.Second {
+		t.Fatalf("TLS handshake timeout: %v", tr.TLSHandshakeTimeout)
+	}
+	if tr.DialContext == nil {
+		t.Fatal("no dial timeout configured")
+	}
+
+	// A poll budget near the header timeout pushes the default up: the
+	// primary may legitimately sit on a tail request for PollWait before
+	// answering, and that silence must not be mistaken for a dead peer.
+	tr = defaultClient(40*time.Second, 0).Transport.(*http.Transport)
+	if tr.ResponseHeaderTimeout != 55*time.Second {
+		t.Fatalf("header timeout under a 40s poll budget: %v", tr.ResponseHeaderTimeout)
+	}
+
+	// An explicit HeaderTimeout wins.
+	tr = defaultClient(5*time.Second, 200*time.Millisecond).Transport.(*http.Transport)
+	if tr.ResponseHeaderTimeout != 200*time.Millisecond {
+		t.Fatalf("explicit header timeout: %v", tr.ResponseHeaderTimeout)
 	}
 }

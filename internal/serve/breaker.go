@@ -5,18 +5,18 @@ import (
 	"time"
 )
 
-// breaker is a consecutive-failure circuit breaker for the recompute
-// endpoint. The kernel behind POST /v1/recompute is expensive; when it
-// fails repeatedly (panicking shards, chronic deadline overruns) the
-// breaker trips the endpoint into a degraded read-only posture — queries
-// keep answering from the last good state while recompute requests are
-// refused immediately with 503 and a jittered Retry-After — instead of
-// burning CPU re-failing. After a backoff the breaker half-opens: exactly
-// one probe request is admitted; success closes the circuit, failure
-// re-opens it with doubled (capped, jittered) backoff.
+// Breaker is a consecutive-failure circuit breaker, shared by the
+// recompute endpoint and the cubegate shard router. The guarded
+// operation is expensive or remote; when it fails repeatedly (panicking
+// shards, chronic deadline overruns, an unreachable backend) the breaker
+// trips into a degraded posture — callers are refused immediately with a
+// jittered Retry-After instead of burning budget re-failing. After a
+// backoff the breaker half-opens: exactly one probe call is admitted;
+// success closes the circuit, failure re-opens it with doubled (capped,
+// jittered) backoff.
 //
 // All methods are safe for concurrent use.
-type breaker struct {
+type Breaker struct {
 	mu        sync.Mutex
 	threshold int     // consecutive failures that trip the circuit
 	bo        Backoff // doubling, capped, jittered open-interval schedule
@@ -47,23 +47,23 @@ func (st breakerState) String() string {
 	return "?"
 }
 
-// newBreaker builds a breaker; threshold<=0 means 3, base<=0 means 5s.
+// NewBreaker builds a breaker; threshold<=0 means 3, base<=0 means 5s.
 // The cap is 16× the base (the Backoff default).
-func newBreaker(threshold int, base time.Duration) *breaker {
+func NewBreaker(threshold int, base time.Duration) *Breaker {
 	if threshold <= 0 {
 		threshold = 3
 	}
 	if base <= 0 {
 		base = 5 * time.Second
 	}
-	return &breaker{threshold: threshold, bo: Backoff{Base: base}}
+	return &Breaker{threshold: threshold, bo: Backoff{Base: base}}
 }
 
-// allow reports whether a recompute may proceed now. When the circuit is
-// open it returns false and how long the caller should tell the client to
-// wait. In half-open state exactly one caller is admitted as the probe;
+// Allow reports whether a guarded call may proceed now. When the circuit
+// is open it returns false and how long the caller should tell the client
+// to wait. In half-open state exactly one caller is admitted as the probe;
 // the rest are refused until the probe reports.
-func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+func (b *Breaker) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -85,9 +85,9 @@ func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
 	}
 }
 
-// success reports a completed recompute: the circuit closes and the
-// failure streak resets.
-func (b *breaker) success() {
+// Success reports a completed call: the circuit closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.state = breakerClosed
@@ -96,10 +96,10 @@ func (b *breaker) success() {
 	b.bo.Reset()
 }
 
-// failure reports a failed recompute. It returns true when this failure
+// Failure reports a failed call. It returns true when this failure
 // tripped (or re-tripped) the circuit open — the caller logs exactly one
 // transition line per trip.
-func (b *breaker) failure(now time.Time) bool {
+func (b *Breaker) Failure(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecutive++
@@ -120,8 +120,8 @@ func (b *breaker) failure(now time.Time) bool {
 	return false
 }
 
-// snapshot returns the state for /v1/stats.
-func (b *breaker) snapshot() (state string, consecutive int) {
+// Snapshot returns the state name and failure streak for stats pages.
+func (b *Breaker) Snapshot() (state string, consecutive int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state.String(), b.consecutive

@@ -531,7 +531,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp["latency"] = snap.Summary()
 		}
 	}
-	state, fails := s.breaker.snapshot()
+	state, fails := s.breaker.Snapshot()
 	resp["recomputeBreaker"] = state
 	resp["recomputeFailures"] = fails
 	writeJSON(w, http.StatusOK, resp)

@@ -40,9 +40,9 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		s.rejectWrite(w, r)
 		return
 	}
-	if ok, wait := s.breaker.allow(time.Now()); !ok {
+	if ok, wait := s.breaker.Allow(time.Now()); !ok {
 		s.count(CtrBreakerOpen, 1)
-		state, fails := s.breaker.snapshot()
+		state, fails := s.breaker.Snapshot()
 		s.setRetryAfter(w, wait)
 		s.error(w, r, http.StatusServiceUnavailable,
 			"recompute circuit %s after %d consecutive kernel failures; serving last good state, retry later", state, fails)
@@ -51,7 +51,7 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 	if !s.recomputing.CompareAndSwap(false, true) {
 		// One recompute at a time: the second request sheds instead of
 		// queueing behind a write lock for minutes.
-		s.breaker.success() // the admitted slot was never used; don't leak a half-open probe
+		s.breaker.Success() // the admitted slot was never used; don't leak a half-open probe
 		s.setRetryAfter(w, 2*time.Second)
 		s.error(w, r, http.StatusTooManyRequests, "a recompute is already running")
 		return
@@ -91,7 +91,7 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		s.recomputeError(w, r, err)
 		return
 	}
-	s.breaker.success()
+	s.breaker.Success()
 	res.Sort()
 	// Swap in the fresh state. The lattice depends only on the space,
 	// which a recompute does not change, so it carries over.
@@ -123,8 +123,8 @@ func (s *Server) recomputeError(w http.ResponseWriter, r *http.Request, err erro
 		default:
 			// RecomputeTimeout overrun: the kernel is too slow for the
 			// budget — that IS a service failure; charge the breaker.
-			if s.breaker.failure(time.Now()) {
-				state, fails := s.breaker.snapshot()
+			if s.breaker.Failure(time.Now()) {
+				state, fails := s.breaker.Snapshot()
 				s.log("recompute breaker %s after %d consecutive failures (last: %v)", state, fails, err)
 			}
 			s.error(w, r, http.StatusGatewayTimeout, "recompute exceeded its deadline; partial result discarded, previous state kept")
@@ -132,8 +132,8 @@ func (s *Server) recomputeError(w http.ResponseWriter, r *http.Request, err erro
 		return
 	}
 	// Hard kernel failure (e.g. a twice-panicked shard).
-	if s.breaker.failure(time.Now()) {
-		state, fails := s.breaker.snapshot()
+	if s.breaker.Failure(time.Now()) {
+		state, fails := s.breaker.Snapshot()
 		s.log("recompute breaker %s after %d consecutive failures (last: %v)", state, fails, err)
 	}
 	s.error(w, r, http.StatusInternalServerError, "recompute failed: %v; previous state kept", err)

@@ -45,38 +45,38 @@ func newRealServer(t *testing.T, n int, cfg Config) (*Server, *httptest.Server) 
 // closed → open → half-open → closed cycle, including the doubled
 // backoff of a failed probe.
 func TestBreakerStateMachine(t *testing.T) {
-	b := newBreaker(2, 100*time.Millisecond)
+	b := NewBreaker(2, 100*time.Millisecond)
 	now := time.Now()
 
-	if ok, _ := b.allow(now); !ok {
+	if ok, _ := b.Allow(now); !ok {
 		t.Fatal("closed breaker must allow")
 	}
-	b.failure(now)
-	if st, _ := b.snapshot(); st != "closed" {
+	b.Failure(now)
+	if st, _ := b.Snapshot(); st != "closed" {
 		t.Fatalf("one failure below threshold must keep the circuit closed, got %s", st)
 	}
-	if !b.failure(now) {
+	if !b.Failure(now) {
 		t.Fatal("the tripping failure must report the transition")
 	}
-	if st, _ := b.snapshot(); st != "open" {
+	if st, _ := b.Snapshot(); st != "open" {
 		t.Fatalf("want open after threshold failures, got %s", st)
 	}
-	if ok, wait := b.allow(now); ok || wait <= 0 {
+	if ok, wait := b.Allow(now); ok || wait <= 0 {
 		t.Fatalf("open breaker must refuse with a positive retry hint, got ok=%v wait=%v", ok, wait)
 	}
 
 	// Past the backoff: exactly one half-open probe is admitted.
 	later := now.Add(time.Second)
-	if ok, _ := b.allow(later); !ok {
+	if ok, _ := b.Allow(later); !ok {
 		t.Fatal("expired open interval must admit a probe")
 	}
-	if ok, _ := b.allow(later); ok {
+	if ok, _ := b.Allow(later); ok {
 		t.Fatal("second caller during the probe must be refused")
 	}
 
 	// Probe fails: re-open with doubled backoff.
-	b.failure(later)
-	if st, _ := b.snapshot(); st != "open" {
+	b.Failure(later)
+	if st, _ := b.Snapshot(); st != "open" {
 		t.Fatalf("failed probe must re-open, got %s", st)
 	}
 	if b.bo.Current() != 200*time.Millisecond {
@@ -84,11 +84,11 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 
 	// Next probe succeeds: closed, streak reset.
-	if ok, _ := b.allow(later.Add(time.Second)); !ok {
+	if ok, _ := b.Allow(later.Add(time.Second)); !ok {
 		t.Fatal("second probe must be admitted")
 	}
-	b.success()
-	if st, fails := b.snapshot(); st != "closed" || fails != 0 {
+	b.Success()
+	if st, fails := b.Snapshot(); st != "closed" || fails != 0 {
 		t.Fatalf("successful probe must close and reset, got %s/%d", st, fails)
 	}
 }
@@ -140,7 +140,7 @@ func TestRecomputeSuccess(t *testing.T) {
 	if col.Snapshot()[CtrRecomputes] != 1 {
 		t.Errorf("serve.recomputes = %v, want 1", col.Snapshot()[CtrRecomputes])
 	}
-	if st, _ := srv.breaker.snapshot(); st != "closed" {
+	if st, _ := srv.breaker.Snapshot(); st != "closed" {
 		t.Errorf("breaker after success = %s", st)
 	}
 }
@@ -222,7 +222,7 @@ func TestRecomputeClientGone499(t *testing.T) {
 	if w.Code != statusClientClosedRequest {
 		t.Fatalf("status %d, want %d", w.Code, statusClientClosedRequest)
 	}
-	if st, fails := srv.breaker.snapshot(); st != "closed" || fails != 0 {
+	if st, fails := srv.breaker.Snapshot(); st != "closed" || fails != 0 {
 		t.Errorf("client hang-up charged the breaker: %s/%d", st, fails)
 	}
 }
@@ -240,7 +240,7 @@ func TestRecomputeShutdown503(t *testing.T) {
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", w.Code)
 	}
-	if st, fails := srv.breaker.snapshot(); st != "closed" || fails != 0 {
+	if st, fails := srv.breaker.Snapshot(); st != "closed" || fails != 0 {
 		t.Errorf("shutdown cancellation charged the breaker: %s/%d", st, fails)
 	}
 }

@@ -238,7 +238,7 @@ type Server struct {
 	alg              core.Algorithm
 	workers          int
 	recomputeTimeout time.Duration
-	breaker          *breaker
+	breaker          *Breaker
 	recomputing      atomic.Bool
 	runCtx           context.Context
 	stopRuns         context.CancelFunc
@@ -300,7 +300,7 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 		alg:              cfg.algorithm(),
 		workers:          cfg.Workers,
 		recomputeTimeout: cfg.recomputeTimeout(),
-		breaker:          newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff),
+		breaker:          NewBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff),
 
 		streamID:  newStreamID(),
 		walNotify: make(chan struct{}),

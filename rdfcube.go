@@ -29,9 +29,11 @@ import (
 	"rdfcube/internal/core"
 	"rdfcube/internal/csvqb"
 	"rdfcube/internal/faultfs"
+	"rdfcube/internal/gate"
 	"rdfcube/internal/gen"
 	"rdfcube/internal/hierarchy"
 	"rdfcube/internal/integrity"
+	"rdfcube/internal/netchaos"
 	"rdfcube/internal/obsv"
 	"rdfcube/internal/qb"
 	"rdfcube/internal/rdf"
@@ -441,6 +443,30 @@ type FollowerState = serve.FollowerState
 // used by the circuit breaker and the replica's reconnect loop.
 type Backoff = serve.Backoff
 
+// Gate is the shard-aware scatter/gather router: writes route by the
+// observation's dataset to the owning shard, reads fan out to every
+// shard and merge deterministically, with hedged reads, per-target
+// circuit breakers and the partial-result degradation contract (see
+// internal/gate and DESIGN §12).
+type Gate = gate.Gate
+
+// GateConfig configures a Gate: the shard map plus timeout, probing,
+// breaker, hedging and write-retry policy. Only Shards is required.
+type GateConfig = gate.Config
+
+// ShardConfig names one shard: its primary (and optional replica) base
+// URL and the dataset URIs it owns.
+type ShardConfig = gate.ShardConfig
+
+// ChaosProxy is a seeded fault-injecting TCP proxy for partition
+// testing: refused connects, dropped/truncated/delayed responses, and
+// Partition/Heal that sever live connections and blackhole new ones
+// (see internal/netchaos).
+type ChaosProxy = netchaos.Proxy
+
+// ChaosProxyConfig sets a ChaosProxy's fault probabilities and seed.
+type ChaosProxyConfig = netchaos.Config
+
 // CanceledError reports a cooperatively canceled run (context, deadline,
 // pair budget or stall watchdog). It matches errors.Is(err, ErrCanceled);
 // its Cause field carries the specific trigger and Pairs the budget
@@ -486,6 +512,12 @@ var (
 	// NewReplica builds a read replica of a primary; call Run to
 	// bootstrap and start tailing the primary's WAL.
 	NewReplica = replica.New
+	// NewGate builds a shard-aware router over a shard map; mount
+	// Handler() and Close() it on shutdown.
+	NewGate = gate.New
+	// NewChaosProxy starts a fault-injecting TCP proxy in front of an
+	// upstream address.
+	NewChaosProxy = netchaos.New
 )
 
 // NewSnapshot captures a computation as a persistable snapshot. The
