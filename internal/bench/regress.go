@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rdfcube/internal/bitvec"
@@ -160,9 +162,48 @@ func calibrationEntry(benchTime time.Duration) BenchResult {
 	return r
 }
 
+// calibrationParEntry is the parallel twin of the calibration loop: the
+// SAME fixed workload run once per worker, concurrently, on private
+// vectors. On a machine with >= workers free cores the wall clock matches
+// the serial calibrate entry; on a starved machine the goroutines time-
+// slice and the wall clock approaches workers x serial. The ratio is
+// therefore a direct measurement of how much parallel speedup the machine
+// can physically deliver — the anchor that lets the scaling gate demand
+// real speedup on multicore CI without failing spuriously on small
+// runners (see parallelCapacity).
+func calibrationParEntry(workers int, benchTime time.Duration) BenchResult {
+	vs := make([]*bitvec.Vector, workers)
+	us := make([]*bitvec.Vector, workers)
+	sinks := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		vs[w] = bitvec.New(4096)
+		us[w] = bitvec.New(4096)
+		for i := 0; i < 4096; i += 3 {
+			vs[w].Set(i)
+			us[w].Set(i)
+		}
+	}
+	return measure(fmt.Sprintf("calibrate-par%d", workers), 0, benchTime, func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := 0; k < 1024; k++ {
+					sinks[w] = vs[w].AndEqualsRange(us[w], 0, 4096)
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+}
+
 // RunRegression measures the full suite and returns the report. The suite:
 //
 //	calibrate          fixed bit-AND loop (cross-machine anchor)
+//	calibrate-parN     the same loop once per worker, concurrently —
+//	                   measures the machine's parallel capacity for the
+//	                   scaling gate
 //	subset-loop        the §3.1 inner subset test over real OM rows —
 //	                   the hot path; must stay at 0 allocs/op
 //	baseline/*         serial §3.1 scan, small and medium inputs
@@ -198,6 +239,7 @@ func RunRegression(cfg RegressConfig) (*BenchReport, error) {
 	}
 
 	rep.Results = append(rep.Results, calibrationEntry(cfg.BenchTime))
+	rep.Results = append(rep.Results, calibrationParEntry(cfg.Workers, cfg.BenchTime))
 
 	// subset-loop: the per-dimension CM_i bit-AND subset test over the
 	// first rows of the medium space's occurrence matrix — exactly the
@@ -317,13 +359,26 @@ func (r *BenchReport) find(name string) (BenchResult, bool) {
 }
 
 // Tolerance bounds how much a fresh run may degrade before Compare calls
-// it a regression. Zero values select defaults.
+// it a regression. Zero values select defaults; negative values disable
+// the optional gates.
 type Tolerance struct {
 	// NsFrac is the allowed fractional ns/op increase after calibration
 	// normalization (default 0.15 — the CI gate's 15%).
 	NsFrac float64
 	// RecallDrop is the allowed absolute recall decrease (default 0.02).
 	RecallDrop float64
+	// MinScaling is the pairs/sec ratio the parallel medium entries must
+	// reach over their serial counterparts at full parallel capacity
+	// (default 2.5 for par4; negative disables). The floor is normalized
+	// by the CURRENT machine's measured capacity — see parallelCapacity —
+	// so a single-core runner is only asked not to fall off a cliff while
+	// a 4-core runner must deliver the real 2.5x.
+	MinScaling float64
+	// MaxParBytes caps bytes/op of the parallel algorithm entries
+	// (default 1 MiB; negative disables). Unlike wall clock, allocation
+	// traffic is machine-independent: this is the hard backstop against
+	// the tape layer regressing to buffering whole runs in memory again.
+	MaxParBytes int64
 }
 
 func (t Tolerance) withDefaults() Tolerance {
@@ -333,8 +388,52 @@ func (t Tolerance) withDefaults() Tolerance {
 	if t.RecallDrop == 0 {
 		t.RecallDrop = 0.02
 	}
+	if t.MinScaling == 0 {
+		t.MinScaling = 2.5
+	}
+	if t.MaxParBytes == 0 {
+		t.MaxParBytes = 1 << 20
+	}
 	return t
 }
+
+// splitParName decomposes a parallel algorithm entry name of the form
+// "base-parN/size" (e.g. "baseline-par4/medium"). ok is false for every
+// other shape, including the sizeless "calibrate-parN" entry.
+func splitParName(name string) (base string, workers int, size string, ok bool) {
+	slash := strings.IndexByte(name, '/')
+	par := strings.LastIndex(name, "-par")
+	if slash < 0 || par < 0 || par+4 >= slash {
+		return "", 0, "", false
+	}
+	w, err := strconv.Atoi(name[par+4 : slash])
+	if err != nil || w <= 0 {
+		return "", 0, "", false
+	}
+	return name[:par], w, name[slash+1:], true
+}
+
+// parallelCapacity estimates how many of the requested workers the
+// current machine can actually run concurrently, from the two calibration
+// entries: workers x calibrate / calibrate-parN. A machine with >= N free
+// cores measures ~N; a single-core machine measures ~1 (the goroutines
+// time-slice). Clamped to [1, workers]; 0 means the run predates the
+// calibrate-par entry and the scaling gate cannot apply.
+func parallelCapacity(cur *BenchReport, workers int) float64 {
+	c, ok := cur.find("calibrate")
+	cp, okPar := cur.find(fmt.Sprintf("calibrate-par%d", workers))
+	if !ok || !okPar || c.NsPerOp <= 0 || cp.NsPerOp <= 0 {
+		return 0
+	}
+	capacity := float64(workers) * c.NsPerOp / cp.NsPerOp
+	return min(max(capacity, 1), float64(workers))
+}
+
+// scalingGated lists the serial/parallel entry families whose medium
+// inputs must show parallel speedup. Clustering is excluded: its shards
+// are whole clusters, so its achievable scaling depends on the (input-
+// determined) cluster size distribution, not on the engine.
+var scalingGated = map[string]bool{"baseline": true, "cubemasking": true}
 
 // Compare diffs a fresh run against a committed baseline and returns one
 // human-readable line per regression (empty means pass):
@@ -350,6 +449,12 @@ func (t Tolerance) withDefaults() Tolerance {
 //     if the baseline predates the entry.
 //   - recall: may not drop by more than RecallDrop.
 //   - every baseline entry must still exist.
+//   - scaling: the gated parallel medium entries (baseline, cubemasking)
+//     must reach MinScaling x their serial pairs/sec at full parallel
+//     capacity, normalized by the current machine's measured capacity
+//     (the calibrate-parN / calibrate ratio).
+//   - parallel memory: every X-parN/size entry must stay under
+//     MaxParBytes bytes/op — an absolute cap, not a diff.
 func Compare(base, cur *BenchReport, tol Tolerance) []string {
 	tol = tol.withDefaults()
 	scale := 1.0
@@ -373,14 +478,17 @@ func Compare(base, cur *BenchReport, tol Tolerance) []string {
 					b.Name, c.NsPerOp, limit, b.NsPerOp, scale, tol.NsFrac*100))
 			}
 		}
-		// Serial allocation counts are deterministic: zero tolerance.
-		// Parallel runs allocate goroutine stacks and channel buffers whose
-		// count depends on scheduling, so the -par entries get a small
-		// jitter allowance (5% + 8) — still tight enough to catch a
-		// per-pair or per-shard allocation sneaking into the hot path.
-		allowed := b.AllocsPerOp
+		// Allocation counts are near-deterministic, but not exactly: GC
+		// timing decides how often the sync.Pools refill and map growth
+		// inside the per-op lattice build wobbles by a malloc or two. The
+		// serial allowance (+2 + 0.2%) absorbs that noise while still
+		// catching what the gate exists for — a per-pair allocation costs
+		// thousands, not two. Parallel runs additionally allocate goroutine
+		// stacks and channel buffers whose count depends on scheduling, so
+		// the -par entries get a larger jitter allowance (5% + 8).
+		allowed := b.AllocsPerOp + 2 + b.AllocsPerOp/500
 		if strings.Contains(b.Name, "-par") {
-			allowed += b.AllocsPerOp/20 + 8
+			allowed = b.AllocsPerOp + b.AllocsPerOp/20 + 8
 		}
 		if c.AllocsPerOp > allowed {
 			regs = append(regs, fmt.Sprintf("%s: %d allocs/op, baseline allows %d (recorded %d)",
@@ -394,7 +502,53 @@ func Compare(base, cur *BenchReport, tol Tolerance) []string {
 	if c, ok := cur.find("subset-loop"); ok && c.AllocsPerOp != 0 {
 		regs = append(regs, fmt.Sprintf("subset-loop: %d allocs/op, must be 0 (hot path regressed)", c.AllocsPerOp))
 	}
+
+	// Scaling and parallel-memory gates run on the CURRENT run only (they
+	// are absolute properties of the code on this machine, not diffs), so
+	// they bite even when the committed baseline predates the entries.
+	for _, e := range cur.Results {
+		basename, workers, size, isPar := splitParName(e.Name)
+		if !isPar {
+			continue
+		}
+		if tol.MaxParBytes > 0 && e.BytesPerOp > tol.MaxParBytes {
+			regs = append(regs, fmt.Sprintf("%s: %d B/op exceeds the parallel cap %d (tape layer buffering whole runs?)",
+				e.Name, e.BytesPerOp, tol.MaxParBytes))
+		}
+		if tol.MinScaling <= 0 || size != "medium" || !scalingGated[basename] {
+			continue
+		}
+		serial, ok := cur.find(basename + "/" + size)
+		if !ok || serial.PairsPerSec <= 0 || e.PairsPerSec <= 0 {
+			continue
+		}
+		capacity := parallelCapacity(cur, workers)
+		if capacity == 0 {
+			continue // old-format run without calibrate-parN
+		}
+		floor := tol.MinScaling * capacity / float64(workers)
+		scaling := e.PairsPerSec / serial.PairsPerSec
+		if scaling < floor {
+			regs = append(regs, fmt.Sprintf(
+				"%s: %.2fx pairs/sec over %s/%s, below the %.2fx floor (%.1fx at full capacity, machine capacity %.2f/%d workers)",
+				e.Name, scaling, basename, size, floor, tol.MinScaling, capacity, workers))
+		}
+	}
 	return regs
+}
+
+// CheckProcs rejects comparing runs recorded at different GOMAXPROCS. The
+// calibrate entry normalizes clock speed, and parallelCapacity normalizes
+// how many cores the scheduler delivers — but the -par entries' WORKER
+// COUNTS are baked into the entry names at record time, so a baseline
+// recorded under a different GOMAXPROCS measured a genuinely different
+// configuration and the ns/op diffs would gate noise, not regressions.
+func CheckProcs(base, cur *BenchReport) error {
+	if base.GOMAXPROCS != cur.GOMAXPROCS {
+		return fmt.Errorf("bench: baseline recorded at GOMAXPROCS=%d but the current run is at GOMAXPROCS=%d; parallel entries are not comparable (re-record the baseline at this setting, or override explicitly)",
+			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	return nil
 }
 
 // Text renders the report as an aligned table for terminal output.

@@ -24,7 +24,7 @@ func TestRunRegressionSuiteShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		"calibrate", "subset-loop",
+		"calibrate", "calibrate-par2", "subset-loop",
 		"baseline/small", "baseline/medium",
 		"baseline-par2/small", "baseline-par2/medium",
 		"clustering/medium", "clustering-par2/medium",
@@ -116,10 +116,14 @@ func TestCompareGates(t *testing.T) {
 		t.Errorf("uniformly slower machine must pass via calibration, got %v", regs)
 	}
 
-	// Any allocs/op increase fails, even inside the ns tolerance.
-	alloc := clone(func(r *BenchReport) { r.Results[2].AllocsPerOp = 6 })
+	// Serial allocs get only the +2 jitter allowance: 7 passes, 8 fails.
+	allocOK := clone(func(r *BenchReport) { r.Results[2].AllocsPerOp = 7 })
+	if regs := Compare(base, allocOK, Tolerance{}); len(regs) != 0 {
+		t.Errorf("allocs within the +2 jitter allowance must pass, got %v", regs)
+	}
+	alloc := clone(func(r *BenchReport) { r.Results[2].AllocsPerOp = 8 })
 	if regs := Compare(base, alloc, Tolerance{}); len(regs) != 1 {
-		t.Errorf("allocs increase must fail, got %v", regs)
+		t.Errorf("allocs increase beyond jitter must fail, got %v", regs)
 	}
 
 	// Parallel entries tolerate scheduling jitter (5% + 8) but no more.
@@ -132,10 +136,15 @@ func TestCompareGates(t *testing.T) {
 		t.Errorf("parallel allocs beyond jitter must fail, got %v", regs)
 	}
 
-	// subset-loop must be zero in the current run.
+	// subset-loop must be zero in the current run: the hard invariant
+	// fires even inside the +2 serial jitter allowance.
 	hot := clone(func(r *BenchReport) { r.Results[1].AllocsPerOp = 2 })
-	if regs := Compare(base, hot, Tolerance{}); len(regs) != 2 { // allocs gate + hard invariant
-		t.Errorf("subset-loop allocs must double-fail, got %v", regs)
+	if regs := Compare(base, hot, Tolerance{}); len(regs) != 1 {
+		t.Errorf("subset-loop allocs must fail the hard invariant, got %v", regs)
+	}
+	hotter := clone(func(r *BenchReport) { r.Results[1].AllocsPerOp = 3 })
+	if regs := Compare(base, hotter, Tolerance{}); len(regs) != 2 { // allocs gate + hard invariant
+		t.Errorf("subset-loop allocs beyond jitter must double-fail, got %v", regs)
 	}
 
 	// Recall drop beyond the slack fails; within slack passes.
@@ -152,5 +161,126 @@ func TestCompareGates(t *testing.T) {
 	missing := clone(func(r *BenchReport) { r.Results = r.Results[:4] })
 	if regs := Compare(base, missing, Tolerance{}); len(regs) != 1 {
 		t.Errorf("missing entry must fail, got %v", regs)
+	}
+}
+
+func TestSplitParName(t *testing.T) {
+	cases := []struct {
+		name    string
+		base    string
+		workers int
+		size    string
+		ok      bool
+	}{
+		{"baseline-par4/medium", "baseline", 4, "medium", true},
+		{"cubemasking-par16/small", "cubemasking", 16, "small", true},
+		{"baseline/medium", "", 0, "", false},
+		{"calibrate-par4", "", 0, "", false}, // sizeless: not an algorithm entry
+		{"calibrate", "", 0, "", false},
+		{"subset-loop", "", 0, "", false},
+	}
+	for _, c := range cases {
+		base, w, size, ok := splitParName(c.name)
+		if base != c.base || w != c.workers || size != c.size || ok != c.ok {
+			t.Errorf("splitParName(%q) = (%q, %d, %q, %v), want (%q, %d, %q, %v)",
+				c.name, base, w, size, ok, c.base, c.workers, c.size, c.ok)
+		}
+	}
+}
+
+// scalingReport builds a current run whose machine capacity and parallel
+// throughput are both parameterized: parCalNs sets the calibrate-par4
+// entry (1000 = full 4-way capacity, 4000 = a single-core machine) and
+// scaling sets the parallel entries' pairs/sec multiple of serial.
+func scalingReport(parCalNs, scaling float64) *BenchReport {
+	return &BenchReport{Version: 1, GOMAXPROCS: 4, Results: []BenchResult{
+		{Name: "calibrate", NsPerOp: 1000},
+		{Name: "calibrate-par4", NsPerOp: parCalNs},
+		{Name: "baseline/medium", N: 2400, NsPerOp: 10000, PairsPerSec: 1e7},
+		{Name: "baseline-par4/medium", N: 2400, NsPerOp: 10000 / scaling, PairsPerSec: 1e7 * scaling},
+		{Name: "cubemasking/medium", N: 2400, NsPerOp: 8000, PairsPerSec: 2e7},
+		{Name: "cubemasking-par4/medium", N: 2400, NsPerOp: 8000 / scaling, PairsPerSec: 2e7 * scaling},
+	}}
+}
+
+func TestCompareScalingGate(t *testing.T) {
+	// Empty baseline: the scaling gate is a property of the current run,
+	// so it must bite even when the committed baseline predates it.
+	base := &BenchReport{Version: 1, GOMAXPROCS: 4}
+
+	// Full 4-way capacity (calibrate-par == calibrate): the floor is the
+	// real 2.5x. 3x passes, 2x names both gated entries.
+	if regs := Compare(base, scalingReport(1000, 3.0), Tolerance{}); len(regs) != 0 {
+		t.Errorf("3x scaling at full capacity must pass, got %v", regs)
+	}
+	regs := Compare(base, scalingReport(1000, 2.0), Tolerance{})
+	if len(regs) != 2 {
+		t.Fatalf("2x scaling at full capacity must fail both gated entries, got %v", regs)
+	}
+
+	// Single-core machine (calibrate-par == 4 x calibrate => capacity 1):
+	// the floor drops to 2.5/4 = 0.625 — parallel overhead is tolerated,
+	// falling off a cliff is not.
+	if regs := Compare(base, scalingReport(4000, 0.9), Tolerance{}); len(regs) != 0 {
+		t.Errorf("0.9x on a single-core machine must pass the normalized floor, got %v", regs)
+	}
+	if regs := Compare(base, scalingReport(4000, 0.5), Tolerance{}); len(regs) != 2 {
+		t.Errorf("0.5x on a single-core machine must fail, got %v", regs)
+	}
+
+	// Negative MinScaling disables the gate entirely.
+	if regs := Compare(base, scalingReport(1000, 0.5), Tolerance{MinScaling: -1}); len(regs) != 0 {
+		t.Errorf("MinScaling<0 must disable the scaling gate, got %v", regs)
+	}
+
+	// A run without the calibrate-par entry (old format) is not gated.
+	old := scalingReport(1000, 0.5)
+	old.Results = append(old.Results[:1], old.Results[2:]...)
+	if regs := Compare(base, old, Tolerance{}); len(regs) != 0 {
+		t.Errorf("runs predating calibrate-par must not be scaling-gated, got %v", regs)
+	}
+
+	// Clustering is exempt: its shard granularity is input-determined.
+	cl := scalingReport(1000, 3.0)
+	cl.Results = append(cl.Results,
+		BenchResult{Name: "clustering/medium", N: 2400, NsPerOp: 9000, PairsPerSec: 1e7},
+		BenchResult{Name: "clustering-par4/medium", N: 2400, NsPerOp: 9000, PairsPerSec: 1e7})
+	if regs := Compare(base, cl, Tolerance{}); len(regs) != 0 {
+		t.Errorf("clustering 1.0x scaling must not be gated, got %v", regs)
+	}
+}
+
+func TestCompareParBytesGate(t *testing.T) {
+	base := &BenchReport{Version: 1}
+	rep := func(parBytes, serialBytes int64) *BenchReport {
+		return &BenchReport{Version: 1, Results: []BenchResult{
+			{Name: "baseline/medium", N: 2400, NsPerOp: 1, BytesPerOp: serialBytes},
+			{Name: "baseline-par4/medium", N: 2400, NsPerOp: 1, BytesPerOp: parBytes},
+		}}
+	}
+	if regs := Compare(base, rep(1<<19, 0), Tolerance{}); len(regs) != 0 {
+		t.Errorf("0.5 MiB/op parallel must pass the 1 MiB cap, got %v", regs)
+	}
+	if regs := Compare(base, rep(2<<20, 0), Tolerance{}); len(regs) != 1 {
+		t.Errorf("2 MiB/op parallel must fail the cap, got %v", regs)
+	}
+	// The cap binds parallel entries only: serial memory is gated by the
+	// per-entry allocs diff, not an absolute ceiling.
+	if regs := Compare(base, rep(0, 64<<20), Tolerance{}); len(regs) != 0 {
+		t.Errorf("serial bytes/op must not hit the parallel cap, got %v", regs)
+	}
+	if regs := Compare(base, rep(2<<20, 0), Tolerance{MaxParBytes: -1}); len(regs) != 0 {
+		t.Errorf("MaxParBytes<0 must disable the cap, got %v", regs)
+	}
+}
+
+func TestCheckProcs(t *testing.T) {
+	a := &BenchReport{Version: 1, GOMAXPROCS: 1}
+	b := &BenchReport{Version: 1, GOMAXPROCS: 4}
+	if err := CheckProcs(a, b); err == nil {
+		t.Error("GOMAXPROCS 1 vs 4 must be refused")
+	}
+	if err := CheckProcs(a, a); err != nil {
+		t.Errorf("matching GOMAXPROCS must pass, got %v", err)
 	}
 }

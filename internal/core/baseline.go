@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	mbits "math/bits"
 	"sync"
+
+	"rdfcube/internal/bitvec"
 )
 
 // Tasks selects which relationship types an algorithm run computes. The
@@ -82,12 +85,19 @@ func (a *dimArena) take(src []int) []int {
 }
 
 // baselineScratch is the per-call working set of BaselineOver: the identity
-// index (when the caller scans everything), the per-direction dimension
-// buffers, and the map_P arena. Scratches are recycled through a sync.Pool
-// so repeated scans — per cluster in the clustering algorithm, per row
-// block in the parallel baseline — allocate nothing in steady state.
+// index (when the caller scans everything), the candidate-row batch with
+// its per-lane degree counters and flat dimension buffers, and the map_P
+// arena. Scratches are recycled through a sync.Pool so repeated scans —
+// per cluster in the clustering algorithm, per row block in the parallel
+// baseline — allocate nothing in steady state.
 type baselineScratch struct {
-	idx    []int
+	idx  []int
+	rows []*bitvec.Vector
+	// degIJ/degJI count containing dimensions per batch lane; dimsIJ and
+	// dimsJI are lane-major flat buffers (lane k's dims at [k*p, k*p+deg))
+	// recording WHICH dimensions contained, for map_P.
+	degIJ  [bitvec.BatchMax]int
+	degJI  [bitvec.BatchMax]int
 	dimsIJ []int
 	dimsJI []int
 	arena  dimArena
@@ -149,23 +159,30 @@ func baselineBlockG(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, si
 }
 
 // baselineScan is the shared §3.1 inner loop: outer rows x in [lo, hi),
-// inner rows y in (x, len(idx)). When g is non-nil the scan charges the
-// guard every guardPairStride ordered pairs and aborts with the guard's
-// CanceledError; the sink then holds an exact prefix of the unguarded
-// emission stream (the abort point is between pair visits, never inside
-// one).
+// inner rows y in (x, len(idx)), visited in batches of up to
+// bitvec.BatchMax candidate rows. Each batch makes ONE pass over the
+// dimensions with the fused SubsetBatchBoth kernel — the outer row's words
+// are loaded once per batch instead of once per pair, and the per-
+// dimension boundary masks are computed once per batch — then the batch's
+// emissions are flushed lane by lane in the exact order the pair-at-a-time
+// scan produced them, so emission-order contracts (bit-identical parallel
+// replay, cancel prefixes) are unchanged.
+//
+// When g is non-nil the scan charges the guard at batch granularity (the
+// stride check runs before each batch, so abort points fall between
+// batches, never inside one); the sink then holds an exact prefix of the
+// unguarded emission stream.
 func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink Sink, sc *baselineScratch, g *guard) error {
 	s := om.Space
 	p := s.NumDims()
 	needPartial := tasks.Has(TaskPartial)
 	recorder, _ := sink.(DimsRecorder)
-	var dimsIJ, dimsJI []int
-	if recorder != nil {
-		if cap(sc.dimsIJ) < p {
-			sc.dimsIJ = make([]int, 0, p)
-			sc.dimsJI = make([]int, 0, p)
-		}
-		dimsIJ, dimsJI = sc.dimsIJ[:0], sc.dimsJI[:0]
+	if recorder != nil && cap(sc.dimsIJ) < bitvec.BatchMax*p {
+		sc.dimsIJ = make([]int, bitvec.BatchMax*p)
+		sc.dimsJI = make([]int, bitvec.BatchMax*p)
+	}
+	if cap(sc.rows) < bitvec.BatchMax {
+		sc.rows = make([]*bitvec.Vector, 0, bitvec.BatchMax)
 	}
 
 	guarded := g != nil
@@ -174,9 +191,10 @@ func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink
 		i := idx[x]
 		ri := om.Rows[i]
 		var ordered, bitTests int64 // batched, flushed per outer row
-		for y := x + 1; y < len(idx); y++ {
+		for y0 := x + 1; y0 < len(idx); y0 += bitvec.BatchMax {
+			kk := min(bitvec.BatchMax, len(idx)-y0)
 			if guarded {
-				sinceCheck += 2
+				sinceCheck += 2 * int64(kk)
 				if sinceCheck >= guardPairStride {
 					if err := g.charge(sinceCheck); err != nil {
 						s.count(CtrObsPairsCompared, ordered)
@@ -186,69 +204,81 @@ func baselineScan(om *OccurrenceMatrix, idx []int, lo, hi int, tasks Tasks, sink
 					sinceCheck = 0
 				}
 			}
-			j := idx[y]
-			rj := om.Rows[j]
+			rows := sc.rows[:0]
+			for k := 0; k < kk; k++ {
+				rows = append(rows, om.Rows[idx[y0+k]])
+			}
+			ordered += 2 * int64(kk)
 
-			// One pass over the dimensions resolves both directions.
-			ordered += 2
-			degIJ, degJI := 0, 0
-			okIJ, okJI := true, true
-			if recorder != nil {
-				dimsIJ, dimsJI = dimsIJ[:0], dimsJI[:0]
+			// One pass over the dimensions resolves both directions of
+			// every pair in the batch. fwdAcc/revAcc lanes survive only
+			// while their pair contains on every dimension seen so far.
+			lanes := ^uint64(0) >> uint(64-kk)
+			fwdAcc, revAcc := lanes, lanes
+			if needPartial {
+				for k := 0; k < kk; k++ {
+					sc.degIJ[k], sc.degJI[k] = 0, 0
+				}
 			}
 			for d := 0; d < p; d++ {
-				lo, hi := s.ColRange(d)
-				bitTests += 2
-				cij := ri.AndEqualsRange(rj, lo, hi)
-				cji := rj.AndEqualsRange(ri, lo, hi)
-				if cij {
-					degIJ++
-					if recorder != nil {
-						dimsIJ = append(dimsIJ, d)
+				dlo, dhi := s.ColRange(d)
+				bitTests += 2 * int64(kk)
+				fwd, rev := bitvec.SubsetBatchBoth(ri, rows, dlo, dhi)
+				fwdAcc &= fwd
+				revAcc &= rev
+				if needPartial {
+					for m := fwd; m != 0; m &= m - 1 {
+						k := mbits.TrailingZeros64(m)
+						if recorder != nil {
+							sc.dimsIJ[k*p+sc.degIJ[k]] = d
+						}
+						sc.degIJ[k]++
 					}
-				} else {
-					okIJ = false
-				}
-				if cji {
-					degJI++
-					if recorder != nil {
-						dimsJI = append(dimsJI, d)
+					for m := rev; m != 0; m &= m - 1 {
+						k := mbits.TrailingZeros64(m)
+						if recorder != nil {
+							sc.dimsJI[k*p+sc.degJI[k]] = d
+						}
+						sc.degJI[k]++
 					}
-				} else {
-					okJI = false
-				}
-				// The paper's pruning: without the partial task, a pair
-				// that failed in both directions cannot produce anything.
-				if !needPartial && !okIJ && !okJI {
+				} else if fwdAcc|revAcc == 0 {
+					// The paper's pruning, batch-wide: without the partial
+					// task, once every pair has failed both directions no
+					// later dimension can produce anything.
 					break
 				}
 			}
 
-			shares := s.SharesMeasure(i, j)
-			if tasks.Has(TaskFull) && shares {
-				if okIJ {
-					sink.Full(i, j)
-				}
-				if okJI {
-					sink.Full(j, i)
-				}
-			}
-			if needPartial && shares {
-				if degIJ > 0 && degIJ < p {
-					sink.Partial(i, j, float64(degIJ)/float64(p))
-					if recorder != nil {
-						recorder.RecordPartialDims(i, j, sc.arena.take(dimsIJ))
+			for k := 0; k < kk; k++ {
+				j := idx[y0+k]
+				bit := uint64(1) << uint(k)
+				okIJ, okJI := fwdAcc&bit != 0, revAcc&bit != 0
+				shares := s.SharesMeasure(i, j)
+				if tasks.Has(TaskFull) && shares {
+					if okIJ {
+						sink.Full(i, j)
+					}
+					if okJI {
+						sink.Full(j, i)
 					}
 				}
-				if degJI > 0 && degJI < p {
-					sink.Partial(j, i, float64(degJI)/float64(p))
-					if recorder != nil {
-						recorder.RecordPartialDims(j, i, sc.arena.take(dimsJI))
+				if needPartial && shares {
+					if deg := sc.degIJ[k]; deg > 0 && deg < p {
+						sink.Partial(i, j, float64(deg)/float64(p))
+						if recorder != nil {
+							recorder.RecordPartialDims(i, j, sc.arena.take(sc.dimsIJ[k*p:k*p+deg]))
+						}
+					}
+					if deg := sc.degJI[k]; deg > 0 && deg < p {
+						sink.Partial(j, i, float64(deg)/float64(p))
+						if recorder != nil {
+							recorder.RecordPartialDims(j, i, sc.arena.take(sc.dimsJI[k*p:k*p+deg]))
+						}
 					}
 				}
-			}
-			if tasks.Has(TaskCompl) && okIJ && okJI {
-				sink.Compl(i, j)
+				if tasks.Has(TaskCompl) && okIJ && okJI {
+					sink.Compl(i, j)
+				}
 			}
 		}
 		s.count(CtrObsPairsCompared, ordered)

@@ -254,9 +254,9 @@ func TestStallWatchdog(t *testing.T) {
 	}
 }
 
-// TestParallelCancelPrefix: canceled parallel runs still deliver an exact
-// serial-order prefix — the tape replay drops incomplete shards, so the
-// sink never sees out-of-order or partial-shard output.
+// TestParallelCancelPrefix: canceled StrongReplay parallel runs still
+// deliver an exact serial-order prefix — the tape replay drops incomplete
+// shards, so the sink never sees out-of-order or partial-shard output.
 func TestParallelCancelPrefix(t *testing.T) {
 	leakcheck.Check(t)
 	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
@@ -272,6 +272,7 @@ func TestParallelCancelPrefix(t *testing.T) {
 		for _, budget := range []int64{1, guardPairStride, 4 * guardPairStride, 16 * guardPairStride} {
 			opts := cancelTestOptions()
 			opts.Workers = 4
+			opts.StrongReplay = true
 			opts.MaxPairs = budget
 			got := &eventSink{}
 			err := Compute(s, alg, opts, got)
@@ -286,9 +287,65 @@ func TestParallelCancelPrefix(t *testing.T) {
 	}
 }
 
+// TestParallelCancelDirectSalvage: canceled direct-emit parallel runs (the
+// default) deliver the union of complete shards — every salvaged
+// relationship also appears in the full run (exactly-once, no partial
+// shards, no duplicates), even though the stream is not an ordered prefix.
+func TestParallelCancelDirectSalvage(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		full := NewResult()
+		if err := Compute(s, alg, cancelTestOptions(), full); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[[3]int]bool{}
+		record := func(kind int, ps []Pair) {
+			for _, p := range ps {
+				seen[[3]int{kind, p.A, p.B}] = true
+			}
+		}
+		record(0, full.FullSet)
+		record(1, full.PartialSet)
+		record(2, full.ComplSet)
+		for _, budget := range []int64{guardPairStride, 16 * guardPairStride} {
+			opts := cancelTestOptions()
+			opts.Workers = 4
+			opts.MaxPairs = budget
+			got := NewResult()
+			err := Compute(s, alg, opts, got)
+			if err != nil && !errors.Is(err, ErrCanceled) {
+				t.Fatalf("%s budget=%d: %v", alg, budget, err)
+			}
+			check := func(kind int, name string, ps []Pair) {
+				t.Helper()
+				dup := map[Pair]bool{}
+				for _, p := range ps {
+					if !seen[[3]int{kind, p.A, p.B}] {
+						t.Fatalf("%s budget=%d: salvaged %s pair %v not in the full run", alg, budget, name, p)
+					}
+					if dup[p] {
+						t.Fatalf("%s budget=%d: %s pair %v emitted twice", alg, budget, name, p)
+					}
+					dup[p] = true
+				}
+			}
+			check(0, "full", got.FullSet)
+			check(1, "partial", got.PartialSet)
+			check(2, "compl", got.ComplSet)
+		}
+	}
+}
+
 // TestShardPanicRetry: a shard that panics once under a worker is retried
-// serially and the run completes with output identical to a clean run;
-// the retry is visible in the counters.
+// serially and the run completes with output identical to a clean run —
+// byte-identical under StrongReplay, set-identical under direct emit (the
+// retried shard's flush lands out of order but exactly once); the retry is
+// visible in the counters either way.
 func TestShardPanicRetry(t *testing.T) {
 	leakcheck.Check(t)
 	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
@@ -301,33 +358,40 @@ func TestShardPanicRetry(t *testing.T) {
 		if err := Compute(s, alg, cancelTestOptions(), want); err != nil {
 			t.Fatal(err)
 		}
-		var mu sync.Mutex
-		panicked := false
-		col := obsv.NewCollector()
-		opts := cancelTestOptions()
-		opts.Workers = 4
-		opts.Obs = col
-		opts.ShardFault = func(shard int) {
-			mu.Lock()
-			defer mu.Unlock()
-			if shard == 0 && !panicked {
-				panicked = true
-				panic(fmt.Sprintf("injected fault in shard %d", shard))
+		for _, strong := range []bool{true, false} {
+			var mu sync.Mutex
+			panicked := false
+			col := obsv.NewCollector()
+			opts := cancelTestOptions()
+			opts.Workers = 4
+			opts.StrongReplay = strong
+			opts.Obs = col
+			opts.ShardFault = func(shard int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if shard == 0 && !panicked {
+					panicked = true
+					panic(fmt.Sprintf("injected fault in shard %d", shard))
+				}
 			}
-		}
-		got := &eventSink{}
-		if err := Compute(s, alg, opts, got); err != nil {
-			t.Fatalf("%s: run with a once-panicking shard should recover, got %v", alg, err)
-		}
-		s.SetRecorder(nil)
-		if !bytes.Equal(got.buf, want.buf) {
-			t.Fatalf("%s: recovered run's stream differs from the clean serial stream (%d vs %d bytes)",
-				alg, len(got.buf), len(want.buf))
-		}
-		snap := col.Snapshot()
-		if snap[CtrShardPanics] == 0 || snap[CtrShardRetries] == 0 {
-			t.Errorf("%s: retry not visible in counters: panics=%v retries=%v",
-				alg, snap[CtrShardPanics], snap[CtrShardRetries])
+			got := &eventSink{}
+			if err := Compute(s, alg, opts, got); err != nil {
+				t.Fatalf("%s strong=%v: run with a once-panicking shard should recover, got %v", alg, strong, err)
+			}
+			s.SetRecorder(nil)
+			if strong {
+				if !bytes.Equal(got.buf, want.buf) {
+					t.Fatalf("%s: recovered run's stream differs from the clean serial stream (%d vs %d bytes)",
+						alg, len(got.buf), len(want.buf))
+				}
+			} else if !got.equalAsSets(want) {
+				t.Fatalf("%s: recovered direct-emit run's emissions differ as a set from the clean serial run", alg)
+			}
+			snap := col.Snapshot()
+			if snap[CtrShardPanics] == 0 || snap[CtrShardRetries] == 0 {
+				t.Errorf("%s strong=%v: retry not visible in counters: panics=%v retries=%v",
+					alg, strong, snap[CtrShardPanics], snap[CtrShardRetries])
+			}
 		}
 	}
 }

@@ -106,6 +106,18 @@ type Options struct {
 	// observed for this long, the run is canceled with cause ErrStalled.
 	// Zero disables the watchdog. All algorithms consult it.
 	StallTimeout time.Duration
+	// StrongReplay makes the parallel execution paths replay worker tapes
+	// in serial shard order, so the emission stream — order included — is
+	// bit-identical to a serial run, and a canceled run's sink holds an
+	// exact serial-order prefix. The default (false) is direct emit:
+	// shards stream into the sink in completion order, flushing in
+	// bounded chunks, which keeps peak tape memory at O(workers × one
+	// 64 KiB chunk) instead of O(all shards' events) — the same
+	// relationship set, delivered unordered, which is
+	// what every sorting consumer (Result.Sort, snapshots, /v1/related)
+	// wants anyway. Consumed by the parallel paths of AlgorithmBaseline,
+	// AlgorithmClustering and AlgorithmParallel.
+	StrongReplay bool
 	// ShardFault, when non-nil, is invoked with the shard index at the
 	// start of every parallel shard scan (and again on its serial retry).
 	// It exists for fault-injection tests of the panic-isolation path —
@@ -149,6 +161,9 @@ func (o Options) Validate(alg Algorithm) error {
 	if o.Workers != 0 && alg != AlgorithmParallel && alg != AlgorithmBaseline && alg != AlgorithmClustering {
 		ignored = append(ignored, "Workers")
 	}
+	if o.StrongReplay && alg != AlgorithmParallel && alg != AlgorithmBaseline && alg != AlgorithmClustering {
+		ignored = append(ignored, "StrongReplay")
+	}
 	if len(ignored) > 0 {
 		return fmt.Errorf("core: algorithm %q ignores Options.%s; clear the field(s) or pick an algorithm that uses them",
 			alg, strings.Join(ignored, ", Options."))
@@ -172,11 +187,14 @@ func Compute(s *Space, alg Algorithm, opts Options, sink Sink) error {
 // canceled, the Options.Deadline expires, the MaxPairs budget runs out,
 // or the stall watchdog fires — whichever comes first — and returns a
 // *CanceledError (errors.Is(err, ErrCanceled)) wrapping the specific
-// cause. The relationships already streamed into sink are an exact,
-// deterministic serial-order prefix of the full run's emission stream:
-// serial kernels stop in order, and the parallel kernels replay only the
-// complete serial-order prefix of their shard tapes. A nil ctx behaves
-// like context.Background().
+// cause. Serial runs (and parallel runs with Options.StrongReplay set)
+// leave an exact, deterministic serial-order prefix of the full emission
+// stream in the sink: serial kernels stop in order, and strong-replay
+// parallel kernels replay only the complete serial-order prefix of their
+// shard tapes. Default (direct-emit) parallel runs instead leave the union
+// of the shards that completed — still exactly-once, still a subset of the
+// full run, but not an ordered prefix. A nil ctx behaves like
+// context.Background().
 func ComputeCtx(ctx context.Context, s *Space, alg Algorithm, opts Options, sink Sink) error {
 	if opts.Strict {
 		if err := opts.Validate(alg); err != nil {
@@ -210,14 +228,14 @@ func computeG(s *Space, alg Algorithm, opts Options, sink Sink, g *guard) error 
 	switch alg {
 	case AlgorithmBaseline:
 		if opts.Workers > 1 {
-			return parallelBaselineG(s, tasks, sink, opts.Workers, g, opts.ShardFault)
+			return parallelBaselineG(s, tasks, sink, opts.Workers, opts.StrongReplay, g, opts.ShardFault)
 		}
 		return baselineG(s, tasks, sink, g)
 	case AlgorithmBaselineSparse:
 		return baselineSparseG(s, tasks, sink, g)
 	case AlgorithmClustering:
 		if opts.Workers > 1 {
-			_, err := parallelClusteringG(s, tasks, sink, opts.Clustering, opts.Workers, g, opts.ShardFault)
+			_, err := parallelClusteringG(s, tasks, sink, opts.Clustering, opts.Workers, opts.StrongReplay, g, opts.ShardFault)
 			return err
 		}
 		_, err := clusteringG(s, tasks, sink, opts.Clustering, g)
@@ -233,7 +251,7 @@ func computeG(s *Space, alg Algorithm, opts Options, sink Sink, g *guard) error 
 	case AlgorithmHybrid:
 		return hybridG(s, tasks, sink, opts.Hybrid, g)
 	case AlgorithmParallel:
-		return parallelCubeMaskingG(s, tasks, sink, opts.Workers, g, opts.ShardFault)
+		return parallelCubeMaskingG(s, tasks, sink, opts.Workers, opts.StrongReplay, g, opts.ShardFault)
 	default:
 		return fmt.Errorf("core: unknown algorithm %q (supported: %s)", alg, AlgorithmNames())
 	}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	mbits "math/bits"
+	"sync"
 
+	"rdfcube/internal/bitvec"
 	"rdfcube/internal/lattice"
 )
 
@@ -60,6 +63,7 @@ func CubeMaskingCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, opts 
 
 func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *guard) (*lattice.Lattice, error) {
 	l := BuildLattice(s)
+	om := BuildOccurrenceMatrix(s)
 	sink = instrumentSink(s, sink)
 	cubes := l.Cubes()
 	p := s.NumDims()
@@ -68,20 +72,21 @@ func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *gua
 	endCompare := s.span(SpanCompare)
 	defer endCompare()
 
-	var pc pairCharge
+	sc := borrowCubeScratch(p)
+	defer cubeScratchPool.Put(sc)
 	if tasks&(TaskFull|TaskPartial) == 0 && tasks.Has(TaskCompl) {
 		// Complementarity requires identical dimension values, hence
 		// identical signatures: only same-cube pairs can qualify. Every
 		// cross-cube pair is pruned without even a signature test.
 		for _, c := range cubes {
-			if err := comparePair(s, c, c, p, tasks, sink, nil, g, &pc); err != nil {
+			if err := comparePair(om, c, c, p, tasks, sink, nil, g, sc); err != nil {
 				return l, err
 			}
 		}
 		s.count(CtrCubePairsConsidered, nc*nc)
 		s.count(CtrCubePairsCompared, nc)
 		s.count(CtrCubePairsPruned, nc*nc-nc)
-		return l, pc.flush(g)
+		return l, sc.pc.flush(g)
 	}
 
 	if !tasks.Has(TaskPartial) && opts.PrefetchChildren {
@@ -96,7 +101,7 @@ func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *gua
 			children := l.Children(ai)
 			compared += int64(len(children))
 			for _, b := range children {
-				if err := comparePair(s, a, b, p, tasks, sink, nil, g, &pc); err != nil {
+				if err := comparePair(om, a, b, p, tasks, sink, nil, g, sc); err != nil {
 					return l, err
 				}
 			}
@@ -105,10 +110,9 @@ func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *gua
 		s.count(CtrCubePairsCompared, compared)
 		s.count(CtrCubePairsPruned, nc*nc-compared)
 		s.count(CtrPrefetchHits, compared)
-		return l, pc.flush(g)
+		return l, sc.pc.flush(g)
 	}
 
-	cand := make([]int, 0, p)
 	var considered, pruned, compared, candTests int64
 	for _, a := range cubes {
 		if err := g.poll(); err != nil {
@@ -117,12 +121,12 @@ func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *gua
 		for _, b := range cubes {
 			considered++
 			candTests++
-			cand = a.Sig.CandidateDims(b.Sig, cand)
-			if len(cand) == 0 {
+			sc.cand = a.Sig.CandidateDims(b.Sig, sc.cand)
+			if len(sc.cand) == 0 {
 				pruned++
 				continue
 			}
-			allLE := len(cand) == p
+			allLE := len(sc.cand) == p
 			if !tasks.Has(TaskPartial) && !allLE {
 				pruned++
 				continue
@@ -130,9 +134,9 @@ func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *gua
 			compared++
 			var err error
 			if allLE {
-				err = comparePair(s, a, b, p, tasks, sink, nil, g, &pc)
+				err = comparePair(om, a, b, p, tasks, sink, nil, g, sc)
 			} else {
-				err = comparePair(s, a, b, p, tasks, sink, cand, g, &pc)
+				err = comparePair(om, a, b, p, tasks, sink, sc.cand, g, sc)
 			}
 			if err != nil {
 				// Flush the partial sweep counters before aborting so the
@@ -152,7 +156,7 @@ func cubeMaskingG(s *Space, tasks Tasks, sink Sink, opts CubeMaskOptions, g *gua
 		s.count(CtrCandidateDimTests, candTests)
 		considered, pruned, compared, candTests = 0, 0, 0, 0
 	}
-	return l, pc.flush(g)
+	return l, sc.pc.flush(g)
 }
 
 // pairCharge accumulates ordered-pair counts across comparePair calls so
@@ -181,83 +185,152 @@ func (pc *pairCharge) flush(g *guard) error {
 	return err
 }
 
+// cubeScratch is the pooled working set of the cube sweep, shared by the
+// serial path and (one per worker) the parallel pool: the candidate-dims
+// buffer, the guard pair-charge accumulator, the batch row/index buffers
+// with their per-lane degree counters, the lane-major dims buffer, and the
+// map_P arena — the arena replaces the per-pair `append([]int{}, dims...)`
+// allocation the first version paid for every partial pair.
+type cubeScratch struct {
+	cand  []int
+	pc    pairCharge
+	rows  []*bitvec.Vector
+	js    []int
+	deg   [bitvec.BatchMax]int
+	dims  []int // lane-major: lane k's containing dims at [k*p, k*p+deg)
+	arena dimArena
+}
+
+var cubeScratchPool = sync.Pool{New: func() any { return new(cubeScratch) }}
+
+// borrowCubeScratch takes a reset scratch from the pool.
+func borrowCubeScratch(p int) *cubeScratch {
+	sc := cubeScratchPool.Get().(*cubeScratch)
+	if cap(sc.cand) < p {
+		sc.cand = make([]int, 0, p)
+	}
+	sc.pc.since = 0
+	return sc
+}
+
 // comparePair compares every observation of cube a against every
 // observation of cube b, testing containment only on cand dimensions
-// (nil means all dimensions, implying a.Sig ≤ b.Sig level-wise).
+// (nil means all dimensions, implying a.Sig ≤ b.Sig level-wise). The
+// inner rows are visited in batches of up to bitvec.BatchMax: one
+// SubsetBatch pass per dimension resolves the whole batch against the
+// outer row's occurrence-matrix words, loaded once per batch instead of
+// once per pair. Emissions flush lane by lane in the pair-at-a-time
+// order, so the emission stream is unchanged.
+//
 // Observation-pair and dimension-test counters are batched locally and
 // flushed once per cube pair; the flush is atomic-safe, so the parallel
 // worker pool calls this concurrently. A non-nil guard is charged through
-// pc (which carries the pair count across calls); on trip the local
-// counters are flushed and the guard's error returned.
-func comparePair(s *Space, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, cand []int, g *guard, pc *pairCharge) error {
+// sc.pc (which carries the pair count across calls) at batch granularity;
+// on trip the local counters are flushed and the guard's error returned.
+func comparePair(om *OccurrenceMatrix, a, b *lattice.Cube, p int, tasks Tasks, sink Sink, cand []int, g *guard, sc *cubeScratch) error {
+	s := om.Space
 	sameCube := a == b
 	allLE := cand == nil
 	needPartial := tasks.Has(TaskPartial)
 	guarded := g != nil
 	recorder, _ := sink.(DimsRecorder)
-	var dims []int
-	if recorder != nil {
-		dims = make([]int, 0, p)
+	if recorder != nil && cap(sc.dims) < bitvec.BatchMax*p {
+		sc.dims = make([]int, bitvec.BatchMax*p)
+	}
+	if cap(sc.rows) < bitvec.BatchMax {
+		sc.rows = make([]*bitvec.Vector, 0, bitvec.BatchMax)
+		sc.js = make([]int, 0, bitvec.BatchMax)
 	}
 	var ordered, dimTests int64
 	for _, i := range a.Obs {
-		for _, j := range b.Obs {
-			if i == j {
+		ri := om.Rows[i]
+		for bi := 0; bi < len(b.Obs); {
+			js, rows := sc.js[:0], sc.rows[:0]
+			for bi < len(b.Obs) && len(js) < bitvec.BatchMax {
+				j := b.Obs[bi]
+				bi++
+				if j == i {
+					continue
+				}
+				js = append(js, j)
+				rows = append(rows, om.Rows[j])
+			}
+			kk := len(js)
+			if kk == 0 {
 				continue
 			}
 			if guarded {
-				if err := pc.add(g, 1); err != nil {
+				if err := sc.pc.add(g, int64(kk)); err != nil {
 					s.count(CtrObsPairsCompared, ordered)
 					s.count(CtrDimTests, dimTests)
 					return err
 				}
 			}
-			ordered++
-			deg := 0
-			if recorder != nil {
-				dims = dims[:0]
+			ordered += int64(kk)
+			lanes := ^uint64(0) >> uint(64-kk)
+			alive := lanes
+			if needPartial {
+				for k := 0; k < kk; k++ {
+					sc.deg[k] = 0
+				}
 			}
 			if allLE {
 				for d := 0; d < p; d++ {
-					dimTests++
-					if s.DimContains(i, j, d) {
-						deg++
-						if recorder != nil {
-							dims = append(dims, d)
+					dlo, dhi := s.ColRange(d)
+					dimTests += int64(kk)
+					fwd := bitvec.SubsetBatch(ri, rows, dlo, dhi)
+					alive &= fwd
+					if needPartial {
+						for m := fwd; m != 0; m &= m - 1 {
+							k := mbits.TrailingZeros64(m)
+							if recorder != nil {
+								sc.dims[k*p+sc.deg[k]] = d
+							}
+							sc.deg[k]++
 						}
-					} else if !needPartial {
-						deg = -1
+					} else if alive == 0 {
+						// The paper's pruning, batch-wide: every lane has
+						// already failed full containment.
 						break
 					}
 				}
 			} else {
-				for _, d := range cand {
-					dimTests++
-					if s.DimContains(i, j, d) {
-						deg++
-						if recorder != nil {
-							dims = append(dims, d)
+				// Off the all-LE path full containment is impossible; only
+				// partial degrees (over the candidate dims) matter.
+				alive = 0
+				if needPartial {
+					for _, d := range cand {
+						dlo, dhi := s.ColRange(d)
+						dimTests += int64(kk)
+						fwd := bitvec.SubsetBatch(ri, rows, dlo, dhi)
+						for m := fwd; m != 0; m &= m - 1 {
+							k := mbits.TrailingZeros64(m)
+							if recorder != nil {
+								sc.dims[k*p+sc.deg[k]] = d
+							}
+							sc.deg[k]++
 						}
 					}
 				}
 			}
-			if deg < 0 {
-				continue
-			}
-			full := allLE && deg == p
-			if full {
-				if tasks.Has(TaskFull) && s.SharesMeasure(i, j) {
-					sink.Full(i, j)
-				}
-				// Mutual full containment means value equality, which
-				// only happens inside one cube; emit once per pair.
-				if tasks.Has(TaskCompl) && sameCube && i < j {
-					sink.Compl(i, j)
-				}
-			} else if needPartial && deg > 0 && s.SharesMeasure(i, j) {
-				sink.Partial(i, j, float64(deg)/float64(p))
-				if recorder != nil {
-					recorder.RecordPartialDims(i, j, append([]int{}, dims...))
+			for k := 0; k < kk; k++ {
+				j := js[k]
+				if allLE && alive&(uint64(1)<<uint(k)) != 0 {
+					if tasks.Has(TaskFull) && s.SharesMeasure(i, j) {
+						sink.Full(i, j)
+					}
+					// Mutual full containment means value equality, which
+					// only happens inside one cube; emit once per pair.
+					if tasks.Has(TaskCompl) && sameCube && i < j {
+						sink.Compl(i, j)
+					}
+				} else if needPartial {
+					if deg := sc.deg[k]; deg > 0 && deg < p && s.SharesMeasure(i, j) {
+						sink.Partial(i, j, float64(deg)/float64(p))
+						if recorder != nil {
+							recorder.RecordPartialDims(i, j, sc.arena.take(sc.dims[k*p:k*p+deg]))
+						}
+					}
 				}
 			}
 		}

@@ -38,14 +38,15 @@ func hybridG(s *Space, tasks Tasks, sink Sink, opts HybridOptions, g *guard) err
 		maxSize = 512
 	}
 	l := BuildLattice(s)
+	om := BuildOccurrenceMatrix(s)
 	sink = instrumentSink(s, sink)
 	cubes := l.Cubes()
 	p := s.NumDims()
 
 	endCompare := s.span(SpanCompare)
 	defer endCompare()
-	cand := make([]int, 0, p)
-	var pc pairCharge
+	sc := borrowCubeScratch(p)
+	defer cubeScratchPool.Put(sc)
 	var considered, pruned, compared, candTests, clustered int64
 	for _, a := range cubes {
 		if err := g.poll(); err != nil {
@@ -56,18 +57,18 @@ func hybridG(s *Space, tasks Tasks, sink Sink, opts HybridOptions, g *guard) err
 			if a == b && len(a.Obs) > maxSize {
 				clustered++
 				compared++
-				if err := clusterWithin(s, a.Obs, tasks, sink, opts.Clustering, g, &pc); err != nil {
+				if err := clusterWithin(s, a.Obs, tasks, sink, opts.Clustering, g, &sc.pc); err != nil {
 					return err
 				}
 				continue
 			}
 			candTests++
-			cand = a.Sig.CandidateDims(b.Sig, cand)
-			if len(cand) == 0 {
+			sc.cand = a.Sig.CandidateDims(b.Sig, sc.cand)
+			if len(sc.cand) == 0 {
 				pruned++
 				continue
 			}
-			allLE := len(cand) == p
+			allLE := len(sc.cand) == p
 			if !tasks.Has(TaskPartial) && !allLE {
 				pruned++
 				continue
@@ -75,9 +76,9 @@ func hybridG(s *Space, tasks Tasks, sink Sink, opts HybridOptions, g *guard) err
 			compared++
 			var err error
 			if allLE {
-				err = comparePair(s, a, b, p, tasks, sink, nil, g, &pc)
+				err = comparePair(om, a, b, p, tasks, sink, nil, g, sc)
 			} else {
-				err = comparePair(s, a, b, p, tasks, sink, cand, g, &pc)
+				err = comparePair(om, a, b, p, tasks, sink, sc.cand, g, sc)
 			}
 			if err != nil {
 				s.count(CtrCubePairsConsidered, considered)
@@ -95,7 +96,7 @@ func hybridG(s *Space, tasks Tasks, sink Sink, opts HybridOptions, g *guard) err
 		s.count(CtrHybridCubesClustered, clustered)
 		considered, pruned, compared, candTests, clustered = 0, 0, 0, 0, 0
 	}
-	return pc.flush(g)
+	return sc.pc.flush(g)
 }
 
 // clusterWithin clusters one oversized cube's members on their occurrence

@@ -65,12 +65,120 @@ type shardPool struct {
 	fingerprint func(shard int) string
 }
 
+// tapeMerge is the direct-emit merge: completed shard tapes are decoded
+// straight into the (already instrumented) caller sink, serialized by the
+// mutex, instead of being retained for an ordered replay. The sink sees
+// shards in COMPLETION order, not serial shard order — direct emit is for
+// order-free sinks; StrongReplay keeps the ordered-replay path. Exactly-
+// once still holds: a tape is flushed only after its shard's scan returned
+// cleanly, so aborted scans and panicked-then-retried shards never emit
+// twice or emit a partial shard.
+type tapeMerge struct {
+	mu   sync.Mutex
+	sink Sink
+	rec  DimsRecorder
+}
+
+// newTapeMerge instruments the sink once up front (replayTapes does the
+// same lazily) and captures its optional DimsRecorder extension.
+func newTapeMerge(s *Space, sink Sink) *tapeMerge {
+	sink = instrumentSink(s, sink)
+	rec, _ := sink.(DimsRecorder)
+	return &tapeMerge{sink: sink, rec: rec}
+}
+
+// flush decodes one completed shard tape into the shared sink and recycles
+// the tape. Callers pass ownership; the tape slot must be nilled after.
+func (m *tapeMerge) flush(t *tape) { m.flushTail(t, 0) }
+
+// flushTail is flush minus the first skip bytes — the retry path's dedup.
+// A re-scanned shard reproduces its deterministic emission stream from the
+// start; skip marks how much of it the first attempt already chunk-flushed
+// into the sink, and chunk boundaries always fall between whole events.
+func (m *tapeMerge) flushTail(t *tape, skip int) {
+	if skip > len(t.buf) {
+		skip = len(t.buf) // defensive: a non-deterministic scan shrank
+	}
+	m.mu.Lock()
+	if err := decodeTape(t.buf[skip:], m.sink, m.rec); err != nil {
+		m.mu.Unlock()
+		panic(err)
+	}
+	m.mu.Unlock()
+	releaseTape(t)
+}
+
+// flushChunk decodes the tape's current buffer into the shared sink and
+// rewinds it, remembering how many bytes the sink has consumed. The tape
+// stays borrowed: the scan keeps appending into the rewound buffer.
+func (m *tapeMerge) flushChunk(t *tape) {
+	if len(t.buf) == 0 {
+		return
+	}
+	m.mu.Lock()
+	t.replay(m.sink, m.rec)
+	m.mu.Unlock()
+	t.flushed += len(t.buf)
+	t.buf = t.buf[:0]
+}
+
+// tapeChunkSize bounds a direct-emit shard tape between flushes: once the
+// private buffer crosses it, the chunk is decoded into the shared sink and
+// the buffer rewinds. Peak tape memory per worker is therefore one chunk
+// (plus one in-flight event), independent of shard size — the property the
+// bench harness's parallel bytes/op cap enforces. A var, not a const, so
+// tests can shrink it to force mid-shard flushes. Ordered (StrongReplay)
+// runs never chunk: they need whole tapes to replay in serial shard order.
+var tapeChunkSize = 64 << 10
+
+// chunkedTape is the direct-emit local sink: every event lands on the
+// private tape, and crossing tapeChunkSize hands the buffer to the merge.
+// Flushes happen only after whole appends, so chunk boundaries are event
+// boundaries.
+type chunkedTape struct {
+	t *tape
+	m *tapeMerge
+}
+
+func (c chunkedTape) after() {
+	if len(c.t.buf) >= tapeChunkSize {
+		c.m.flushChunk(c.t)
+	}
+}
+
+func (c chunkedTape) Full(a, b int)  { c.t.Full(a, b); c.after() }
+func (c chunkedTape) Compl(a, b int) { c.t.Compl(a, b); c.after() }
+func (c chunkedTape) Partial(a, b int, degree float64) {
+	c.t.Partial(a, b, degree)
+	c.after()
+}
+
+// chunkedDimsTape adds the DimsRecorder extension for dims-aware sinks.
+type chunkedDimsTape struct{ chunkedTape }
+
+func (c chunkedDimsTape) RecordPartialDims(a, b int, dims []int) {
+	dimsTape{c.t}.RecordPartialDims(a, b, dims)
+	c.after()
+}
+
+// chunked wraps a borrowed tape as the chunk-flushing local sink.
+func (m *tapeMerge) chunked(t *tape, wantDims bool) Sink {
+	if wantDims {
+		return chunkedDimsTape{chunkedTape{t, m}}
+	}
+	return chunkedTape{t, m}
+}
+
 // runShardPool runs the pool and returns the replayable tape prefix.
 // Return contract: (tapes, nil) is a clean, complete run; (tapes, err)
 // with errors.Is(err, ErrCanceled) means tapes is the salvageable prefix
 // and should still be replayed; (nil, err) is a ShardPanicError — nothing
-// to replay, all tapes released.
-func runShardPool(s *Space, sp shardPool, nShards, workers int, wantDims bool, g *guard, fault func(int)) ([]*tape, error) {
+// to replay, all tapes released. With a non-nil merge the pool runs in
+// direct-emit mode: completed tapes are flushed into merge as they finish
+// and the returned tape slice is always nil — on cancellation the sink
+// holds the complete shards plus any chunks in-flight shards had already
+// flushed, rather than a serial-order prefix.
+func runShardPool(s *Space, sp shardPool, nShards, workers int, wantDims bool, merge *tapeMerge, g *guard, fault func(int)) ([]*tape, error) {
 	tapes := make([]*tape, nShards)
 	status := make([]shardStatus, nShards)
 
@@ -81,6 +189,9 @@ func runShardPool(s *Space, sp shardPool, nShards, workers int, wantDims bool, g
 	runOne := func(si int, ws any) {
 		var local Sink
 		tapes[si], local = borrowTape(wantDims)
+		if merge != nil {
+			local = merge.chunked(tapes[si], wantDims)
+		}
 		defer func() {
 			if v := recover(); v != nil {
 				status[si] = shardPanicked
@@ -91,9 +202,21 @@ func runShardPool(s *Space, sp shardPool, nShards, workers int, wantDims bool, g
 		}
 		if err := sp.scan(si, local, ws); err != nil {
 			status[si] = shardAborted
+			if merge != nil {
+				// Direct emit drops an aborted shard's unflushed remainder;
+				// chunks flushed before the trip stay in the sink (whole
+				// events from the deterministic stream — still a subset of
+				// the full run, never a duplicate).
+				releaseTape(tapes[si])
+				tapes[si] = nil
+			}
 			return
 		}
 		status[si] = shardDone
+		if merge != nil {
+			merge.flush(tapes[si])
+			tapes[si] = nil
+		}
 	}
 
 	next := make(chan int)
@@ -128,12 +251,14 @@ func runShardPool(s *Space, sp shardPool, nShards, workers int, wantDims bool, g
 	close(next)
 	wg.Wait()
 
-	return finishShards(s, sp, tapes, status, wantDims, g, fault)
+	return finishShards(s, sp, tapes, status, wantDims, merge, g, fault)
 }
 
 // finishShards retries panicked shards serially, determines the replayable
-// serial-order prefix, and releases everything beyond it.
-func finishShards(s *Space, sp shardPool, tapes []*tape, status []shardStatus, wantDims bool, g *guard, fault func(int)) ([]*tape, error) {
+// serial-order prefix, and releases everything beyond it. In direct-emit
+// mode there is no prefix to compute: retried shards flush on success and
+// the tape slice result is nil.
+func finishShards(s *Space, sp shardPool, tapes []*tape, status []shardStatus, wantDims bool, merge *tapeMerge, g *guard, fault func(int)) ([]*tape, error) {
 	// Serial retry of panicked shards, in shard order, on fresh tapes: one
 	// panic is isolated (a crashing worker must not take down the run);
 	// a second, reproduced panic fails the run with the shard's input
@@ -144,10 +269,17 @@ func finishShards(s *Space, sp shardPool, tapes []*tape, status []shardStatus, w
 		}
 		s.count(CtrShardPanics, 1)
 		s.count(CtrShardRetries, 1)
-		if err := retryShard(sp, si, tapes, status, wantDims, fault); err != nil {
+		if err := retryShard(sp, si, tapes, status, wantDims, merge, fault); err != nil {
 			releaseTapes(tapes)
 			return nil, err
 		}
+	}
+
+	if merge != nil {
+		// Every completed shard has already been flushed; anything left in
+		// the slots (panicked-then-aborted retries) is partial and dropped.
+		releaseTapes(tapes)
+		return nil, g.err()
 	}
 
 	// The replayable prefix: every shard before the first non-done one
@@ -167,8 +299,15 @@ func finishShards(s *Space, sp shardPool, tapes []*tape, status []shardStatus, w
 // retryShard re-scans one panicked shard serially on a fresh tape. A
 // second panic converts into a ShardPanicError; a guard trip during the
 // retry just marks the shard aborted (the prefix cut handles it).
-func retryShard(sp shardPool, si int, tapes []*tape, status []shardStatus, wantDims bool, fault func(int)) (err error) {
+func retryShard(sp shardPool, si int, tapes []*tape, status []shardStatus, wantDims bool, merge *tapeMerge, fault func(int)) (err error) {
+	// Chunks the panicked attempt already flushed are in the sink for
+	// good; the retry re-scans the whole shard (deterministically) and
+	// flushTail skips exactly that many bytes, keeping emission exactly-
+	// once. The retry itself runs on a plain, unchunked tape: it is
+	// serial and single-shard, so bounding its buffer buys nothing.
+	var prevFlushed int
 	if tapes[si] != nil {
+		prevFlushed = tapes[si].flushed
 		releaseTape(tapes[si])
 	}
 	var ws any
@@ -191,6 +330,10 @@ func retryShard(sp shardPool, si int, tapes []*tape, status []shardStatus, wantD
 		return nil
 	}
 	status[si] = shardDone
+	if merge != nil {
+		merge.flushTail(tapes[si], prevFlushed)
+		tapes[si] = nil
+	}
 	return nil
 }
 
@@ -220,7 +363,7 @@ func releaseTapes(tapes []*tape) {
 // throughput as parallel.worker.<id>.cubes, and the replay of private
 // tapes into the caller's sink is recorded under the replay span.
 func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
-	if err := parallelCubeMaskingG(s, tasks, sink, workers, nil, nil); err != nil {
+	if err := parallelCubeMaskingG(s, tasks, sink, workers, true, nil, nil); err != nil {
 		// Without a guard the only possible error is a twice-panicked
 		// shard; preserve the historical crash semantics of the void API.
 		panic(err)
@@ -231,20 +374,15 @@ func ParallelCubeMasking(s *Space, tasks Tasks, sink Sink, workers int) {
 // cancellation; see the runShardPool contract for the canceled sink's
 // prefix guarantee.
 func ParallelCubeMaskingCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, workers int) error {
-	return parallelCubeMaskingG(s, tasks, sink, workers, newGuard(ctx, 0, 0), nil)
+	return parallelCubeMaskingG(s, tasks, sink, workers, true, newGuard(ctx, 0, 0), nil)
 }
 
-// cubeScratch is the per-worker scratch of the parallel cube sweep.
-type cubeScratch struct {
-	cand []int
-	pc   pairCharge
-}
-
-func parallelCubeMaskingG(s *Space, tasks Tasks, sink Sink, workers int, g *guard, fault func(int)) error {
+func parallelCubeMaskingG(s *Space, tasks Tasks, sink Sink, workers int, strong bool, g *guard, fault func(int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	l := BuildLattice(s)
+	om := BuildOccurrenceMatrix(s)
 	cubes := l.Cubes()
 	p := s.NumDims()
 
@@ -260,7 +398,7 @@ func parallelCubeMaskingG(s *Space, tasks Tasks, sink Sink, workers int, g *guar
 		kind:      "cubes",
 		totalCtr:  CtrParallelCubes,
 		weight:    func(int) int64 { return 1 },
-		newWorker: func() any { return &cubeScratch{cand: make([]int, 0, p)} },
+		newWorker: func() any { return borrowCubeScratch(p) },
 		scan: func(ai int, local Sink, ws any) error {
 			sc := ws.(*cubeScratch)
 			a := cubes[ai]
@@ -281,9 +419,9 @@ func parallelCubeMaskingG(s *Space, tasks Tasks, sink Sink, workers int, g *guar
 				compared++
 				var err error
 				if allLE {
-					err = comparePair(s, a, b, p, tasks, local, nil, g, &sc.pc)
+					err = comparePair(om, a, b, p, tasks, local, nil, g, sc)
 				} else {
-					err = comparePair(s, a, b, p, tasks, local, sc.cand, g, &sc.pc)
+					err = comparePair(om, a, b, p, tasks, local, sc.cand, g, sc)
 				}
 				if err != nil {
 					s.count(CtrCubePairsConsidered, considered)
@@ -305,7 +443,11 @@ func parallelCubeMaskingG(s *Space, tasks Tasks, sink Sink, workers int, g *guar
 			return shardFingerprint("cubemask", ai, 0, 0, cubes[ai].Obs)
 		},
 	}
-	tapes, err := runShardPool(s, sp, len(cubes), workers, wantDims, g, fault)
+	var merge *tapeMerge
+	if !strong {
+		merge = newTapeMerge(s, sink)
+	}
+	tapes, err := runShardPool(s, sp, len(cubes), workers, wantDims, merge, g, fault)
 	endCompare()
 	if tapes != nil {
 		replayTapes(s, sink, tapes)
@@ -330,20 +472,7 @@ func replayTapes(s *Space, sink Sink, tapes []*tape) {
 		if t == nil {
 			continue
 		}
-		for _, ev := range t.events {
-			switch ev.kind {
-			case 'F':
-				sink.Full(int(ev.a), int(ev.b))
-			case 'P':
-				sink.Partial(int(ev.a), int(ev.b), ev.degree)
-			case 'C':
-				sink.Compl(int(ev.a), int(ev.b))
-			case 'D':
-				if recorder != nil {
-					recorder.RecordPartialDims(int(ev.a), int(ev.b), ev.dims)
-				}
-			}
-		}
+		t.replay(sink, recorder)
 		releaseTape(t)
 	}
 }

@@ -78,7 +78,7 @@ func rowBlocks(n, targetBlocks int) [][2]int {
 // the pool's own counters: parallel.rows, and per-worker
 // parallel.worker.<id>.rows throughput.
 func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
-	if err := parallelBaselineG(s, tasks, sink, workers, nil, nil); err != nil {
+	if err := parallelBaselineG(s, tasks, sink, workers, true, nil, nil); err != nil {
 		// Without a guard the only possible error is a twice-panicked
 		// shard; preserve the historical crash semantics of the void API.
 		panic(err)
@@ -88,10 +88,10 @@ func ParallelBaseline(s *Space, tasks Tasks, sink Sink, workers int) {
 // ParallelBaselineCtx is ParallelBaseline with cooperative cancellation;
 // see the runShardPool contract for the canceled sink's prefix guarantee.
 func ParallelBaselineCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, workers int) error {
-	return parallelBaselineG(s, tasks, sink, workers, newGuard(ctx, 0, 0), nil)
+	return parallelBaselineG(s, tasks, sink, workers, true, newGuard(ctx, 0, 0), nil)
 }
 
-func parallelBaselineG(s *Space, tasks Tasks, sink Sink, workers int, g *guard, fault func(int)) error {
+func parallelBaselineG(s *Space, tasks Tasks, sink Sink, workers int, strong bool, g *guard, fault func(int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -125,7 +125,11 @@ func parallelBaselineG(s *Space, tasks Tasks, sink Sink, workers int, g *guard, 
 			return shardFingerprint("baseline", bi, b[0], b[1], nil)
 		},
 	}
-	tapes, err := runShardPool(s, sp, len(blocks), workers, wantDims, g, fault)
+	var merge *tapeMerge
+	if !strong {
+		merge = newTapeMerge(s, sink)
+	}
+	tapes, err := runShardPool(s, sp, len(blocks), workers, wantDims, merge, g, fault)
 	endCompare()
 	if tapes != nil {
 		replayTapes(s, sink, tapes)
@@ -146,17 +150,17 @@ func parallelBaselineG(s *Space, tasks Tasks, sink Sink, workers int, g *guard, 
 // pool adds parallel.clusters and per-worker
 // parallel.worker.<id>.clusters counters.
 func ParallelClustering(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int) (cluster.Clustering, error) {
-	return parallelClusteringG(s, tasks, sink, opts, workers, nil, nil)
+	return parallelClusteringG(s, tasks, sink, opts, workers, true, nil, nil)
 }
 
 // ParallelClusteringCtx is ParallelClustering with cooperative
 // cancellation; see the runShardPool contract for the canceled sink's
 // prefix guarantee. The cluster-assignment phase polls ctx as well.
 func ParallelClusteringCtx(ctx context.Context, s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int) (cluster.Clustering, error) {
-	return parallelClusteringG(s, tasks, sink, opts, workers, newGuard(ctx, 0, 0), nil)
+	return parallelClusteringG(s, tasks, sink, opts, workers, true, newGuard(ctx, 0, 0), nil)
 }
 
-func parallelClusteringG(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int, g *guard, fault func(int)) (cluster.Clustering, error) {
+func parallelClusteringG(s *Space, tasks Tasks, sink Sink, opts ClusteringOptions, workers int, strong bool, g *guard, fault func(int)) (cluster.Clustering, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -211,7 +215,11 @@ func parallelClusteringG(s *Space, tasks Tasks, sink Sink, opts ClusteringOption
 			return shardFingerprint("clustering", wi, 0, 0, members[work[wi]])
 		},
 	}
-	tapes, perr := runShardPool(s, sp, len(work), workers, wantDims, g, fault)
+	var merge *tapeMerge
+	if !strong {
+		merge = newTapeMerge(s, sink)
+	}
+	tapes, perr := runShardPool(s, sp, len(work), workers, wantDims, merge, g, fault)
 	endCompare()
 	if tapes != nil {
 		replayTapes(s, sink, tapes)

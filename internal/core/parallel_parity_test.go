@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"rdfcube/internal/gen"
@@ -81,6 +82,51 @@ func (e *eventSink) RecordPartialDims(a, b int, dims []int) {
 	}
 }
 
+// records splits the stream into one string per emission record; ok is
+// false when the stream is not a whole number of well-formed records.
+func (e *eventSink) records() (out []string, ok bool) {
+	for i := 0; i < len(e.buf); {
+		var n int
+		switch e.buf[i] {
+		case 'F', 'C':
+			n = 7
+		case 'P':
+			n = 15
+		case 'D':
+			n = 8 + int(e.buf[i+7])
+		default:
+			return nil, false
+		}
+		if i+n > len(e.buf) {
+			return nil, false
+		}
+		out = append(out, string(e.buf[i:i+n]))
+		i += n
+	}
+	return out, true
+}
+
+// equalAsSets reports whether two streams carry the same emission records
+// regardless of order — the oracle for direct-emit runs, whose shards land
+// in completion order. Every record embeds its own pair (and metadata), so
+// multiset equality over records is exactly sorted-set equality of the
+// emitted relationships.
+func (e *eventSink) equalAsSets(other *eventSink) bool {
+	a, okA := e.records()
+	b, okB := other.records()
+	if !okA || !okB || len(a) != len(b) {
+		return false
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestParityParallelBaselineBitIdentical: the parallel baseline's ordered
 // block replay must reproduce the serial baseline's emission stream bit
 // for bit — not merely the same sets after sorting — for every worker
@@ -137,6 +183,88 @@ func TestParityParallelClusteringBitIdentical(t *testing.T) {
 		if !bytes.Equal(got.buf, want.buf) {
 			t.Errorf("workers=%d: emission stream differs from serial (%d vs %d bytes)",
 				workers, len(got.buf), len(want.buf))
+		}
+	}
+}
+
+// TestParityStrongReplayBitIdentical: Compute with Options.StrongReplay
+// must keep the historical bit-identical guarantee on every parallel path
+// — the emission stream, not just the sorted sets, matches the serial run
+// for every worker count. Run under -race this exercises the ordered
+// replay against concurrent workers.
+func TestParityStrongReplayBitIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		opts := Options{Tasks: TaskAll}
+		opts.Clustering.Config.Seed = 7
+		want := &eventSink{}
+		if err := Compute(s, alg, opts, want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want.buf) == 0 {
+			t.Fatalf("%s: degenerate input: serial run emitted nothing", alg)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			opts.Workers = workers
+			opts.StrongReplay = true
+			got := &eventSink{}
+			if err := Compute(s, alg, opts, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.buf, want.buf) {
+				t.Errorf("%s workers=%d: StrongReplay stream differs from serial (%d vs %d bytes)",
+					alg, workers, len(got.buf), len(want.buf))
+			}
+		}
+	}
+}
+
+// TestParityDirectEmitSetEquivalence: default (direct-emit) parallel runs
+// deliver the same relationship sets, degrees and map_P as serial — the
+// sorted-set equivalence oracle — for every worker count, even though
+// shard order is not preserved. Run under -race this exercises the
+// completion-order merge.
+func TestParityDirectEmitSetEquivalence(t *testing.T) {
+	leakcheck.Check(t)
+	c := gen.RealWorld(gen.RealWorldConfig{TotalObs: 400, Seed: 3})
+	s, err := NewSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBaseline, AlgorithmClustering, AlgorithmParallel} {
+		opts := Options{Tasks: TaskAll}
+		opts.Clustering.Config.Seed = 7
+		want := NewResult()
+		if err := Compute(s, alg, opts, want); err != nil {
+			t.Fatal(err)
+		}
+		want.Sort()
+		for _, workers := range []int{1, 2, 8} {
+			opts.Workers = workers
+			got := NewResult()
+			if err := Compute(s, alg, opts, got); err != nil {
+				t.Fatal(err)
+			}
+			got.Sort()
+			if !reflect.DeepEqual(got.FullSet, want.FullSet) ||
+				!reflect.DeepEqual(got.PartialSet, want.PartialSet) ||
+				!reflect.DeepEqual(got.ComplSet, want.ComplSet) {
+				t.Errorf("%s workers=%d: direct-emit sets differ from serial", alg, workers)
+			}
+			if !reflect.DeepEqual(got.PartialDegree, want.PartialDegree) {
+				t.Errorf("%s workers=%d: direct-emit degrees differ from serial", alg, workers)
+			}
+			if !reflect.DeepEqual(got.PartialDims, want.PartialDims) {
+				t.Errorf("%s workers=%d: direct-emit map_P differs from serial", alg, workers)
+			}
+		}
+		if len(want.PartialDims) == 0 {
+			t.Errorf("%s: degenerate input: no partial dims recorded", alg)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
+	"math"
 	"sort"
 	"sync"
 )
@@ -73,48 +76,160 @@ func (r *Result) Reset() {
 	clear(r.PartialDims)
 }
 
-// tapeEvent is one recorded sink call. kind is 'F' (Full), 'P' (Partial),
-// 'C' (Compl) or 'D' (RecordPartialDims).
-type tapeEvent struct {
-	kind   byte
-	a, b   int32
-	degree float64 // 'P' only
-	dims   []int   // 'D' only; ownership passes downstream at replay
-}
+// Tape encoding. A parallel worker's private tape is a single event-packed
+// byte buffer, not a []struct log: one kind byte per event followed by the
+// varint-encoded pair indices, so a Full/Compl event costs ~3 bytes and a
+// Partial ~11 instead of the 48-byte struct the first version recorded.
+// That representation is what keeps the parallel paths' bytes/op in the
+// low kilobytes — the struct log retained every shard's events at ~48 B
+// each until replay, which BENCH_0 measured at tens of MB per op.
+//
+//	'F' uvarint(a) uvarint(b)                    Full(a, b)
+//	'P' uvarint(a) uvarint(b) 8-byte LE float    Partial(a, b, degree)
+//	'C' uvarint(a) uvarint(b)                    Compl(a, b)
+//	'D' uvarint(a) uvarint(b) uvarint(n) n×uvarint(dim)
+//	                                             RecordPartialDims(a, b, dims)
+const (
+	tapeFull    = 'F'
+	tapePartial = 'P'
+	tapeCompl   = 'C'
+	tapeDims    = 'D'
+)
+
+// errTapeCorrupt reports a tape buffer decodeTape cannot walk: a truncated
+// event, an unknown kind byte, an index outside the int32 range the
+// encoder produces, or a dimension count larger than the bytes that are
+// supposed to hold it.
+var errTapeCorrupt = errors.New("core: corrupt tape buffer")
 
 // tape is the private sink of a parallel work item: it records every
-// emission as an event, preserving the exact call sequence, so the ordered
-// replay can reproduce the serial algorithm's emission stream bit for bit
-// (a sorted-set merge would lose the interleaving of Full/Partial/Compl
-// calls within a shard). Tapes are the workers' reusable pair buffers:
-// recycled through a pool, they make steady-state parallel runs allocate
-// nothing per work item beyond first-use event-slice growth.
-type tape struct{ events []tapeEvent }
+// emission onto its byte buffer, preserving the exact call sequence, so an
+// ordered replay can reproduce the serial algorithm's emission stream bit
+// for bit (a sorted-set merge would lose the interleaving of Full/Partial/
+// Compl calls within a shard). Tapes are the workers' reusable pair
+// buffers: recycled through a pool, they make steady-state parallel runs
+// allocate nothing per work item beyond first-use buffer growth.
+type tape struct {
+	buf []byte
+	// flushed counts bytes already decoded into the shared sink by the
+	// direct-emit chunk flush; the retry of a panicked shard skips this
+	// prefix so chunks flushed by the first attempt are never emitted
+	// twice (see tapeMerge.flushTail).
+	flushed int
+}
+
+// appendPair appends an event header: kind byte plus the varint pair.
+func (t *tape) appendPair(kind byte, a, b int) {
+	t.buf = append(t.buf, kind)
+	t.buf = binary.AppendUvarint(t.buf, uint64(uint32(a)))
+	t.buf = binary.AppendUvarint(t.buf, uint64(uint32(b)))
+}
 
 // Full implements Sink.
-func (t *tape) Full(a, b int) {
-	t.events = append(t.events, tapeEvent{kind: 'F', a: int32(a), b: int32(b)})
-}
+func (t *tape) Full(a, b int) { t.appendPair(tapeFull, a, b) }
 
 // Partial implements Sink.
 func (t *tape) Partial(a, b int, degree float64) {
-	t.events = append(t.events, tapeEvent{kind: 'P', a: int32(a), b: int32(b), degree: degree})
+	t.appendPair(tapePartial, a, b)
+	t.buf = binary.LittleEndian.AppendUint64(t.buf, math.Float64bits(degree))
 }
 
 // Compl implements Sink.
-func (t *tape) Compl(a, b int) {
-	t.events = append(t.events, tapeEvent{kind: 'C', a: int32(a), b: int32(b)})
-}
+func (t *tape) Compl(a, b int) { t.appendPair(tapeCompl, a, b) }
 
 // dimsTape extends a tape with the DimsRecorder interface. Workers use it
 // only when the caller's sink wants dimension lists: a plain tape does not
 // satisfy DimsRecorder, so the algorithms skip the map_P bookkeeping
-// exactly when a serial run against the caller's sink would.
+// exactly when a serial run against the caller's sink would. Dimension
+// VALUES are copied into the buffer — the caller's slice is not retained,
+// and decode hands the downstream recorder a fresh slice it owns.
 type dimsTape struct{ *tape }
 
 // RecordPartialDims implements DimsRecorder.
 func (d dimsTape) RecordPartialDims(a, b int, dims []int) {
-	d.events = append(d.events, tapeEvent{kind: 'D', a: int32(a), b: int32(b), dims: dims})
+	d.appendPair(tapeDims, a, b)
+	d.buf = binary.AppendUvarint(d.buf, uint64(len(dims)))
+	for _, dim := range dims {
+		d.buf = binary.AppendUvarint(d.buf, uint64(uint32(dim)))
+	}
+}
+
+// tapeUvarint decodes one uvarint bounded to the int32 range the tape
+// encoder writes, returning the remaining buffer and ok=false on a
+// truncated, overlong, or out-of-range value.
+func tapeUvarint(buf []byte) (int, []byte, bool) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || v > math.MaxUint32 {
+		return 0, buf, false
+	}
+	return int(uint32(v)), buf[n:], true
+}
+
+// decodeTape walks an encoded tape buffer, replaying each event into sink
+// (and rec, when non-nil, for 'D' events). It is total over arbitrary
+// bytes: every read is bounds-checked, unknown kinds fail, and a 'D'
+// event's dimension count is validated against the bytes remaining —
+// every encoded dimension occupies at least one byte, so a length prefix
+// larger than len(rest) is a lie and is rejected before any allocation
+// sized from it.
+func decodeTape(buf []byte, sink Sink, rec DimsRecorder) error {
+	for len(buf) > 0 {
+		kind := buf[0]
+		rest := buf[1:]
+		a, rest, ok := tapeUvarint(rest)
+		if !ok {
+			return errTapeCorrupt
+		}
+		b, rest, ok := tapeUvarint(rest)
+		if !ok {
+			return errTapeCorrupt
+		}
+		switch kind {
+		case tapeFull:
+			sink.Full(a, b)
+		case tapeCompl:
+			sink.Compl(a, b)
+		case tapePartial:
+			if len(rest) < 8 {
+				return errTapeCorrupt
+			}
+			sink.Partial(a, b, math.Float64frombits(binary.LittleEndian.Uint64(rest)))
+			rest = rest[8:]
+		case tapeDims:
+			n, r, ok := tapeUvarint(rest)
+			if !ok || n > len(r) {
+				return errTapeCorrupt
+			}
+			rest = r
+			var dims []int
+			if n > 0 {
+				dims = make([]int, 0, n)
+			}
+			for k := 0; k < n; k++ {
+				var d int
+				if d, rest, ok = tapeUvarint(rest); !ok {
+					return errTapeCorrupt
+				}
+				dims = append(dims, d)
+			}
+			if rec != nil {
+				rec.RecordPartialDims(a, b, dims)
+			}
+		default:
+			return errTapeCorrupt
+		}
+		buf = rest
+	}
+	return nil
+}
+
+// replay decodes the tape into sink/rec. The buffer was produced by this
+// package's encoder, so a decode error is a programming bug, not an input
+// condition — it panics rather than silently dropping emissions.
+func (t *tape) replay(sink Sink, rec DimsRecorder) {
+	if err := decodeTape(t.buf, sink, rec); err != nil {
+		panic(err)
+	}
 }
 
 // tapePool recycles tapes across work items and runs.
@@ -131,13 +246,13 @@ func borrowTape(wantDims bool) (*tape, Sink) {
 	return t, t
 }
 
-// releaseTape drops the tape's event references (their payloads now belong
-// to the replayed-into sink) and returns it to the pool, keeping capacity.
+// releaseTape empties the tape's buffer and returns it to the pool,
+// keeping capacity. Decoded payloads (the dims slices) are freshly
+// allocated at replay time, so nothing the downstream sink kept aliases
+// pooled memory.
 func releaseTape(t *tape) {
-	for i := range t.events {
-		t.events[i].dims = nil
-	}
-	t.events = t.events[:0]
+	t.buf = t.buf[:0]
+	t.flushed = 0
 	tapePool.Put(t)
 }
 
