@@ -89,6 +89,7 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		traceN   = fs.Int("trace-ring", 128, "recent request traces retained for GET /debug/traces")
 		slowTh   = fs.Duration("slow-threshold", 0, "write requests at least this slow to the slow-query log as JSON lines (0 disables)")
 		slowPath = fs.String("slow-log", "", "slow-query log file (default stderr when -slow-threshold is set)")
+		dsCreate = fs.Bool("allow-dataset-create", true, "serve POST /v1/datasets (live schema registration; needed as a migration target)")
 		follow   = fs.String("follow", "", "run as a read replica of this primary base URL (e.g. http://leader:8080)")
 		maxStale = fs.Duration("max-staleness", 0, "follower readiness bound: /readyz answers 503 once replication staleness exceeds this (0 never trips)")
 		pollWait = fs.Duration("poll-wait", 5*time.Second, "follower long-poll budget per WAL tail request")
@@ -212,20 +213,32 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	if rot != nil {
 		snapGen = func() uint64 { g, _ := rot.CurrentGen(); return g }
 	}
-	srv, err := serve.New(sn, serve.Config{
-		Tasks:            tasks,
-		Recorder:         col,
-		RequestTimeout:   *timeout,
-		MaxInFlight:      *inflight,
-		WAL:              wlog,
-		SnapshotGen:      snapGen,
-		Logf:             logf,
-		Algorithm:        alg,
-		Workers:          *workers,
-		RecomputeTimeout: *recompTO,
-		TraceRing:        *traceN,
-		SlowThreshold:    *slowTh,
-		SlowLog:          slowLog,
+	// Dataset registration needs a synchronous checkpoint on a durable
+	// server (registrations do not ride the WAL; the checkpoint is what
+	// makes them crash-safe before they are published). Wire it through
+	// the rotator when one exists; srv is captured after serve.New fills
+	// it in.
+	var srv *serve.Server
+	var ckptNow func() error
+	if rot != nil {
+		ckptNow = func() error { return srv.CheckpointWith(rot.Write) }
+	}
+	srv, err = serve.New(sn, serve.Config{
+		Tasks:                tasks,
+		Recorder:             col,
+		RequestTimeout:       *timeout,
+		MaxInFlight:          *inflight,
+		WAL:                  wlog,
+		SnapshotGen:          snapGen,
+		CheckpointNow:        ckptNow,
+		DisableDatasetCreate: !*dsCreate,
+		Logf:                 logf,
+		Algorithm:            alg,
+		Workers:              *workers,
+		RecomputeTimeout:     *recompTO,
+		TraceRing:            *traceN,
+		SlowThreshold:        *slowTh,
+		SlowLog:              slowLog,
 	})
 	if err != nil {
 		logf("%v", err)

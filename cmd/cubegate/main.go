@@ -4,17 +4,20 @@
 // to every shard, merges the answers deterministically, and degrades to
 // explicit partial results ("partial": true plus the missing shard
 // list) when part of the fleet is unreachable. See internal/gate for
-// the routing, hedging and breaker machinery.
+// the routing, hedging, breaker and live-rebalance machinery.
 //
 // Usage:
 //
 //	cubegate -shard-map shards.json -addr :8081
 //	cubegate -shard-map shards.json -validate        # check the map and exit
+//	cubegate -shard-map shards.json -watch-map 2s -migration-state-dir /var/lib/cubegate
 //
-// The shard map is a JSON file, either a bare array of shard entries or
-// an object with a "shards" key:
+// The shard map is a JSON file, either a bare array of shard entries
+// (epoch 0, no migrations) or an object with "epoch", "shards" and
+// optional "migrations" keys:
 //
 //	{
+//	  "epoch": 4,
 //	  "shards": [
 //	    {
 //	      "name": "g0",
@@ -22,17 +25,29 @@
 //	      "replica": "http://10.0.0.2:8080",
 //	      "datasets": ["http://example.org/dataset/shard/g0/D0", "..."]
 //	    }
+//	  ],
+//	  "migrations": [
+//	    {"id": "m1", "datasets": ["..."], "from": "g0", "to": "g1"}
 //	  ]
 //	}
 //
+// The map is live: editing the file (with an epoch bump) and sending
+// SIGHUP — or letting -watch-map notice the change — swaps the routing
+// table atomically, and any new "migrations" entries start. Migrations
+// persist their phase under -migration-state-dir and resume across
+// restarts; when a migration cuts over, the gate rewrites the map file
+// in place so the installed epoch survives a crash.
+//
 // The gate address serves the merged /v1 query API next to the usual
 // observability endpoints (/metrics, /metrics.json, /debug/vars,
-// /debug/pprof/) plus the gate-specific /v1/stats fleet-health view.
+// /debug/pprof/) plus the gate-specific /v1/stats fleet-health view and
+// the rebalance admin surface (/v1/shardmap, /v1/migrations).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -59,7 +75,9 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		mapPath   = fs.String("shard-map", "", "JSON shard map file (required)")
 		addr      = fs.String("addr", ":8081", "HTTP listen address (port 0 for ephemeral)")
-		validate  = fs.Bool("validate", false, "load and validate the shard map, print a summary, and exit")
+		validate  = fs.Bool("validate", false, "load and validate the shard map (epoch, ownership, migrations), print a summary, and exit")
+		watchMap  = fs.Duration("watch-map", 0, "poll the map file for edits at this interval (0 disables; SIGHUP always reloads)")
+		stateDir  = fs.String("migration-state-dir", "", "directory for migration state files (enables crash-resumable rebalancing)")
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-request budget")
 		shardTO   = fs.Duration("shard-timeout", 2*time.Second, "per-upstream-call budget")
 		reserve   = fs.Duration("merge-reserve", 100*time.Millisecond, "budget held back for merging and rendering")
@@ -82,32 +100,82 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 		logf("-shard-map is required")
 		return 2
 	}
-	shards, err := loadShardMap(*mapPath)
+	mapFile, err := loadShardMap(*mapPath)
 	if err != nil {
 		logf("%v", err)
 		return 2
 	}
+	m := mapFile.Map()
+
+	if *validate {
+		// A validation run checks everything a live swap would: map
+		// structure, disjoint ownership, and every migration spec against
+		// the map's current ownership. It must not probe live hosts.
+		if err := gate.ValidateShardMap(m); err != nil {
+			logf("%v", err)
+			return 2
+		}
+		if err := gate.ValidateMigrations(m, mapFile.Migrations); err != nil {
+			logf("%v", err)
+			return 2
+		}
+		datasets := 0
+		for _, sc := range m.Shards {
+			datasets += len(sc.Datasets)
+		}
+		fmt.Fprintf(stdout, "shard map ok: %d shards, %d datasets, epoch %d, %d migrations\n",
+			len(m.Shards), datasets, m.Epoch, len(mapFile.Migrations))
+		return 0
+	}
+
+	// On every installed map change (admin POST, file reload, or a
+	// migration's cutover) the file is rewritten in place, so the epoch a
+	// crash interrupts is the epoch a restart boots from. The migrations
+	// list rides along verbatim: completed entries are inert at the next
+	// boot (their state files are terminal) until the operator prunes
+	// them.
+	var fileMu sync.Mutex
+	rewriteMapFile := func(installed gate.ShardMap) {
+		fileMu.Lock()
+		defer fileMu.Unlock()
+		out := gate.ShardMapFile{Epoch: installed.Epoch, Shards: installed.Shards, Migrations: mapFile.Migrations}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			logf("rewriting shard map: %v", err)
+			return
+		}
+		tmp := *mapPath + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			logf("rewriting shard map: %v", err)
+			return
+		}
+		if err := os.Rename(tmp, *mapPath); err != nil {
+			logf("rewriting shard map: %v", err)
+			return
+		}
+		logf("shard map file rewritten at epoch %d", installed.Epoch)
+	}
 
 	col := obsv.NewCollector()
 	cfg := gate.Config{
-		Shards:           shards,
-		Recorder:         col,
-		RequestTimeout:   *timeout,
-		ShardTimeout:     *shardTO,
-		MergeReserve:     *reserve,
-		ProbeInterval:    *probe,
-		BreakerThreshold: *brkN,
-		BreakerBackoff:   *brkWait,
-		HedgeQuantile:    *hedgeQ,
-		HedgeMin:         *hedgeMin,
-		HedgeMax:         *hedgeMax,
-		WriteRetries:     *retries,
-		WriteRetryBase:   *retryBase,
-		MaxRetryWait:     *retryMax,
-		Logf:             logf,
-	}
-	if *validate {
-		cfg.ProbeInterval = -1 // a validation run must not probe live hosts
+		Shards:            m.Shards,
+		Epoch:             m.Epoch,
+		Recorder:          col,
+		RequestTimeout:    *timeout,
+		ShardTimeout:      *shardTO,
+		MergeReserve:      *reserve,
+		ProbeInterval:     *probe,
+		BreakerThreshold:  *brkN,
+		BreakerBackoff:    *brkWait,
+		HedgeQuantile:     *hedgeQ,
+		HedgeMin:          *hedgeMin,
+		HedgeMax:          *hedgeMax,
+		WriteRetries:      *retries,
+		WriteRetryBase:    *retryBase,
+		MaxRetryWait:      *retryMax,
+		MigrationStateDir: *stateDir,
+		OnMapChange:       rewriteMapFile,
+		Logf:              logf,
 	}
 	g, err := gate.New(cfg)
 	if err != nil {
@@ -116,17 +184,82 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	defer g.Close()
 
-	if *validate {
-		datasets := 0
-		for _, sc := range shards {
-			datasets += len(sc.Datasets)
+	// Boot-time rebalance recovery: interrupted migrations resume first
+	// (their persisted phase wins), then the file's specs start. A spec
+	// whose migration already ran — resumed above, or terminal in the
+	// state dir — answers ErrMigrationExists and is skipped quietly.
+	startFileMigrations := func(migs []gate.MigrationSpec) {
+		for _, spec := range migs {
+			switch _, err := g.StartMigration(spec); {
+			case err == nil:
+				logf("migration %s started (%d datasets, %s -> %s)", spec.ID, len(spec.Datasets), spec.From, spec.To)
+			case errors.Is(err, gate.ErrMigrationExists):
+				// already running or already finished; nothing to do
+			default:
+				logf("migration %s not started: %v", spec.ID, err)
+			}
 		}
-		fmt.Fprintf(stdout, "shard map ok: %d shards, %d datasets\n", len(shards), datasets)
-		return 0
 	}
+	if resumed, err := g.ResumeMigrations(); err != nil {
+		logf("resuming migrations: %v", err)
+	} else if len(resumed) > 0 {
+		logf("resumed %d interrupted migrations", len(resumed))
+	}
+	startFileMigrations(mapFile.Migrations)
 
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Live map reload: SIGHUP always; -watch-map additionally polls the
+	// file's mtime. A reload validates and swaps atomically — a stale
+	// epoch or overlapping ownership is logged and refused, and the
+	// running table is untouched. Re-reading the file the gate itself
+	// just rewrote swaps an identical map, which is a silent no-op.
+	reload := func(why string) {
+		fileMu.Lock()
+		f, err := loadShardMap(*mapPath)
+		if err == nil {
+			mapFile.Migrations = f.Migrations
+		}
+		fileMu.Unlock()
+		if err != nil {
+			logf("map reload (%s): %v", why, err)
+			return
+		}
+		if err := g.SwapMap(f.Map()); err != nil {
+			logf("map reload (%s): refused: %v", why, err)
+			return
+		}
+		startFileMigrations(f.Migrations)
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		var tick <-chan time.Time
+		if *watchMap > 0 {
+			t := time.NewTicker(*watchMap)
+			defer t.Stop()
+			tick = t.C
+		}
+		lastStat := statKey(*mapPath)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				lastStat = statKey(*mapPath)
+				reload("SIGHUP")
+			case <-tick:
+				if now := statKey(*mapPath); now != lastStat {
+					lastStat = now
+					reload("file changed")
+				}
+			}
+		}
+	}()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", g.Handler())
@@ -142,7 +275,7 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	httpSrv := &http.Server{Handler: mux}
 	go func() { _ = httpSrv.Serve(ln) }()
-	logf("gate serving on %s (%d shards)", ln.Addr(), len(shards))
+	logf("gate serving on %s (%d shards, epoch %d)", ln.Addr(), len(m.Shards), g.Epoch())
 
 	<-ctx.Done()
 	stop()
@@ -152,26 +285,35 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logf("shutdown: %v", err)
 	}
+	<-watcherDone
 	logf("bye")
 	return 0
 }
 
+// statKey summarizes a file's identity for cheap change polling.
+func statKey(path string) string {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "err:" + err.Error()
+	}
+	return fmt.Sprintf("%d/%d", fi.ModTime().UnixNano(), fi.Size())
+}
+
 // loadShardMap reads a shard-map file: either a bare JSON array of
-// shard entries or an object wrapping them under "shards".
-func loadShardMap(path string) ([]gate.ShardConfig, error) {
+// shard entries (epoch 0, no migrations) or an object wrapping them
+// under "shards" with optional "epoch" and "migrations".
+func loadShardMap(path string) (gate.ShardMapFile, error) {
+	var f gate.ShardMapFile
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("reading shard map: %w", err)
+		return f, fmt.Errorf("reading shard map: %w", err)
 	}
-	var wrapped struct {
-		Shards []gate.ShardConfig `json:"shards"`
-	}
-	if err := json.Unmarshal(data, &wrapped); err == nil && len(wrapped.Shards) > 0 {
-		return wrapped.Shards, nil
+	if err := json.Unmarshal(data, &f); err == nil && len(f.Shards) > 0 {
+		return f, nil
 	}
 	var bare []gate.ShardConfig
 	if err := json.Unmarshal(data, &bare); err != nil {
-		return nil, fmt.Errorf("shard map %s: want a JSON array of shards or {\"shards\": [...]}: %w", path, err)
+		return f, fmt.Errorf("shard map %s: want a JSON array of shards or {\"shards\": [...]}: %w", path, err)
 	}
-	return bare, nil
+	return gate.ShardMapFile{Shards: bare}, nil
 }

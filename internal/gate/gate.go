@@ -56,6 +56,7 @@ const (
 	CtrHedgeFired = "gate.hedge.fired"   // replica hedges launched
 	CtrHedgeWon   = "gate.hedge.won"     // hedges that beat the primary
 	CtrRetries    = "gate.write.retries" // write retry attempts
+	CtrMapSwaps   = "gate.map.swaps"     // shard map epochs installed
 	HistLatency   = "gate.latency.us"    // all-routes gate latency (µs)
 	// HistWriteLatency is the upstream write-attempt latency (µs).
 	HistWriteLatency = "gate.write.latency.us"
@@ -83,8 +84,25 @@ type ShardConfig struct {
 
 // Config tunes a Gate. Zero values get sane defaults.
 type Config struct {
-	// Shards is the static shard map; at least one entry is required.
+	// Shards is the INITIAL shard map; at least one entry is required.
+	// The map is live after New: SwapMap, POST /v1/shardmap and the
+	// migration cutover all install successors atomically.
 	Shards []ShardConfig
+	// Epoch is the initial map's epoch; successors must be higher.
+	Epoch int64
+	// OnMapChange, when set, observes every successfully installed map
+	// (admin swaps and migration cutovers alike). cubegate uses it to
+	// rewrite the map file so a restart comes back on the new epoch. It
+	// is called outside the swap lock; implementations must be safe to
+	// call from migration goroutines.
+	OnMapChange func(ShardMap)
+	// MigrationStateDir is where migration state files persist (one JSON
+	// file per migration ID, written atomically). Empty keeps migration
+	// state in memory only — resumable within the process, lost on a
+	// crash.
+	MigrationStateDir string
+	// Migrator tunes the migration state machine (see MigratorOptions).
+	Migrator MigratorOptions
 	// Transport performs the upstream HTTP calls; nil means a fresh
 	// http.Transport. Tests inject loadgen.HandlerTransport-style
 	// in-process transports here.
@@ -202,13 +220,26 @@ func (c Config) maxRetryWait() time.Duration {
 
 // Gate is the router. Create with New, serve Handler(), stop with Close.
 type Gate struct {
-	cfg       Config
-	shards    []*shard
-	byDataset map[string]*shard
-	client    *http.Client
-	rec       obsv.Recorder
-	logf      func(format string, a ...any)
-	started   time.Time
+	cfg     Config
+	client  *http.Client
+	rec     obsv.Recorder
+	logf    func(format string, a ...any)
+	started time.Time
+
+	// rt is the live route table; swapMu serializes validate-then-store
+	// sequences (readers never take it). targets pools endpoint objects
+	// across swaps so breaker/health state survives reloads.
+	rt          rtPointer
+	swapMu      sync.Mutex
+	targetsMu   sync.Mutex
+	targets     map[string]*target
+	onMapChange func(ShardMap)
+
+	// Migrations: one runner per started migration ID, plus the
+	// double-read mismatch counter satellite metrics expose.
+	migMu      sync.Mutex
+	migrations map[string]*Migrator
+	drMismatch atomic.Int64
 
 	hedgeFired atomic.Int64
 	hedgeWon   atomic.Int64
@@ -218,45 +249,28 @@ type Gate struct {
 	probeWG   sync.WaitGroup
 }
 
-// New validates the shard map and starts the health prober.
+// New validates the initial shard map and starts the health prober.
 func New(cfg Config) (*Gate, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, fmt.Errorf("gate: no shards configured")
-	}
 	transport := cfg.Transport
 	if transport == nil {
 		transport = &http.Transport{MaxIdleConnsPerHost: 16}
 	}
 	g := &Gate{
-		cfg:       cfg,
-		byDataset: map[string]*shard{},
-		client:    &http.Client{Transport: transport},
-		rec:       cfg.Recorder,
-		logf:      cfg.Logf,
-		started:   time.Now(),
-		stopProbe: make(chan struct{}),
+		cfg:         cfg,
+		client:      &http.Client{Transport: transport},
+		rec:         cfg.Recorder,
+		logf:        cfg.Logf,
+		started:     time.Now(),
+		targets:     map[string]*target{},
+		onMapChange: cfg.OnMapChange,
+		migrations:  map[string]*Migrator{},
+		stopProbe:   make(chan struct{}),
 	}
-	seen := map[string]bool{}
-	for _, sc := range cfg.Shards {
-		if sc.Name == "" {
-			return nil, fmt.Errorf("gate: shard with empty name")
-		}
-		if seen[sc.Name] {
-			return nil, fmt.Errorf("gate: duplicate shard name %q", sc.Name)
-		}
-		seen[sc.Name] = true
-		if sc.Primary == "" {
-			return nil, fmt.Errorf("gate: shard %q has no primary", sc.Name)
-		}
-		sh := newShard(sc, cfg)
-		for _, ds := range sc.Datasets {
-			if owner, dup := g.byDataset[ds]; dup {
-				return nil, fmt.Errorf("gate: dataset %q owned by both %q and %q", ds, owner.name, sc.Name)
-			}
-			g.byDataset[ds] = sh
-		}
-		g.shards = append(g.shards, sh)
+	m := ShardMap{Epoch: cfg.Epoch, Shards: cfg.Shards}
+	if err := ValidateShardMap(m); err != nil {
+		return nil, err
 	}
+	g.rt.Store(g.buildTable(m))
 	if iv := cfg.probeInterval(); iv > 0 {
 		g.probeWG.Add(1)
 		go g.probeLoop(iv)
@@ -264,7 +278,13 @@ func New(cfg Config) (*Gate, error) {
 	return g, nil
 }
 
-// Close stops the prober and releases idle upstream connections.
+// serveNewBreaker builds a target breaker from the gate config.
+func serveNewBreaker(cfg Config) *serve.Breaker {
+	return serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff)
+}
+
+// Close stops the prober, stops every running migration (their state
+// files keep them resumable), and releases idle upstream connections.
 func (g *Gate) Close() {
 	select {
 	case <-g.stopProbe:
@@ -272,6 +292,15 @@ func (g *Gate) Close() {
 		close(g.stopProbe)
 	}
 	g.probeWG.Wait()
+	g.migMu.Lock()
+	runners := make([]*Migrator, 0, len(g.migrations))
+	for _, m := range g.migrations {
+		runners = append(runners, m)
+	}
+	g.migMu.Unlock()
+	for _, m := range runners {
+		m.Stop()
+	}
 	g.client.CloseIdleConnections()
 }
 
@@ -285,6 +314,11 @@ func (g *Gate) Handler() http.Handler {
 	mux.Handle("GET /v1/complements", g.wrap("complements", g.handleComplements))
 	mux.Handle("POST /v1/observations", g.wrap("insert", g.handleInsert))
 	mux.Handle("GET /v1/stats", g.wrap("stats", g.handleStats))
+	mux.Handle("GET /v1/shardmap", g.wrap("shardmap", g.handleGetShardMap))
+	mux.Handle("POST /v1/shardmap", g.wrap("shardmap", g.handleSwapShardMap))
+	mux.Handle("GET /v1/migrations", g.wrap("migrations", g.handleListMigrations))
+	mux.Handle("POST /v1/migrations", g.wrap("migrations", g.handleStartMigration))
+	mux.Handle("POST /v1/migrations/{id}/abort", g.wrap("migrations", g.handleAbortMigration))
 	return http.TimeoutHandler(mux, g.cfg.requestTimeout(), `{"error":"request timed out"}`)
 }
 
@@ -346,9 +380,10 @@ func (g *Gate) probeLoop(interval time.Duration) {
 		// Probe immediately on start, then on every tick. Targets are
 		// probed concurrently: a dead target costs a full probe timeout,
 		// and paying that serially would delay detection of every target
-		// behind it in the list.
+		// behind it in the list. Each round probes the CURRENT table's
+		// targets; endpoints dropped by a swap stop being probed.
 		var wg sync.WaitGroup
-		for _, sh := range g.shards {
+		for _, sh := range g.table().shards {
 			for _, tgt := range sh.targets() {
 				wg.Add(1)
 				go func(tgt *target) {
@@ -398,9 +433,10 @@ func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // shard has an available target (the gate can still answer, partially),
 // 503 when none do.
 func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	t := g.table()
 	available := 0
 	var downNames []string
-	for _, sh := range g.shards {
+	for _, sh := range t.shards {
 		if sh.available() {
 			available++
 		} else {
@@ -409,11 +445,16 @@ func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(downNames)
 	resp := map[string]any{
-		"shards":          len(g.shards),
+		"shards":          len(t.shards),
 		"availableShards": available,
+		"epoch":           t.m.Epoch,
+	}
+	resp["doubleReadMismatches"] = g.drMismatch.Load()
+	if phases := g.migrationPhases(); len(phases) > 0 {
+		resp["migrations"] = phases
 	}
 	switch {
-	case available == len(g.shards):
+	case available == len(t.shards):
 		resp["status"] = "ready"
 		writeJSON(w, http.StatusOK, resp)
 	case available > 0:
@@ -425,6 +466,21 @@ func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp["downShards"] = downNames
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	}
+}
+
+// migrationPhases summarizes running/finished migrations (id -> phase)
+// for /readyz.
+func (g *Gate) migrationPhases() map[string]string {
+	g.migMu.Lock()
+	defer g.migMu.Unlock()
+	if len(g.migrations) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(g.migrations))
+	for id, m := range g.migrations {
+		out[id] = m.State().Phase
+	}
+	return out
 }
 
 func (g *Gate) count(name string, delta int64) {
@@ -452,15 +508,6 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-}
-
-// shardNames returns the configured shard names in map order.
-func (g *Gate) shardNames() []string {
-	names := make([]string, len(g.shards))
-	for i, sh := range g.shards {
-		names[i] = sh.name
-	}
-	return names
 }
 
 // trimBase normalizes a configured base URL (no trailing slash).

@@ -374,12 +374,7 @@ func TestBreakerTripsAndHalfOpenRecovers(t *testing.T) {
 }
 
 func (f *fleet) shardByName(g *Gate, name string) *shard {
-	for _, sh := range g.shards {
-		if sh.name == name {
-			return sh
-		}
-	}
-	return nil
+	return g.table().byName[name]
 }
 
 // TestWriteRoutingAndReadBack: an insert routes to the dataset's owner

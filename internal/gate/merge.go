@@ -91,11 +91,13 @@ func (gt *gathered) partial() bool { return len(gt.missing) > 0 }
 // scatter fans one GET out to every shard concurrently and gathers the
 // answers. The answers slice is in shard-map order — NOT arrival order —
 // which, with the sorted merge below, is what detaches the response
-// bytes from scheduling.
+// bytes from scheduling. The route table is loaded ONCE: a map swapped
+// mid-request does not tear one fan-out across two topologies.
 func (g *Gate) scatter(r *http.Request, path string) *gathered {
-	gt := &gathered{answers: make([]shardAnswer, len(g.shards))}
+	shards := g.table().shards
+	gt := &gathered{answers: make([]shardAnswer, len(shards))}
 	var wg sync.WaitGroup
-	for i, sh := range g.shards {
+	for i, sh := range shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
@@ -136,7 +138,7 @@ func (g *Gate) gatherRelated(w http.ResponseWriter, r *http.Request) (resp relat
 		return resp, nil, false, true
 	}
 	gt = g.scatter(r, "/v1/related?obs="+obs)
-	if len(gt.missing) == len(g.shards) {
+	if len(gt.missing) == len(gt.answers) {
 		g.count(CtrNoShards, 1)
 		setRetryAfter(w, 3*time.Second)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{

@@ -1,0 +1,1190 @@
+package gate
+
+// Live dataset migration: the five-phase state machine that moves
+// datasets between shards while the gate keeps serving.
+//
+//	copy        bootstrap the target from the source's /v1/snapshot:
+//	            register the migrating datasets' schemas, then replay
+//	            their observations. The snapshot's WAL position is the
+//	            pump cursor.
+//	catch-up    tail the source's /v1/wal from the cursor, relaying
+//	            records for migrating datasets, until the cursor reaches
+//	            the source's durable end.
+//	double-read fan sampled reads to BOTH owners and byte-compare the
+//	            canonicalized answers. Mismatches are metrics, never
+//	            client errors; cutover requires consecutive clean rounds.
+//	cutover     install a successor shard map (epoch+1) moving ownership
+//	            to the target. The new-map intent is persisted BEFORE the
+//	            swap, so a crash between the two resumes forward.
+//	drain       keep pumping until the source has been continuously quiet
+//	            for a window — the writes that raced the cutover land.
+//
+// Every phase is idempotent: copy re-registers (200) and re-inserts
+// (409) harmlessly, the pump skips duplicates the same way, and cutover
+// checks current ownership before swapping. That is what makes the
+// crash story simple — a resumed migration restarts its phase (or, for
+// pre-cutover phases, restarts from copy: a fresh snapshot supersedes
+// any cursor) rather than replaying a precise history.
+//
+// Aborting is allowed strictly BEFORE cutover: until the map flips the
+// source has stayed authoritative, so abandoning the target's copy
+// loses nothing. After cutover the only way back is a new migration in
+// the opposite direction.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/serve"
+	"rdfcube/internal/snapshot"
+	"rdfcube/internal/wal"
+)
+
+// Migration metrics.
+const (
+	// CtrDoubleReadMismatch counts double-read verification mismatches —
+	// the rebalance analogue of a failed read-repair check.
+	CtrDoubleReadMismatch = "gate.migrate.doubleread.mismatch"
+	// CtrMigrationPumped counts WAL records relayed source → target.
+	CtrMigrationPumped = "gate.migrate.pumped"
+)
+
+// Migration phases, in order.
+const (
+	PhaseCopy       = "copy"
+	PhaseCatchup    = "catchup"
+	PhaseDoubleRead = "doubleread"
+	PhaseCutover    = "cutover"
+	PhaseDrain      = "drain"
+	PhaseDone       = "done"
+	PhaseAborted    = "aborted"
+)
+
+// Migration control errors.
+var (
+	ErrMigrationExists  = errors.New("gate: migration id already exists")
+	ErrMigrationUnknown = errors.New("gate: unknown migration")
+	ErrMigrationCutOver = errors.New("gate: migration already cut over; abort is only possible before cutover")
+)
+
+// errRecopy says the source's WAL no longer retains the cursor (410):
+// the bootstrap must be redone from a fresh snapshot.
+var errRecopy = errors.New("gate: wal cursor gone; re-copy from snapshot")
+
+// MigratorOptions tunes the migration state machine. Zero values get
+// sane defaults.
+type MigratorOptions struct {
+	// MatchRounds is how many CONSECUTIVE clean double-read rounds are
+	// required before cutover; default 3.
+	MatchRounds int
+	// SampleReads is how many observation URIs each round verifies;
+	// default 8.
+	SampleReads int
+	// Interval paces the pump and verify loops; default 100ms.
+	Interval time.Duration
+	// PhaseTimeout bounds each phase; a phase that cannot finish fails
+	// the migration (pre-cutover: source stays authoritative). Default
+	// 30s.
+	PhaseTimeout time.Duration
+	// DrainWindow is how long the pump must stay continuously caught up
+	// after cutover before the migration completes; default 400ms.
+	DrainWindow time.Duration
+}
+
+func (o MigratorOptions) matchRounds() int {
+	if o.MatchRounds <= 0 {
+		return 3
+	}
+	return o.MatchRounds
+}
+
+func (o MigratorOptions) sampleReads() int {
+	if o.SampleReads <= 0 {
+		return 8
+	}
+	return o.SampleReads
+}
+
+func (o MigratorOptions) interval() time.Duration {
+	if o.Interval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.Interval
+}
+
+func (o MigratorOptions) phaseTimeout() time.Duration {
+	if o.PhaseTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.PhaseTimeout
+}
+
+func (o MigratorOptions) drainWindow() time.Duration {
+	if o.DrainWindow <= 0 {
+		return 400 * time.Millisecond
+	}
+	return o.DrainWindow
+}
+
+// MigrationState is a migration's persisted, externally visible state.
+// Deliberately small: the pump cursor is NOT here — a resumed
+// pre-cutover migration restarts from copy, because a fresh snapshot
+// supersedes any cursor and re-copying is idempotent.
+type MigrationState struct {
+	Spec  MigrationSpec `json:"spec"`
+	Phase string        `json:"phase"`
+	// MapEpoch is the epoch the cutover installed (or intends to): it is
+	// persisted BEFORE the swap so a crash between persist and swap
+	// resumes forward into an idempotent re-cutover.
+	MapEpoch   int64  `json:"mapEpoch,omitempty"`
+	Mismatches int64  `json:"mismatches"`
+	Pumped     int64  `json:"pumped"`
+	Copied     int64  `json:"copied"`
+	Error      string `json:"error,omitempty"`
+}
+
+// dsSchema is one source dataset's identity, indexed by its corpus
+// position (the coordinate WAL records use).
+type dsSchema struct {
+	uri       string
+	dims      []string
+	measures  []string
+	migrating bool
+}
+
+// Migrator runs one migration in a background goroutine. Create via
+// Gate.StartMigration; observe via State; stop via Stop (resumable) or
+// Gate.AbortMigration (terminal, pre-cutover only).
+type Migrator struct {
+	g         *Gate
+	opt       MigratorOptions
+	statePath string // "" = in-memory state only
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	abort  atomic.Bool
+
+	mu    sync.Mutex
+	state MigrationState
+
+	// Transient pump cursor, rebuilt by copy() on every (re)start.
+	stream     string
+	pos        int64
+	srcSchemas []dsSchema
+	sampleURIs []string
+}
+
+// State returns a copy of the migration's current state.
+func (m *Migrator) State() MigrationState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state
+	st.Spec.Datasets = append([]string(nil), st.Spec.Datasets...)
+	return st
+}
+
+// Phase returns the current phase.
+func (m *Migrator) Phase() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.Phase
+}
+
+// Done is closed when the migration goroutine exits (done, aborted,
+// failed, or stopped for resume).
+func (m *Migrator) Done() <-chan struct{} { return m.done }
+
+// Stop cancels the migration goroutine WITHOUT marking the migration
+// aborted: the persisted state keeps its phase, so a later gate can
+// resume it. Blocks until the goroutine exits.
+func (m *Migrator) Stop() {
+	m.cancel()
+	<-m.done
+}
+
+// setPhase transitions and persists.
+func (m *Migrator) setPhase(phase string) {
+	m.mu.Lock()
+	m.state.Phase = phase
+	m.state.Error = ""
+	m.mu.Unlock()
+	m.persist()
+	m.g.log("migration %s: phase %s", m.spec().ID, phase)
+}
+
+func (m *Migrator) spec() MigrationSpec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.Spec
+}
+
+// persist writes the state file atomically (tmp + rename). A persist
+// failure is logged, not fatal: the migration itself keeps working, it
+// just loses crash-resumability.
+func (m *Migrator) persist() {
+	if m.statePath == "" {
+		return
+	}
+	m.mu.Lock()
+	data, err := json.MarshalIndent(m.state, "", "  ")
+	m.mu.Unlock()
+	if err != nil {
+		m.g.log("migration %s: marshal state: %v", m.spec().ID, err)
+		return
+	}
+	tmp := m.statePath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		m.g.log("migration %s: persist state: %v", m.spec().ID, err)
+		return
+	}
+	if err := os.Rename(tmp, m.statePath); err != nil {
+		m.g.log("migration %s: persist state: %v", m.spec().ID, err)
+	}
+}
+
+// run is the migration goroutine.
+func (m *Migrator) run() {
+	defer close(m.done)
+	err := m.execute()
+	if err == nil {
+		m.setPhase(PhaseDone)
+		return
+	}
+	if m.abort.Load() && !m.pastCutover() {
+		// Operator abort before cutover: the source never stopped being
+		// authoritative, so abandoning the target copy is clean.
+		m.setPhase(PhaseAborted)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		// Stopped (gate shutdown): leave the persisted phase untouched so
+		// a successor gate resumes.
+		return
+	}
+	m.mu.Lock()
+	m.state.Error = err.Error()
+	m.mu.Unlock()
+	m.persist()
+	m.g.log("migration %s: failed in phase %s: %v", m.spec().ID, m.Phase(), err)
+}
+
+func (m *Migrator) pastCutover() bool {
+	switch m.Phase() {
+	case PhaseCutover, PhaseDrain, PhaseDone:
+		return true
+	}
+	return false
+}
+
+// execute walks the phases. Pre-cutover resumes restart from copy; a
+// resume at cutover/drain keeps going forward (the map flip may already
+// be visible to clients, so backing out would lose acked writes).
+func (m *Migrator) execute() error {
+	if !m.pastCutover() {
+		m.setPhase(PhaseCopy)
+		if err := m.copy(); err != nil {
+			return err
+		}
+		if err := m.checkAbort(); err != nil {
+			return err
+		}
+		m.setPhase(PhaseCatchup)
+		if err := m.catchup(); err != nil {
+			return err
+		}
+		if err := m.checkAbort(); err != nil {
+			return err
+		}
+		m.setPhase(PhaseDoubleRead)
+		if err := m.doubleRead(); err != nil {
+			return err
+		}
+		if err := m.checkAbort(); err != nil {
+			return err
+		}
+	}
+	if err := m.cutover(); err != nil {
+		return err
+	}
+	m.setPhase(PhaseDrain)
+	return m.drain()
+}
+
+func (m *Migrator) checkAbort() error {
+	if m.abort.Load() {
+		return context.Canceled
+	}
+	return m.ctx.Err()
+}
+
+// shardURL resolves a shard's primary URL from the CURRENT table, so a
+// map swapped mid-migration is honored.
+func (m *Migrator) shardURL(name string) (string, error) {
+	if sh := m.g.table().byName[name]; sh != nil {
+		return sh.primary.url, nil
+	}
+	return "", fmt.Errorf("gate: shard %q not in current map", name)
+}
+
+// ---------------------------------------------------------------- copy
+
+// copy bootstraps the target: fetch the source snapshot, register the
+// migrating datasets' schemas on the target, replay their observations.
+// Rebuilds the pump cursor (stream, pos) as a side effect.
+func (m *Migrator) copy() error {
+	spec := m.spec()
+	srcURL, err := m.shardURL(spec.From)
+	if err != nil {
+		return err
+	}
+	tgtURL, err := m.shardURL(spec.To)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(m.ctx, m.opt.phaseTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srcURL+"/v1/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.g.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetch source snapshot: %w", err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return fmt.Errorf("read source snapshot: %w", rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("source snapshot: status %d", resp.StatusCode)
+	}
+	snap, err := snapshot.Read(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("decode source snapshot: %w", err)
+	}
+	stream := resp.Header.Get(serve.WALStreamHeader)
+	pos, _ := strconv.ParseInt(resp.Header.Get(serve.WALPositionHeader), 10, 64)
+
+	migrating := map[string]bool{}
+	for _, ds := range spec.Datasets {
+		migrating[ds] = true
+	}
+	schemas := make([]dsSchema, len(snap.Space.Corpus.Datasets))
+	found := 0
+	for i, ds := range snap.Space.Corpus.Datasets {
+		schemas[i] = dsSchema{
+			uri:       ds.URI.Value,
+			dims:      termValues(ds.Schema.Dimensions),
+			measures:  termValues(ds.Schema.Measures),
+			migrating: migrating[ds.URI.Value],
+		}
+		if schemas[i].migrating {
+			found++
+		}
+	}
+	if found != len(spec.Datasets) {
+		return fmt.Errorf("source %s serves %d of %d migrating datasets", spec.From, found, len(spec.Datasets))
+	}
+
+	// Register schemas, then replay observations. Both idempotent: an
+	// already-registered dataset answers 200, a duplicate observation 409.
+	for _, sc := range schemas {
+		if !sc.migrating {
+			continue
+		}
+		regBody := map[string]any{"uri": sc.uri, "dimensions": sc.dims, "measures": sc.measures}
+		status, rb, err := m.postJSON(tgtURL, "/v1/datasets", regBody)
+		if err != nil {
+			return fmt.Errorf("register %s on target: %w", sc.uri, err)
+		}
+		if status != http.StatusOK && status != http.StatusCreated {
+			return fmt.Errorf("register %s on target: status %d: %s", sc.uri, status, trimBody(rb))
+		}
+	}
+	var copied int64
+	var samples []string
+	for _, ds := range snap.Space.Corpus.Datasets {
+		if !migrating[ds.URI.Value] {
+			continue
+		}
+		for _, o := range ds.Observations {
+			if err := m.postObservation(tgtURL, ds.URI.Value, schemas, o.URI.Value, o.DimValues, o.MeasureValues); err != nil {
+				return err
+			}
+			copied++
+			samples = append(samples, o.URI.Value)
+		}
+	}
+
+	m.stream, m.pos = stream, pos
+	m.srcSchemas = schemas
+	m.sampleURIs = sampleStride(samples, m.opt.sampleReads())
+	m.mu.Lock()
+	m.state.Copied = copied
+	m.mu.Unlock()
+	m.persist()
+	return nil
+}
+
+func termValues(ts []rdf.Term) []string {
+	out := make([]string, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.Value)
+	}
+	return out
+}
+
+// sampleStride picks up to n URIs spread evenly across the list.
+func sampleStride(uris []string, n int) []string {
+	if len(uris) <= n {
+		return uris
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, uris[i*len(uris)/n])
+	}
+	return out
+}
+
+func trimBody(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// postObservation relays one observation to the target, building the
+// serve insert body from the source dataset's schema order.
+func (m *Migrator) postObservation(tgtURL, dsURI string, schemas []dsSchema, obsURI string, dimVals, measVals []rdf.Term) error {
+	var sc *dsSchema
+	for i := range schemas {
+		if schemas[i].uri == dsURI {
+			sc = &schemas[i]
+			break
+		}
+	}
+	if sc == nil {
+		return fmt.Errorf("gate: no schema for dataset %s", dsURI)
+	}
+	dims := map[string]string{}
+	for i, v := range dimVals {
+		if i < len(sc.dims) && !v.IsZero() {
+			dims[sc.dims[i]] = v.Value
+		}
+	}
+	meas := map[string]string{}
+	for i, v := range measVals {
+		if i < len(sc.measures) && !v.IsZero() {
+			meas[sc.measures[i]] = v.Value
+		}
+	}
+	body := map[string]any{"dataset": dsURI, "uri": obsURI, "dimensions": dims, "measures": meas}
+	status, rb, err := m.postJSON(tgtURL, "/v1/observations", body)
+	if err != nil {
+		return fmt.Errorf("copy %s to target: %w", obsURI, err)
+	}
+	// 201 = landed, 409 = already there (an earlier attempt, or the pump
+	// replaying a record the snapshot already carried). Both are success.
+	if status != http.StatusCreated && status != http.StatusConflict {
+		return fmt.Errorf("copy %s to target: status %d: %s", obsURI, status, trimBody(rb))
+	}
+	return nil
+}
+
+// postJSON POSTs with bounded retries, honoring Retry-After hints and
+// Leader redirects (a target mid-failover names its leader; the
+// migration follows rather than failing).
+func (m *Migrator) postJSON(base, path string, v any) (int, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	bo := serve.Backoff{Base: 50 * time.Millisecond}
+	url := base
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := m.ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		ctx, cancel := context.WithTimeout(m.ctx, m.g.cfg.shardTimeout())
+		req, err := http.NewRequestWithContext(ctx, "POST", url+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := m.g.client.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+		} else {
+			rb, rerr := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
+			resp.Body.Close()
+			cancel()
+			if rerr != nil {
+				lastErr = rerr
+			} else if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, trimBody(rb))
+				if leader := resp.Header.Get(serve.LeaderHeader); leader != "" {
+					url = trimBase(leader)
+				}
+				wait := bo.Next()
+				if ra := retryAfterHint(resp.Header); ra > 0 && ra < m.g.cfg.maxRetryWait() {
+					wait = ra
+				}
+				if !m.sleep(wait) {
+					return 0, nil, m.ctx.Err()
+				}
+				continue
+			} else {
+				return resp.StatusCode, rb, nil
+			}
+		}
+		if !m.sleep(bo.Next()) {
+			return 0, nil, m.ctx.Err()
+		}
+	}
+	return 0, nil, fmt.Errorf("gate: giving up after retries: %w", lastErr)
+}
+
+// sleep waits d or until the migration is canceled; false means canceled.
+func (m *Migrator) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-m.ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// ------------------------------------------------------------- catchup
+
+// catchup pumps the source WAL until the cursor reaches the durable end.
+func (m *Migrator) catchup() error {
+	deadline := time.Now().Add(m.opt.phaseTimeout())
+	recopies := 0
+	for {
+		caughtUp, err := m.pumpOnce(m.opt.interval())
+		switch {
+		case err == nil:
+			if caughtUp {
+				return nil
+			}
+		case errors.Is(err, errRecopy):
+			// The source checkpointed past our cursor: bootstrap again.
+			recopies++
+			if recopies > 5 {
+				return fmt.Errorf("gate: source truncated the WAL %d times during catch-up", recopies)
+			}
+			if cerr := m.copy(); cerr != nil {
+				return cerr
+			}
+		case m.ctx.Err() != nil:
+			return m.ctx.Err()
+		default:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("gate: catch-up did not converge within %v: %w", m.opt.phaseTimeout(), err)
+			}
+			if !m.sleep(m.opt.interval()) {
+				return m.ctx.Err()
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gate: catch-up did not converge within %v", m.opt.phaseTimeout())
+		}
+	}
+}
+
+// pumpOnce tails one chunk of the source WAL and relays migrating
+// records to the target. Returns whether the cursor is at the source's
+// durable end.
+func (m *Migrator) pumpOnce(wait time.Duration) (bool, error) {
+	spec := m.spec()
+	srcURL, err := m.shardURL(spec.From)
+	if err != nil {
+		return false, err
+	}
+	tgtURL, err := m.shardURL(spec.To)
+	if err != nil {
+		return false, err
+	}
+	ctx, cancel := context.WithTimeout(m.ctx, wait+m.g.cfg.shardTimeout())
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/wal?from=%d&stream=%s&wait=%s", srcURL, m.pos, m.stream, wait)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := m.g.client.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("tail source wal: %w", err)
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxWALBody))
+	resp.Body.Close()
+	if rerr != nil {
+		return false, fmt.Errorf("read wal chunk: %w", rerr)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return false, errRecopy
+	default:
+		return false, fmt.Errorf("tail source wal: status %d: %s", resp.StatusCode, trimBody(body))
+	}
+
+	recs, good, perr := wal.ParseFrames(body)
+	if perr != nil && good == 0 && len(body) > 0 {
+		return false, fmt.Errorf("parse wal chunk at %d: %w", m.pos, perr)
+	}
+	for _, rec := range recs {
+		// Records for datasets born after our snapshot have indices past
+		// our schema list; they cannot be migrating (migrating datasets
+		// predate the copy), so they are skipped like any other
+		// non-migrating dataset's records.
+		if rec.Dataset < 0 || rec.Dataset >= len(m.srcSchemas) || !m.srcSchemas[rec.Dataset].migrating {
+			continue
+		}
+		sc := m.srcSchemas[rec.Dataset]
+		if err := m.postObservation(tgtURL, sc.uri, m.srcSchemas, rec.URI.Value, rec.DimValues, rec.MeasureValues); err != nil {
+			return false, err
+		}
+		m.mu.Lock()
+		m.state.Pumped++
+		m.mu.Unlock()
+		m.g.count(CtrMigrationPumped, 1)
+	}
+
+	// Advance by the cleanly parsed prefix. The server's next-offset
+	// header is only trusted when the whole body parsed: a truncated
+	// response (a proxy cutting the stream mid-frame) yields a shorter
+	// frame prefix, and jumping to the header offset would silently skip
+	// the records in the lost tail. The replica follower advances the
+	// same way.
+	next := m.pos + good
+	if perr == nil {
+		if nh := resp.Header.Get(serve.WALNextHeader); nh != "" {
+			if v, err := strconv.ParseInt(nh, 10, 64); err == nil {
+				next = v
+			}
+		}
+	}
+	m.pos = next
+	eh := resp.Header.Get(serve.WALEndHeader)
+	if eh == "" {
+		return false, fmt.Errorf("gate: wal response without %s header", serve.WALEndHeader)
+	}
+	end, err := strconv.ParseInt(eh, 10, 64)
+	if err != nil {
+		return false, fmt.Errorf("gate: bad %s header %q", serve.WALEndHeader, eh)
+	}
+	// end == 0 is a WAL with no records yet: cursor 0 IS caught up.
+	return m.pos >= end, nil
+}
+
+// maxWALBody bounds one pump read (the server's chunk cap plus frame
+// overhead headroom).
+const maxWALBody = 5 << 20
+
+// ---------------------------------------------------------- doubleread
+
+// doubleRead verifies the target: pump to caught-up, then fan sampled
+// reads to BOTH owners and byte-compare the canonicalized answers.
+// Mismatches are counted (gate metrics, never client-visible errors)
+// and reset the clean-round streak; cutover requires MatchRounds
+// consecutive clean rounds.
+func (m *Migrator) doubleRead() error {
+	spec := m.spec()
+	deadline := time.Now().Add(m.opt.phaseTimeout())
+	clean := 0
+	for clean < m.opt.matchRounds() {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gate: double-read did not reach %d clean rounds within %v (mismatches: %d)",
+				m.opt.matchRounds(), m.opt.phaseTimeout(), m.State().Mismatches)
+		}
+		caughtUp, err := m.pumpOnce(0)
+		if err != nil || !caughtUp {
+			// Not an error round, just not a verifiable one: comparing a
+			// target that is known to be behind would count phantom
+			// mismatches.
+			if errors.Is(err, errRecopy) {
+				if cerr := m.copy(); cerr != nil {
+					return cerr
+				}
+			}
+			clean = 0
+			if !m.sleep(m.opt.interval()) {
+				return m.ctx.Err()
+			}
+			continue
+		}
+		srcURL, err := m.shardURL(spec.From)
+		if err != nil {
+			return err
+		}
+		tgtURL, err := m.shardURL(spec.To)
+		if err != nil {
+			return err
+		}
+		roundOK := true
+		for _, obs := range m.sampleURIs {
+			a, aerr := m.canonicalRelated(srcURL, obs)
+			b, berr := m.canonicalRelated(tgtURL, obs)
+			if aerr != nil || berr != nil {
+				roundOK = false
+				break // fetch trouble: retry the round, not a mismatch
+			}
+			if !bytes.Equal(a, b) {
+				roundOK = false
+				m.mu.Lock()
+				m.state.Mismatches++
+				m.mu.Unlock()
+				m.g.drMismatch.Add(1)
+				m.g.count(CtrDoubleReadMismatch, 1)
+				m.g.log("migration %s: double-read mismatch on %s", spec.ID, obs)
+			}
+		}
+		if roundOK {
+			clean++
+		} else {
+			clean = 0
+		}
+		if clean < m.opt.matchRounds() && !m.sleep(m.opt.interval()) {
+			return m.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// canonicalRelated fetches one owner's /v1/related answer and
+// canonicalizes it: decode the wire shape (which carries shard-LOCAL
+// observation indices that legitimately differ between owners), keep
+// URI+degree only, sort every list, and re-marshal. Byte equality of
+// the results is then exactly "same relationships, same degrees".
+func (m *Migrator) canonicalRelated(base, obs string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(m.ctx, m.g.cfg.shardTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/related?obs="+url.QueryEscape(obs), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("related %s: status %d", obs, resp.StatusCode)
+	}
+	var sr shardRelated
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, err
+	}
+	canon := relatedResponse{
+		URI:                  sr.URI,
+		Contains:             sortedRefURIs(sr.Contains),
+		ContainedBy:          sortedRefURIs(sr.ContainedBy),
+		Complements:          sortedRefURIs(sr.Complements),
+		PartiallyContains:    sortedRefNeighbors(sr.PartiallyContains),
+		PartiallyContainedBy: sortedRefNeighbors(sr.PartiallyContainedBy),
+	}
+	return json.Marshal(canon)
+}
+
+func sortedRefURIs(refs []shardRef) []string {
+	out := make([]string, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, r.URI)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedRefNeighbors(refs []shardRef) []partialNeighbor {
+	out := make([]partialNeighbor, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, partialNeighbor{URI: r.URI, Degree: r.Degree})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// ------------------------------------------------------------- cutover
+
+// cutover installs the successor map moving ownership From → To. The
+// intended epoch is persisted BEFORE the swap: a crash between the two
+// resumes into this same function, which notices ownership either
+// already moved (no-op) or not (re-swap against the then-current map).
+func (m *Migrator) cutover() error {
+	spec := m.spec()
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+		cur := m.g.CurrentMap()
+		if ownedBy(cur, spec.Datasets, spec.To) {
+			m.setPhase(PhaseCutover)
+			return nil
+		}
+		next, err := moveDatasets(cur, spec)
+		if err != nil {
+			return err
+		}
+		m.mu.Lock()
+		m.state.Phase = PhaseCutover
+		m.state.MapEpoch = next.Epoch
+		m.state.Error = ""
+		m.mu.Unlock()
+		m.persist()
+		switch err := m.g.SwapMap(next); {
+		case err == nil:
+			m.g.log("migration %s: cutover installed epoch %d", spec.ID, next.Epoch)
+			return nil
+		case errors.Is(err, ErrStaleEpoch):
+			continue // an admin swap raced us; rebuild against the new map
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("gate: cutover lost the epoch race 5 times")
+}
+
+// ownedBy reports whether shard `name` owns every listed dataset.
+func ownedBy(m ShardMap, datasets []string, name string) bool {
+	owner := map[string]string{}
+	for _, sc := range m.Shards {
+		for _, ds := range sc.Datasets {
+			owner[ds] = sc.Name
+		}
+	}
+	for _, ds := range datasets {
+		if owner[ds] != name {
+			return false
+		}
+	}
+	return true
+}
+
+// moveDatasets builds the successor map: spec.Datasets leave From and
+// join To (sorted), epoch+1.
+func moveDatasets(cur ShardMap, spec MigrationSpec) (ShardMap, error) {
+	moving := map[string]bool{}
+	for _, ds := range spec.Datasets {
+		moving[ds] = true
+	}
+	next := copyMap(cur)
+	next.Epoch = cur.Epoch + 1
+	var fromSeen, toSeen bool
+	for i := range next.Shards {
+		sc := &next.Shards[i]
+		switch sc.Name {
+		case spec.From:
+			fromSeen = true
+			kept := sc.Datasets[:0]
+			for _, ds := range sc.Datasets {
+				if !moving[ds] {
+					kept = append(kept, ds)
+				}
+			}
+			sc.Datasets = kept
+		case spec.To:
+			toSeen = true
+			sc.Datasets = append(sc.Datasets, spec.Datasets...)
+			sort.Strings(sc.Datasets)
+		}
+	}
+	if !fromSeen || !toSeen {
+		return ShardMap{}, fmt.Errorf("gate: migration %s: shard %q or %q left the map", spec.ID, spec.From, spec.To)
+	}
+	return next, nil
+}
+
+// --------------------------------------------------------------- drain
+
+// drain pumps until the source has been continuously caught up for the
+// drain window: the writes that raced the cutover have all landed on
+// the target, and the migration is complete.
+func (m *Migrator) drain() error {
+	if m.stream == "" {
+		// Resumed directly into drain: rebuild the cursor. The fresh
+		// snapshot supersedes whatever the pre-crash pump had relayed.
+		if err := m.copy(); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(m.opt.phaseTimeout())
+	recopies := 0
+	var quietSince time.Time
+	for {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gate: drain did not quiesce within %v", m.opt.phaseTimeout())
+		}
+		caughtUp, err := m.pumpOnce(m.opt.interval() / 2)
+		switch {
+		case errors.Is(err, errRecopy):
+			recopies++
+			if recopies > 5 {
+				return fmt.Errorf("gate: source truncated the WAL %d times during drain", recopies)
+			}
+			if cerr := m.copy(); cerr != nil {
+				return cerr
+			}
+			quietSince = time.Time{}
+			continue
+		case err != nil:
+			if m.ctx.Err() != nil {
+				return m.ctx.Err()
+			}
+			quietSince = time.Time{}
+			if !m.sleep(m.opt.interval()) {
+				return m.ctx.Err()
+			}
+			continue
+		}
+		if caughtUp {
+			if quietSince.IsZero() {
+				quietSince = time.Now()
+			}
+			if time.Since(quietSince) >= m.opt.drainWindow() {
+				return nil
+			}
+		} else {
+			quietSince = time.Time{}
+		}
+	}
+}
+
+// ------------------------------------------------------- gate plumbing
+
+// StartMigration launches (or resumes) a migration. For a fresh spec it
+// validates against the current map, persists phase=copy, and launches
+// the state machine; when a state file for the ID exists it resumes
+// that file's phase instead (a done or aborted file is an error). At
+// most one runner per ID exists at a time.
+func (g *Gate) StartMigration(spec MigrationSpec) (*Migrator, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("gate: migration with empty id")
+	}
+	g.migMu.Lock()
+	defer g.migMu.Unlock()
+	if _, exists := g.migrations[spec.ID]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrMigrationExists, spec.ID)
+	}
+	state := MigrationState{Spec: spec, Phase: PhaseCopy}
+	statePath := ""
+	if g.cfg.MigrationStateDir != "" {
+		statePath = filepath.Join(g.cfg.MigrationStateDir, spec.ID+".json")
+		if data, err := os.ReadFile(statePath); err == nil {
+			var prior MigrationState
+			if err := json.Unmarshal(data, &prior); err != nil {
+				return nil, fmt.Errorf("gate: migration %q: corrupt state file: %w", spec.ID, err)
+			}
+			switch prior.Phase {
+			case PhaseDone:
+				return nil, fmt.Errorf("%w: %q already completed", ErrMigrationExists, spec.ID)
+			case PhaseAborted:
+				return nil, fmt.Errorf("%w: %q was aborted", ErrMigrationExists, spec.ID)
+			}
+			state = prior // resume: the file's spec and phase win
+		}
+	}
+	return g.launchLocked(state, statePath)
+}
+
+// launchLocked creates and starts the runner; the caller holds migMu.
+func (g *Gate) launchLocked(state MigrationState, statePath string) (*Migrator, error) {
+	switch state.Phase {
+	case PhaseCutover, PhaseDrain:
+		// Post-cutover resume: ownership may already have moved, so the
+		// fresh-spec validation below would wrongly reject it.
+	default:
+		if err := ValidateMigrations(g.CurrentMap(), []MigrationSpec{state.Spec}); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Migrator{
+		g:         g,
+		opt:       g.cfg.Migrator,
+		statePath: statePath,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     state,
+	}
+	m.persist()
+	g.migrations[state.Spec.ID] = m
+	go m.run()
+	return m, nil
+}
+
+// ResumeMigrations scans the state directory and resumes every
+// migration whose file is not terminal. Returns the resumed runners.
+// Called by cubegate at boot, before file-specified migrations start.
+func (g *Gate) ResumeMigrations() ([]*Migrator, error) {
+	dir := g.cfg.MigrationStateDir
+	if dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []*Migrator
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return out, err
+		}
+		var state MigrationState
+		if err := json.Unmarshal(data, &state); err != nil {
+			g.log("skipping corrupt migration state file %s: %v", e.Name(), err)
+			continue
+		}
+		if state.Phase == PhaseDone || state.Phase == PhaseAborted || state.Spec.ID == "" {
+			continue
+		}
+		g.migMu.Lock()
+		_, exists := g.migrations[state.Spec.ID]
+		var m *Migrator
+		if !exists {
+			m, err = g.launchLocked(state, filepath.Join(dir, e.Name()))
+		}
+		g.migMu.Unlock()
+		if err != nil {
+			g.log("resuming migration %s: %v", state.Spec.ID, err)
+			continue
+		}
+		if m != nil {
+			g.log("resumed migration %s in phase %s", state.Spec.ID, state.Phase)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// AbortMigration aborts a running migration. Only allowed BEFORE
+// cutover: until the map flips, the source has stayed authoritative and
+// abandoning the target copy is clean; after it, aborting would lose
+// writes routed to the new owner.
+func (g *Gate) AbortMigration(id string) error {
+	g.migMu.Lock()
+	m := g.migrations[id]
+	g.migMu.Unlock()
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrMigrationUnknown, id)
+	}
+	switch m.Phase() {
+	case PhaseCutover, PhaseDrain, PhaseDone:
+		return ErrMigrationCutOver
+	case PhaseAborted:
+		return nil
+	}
+	m.abort.Store(true)
+	m.cancel()
+	<-m.done
+	// A running migration's goroutine sees the abort flag and persists
+	// PhaseAborted itself. But a migration that already FAILED (its
+	// goroutine exited with the error recorded, phase left where it
+	// stopped) has nobody left to transition it — without this, the
+	// abort would be a silent no-op and the next boot's resume scan
+	// would revive a migration the operator explicitly killed.
+	if !m.pastCutover() && m.Phase() != PhaseAborted {
+		m.setPhase(PhaseAborted)
+	}
+	return nil
+}
+
+// Migrations lists every known migration's state, sorted by ID.
+func (g *Gate) Migrations() []MigrationState {
+	g.migMu.Lock()
+	runners := make([]*Migrator, 0, len(g.migrations))
+	for _, m := range g.migrations {
+		runners = append(runners, m)
+	}
+	g.migMu.Unlock()
+	out := make([]MigrationState, 0, len(runners))
+	for _, m := range runners {
+		out = append(out, m.State())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// handleStartMigration is POST /v1/migrations: start (or resume) one.
+func (g *Gate) handleStartMigration(w http.ResponseWriter, r *http.Request) {
+	var spec MigrationSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInsertBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad migration body: " + err.Error()})
+		return
+	}
+	m, err := g.StartMigration(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrMigrationExists) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": spec.ID, "phase": m.Phase()})
+}
+
+// handleListMigrations is GET /v1/migrations.
+func (g *Gate) handleListMigrations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Migrations())
+}
+
+// handleAbortMigration is POST /v1/migrations/{id}/abort.
+func (g *Gate) handleAbortMigration(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := g.AbortMigration(id); err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrMigrationUnknown):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrMigrationCutOver):
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "phase": PhaseAborted})
+}

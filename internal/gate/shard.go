@@ -38,28 +38,6 @@ type shard struct {
 	replica  *target // nil when the shard has no read replica
 }
 
-func newShard(sc ShardConfig, cfg Config) *shard {
-	mk := func(role, url string) *target {
-		t := &target{
-			shardName: sc.Name,
-			role:      role,
-			url:       trimBase(url),
-			breaker:   serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff),
-		}
-		t.healthy.Store(true)
-		return t
-	}
-	sh := &shard{
-		name:     sc.Name,
-		datasets: append([]string(nil), sc.Datasets...),
-		primary:  mk("primary", sc.Primary),
-	}
-	if sc.Replica != "" {
-		sh.replica = mk("replica", sc.Replica)
-	}
-	return sh
-}
-
 // targets returns the shard's endpoints, primary first.
 func (sh *shard) targets() []*target {
 	if sh.replica == nil {

@@ -27,31 +27,64 @@ type shardStats struct {
 	Targets   []targetStats `json:"targets"`
 }
 
+// migrationStats is one migration's public state in /v1/stats.
+type migrationStats struct {
+	ID       string `json:"id"`
+	Phase    string `json:"phase"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Datasets int    `json:"datasets"`
+	// Mismatches counts double-read verification mismatches observed by
+	// THIS migration; Pumped counts WAL records relayed to the target.
+	Mismatches int64  `json:"mismatches"`
+	Pumped     int64  `json:"pumped"`
+	Error      string `json:"error,omitempty"`
+}
+
 // statsResponse is GET /v1/stats on the gate: the fleet's health as the
 // router sees it, plus the hedging and degradation counters the chaos
-// harness and operators read.
+// harness and operators read. Epoch names the installed shard map;
+// Migrations and DoubleReadMismatches surface the rebalance machinery.
 type statsResponse struct {
-	Role            string       `json:"role"`
-	Shards          []shardStats `json:"shards"`
-	AvailableShards int          `json:"availableShards"`
-	HedgeFired      int64        `json:"hedgeFired"`
-	HedgeWon        int64        `json:"hedgeWon"`
-	PartialReads    int64        `json:"partialReads"`
-	UptimeSeconds   float64      `json:"uptimeSeconds"`
+	Role                 string           `json:"role"`
+	Epoch                int64            `json:"epoch"`
+	Shards               []shardStats     `json:"shards"`
+	AvailableShards      int              `json:"availableShards"`
+	HedgeFired           int64            `json:"hedgeFired"`
+	HedgeWon             int64            `json:"hedgeWon"`
+	PartialReads         int64            `json:"partialReads"`
+	DoubleReadMismatches int64            `json:"doubleReadMismatches"`
+	Migrations           []migrationStats `json:"migrations,omitempty"`
+	UptimeSeconds        float64          `json:"uptimeSeconds"`
 }
 
 func (g *Gate) handleStats(w http.ResponseWriter, r *http.Request) {
 	hists, _ := g.rec.(interface {
 		HistSnapshot(string) (*obsv.HistSnapshot, bool)
 	})
+	t := g.table()
 	resp := statsResponse{
-		Role:          "gate",
-		HedgeFired:    g.hedgeFired.Load(),
-		HedgeWon:      g.hedgeWon.Load(),
-		PartialReads:  g.partials.Load(),
-		UptimeSeconds: time.Since(g.started).Seconds(),
+		Role:                 "gate",
+		Epoch:                t.m.Epoch,
+		HedgeFired:           g.hedgeFired.Load(),
+		HedgeWon:             g.hedgeWon.Load(),
+		PartialReads:         g.partials.Load(),
+		DoubleReadMismatches: g.drMismatch.Load(),
+		UptimeSeconds:        time.Since(g.started).Seconds(),
 	}
-	for _, sh := range g.shards {
+	for _, m := range g.Migrations() {
+		resp.Migrations = append(resp.Migrations, migrationStats{
+			ID:         m.Spec.ID,
+			Phase:      m.Phase,
+			From:       m.Spec.From,
+			To:         m.Spec.To,
+			Datasets:   len(m.Spec.Datasets),
+			Mismatches: m.Mismatches,
+			Pumped:     m.Pumped,
+			Error:      m.Error,
+		})
+	}
+	for _, sh := range t.shards {
 		ss := shardStats{
 			Name:      sh.name,
 			Datasets:  sh.datasets,

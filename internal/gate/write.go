@@ -44,7 +44,7 @@ func (g *Gate) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad insert body: " + err.Error()})
 		return
 	}
-	sh, ok := g.byDataset[probe.Dataset]
+	sh, ok := g.table().byDataset[probe.Dataset]
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no shard owns dataset \"" + probe.Dataset + "\""})
 		return

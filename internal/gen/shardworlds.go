@@ -60,6 +60,17 @@ type ShardWorldsConfig struct {
 	ObsPerDataset int
 	// Seed drives all random choices deterministically.
 	Seed int64
+	// DisjointMeasures gives every DATASET its own measure instead of a
+	// per-group shared one. The closure argument above only needs
+	// measures disjoint across groups, but a shared group measure makes
+	// the group unsplittable: full/partial containment can link its two
+	// datasets, and a per-dataset split would cut those pairs across
+	// shards. With DisjointMeasures no relationship of any kind links two
+	// datasets anywhere in the corpus (containment lacks a shared
+	// measure; complementarity is already blocked by the incomparable
+	// variable-dimension sets), so SplitWorld can carve the group down to
+	// single-dataset sub-shards safely.
+	DisjointMeasures bool
 }
 
 func (c ShardWorldsConfig) groups() int {
@@ -121,6 +132,9 @@ func ShardWorlds(cfg ShardWorldsConfig) (worlds []*ShardWorld, combined *qb.Corp
 		}
 		measure := exIRI(fmt.Sprintf("measure/shard/M%d", g))
 		for d := 0; d < 2; d++ {
+			if cfg.DisjointMeasures {
+				measure = exIRI(fmt.Sprintf("measure/shard/M%d_%d", g, d))
+			}
 			idx := pairs[g]
 			if d == 1 {
 				idx = pairs[len(pairs)-1-g]
@@ -162,6 +176,58 @@ func ShardWorlds(cfg ShardWorldsConfig) (worlds []*ShardWorld, combined *qb.Corp
 		worlds = append(worlds, world)
 	}
 	return worlds, combined
+}
+
+// SplitWorld carves one oversized shard into per-dataset sub-shards —
+// the shape live rebalancing migrates one dataset at a time into.
+//
+// A split is only safe when it cannot separate a related pair across
+// shards. Complementarity between two datasets of one world is already
+// blocked by the generator's incomparable variable-dimension schemas,
+// so the remaining channel is containment, which requires a shared
+// measure: SplitWorld therefore refuses any world where two datasets
+// share a measure (the default ShardWorlds shape; generate with
+// DisjointMeasures for splittable worlds).
+//
+// Each sub-shard keeps the OTHER datasets' schemas as empty stubs.
+// That is load-bearing, not cosmetic: a space compiled over a lone
+// 4-dimension dataset would normalize partial-containment degrees by
+// |P|=4 while the oracle divides by 6. The stubs contribute their
+// dimensions and measures to the sub-shard's universe without
+// contributing observations, so every sub-shard's answers stay
+// byte-equal to the oracle's. Stub URIs are NOT listed in the
+// sub-world's Datasets — shard-map ownership stays disjoint.
+//
+// Dataset objects are shared with the input world (the generator's
+// corpora already share them); callers serving multiple corpora must
+// not mutate one dataset from two servers concurrently.
+func SplitWorld(w *ShardWorld) ([]*ShardWorld, error) {
+	dss := w.Corpus.Datasets
+	for i := 0; i < len(dss); i++ {
+		for j := i + 1; j < len(dss); j++ {
+			if dss[i].Schema.SharesMeasure(dss[j].Schema) {
+				return nil, fmt.Errorf("gen: split %s: datasets %s and %s share a measure; splitting would cut containment pairs across shards",
+					w.Name, dss[i].URI.Value, dss[j].URI.Value)
+			}
+		}
+	}
+	subs := make([]*ShardWorld, 0, len(dss))
+	for d, ds := range dss {
+		sub := &ShardWorld{
+			Name:     fmt.Sprintf("%s.s%d", w.Name, d),
+			Corpus:   qb.NewCorpus(w.Corpus.Hierarchies),
+			Datasets: []string{ds.URI.Value},
+		}
+		for _, e := range dss {
+			if e == ds {
+				sub.Corpus.AddDataset(e)
+			} else {
+				sub.Corpus.AddDataset(&qb.Dataset{URI: e.URI, Schema: e.Schema})
+			}
+		}
+		subs = append(subs, sub)
+	}
+	return subs, nil
 }
 
 // drawBelowRoot draws a code strictly below the root: level-0 values

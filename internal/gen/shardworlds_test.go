@@ -88,6 +88,143 @@ func TestShardWorldsEqualDimensionUniverse(t *testing.T) {
 	}
 }
 
+// TestSplitWorldClosure proves the property a per-dataset split needs:
+// over a DisjointMeasures corpus, NO related pair links two datasets,
+// so carving a world into single-dataset sub-shards can never separate
+// a related pair across shards.
+func TestSplitWorldClosure(t *testing.T) {
+	for _, seed := range []int64{2, 9} {
+		worlds, combined := ShardWorlds(ShardWorldsConfig{Seed: seed, ObsPerDataset: 50, DisjointMeasures: true})
+		s, err := core.NewSpace(combined)
+		if err != nil {
+			t.Fatalf("seed %d: NewSpace: %v", seed, err)
+		}
+		res := core.NewResult()
+		core.Baseline(s, core.TaskAll, res)
+		res.Sort()
+		full, partial, compl := res.Counts()
+		if full == 0 || partial == 0 || compl == 0 {
+			t.Errorf("seed %d: degenerate corpus: full=%d partial=%d compl=%d", seed, full, partial, compl)
+		}
+		check := func(kind string, pairs []core.Pair) {
+			for _, p := range pairs {
+				da := s.Obs[p.A].Dataset.URI
+				db := s.Obs[p.B].Dataset.URI
+				if da != db {
+					t.Fatalf("seed %d: cross-dataset %s pair: %s (%s) vs %s (%s); a split would cut it",
+						seed, kind, s.Obs[p.A].URI.Value, da.Value, s.Obs[p.B].URI.Value, db.Value)
+				}
+			}
+		}
+		check("full", res.FullSet)
+		check("partial", res.PartialSet)
+		check("compl", res.ComplSet)
+
+		// Every sub-shard compiles to the oracle's dimension universe
+		// (stub schemas carry the missing dimensions), so partial degrees
+		// normalize by the same |P|.
+		for _, w := range worlds {
+			subs, err := SplitWorld(w)
+			if err != nil {
+				t.Fatalf("seed %d: SplitWorld(%s): %v", seed, w.Name, err)
+			}
+			if len(subs) != 2 {
+				t.Fatalf("seed %d: %s split into %d sub-shards, want 2", seed, w.Name, len(subs))
+			}
+			for _, sub := range subs {
+				ss, err := core.NewSpace(sub.Corpus)
+				if err != nil {
+					t.Fatalf("seed %d: NewSpace(%s): %v", seed, sub.Name, err)
+				}
+				if len(ss.Dims) != len(s.Dims) {
+					t.Fatalf("seed %d: sub-shard %s spans %d dims, oracle spans %d",
+						seed, sub.Name, len(ss.Dims), len(s.Dims))
+				}
+				if len(sub.Datasets) != 1 {
+					t.Fatalf("seed %d: sub-shard %s owns %d datasets, want 1", seed, sub.Name, len(sub.Datasets))
+				}
+			}
+		}
+	}
+}
+
+// TestSplitWorldUnionExact computes relationships per sub-shard and
+// checks their union (keyed by URI, degrees included) equals the
+// combined computation restricted to the split world's datasets —
+// the sharded-serving exactness property, post-split.
+func TestSplitWorldUnionExact(t *testing.T) {
+	worlds, combined := ShardWorlds(ShardWorldsConfig{Seed: 5, ObsPerDataset: 40, DisjointMeasures: true})
+	s, err := core.NewSpace(combined)
+	if err != nil {
+		t.Fatalf("NewSpace(combined): %v", err)
+	}
+	res := core.NewResult()
+	core.Baseline(s, core.TaskAll, res)
+
+	w := worlds[0]
+	owned := map[string]bool{}
+	for _, u := range w.Datasets {
+		owned[u] = true
+	}
+	type rel struct{ kind, a, b string }
+	want := map[rel]float64{}
+	add := func(m map[rel]float64, kind string, sp *core.Space, pairs []core.Pair, deg map[core.Pair]float64) {
+		for _, p := range pairs {
+			if sp == s && !owned[sp.Obs[p.A].Dataset.URI.Value] {
+				continue
+			}
+			k := rel{kind, sp.Obs[p.A].URI.Value, sp.Obs[p.B].URI.Value}
+			if deg != nil {
+				m[k] = deg[p]
+			} else {
+				m[k] = 1
+			}
+		}
+	}
+	add(want, "full", s, res.FullSet, nil)
+	add(want, "partial", s, res.PartialSet, res.PartialDegree)
+	add(want, "compl", s, res.ComplSet, nil)
+
+	subs, err := SplitWorld(w)
+	if err != nil {
+		t.Fatalf("SplitWorld: %v", err)
+	}
+	got := map[rel]float64{}
+	for _, sub := range subs {
+		ss, err := core.NewSpace(sub.Corpus)
+		if err != nil {
+			t.Fatalf("NewSpace(%s): %v", sub.Name, err)
+		}
+		sres := core.NewResult()
+		core.Baseline(ss, core.TaskAll, sres)
+		add(got, "full", ss, sres.FullSet, nil)
+		add(got, "partial", ss, sres.PartialSet, sres.PartialDegree)
+		add(got, "compl", ss, sres.ComplSet, nil)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("union has %d relations, oracle restriction has %d", len(got), len(want))
+	}
+	for k, d := range want {
+		gd, ok := got[k]
+		if !ok {
+			t.Fatalf("missing %s %s -> %s in split union", k.kind, k.a, k.b)
+		}
+		if gd != d {
+			t.Fatalf("%s %s -> %s: degree %v vs oracle %v", k.kind, k.a, k.b, gd, d)
+		}
+	}
+}
+
+// TestSplitWorldRejectsSharedMeasures: the default ShardWorlds shape
+// shares one measure per group, so containment CAN link a group's two
+// datasets and a split must be refused.
+func TestSplitWorldRejectsSharedMeasures(t *testing.T) {
+	worlds, _ := ShardWorlds(ShardWorldsConfig{Seed: 1})
+	if _, err := SplitWorld(worlds[0]); err == nil {
+		t.Fatalf("SplitWorld accepted a shared-measure world; the split could cut containment pairs")
+	}
+}
+
 // TestShardWorldsDeterministic pins that equal seeds reproduce the corpus
 // exactly and the values sit strictly below every hierarchy root.
 func TestShardWorldsDeterministic(t *testing.T) {

@@ -45,10 +45,16 @@ func newPrimary(t *testing.T) *primaryWorld {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.srv, err = serve.New(snapshot.New(s, res, l), serve.Config{
-		WAL:         p.wlog,
-		WALPollWait: 100 * time.Millisecond,
-	})
+	// The checkpoint hook is what cubed wires in production: dataset
+	// registrations cannot ride the WAL, so POST /v1/datasets runs one
+	// synchronous checkpoint — which truncates the WAL out from under any
+	// lagging follower. The tests below exercise exactly that.
+	cfg := serve.Config{
+		WAL:           p.wlog,
+		WALPollWait:   100 * time.Millisecond,
+		CheckpointNow: func() error { return p.srv.CheckpointWith(func([]byte) error { return nil }) },
+	}
+	p.srv, err = serve.New(snapshot.New(s, res, l), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,10 +69,18 @@ func newPrimary(t *testing.T) *primaryWorld {
 // insert lands one observation on the primary and returns its URI.
 func (p *primaryWorld) insert(t *testing.T) string {
 	t.Helper()
+	return p.insertInto(t, gen.ExNS+"dataset/D3")
+}
+
+// insertInto lands one observation into the given dataset. Every
+// dataset in these tests shares D3's refArea/refPeriod/unemployment
+// schema, so the body shape never varies.
+func (p *primaryWorld) insertInto(t *testing.T, dataset string) string {
+	t.Helper()
 	p.n++
 	uri := fmt.Sprintf("%sobs/repl-%d", gen.ExNS, p.n)
 	body, _ := json.Marshal(map[string]any{
-		"dataset": gen.ExNS + "dataset/D3",
+		"dataset": dataset,
 		"uri":     uri,
 		"dimensions": map[string]string{
 			gen.DimRefArea.Value:   gen.GeoAthens.Value,
@@ -230,6 +244,79 @@ func TestFollowerLocalCheckpointBoundsChain(t *testing.T) {
 	waitHas(t, f2, uriAfter)
 	if got := f2.State().Bootstraps(); got != 0 {
 		t.Fatalf("restart over a checkpointed chain bootstrapped %d times, want 0", got)
+	}
+}
+
+// registerDataset registers a new dataset on the primary (D3's schema)
+// and returns its URI. The registration runs a synchronous checkpoint,
+// truncating the primary's WAL.
+func (p *primaryWorld) registerDataset(t *testing.T, name string) string {
+	t.Helper()
+	uri := gen.ExNS + "dataset/" + name
+	body, _ := json.Marshal(map[string]any{
+		"uri":        uri,
+		"dimensions": []string{gen.DimRefArea.Value, gen.DimRefPeriod.Value},
+		"measures":   []string{gen.MeasUnemployment.Value},
+	})
+	resp, err := http.Post(p.ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register %s: status %d", uri, resp.StatusCode)
+	}
+	return uri
+}
+
+// TestFollowerRebootstrapsAfterRegistrationCheckpoint is the rebalance
+// regression: admitting a migration target dataset (POST /v1/datasets)
+// checkpoints the primary synchronously, which truncates its WAL. A
+// follower that was down across the registration resumes from its local
+// chain at an offset the primary no longer retains; the tail request
+// must come back 410 Gone and force exactly one re-bootstrap — after
+// which the follower serves the records it missed, the observations in
+// the brand-new dataset, and everything it already had.
+func TestFollowerRebootstrapsAfterRegistrationCheckpoint(t *testing.T) {
+	p := newPrimary(t)
+	uriBefore := p.insert(t)
+
+	disk := faultfs.NewMemFS()
+	cfg := Config{
+		Primary:       p.ts.URL,
+		FS:            disk,
+		SnapshotPath:  "replica.bin",
+		PollWait:      50 * time.Millisecond,
+		ReconnectBase: 10 * time.Millisecond,
+		ReconnectMax:  100 * time.Millisecond,
+		Logf:          t.Logf,
+	}
+	f1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1 := runFollower(t, f1)
+	waitHas(t, f1, uriBefore)
+	stop1() // graceful: the local chain now ends mid-stream
+
+	// While the follower is down: a record it will miss, then a dataset
+	// registration whose checkpoint truncates the WAL past that record,
+	// then a record into the new dataset.
+	uriMissed := p.insert(t)
+	dsNew := p.registerDataset(t, "Dnew")
+	uriNew := p.insertInto(t, dsNew)
+
+	f2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFollower(t, f2)
+	waitHas(t, f2, uriBefore)
+	waitHas(t, f2, uriMissed)
+	waitHas(t, f2, uriNew)
+	if got := f2.State().Bootstraps(); got != 1 {
+		t.Fatalf("follower across a registration checkpoint bootstrapped %d times, want exactly 1 (410 -> re-bootstrap)", got)
 	}
 }
 

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rdfcube/internal/faultfs"
+	"rdfcube/internal/gen"
+	"rdfcube/internal/wal"
+)
+
+func datasetBody(uri string) map[string]any {
+	return map[string]any{
+		"uri":        uri,
+		"dimensions": []string{gen.DimRefArea.Value, gen.DimRefPeriod.Value},
+		"measures":   []string{gen.ExNS + "measure/migrated"},
+	}
+}
+
+// TestCreateDatasetLifecycle: register → 201, idempotent re-register →
+// 200, conflicting schema → 409, and the new dataset accepts inserts
+// with its previously-unknown measure.
+func TestCreateDatasetLifecycle(t *testing.T) {
+	_, ts := newPaperServer(t, Config{})
+	uri := gen.ExNS + "dataset/D-migrated"
+
+	var created struct {
+		Dataset string `json:"dataset"`
+		Index   int    `json:"index"`
+		Created bool   `json:"created"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/datasets", datasetBody(uri), &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d (%+v)", code, created)
+	}
+	if !created.Created || created.Dataset != uri {
+		t.Fatalf("create response: %+v", created)
+	}
+
+	var again struct {
+		Created bool `json:"created"`
+		Index   int  `json:"index"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/datasets", datasetBody(uri), &again); code != http.StatusOK {
+		t.Fatalf("idempotent re-create: status %d", code)
+	}
+	if again.Created || again.Index != created.Index {
+		t.Fatalf("re-create response: %+v", again)
+	}
+
+	conflict := datasetBody(uri)
+	conflict["measures"] = []string{gen.ExNS + "measure/other"}
+	var errResp map[string]any
+	if code := postJSON(t, ts.URL+"/v1/datasets", conflict, &errResp); code != http.StatusConflict {
+		t.Fatalf("schema conflict: status %d, want 409", code)
+	}
+
+	// Unknown dimension is refused: the dimension universe is fixed.
+	bad := datasetBody(gen.ExNS + "dataset/D-baddim")
+	bad["dimensions"] = []string{gen.ExNS + "dim/not-in-space"}
+	if code := postJSON(t, ts.URL+"/v1/datasets", bad, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("unknown dimension: status %d, want 400", code)
+	}
+
+	// The registered dataset accepts inserts carrying its new measure.
+	ins := map[string]any{
+		"dataset": uri,
+		"uri":     gen.ExNS + "obs/migrated1",
+		"dimensions": map[string]string{
+			gen.DimRefArea.Value:   gen.GeoAthens.Value,
+			gen.DimRefPeriod.Value: gen.TimeJan.Value,
+		},
+		"measures": map[string]string{gen.ExNS + "measure/migrated": "7"},
+	}
+	var insResp map[string]any
+	if code := postJSON(t, ts.URL+"/v1/observations", ins, &insResp); code != http.StatusCreated {
+		t.Fatalf("insert into registered dataset: status %d (%v)", code, insResp)
+	}
+}
+
+// TestCreateDatasetNeedsCheckpointHook: a WAL-backed server without
+// Config.CheckpointNow refuses registration — a durable insert into a
+// volatile dataset would fail replay after a crash.
+func TestCreateDatasetNeedsCheckpointHook(t *testing.T) {
+	m := faultfs.NewMemFS()
+	_, ts, _ := newDurableServer(t, m, paperSnapshotBytes(t), Config{})
+	var resp map[string]any
+	if code := postJSON(t, ts.URL+"/v1/datasets", datasetBody(gen.ExNS+"dataset/D-nohook"), &resp); code != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", code)
+	}
+}
+
+// TestCreateDatasetDurableAcrossRestart proves the checkpoint-before-
+// publish ordering: after a register + insert + crash, a fresh server
+// built from the committed snapshot replays the WAL cleanly and serves
+// the observation.
+func TestCreateDatasetDurableAcrossRestart(t *testing.T) {
+	m := faultfs.NewMemFS()
+	var mu sync.Mutex
+	committed := paperSnapshotBytes(t)
+
+	var srv *Server
+	cfg := Config{CheckpointNow: func() error {
+		return srv.CheckpointWith(func(data []byte) error {
+			mu.Lock()
+			committed = append([]byte(nil), data...)
+			mu.Unlock()
+			return nil
+		})
+	}}
+	srv, ts, _ := newDurableServer(t, m, committed, cfg)
+
+	uri := gen.ExNS + "dataset/D-durable"
+	var created map[string]any
+	if code := postJSON(t, ts.URL+"/v1/datasets", datasetBody(uri), &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d (%v)", code, created)
+	}
+	obsURI := gen.ExNS + "obs/durable1"
+	ins := map[string]any{
+		"dataset": uri,
+		"uri":     obsURI,
+		"dimensions": map[string]string{
+			gen.DimRefArea.Value:   gen.GeoAthens.Value,
+			gen.DimRefPeriod.Value: gen.TimeJan.Value,
+		},
+		"measures": map[string]string{gen.ExNS + "measure/migrated": "9"},
+	}
+	var insResp map[string]any
+	if code := postJSON(t, ts.URL+"/v1/observations", ins, &insResp); code != http.StatusCreated {
+		t.Fatalf("insert: status %d (%v)", code, insResp)
+	}
+
+	// Crash: reopen the surviving MemFS WAL against the committed
+	// snapshot — exactly what the daemon does at startup.
+	crashed := m.Clone()
+	crashed.Crash()
+	wlog2, recs, err := wal.Open(crashed, "cube.wal")
+	if err != nil {
+		t.Fatalf("wal.Open after crash: %v", err)
+	}
+	mu.Lock()
+	snapBytes := committed
+	mu.Unlock()
+	srv2, err := New(decodeSnapshot(t, snapBytes), Config{WAL: wlog2})
+	if err != nil {
+		t.Fatalf("New after crash: %v", err)
+	}
+	applied, err := srv2.Replay(recs)
+	if err != nil {
+		t.Fatalf("Replay after crash: %v (the registration was not durable before the insert)", err)
+	}
+	if applied < 1 {
+		t.Fatalf("replay applied %d records, want >= 1", applied)
+	}
+	srv2.mu.RLock()
+	_, ok := srv2.uriIdx[obsURI]
+	srv2.mu.RUnlock()
+	if !ok {
+		t.Fatalf("observation %s lost across the crash", obsURI)
+	}
+}
+
+// TestCreateDatasetCheckpointFailureKeepsDatasetUnpublished: when the
+// registration checkpoint fails the client gets a retryable 503 and the
+// dataset does NOT accept inserts; a retry with a healthy checkpoint
+// completes the registration.
+func TestCreateDatasetCheckpointFailureKeepsDatasetUnpublished(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var srv *Server
+	cfg := Config{CheckpointNow: func() error {
+		if fail.Load() {
+			return fmt.Errorf("injected checkpoint failure")
+		}
+		return srv.CheckpointWith(func([]byte) error { return nil })
+	}}
+	corpusSrv, ts := newPaperServer(t, cfg)
+	srv = corpusSrv
+
+	uri := gen.ExNS + "dataset/D-flaky"
+	var resp map[string]any
+	if code := postJSON(t, ts.URL+"/v1/datasets", datasetBody(uri), &resp); code != http.StatusServiceUnavailable {
+		t.Fatalf("failed checkpoint: status %d, want 503 (%v)", code, resp)
+	}
+	ins := map[string]any{
+		"dataset":    uri,
+		"uri":        gen.ExNS + "obs/flaky1",
+		"dimensions": map[string]string{gen.DimRefArea.Value: gen.GeoAthens.Value},
+		"measures":   map[string]string{gen.ExNS + "measure/migrated": "1"},
+	}
+	if code := postJSON(t, ts.URL+"/v1/observations", ins, &resp); code != http.StatusBadRequest {
+		t.Fatalf("insert into unpublished dataset: status %d, want 400", code)
+	}
+
+	fail.Store(false)
+	if code := postJSON(t, ts.URL+"/v1/datasets", datasetBody(uri), &resp); code != http.StatusCreated {
+		t.Fatalf("retry after checkpoint heals: status %d, want 201 (%v)", code, resp)
+	}
+	if code := postJSON(t, ts.URL+"/v1/observations", ins, &resp); code != http.StatusCreated {
+		t.Fatalf("insert after successful registration: status %d (%v)", code, resp)
+	}
+}

@@ -162,6 +162,19 @@ type Config struct {
 	// WALPollWait is the default long-poll budget for a /v1/wal request
 	// whose offset is at the durable end; zero means 10s, capped at 30s.
 	WALPollWait time.Duration
+	// CheckpointNow, when set, synchronously runs one full checkpoint
+	// cycle through the daemon's snapshot store (typically a closure over
+	// CheckpointWith and a snapshot.Rotator). POST /v1/datasets calls it
+	// to make a registration durable BEFORE the dataset becomes
+	// insertable: a schema change cannot ride the WAL (an unknown record
+	// kind reads as a torn tail on replay), so the snapshot is the only
+	// durable carrier. Required when WAL is set — a WAL-backed server
+	// without it refuses registrations, because a durable insert into a
+	// volatile dataset would fail replay after a crash.
+	CheckpointNow func() error
+	// DisableDatasetCreate turns POST /v1/datasets off (501). Operators
+	// who want a frozen schema surface set this.
+	DisableDatasetCreate bool
 }
 
 func (c Config) timeout() time.Duration {
@@ -248,6 +261,14 @@ type Server struct {
 	// same path (and WAL truncation must pair with exactly one commit).
 	ckptMu sync.Mutex
 
+	// Dataset registration: the daemon's synchronous-checkpoint hook and
+	// the mutex serializing whole register-then-checkpoint-then-publish
+	// cycles (regMu is held across the checkpoint, so it must never be
+	// acquired while holding mu).
+	ckptNow     func() error
+	regMu       sync.Mutex
+	dsCreateOff bool
+
 	// Replication (primary side): the per-incarnation stream ID, the
 	// logical offset of the physical WAL start (advanced when checkpoints
 	// truncate the log), the count of record frames the stream has carried,
@@ -307,6 +328,9 @@ func New(sn *snapshot.Snapshot, cfg Config) (*Server, error) {
 		snapGen:   cfg.SnapshotGen,
 		pollWait:  cfg.walPollWait(),
 		follower:  cfg.Follower,
+
+		ckptNow:     cfg.CheckpointNow,
+		dsCreateOff: cfg.DisableDatasetCreate,
 	}
 	s.runCtx, s.stopRuns = context.WithCancel(context.Background())
 	for i, o := range sn.Space.Obs {
@@ -568,6 +592,10 @@ func (s *Server) Handler() http.Handler {
 	// and /v1/wal long-polls at the tail by design.
 	outer.Handle("GET /v1/snapshot", s.wrap("snapshot", s.handleSnapshot))
 	outer.Handle("GET /v1/wal", s.wrap("waltail", s.handleWALTail))
+	// Dataset registration also lives outside the TimeoutHandler: it
+	// synchronously checkpoints the snapshot (its durability point),
+	// which can legitimately outlast one query's budget.
+	outer.Handle("POST /v1/datasets", s.wrap("datasets", s.handleCreateDataset))
 	// The trace ring is served unwrapped: reading traces must not charge
 	// the semaphore, appear in the ring it is reading, or be shed under
 	// the very overload it is diagnosing.
